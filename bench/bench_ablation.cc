@@ -1,0 +1,81 @@
+// Ablation of LASH's partition-construction design choices (Sec. 4, the
+// shortcomings item-based partitioning must overcome: skew, redundant
+// computation, communication cost).
+//
+// Axes:
+//   * rewrite level — P_w(T) = T ("none"), w-generalization only
+//     ("generalize"), or the full pipeline with unreachability reduction,
+//     isolated-pivot removal and blank compression ("full");
+//   * combiner     — with/without map-side aggregation of identical
+//     rewrites (Sec. 4.4).
+//
+// All configurations produce identical output (asserted by
+// RewriteAblationTest); they differ in MAP_OUTPUT_BYTES, records, and time.
+// Expected: bytes and reduce time drop monotonically from none ->
+// generalize -> full, and the combiner removes most duplicate records.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+struct Setting {
+  RewriteLevel rewrite;
+  bool combiner;
+  const char* name;
+};
+
+const Setting kSettings[] = {
+    {RewriteLevel::kNone, true, "none"},
+    {RewriteLevel::kGeneralizeOnly, true, "generalize"},
+    {RewriteLevel::kFull, false, "full,no-comb"},
+    {RewriteLevel::kFull, true, "full"},
+};
+
+const PreprocessResult& PreFor(const Setting&) {
+  const GeneratedText& data = NytData(TextHierarchy::kCLP);
+  return Preprocessed("NYT-CLP", data.database, data.hierarchy);
+}
+
+void BM_Ablation(benchmark::State& state) {
+  const Setting& s = kSettings[state.range(0)];
+  GsmParams params{.sigma = 100, .gamma = 0, .lambda = 5};
+  LashOptions options;
+  options.rewrite = s.rewrite;
+  options.use_combiner = s.combiner;
+  for (auto _ : state) {
+    AlgoResult result = RunLash(PreFor(s), params, DefaultJobConfig(), options);
+    SetCounters(state, result);
+    state.counters["records"] =
+        static_cast<double>(result.job.counters.map_output_records);
+    state.counters["skew"] = result.partition_shape.SkewFactor();
+    PrintRow("Ablation", s.name, "NYT-CLP(100,0,5)", result);
+    std::printf("Ablation %-12s partitions=%zu max_partition=%llu skew=%.1f\n",
+                s.name, result.partition_shape.partitions,
+                static_cast<unsigned long long>(
+                    result.partition_shape.max_partition),
+                result.partition_shape.SkewFactor());
+    std::fflush(stdout);
+  }
+  state.SetLabel(s.name);
+}
+
+BENCHMARK(BM_Ablation)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Generates and preprocesses every dataset before timing starts.
+void Warmup() {
+  for (const Setting& s : kSettings) PreFor(s);
+}
+
+}  // namespace
+}  // namespace lash::bench
+
+int main(int argc, char** argv) {
+  lash::bench::Warmup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,114 @@
+#ifndef LASH_BENCH_BENCH_COMMON_H_
+#define LASH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "algo/lash.h"
+#include "algo/mgfsm.h"
+#include "algo/naive_gsm.h"
+#include "algo/seminaive_gsm.h"
+#include "datagen/product_gen.h"
+#include "datagen/text_gen.h"
+
+namespace lash::bench {
+
+/// Scaled-down stand-ins for the paper's datasets (see DESIGN.md §3):
+/// the NYT corpus (50M sentences) becomes 20k synthetic sentences, the
+/// AMZN dataset (6.6M sessions) becomes 20k synthetic sessions. Support
+/// thresholds in the individual benches are scaled accordingly; every
+/// comparison runs both competitors on identical data.
+inline constexpr size_t kNytSentences = 20000;
+inline constexpr size_t kNytLemmas = 3000;
+inline constexpr size_t kAmznSessions = 20000;
+inline constexpr size_t kAmznProducts = 5000;
+
+inline JobConfig DefaultJobConfig() {
+  JobConfig config;
+  config.num_map_tasks = 16;
+  config.num_reduce_tasks = 16;
+  return config;
+}
+
+/// Generates (and caches per-process) the NYT-like corpus for a hierarchy
+/// variant, optionally subsampled to `percent` of the sentences (Fig. 6).
+inline const GeneratedText& NytData(TextHierarchy kind, size_t sentences =
+                                                            kNytSentences) {
+  static std::map<std::pair<int, size_t>, std::unique_ptr<GeneratedText>> cache;
+  auto key = std::make_pair(static_cast<int>(kind), sentences);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    TextGenConfig config;
+    config.num_sentences = sentences;
+    config.num_lemmas = kNytLemmas;
+    config.hierarchy = kind;
+    it = cache.emplace(key, std::make_unique<GeneratedText>(
+                                GenerateText(config))).first;
+  }
+  return *it->second;
+}
+
+/// Generates (and caches) the AMZN-like dataset for a hierarchy depth.
+inline const GeneratedProducts& AmznData(int levels,
+                                         size_t sessions = kAmznSessions) {
+  static std::map<std::pair<int, size_t>, std::unique_ptr<GeneratedProducts>>
+      cache;
+  auto key = std::make_pair(levels, sessions);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    ProductGenConfig config;
+    config.num_sessions = sessions;
+    config.num_products = kAmznProducts;
+    config.levels = levels;
+    it = cache.emplace(key, std::make_unique<GeneratedProducts>(
+                                GenerateProducts(config))).first;
+  }
+  return *it->second;
+}
+
+/// Caches preprocessing results keyed by an arbitrary label.
+inline const PreprocessResult& Preprocessed(const std::string& label,
+                                            const Database& db,
+                                            const Hierarchy& h) {
+  static std::map<std::string, std::unique_ptr<PreprocessResult>> cache;
+  auto it = cache.find(label);
+  if (it == cache.end()) {
+    it = cache.emplace(label, std::make_unique<PreprocessResult>(
+                                  Preprocess(db, h))).first;
+  }
+  return *it->second;
+}
+
+/// Prints one paper-style series row. Used in addition to the
+/// google-benchmark counters so the bench output reads like the figure.
+inline void PrintRow(const std::string& figure, const std::string& series,
+                     const std::string& x, const AlgoResult& result) {
+  std::printf(
+      "%-8s %-12s %-18s map=%8.0fms shuffle=%6.0fms reduce=%8.0fms "
+      "total=%8.0fms bytes=%9.2fMB outputs=%8zu%s\n",
+      figure.c_str(), series.c_str(), x.c_str(), result.job.times.map_ms,
+      result.job.times.shuffle_ms, result.job.times.reduce_ms,
+      result.job.times.TotalMs(),
+      static_cast<double>(result.job.counters.map_output_bytes) / 1e6,
+      result.patterns.size(), result.aborted ? "  [DNF: emit cap]" : "");
+  std::fflush(stdout);
+}
+
+/// Attaches the standard counters to a benchmark state.
+template <typename State>
+void SetCounters(State& state, const AlgoResult& result) {
+  state.counters["map_ms"] = result.job.times.map_ms;
+  state.counters["shuffle_ms"] = result.job.times.shuffle_ms;
+  state.counters["reduce_ms"] = result.job.times.reduce_ms;
+  state.counters["total_ms"] = result.job.times.TotalMs();
+  state.counters["MB"] =
+      static_cast<double>(result.job.counters.map_output_bytes) / 1e6;
+  state.counters["outputs"] = static_cast<double>(result.patterns.size());
+  state.counters["DNF"] = result.aborted ? 1 : 0;
+}
+
+}  // namespace lash::bench
+
+#endif  // LASH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,94 @@
+// Fig. 4(b): bytes transferred between map and reduce (MAP_OUTPUT_BYTES)
+// for the same runs as Fig. 4(a).
+//
+// Expected shape: LASH transfers far fewer bytes than the (semi-)naive
+// baselines thanks to item-based partitioning + rewrites + aggregation; the
+// baselines' byte counts explode with hierarchy depth and lambda.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+struct Setting {
+  TextHierarchy hierarchy;
+  Frequency sigma;
+  uint32_t lambda;
+};
+
+const Setting kSettings[] = {
+    {TextHierarchy::kP, 500, 3},
+    {TextHierarchy::kP, 100, 3},
+    {TextHierarchy::kP, 100, 5},
+    {TextHierarchy::kCLP, 100, 5},
+};
+
+const BaselineLimits kLimits{.max_emitted_records = 20'000'000};
+
+std::string SettingName(const Setting& s) {
+  return TextHierarchyName(s.hierarchy) + "(" + std::to_string(s.sigma) +
+         ",0," + std::to_string(s.lambda) + ")";
+}
+
+const PreprocessResult& PreFor(const Setting& s) {
+  const GeneratedText& data = NytData(s.hierarchy);
+  return Preprocessed(TextHierarchyName(s.hierarchy), data.database,
+                      data.hierarchy);
+}
+
+void Report(benchmark::State& state, const AlgoResult& result,
+            const char* series, const Setting& s) {
+  SetCounters(state, result);
+  PrintRow("Fig4b", series, SettingName(s), result);
+  state.SetLabel(SettingName(s));
+}
+
+void BM_NaiveBytes(benchmark::State& state) {
+  const Setting& s = kSettings[state.range(0)];
+  GsmParams params{.sigma = s.sigma, .gamma = 0, .lambda = s.lambda};
+  for (auto _ : state) {
+    Report(state, RunNaiveGsm(PreFor(s), params, DefaultJobConfig(), kLimits),
+           "naive", s);
+  }
+}
+
+void BM_SemiNaiveBytes(benchmark::State& state) {
+  const Setting& s = kSettings[state.range(0)];
+  GsmParams params{.sigma = s.sigma, .gamma = 0, .lambda = s.lambda};
+  for (auto _ : state) {
+    Report(state,
+           RunSemiNaiveGsm(PreFor(s), params, DefaultJobConfig(), kLimits),
+           "semi-naive", s);
+  }
+}
+
+void BM_LashBytes(benchmark::State& state) {
+  const Setting& s = kSettings[state.range(0)];
+  GsmParams params{.sigma = s.sigma, .gamma = 0, .lambda = s.lambda};
+  for (auto _ : state) {
+    Report(state, RunLash(PreFor(s), params, DefaultJobConfig()), "LASH", s);
+  }
+}
+
+BENCHMARK(BM_NaiveBytes)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_SemiNaiveBytes)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_LashBytes)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Generates and preprocesses every dataset before timing starts, so the
+// first series is not charged for warmup (allocator, page cache, datagen).
+void Warmup() {
+  for (const Setting& s : kSettings) PreFor(s);
+}
+
+}  // namespace
+}  // namespace lash::bench
+
+int main(int argc, char** argv) {
+  lash::bench::Warmup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 4(c): local mining time of BFS vs DFS vs PSM vs PSM+Index inside
+// LASH's reduce phase, on the NYT-like corpus.
+//
+// Paper settings: LP(1000,0,5), LP(100,0,5), CLP(100,0,5), CLP(100,0,7).
+// Expected shape: PSM ~9-22x faster than BFS and 2.5-3.5x faster than DFS;
+// indexing helps on the harder settings (BFS ran out of memory at
+// CLP(100,0,7) in the paper).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+struct Setting {
+  TextHierarchy hierarchy;
+  Frequency sigma;
+  uint32_t lambda;
+};
+
+const Setting kSettings[] = {
+    {TextHierarchy::kLP, 500, 5},
+    {TextHierarchy::kLP, 100, 5},
+    {TextHierarchy::kCLP, 100, 5},
+    {TextHierarchy::kCLP, 100, 7},
+};
+
+std::string SettingName(const Setting& s) {
+  return TextHierarchyName(s.hierarchy) + "(" + std::to_string(s.sigma) +
+         ",0," + std::to_string(s.lambda) + ")";
+}
+
+const PreprocessResult& PreFor(const Setting& s) {
+  const GeneratedText& data = NytData(s.hierarchy);
+  return Preprocessed(TextHierarchyName(s.hierarchy), data.database,
+                      data.hierarchy);
+}
+
+void RunMiner(benchmark::State& state, MinerKind kind, const char* name) {
+  const Setting& s = kSettings[state.range(0)];
+  GsmParams params{.sigma = s.sigma, .gamma = 0, .lambda = s.lambda};
+  LashOptions options;
+  options.miner = kind;
+  for (auto _ : state) {
+    AlgoResult result = RunLash(PreFor(s), params, DefaultJobConfig(), options);
+    SetCounters(state, result);
+    // "Mining time" = reduce phase time (Sec. 6.3 measures the reduce side).
+    state.counters["mining_ms"] = result.job.times.reduce_ms;
+    PrintRow("Fig4c", name, SettingName(s), result);
+  }
+  state.SetLabel(SettingName(s));
+}
+
+void BM_BFS(benchmark::State& state) { RunMiner(state, MinerKind::kBfs, "BFS"); }
+void BM_DFS(benchmark::State& state) { RunMiner(state, MinerKind::kDfs, "DFS"); }
+void BM_PSM(benchmark::State& state) { RunMiner(state, MinerKind::kPsm, "PSM"); }
+void BM_PSMIndex(benchmark::State& state) {
+  RunMiner(state, MinerKind::kPsmIndex, "PSM+Index");
+}
+
+BENCHMARK(BM_BFS)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_DFS)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_PSM)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_PSMIndex)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Generates and preprocesses every dataset before timing starts, so the
+// first series is not charged for warmup (allocator, page cache, datagen).
+void Warmup() {
+  for (const Setting& s : kSettings) PreFor(s);
+}
+
+}  // namespace
+}  // namespace lash::bench
+
+int main(int argc, char** argv) {
+  lash::bench::Warmup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 4(d): search-space size — candidate sequences generated per output
+// sequence for DFS vs PSM vs PSM+Index (same settings as Fig. 4(c)).
+//
+// Expected shape: PSM explores a small fraction of DFS's candidates
+// (it never enumerates non-pivot sequences); the right-expansion index
+// prunes up to another ~2x.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+struct Setting {
+  TextHierarchy hierarchy;
+  Frequency sigma;
+  uint32_t lambda;
+};
+
+const Setting kSettings[] = {
+    {TextHierarchy::kLP, 500, 5},
+    {TextHierarchy::kLP, 100, 5},
+    {TextHierarchy::kCLP, 100, 5},
+    {TextHierarchy::kCLP, 100, 7},
+};
+
+std::string SettingName(const Setting& s) {
+  return TextHierarchyName(s.hierarchy) + "(" + std::to_string(s.sigma) +
+         ",0," + std::to_string(s.lambda) + ")";
+}
+
+const PreprocessResult& PreFor(const Setting& s) {
+  const GeneratedText& data = NytData(s.hierarchy);
+  return Preprocessed(TextHierarchyName(s.hierarchy), data.database,
+                      data.hierarchy);
+}
+
+void RunMiner(benchmark::State& state, MinerKind kind, const char* name) {
+  const Setting& s = kSettings[state.range(0)];
+  GsmParams params{.sigma = s.sigma, .gamma = 0, .lambda = s.lambda};
+  LashOptions options;
+  options.miner = kind;
+  for (auto _ : state) {
+    AlgoResult result = RunLash(PreFor(s), params, DefaultJobConfig(), options);
+    SetCounters(state, result);
+    state.counters["candidates"] =
+        static_cast<double>(result.miner_stats.candidates);
+    state.counters["cand_per_output"] = result.miner_stats.CandidatesPerOutput();
+    std::printf("Fig4d    %-10s %-18s candidates=%12llu outputs=%10llu "
+                "candidates/output=%8.2f\n",
+                name, SettingName(s).c_str(),
+                static_cast<unsigned long long>(result.miner_stats.candidates),
+                static_cast<unsigned long long>(result.miner_stats.outputs),
+                result.miner_stats.CandidatesPerOutput());
+    std::fflush(stdout);
+  }
+  state.SetLabel(SettingName(s));
+}
+
+void BM_DFS(benchmark::State& state) { RunMiner(state, MinerKind::kDfs, "DFS"); }
+void BM_PSM(benchmark::State& state) { RunMiner(state, MinerKind::kPsm, "PSM"); }
+void BM_PSMIndex(benchmark::State& state) {
+  RunMiner(state, MinerKind::kPsmIndex, "PSM+Index");
+}
+
+BENCHMARK(BM_DFS)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_PSM)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_PSMIndex)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Generates and preprocesses every dataset before timing starts, so the
+// first series is not charged for warmup (allocator, page cache, datagen).
+void Warmup() {
+  for (const Setting& s : kSettings) PreFor(s);
+}
+
+}  // namespace
+}  // namespace lash::bench
+
+int main(int argc, char** argv) {
+  lash::bench::Warmup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

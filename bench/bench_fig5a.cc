@@ -1,0 +1,39 @@
+// Fig. 5(a): effect of the minimum support sigma on LASH's map / shuffle /
+// reduce times, on AMZN-h8 with gamma=1, lambda=5.
+//
+// Paper sweeps sigma in {10, 100, 1000, 10000} on 6.6M sessions; we sweep a
+// proportionally scaled range. Expected shape: map time decreases mildly
+// with sigma (the effective hierarchy depth shrinks), reduce time drops
+// sharply (mining gets cheaper).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+const Frequency kSigmas[] = {25, 100, 400, 1600};
+
+const PreprocessResult& Pre() {
+  const GeneratedProducts& data = AmznData(8);
+  return Preprocessed("AMZN-h8", data.database, data.hierarchy);
+}
+
+void BM_LashSupport(benchmark::State& state) {
+  Frequency sigma = kSigmas[state.range(0)];
+  GsmParams params{.sigma = sigma, .gamma = 1, .lambda = 5};
+  for (auto _ : state) {
+    AlgoResult result = RunLash(Pre(), params, DefaultJobConfig());
+    SetCounters(state, result);
+    PrintRow("Fig5a", "LASH", "sigma=" + std::to_string(sigma), result);
+  }
+  state.SetLabel("sigma=" + std::to_string(sigma));
+}
+
+BENCHMARK(BM_LashSupport)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Fig. 5(b): effect of the maximum gap gamma on LASH, AMZN-h8 with
+// sigma=100, lambda=5.
+//
+// Expected shape: map time roughly flat (rewriting is largely independent
+// of gamma), reduce time grows steeply with gamma (the mining search space
+// expands).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+const PreprocessResult& Pre() {
+  const GeneratedProducts& data = AmznData(8);
+  return Preprocessed("AMZN-h8", data.database, data.hierarchy);
+}
+
+void BM_LashGap(benchmark::State& state) {
+  uint32_t gamma = static_cast<uint32_t>(state.range(0));
+  GsmParams params{.sigma = 100, .gamma = gamma, .lambda = 5};
+  for (auto _ : state) {
+    AlgoResult result = RunLash(Pre(), params, DefaultJobConfig());
+    SetCounters(state, result);
+    PrintRow("Fig5b", "LASH", "gamma=" + std::to_string(gamma), result);
+  }
+  state.SetLabel("gamma=" + std::to_string(gamma));
+}
+
+BENCHMARK(BM_LashGap)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

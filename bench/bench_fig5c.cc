@@ -1,0 +1,36 @@
+// Fig. 5(c): effect of the maximum length lambda on LASH, AMZN-h8 with
+// sigma=100, gamma=1.
+//
+// Expected shape: map time nearly flat, reduce time grows with lambda
+// (more and longer patterns), proportional to the output growth shown in
+// Fig. 5(d).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+const PreprocessResult& Pre() {
+  const GeneratedProducts& data = AmznData(8);
+  return Preprocessed("AMZN-h8", data.database, data.hierarchy);
+}
+
+void BM_LashLength(benchmark::State& state) {
+  uint32_t lambda = static_cast<uint32_t>(state.range(0));
+  GsmParams params{.sigma = 100, .gamma = 1, .lambda = lambda};
+  for (auto _ : state) {
+    AlgoResult result = RunLash(Pre(), params, DefaultJobConfig());
+    SetCounters(state, result);
+    PrintRow("Fig5c", "LASH", "lambda=" + std::to_string(lambda), result);
+  }
+  state.SetLabel("lambda=" + std::to_string(lambda));
+}
+
+BENCHMARK(BM_LashLength)->DenseRange(3, 7)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Fig. 5(d): number of output sequences as a function of lambda (the runs
+// of Fig. 5(c)). The paper observes output size and reduce time to be
+// proportional.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+const PreprocessResult& Pre() {
+  const GeneratedProducts& data = AmznData(8);
+  return Preprocessed("AMZN-h8", data.database, data.hierarchy);
+}
+
+void BM_OutputSize(benchmark::State& state) {
+  uint32_t lambda = static_cast<uint32_t>(state.range(0));
+  GsmParams params{.sigma = 100, .gamma = 1, .lambda = lambda};
+  for (auto _ : state) {
+    AlgoResult result = RunLash(Pre(), params, DefaultJobConfig());
+    SetCounters(state, result);
+    std::printf("Fig5d    LASH        lambda=%u   outputs=%zu  reduce=%0.0fms\n",
+                lambda, result.patterns.size(), result.job.times.reduce_ms);
+    std::fflush(stdout);
+  }
+  state.SetLabel("lambda=" + std::to_string(lambda));
+}
+
+BENCHMARK(BM_OutputSize)->DenseRange(3, 7)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Fig. 5(e): effect of hierarchy depth (AMZN h2/h3/h4/h8) on LASH with
+// sigma=100, gamma=2, lambda=5, on identical session streams.
+//
+// Expected shape: map time grows slightly with depth (rewrites walk longer
+// ancestor chains); reduce time grows with the number of intermediate items
+// (more partitions, deeper generalization), with the h4 -> h8 step muted
+// because most products attach within the first four levels.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+const int kLevels[] = {2, 3, 4, 8};
+
+void BM_LashDepth(benchmark::State& state) {
+  int levels = kLevels[state.range(0)];
+  const GeneratedProducts& data = AmznData(levels);
+  const PreprocessResult& pre = Preprocessed(ProductHierarchyName(levels),
+                                             data.database, data.hierarchy);
+  GsmParams params{.sigma = 100, .gamma = 2, .lambda = 5};
+  for (auto _ : state) {
+    AlgoResult result = RunLash(pre, params, DefaultJobConfig());
+    SetCounters(state, result);
+    PrintRow("Fig5e", "LASH", ProductHierarchyName(levels), result);
+  }
+  state.SetLabel(ProductHierarchyName(levels));
+}
+
+BENCHMARK(BM_LashDepth)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

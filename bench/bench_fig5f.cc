@@ -1,0 +1,38 @@
+// Fig. 5(f): effect of the hierarchy *type* (NYT L/P/LP/CLP) on LASH with
+// sigma=100, lambda=5 (generalized n-grams, gamma=0), on identical
+// sentences.
+//
+// Expected shape: P (few roots, huge fan-out, highly frequent roots) mines
+// slower than L (many roots, tiny fan-out) despite both having two levels;
+// adding levels (LP, CLP) increases both map and reduce times.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+const TextHierarchy kKinds[] = {TextHierarchy::kL, TextHierarchy::kP,
+                                TextHierarchy::kLP, TextHierarchy::kCLP};
+
+void BM_LashHierarchyType(benchmark::State& state) {
+  TextHierarchy kind = kKinds[state.range(0)];
+  const GeneratedText& data = NytData(kind);
+  const PreprocessResult& pre =
+      Preprocessed(TextHierarchyName(kind), data.database, data.hierarchy);
+  GsmParams params{.sigma = 100, .gamma = 0, .lambda = 5};
+  for (auto _ : state) {
+    AlgoResult result = RunLash(pre, params, DefaultJobConfig());
+    SetCounters(state, result);
+    PrintRow("Fig5f", "LASH", TextHierarchyName(kind), result);
+  }
+  state.SetLabel(TextHierarchyName(kind));
+}
+
+BENCHMARK(BM_LashHierarchyType)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

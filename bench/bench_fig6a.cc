@@ -1,0 +1,38 @@
+// Fig. 6(a): data scalability — LASH on 25% / 50% / 75% / 100% random
+// samples of the NYT-CLP corpus (sigma=100, lambda=5).
+//
+// Expected shape: map and reduce times grow roughly linearly with the data.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+const int kPercents[] = {25, 50, 75, 100};
+
+void BM_LashDataScale(benchmark::State& state) {
+  int percent = kPercents[state.range(0)];
+  size_t sentences = kNytSentences * percent / 100;
+  const GeneratedText& data = NytData(TextHierarchy::kCLP, kNytSentences);
+  // Prefix sample of the full corpus (sentences are i.i.d. by construction,
+  // so a prefix is a random sample).
+  Database sample(data.database.begin(), data.database.begin() + sentences);
+  const PreprocessResult& pre = Preprocessed(
+      "NYT-CLP-" + std::to_string(percent), sample, data.hierarchy);
+  GsmParams params{.sigma = 100, .gamma = 0, .lambda = 5};
+  for (auto _ : state) {
+    AlgoResult result = RunLash(pre, params, DefaultJobConfig());
+    SetCounters(state, result);
+    PrintRow("Fig6a", "LASH", std::to_string(percent) + "%", result);
+  }
+  state.SetLabel(std::to_string(percent) + "%");
+}
+
+BENCHMARK(BM_LashDataScale)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

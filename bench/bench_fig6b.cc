@@ -1,0 +1,57 @@
+// Fig. 6(b): strong scalability — LASH on the full NYT-CLP corpus with 2, 4
+// and 8 (simulated) compute nodes, sigma=100, lambda=5.
+//
+// Tasks execute locally; their recorded durations are scheduled onto an
+// m-machine simulated cluster (8 task slots each, like the paper's setup)
+// with an LPT scheduler — see DESIGN.md §3 for why this preserves the
+// paper's measurement. Expected shape: map and reduce times halve as the
+// node count doubles.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+const size_t kMachines[] = {2, 4, 8};
+
+const AlgoResult& FullRun() {
+  static const AlgoResult result = [] {
+    const GeneratedText& data = NytData(TextHierarchy::kCLP);
+    const PreprocessResult& pre =
+        Preprocessed("NYT-CLP", data.database, data.hierarchy);
+    GsmParams params{.sigma = 100, .gamma = 0, .lambda = 5};
+    JobConfig config = DefaultJobConfig();
+    // More, finer tasks so the simulated scheduler has enough to place.
+    config.num_map_tasks = 64;
+    config.num_reduce_tasks = 64;
+    return RunLash(pre, params, config);
+  }();
+  return result;
+}
+
+void BM_StrongScaling(benchmark::State& state) {
+  size_t machines = kMachines[state.range(0)];
+  for (auto _ : state) {
+    const AlgoResult& run = FullRun();
+    PhaseTimes sim = run.job.SimulatedTimes(machines);
+    state.counters["map_ms"] = sim.map_ms;
+    state.counters["shuffle_ms"] = sim.shuffle_ms;
+    state.counters["reduce_ms"] = sim.reduce_ms;
+    state.counters["total_ms"] = sim.TotalMs();
+    std::printf("Fig6b    LASH        machines=%zu   map=%8.0fms "
+                "shuffle=%6.0fms reduce=%8.0fms total=%8.0fms\n",
+                machines, sim.map_ms, sim.shuffle_ms, sim.reduce_ms,
+                sim.TotalMs());
+    std::fflush(stdout);
+  }
+  state.SetLabel("machines=" + std::to_string(machines));
+}
+
+BENCHMARK(BM_StrongScaling)->DenseRange(0, 2)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Fig. 6(c): weak scalability — LASH with (2 machines, 25% data),
+// (4, 50%), (8, 100%) on NYT-CLP, sigma=100, lambda=5.
+//
+// Expected shape: roughly constant total time, with a slight increase
+// because the number of output sequences grows super-linearly in the data
+// (the paper measured a 2.2x output growth per 2x data).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+struct Point {
+  size_t machines;
+  int percent;
+};
+const Point kPoints[] = {{2, 25}, {4, 50}, {8, 100}};
+
+void BM_WeakScaling(benchmark::State& state) {
+  const Point& point = kPoints[state.range(0)];
+  size_t sentences = kNytSentences * point.percent / 100;
+  const GeneratedText& data = NytData(TextHierarchy::kCLP, kNytSentences);
+  Database sample(data.database.begin(), data.database.begin() + sentences);
+  const PreprocessResult& pre = Preprocessed(
+      "NYT-CLP-weak-" + std::to_string(point.percent), sample, data.hierarchy);
+  GsmParams params{.sigma = 100, .gamma = 0, .lambda = 5};
+  JobConfig config = DefaultJobConfig();
+  config.num_map_tasks = 64;
+  config.num_reduce_tasks = 64;
+  for (auto _ : state) {
+    AlgoResult result = RunLash(pre, params, config);
+    PhaseTimes sim = result.job.SimulatedTimes(point.machines);
+    state.counters["map_ms"] = sim.map_ms;
+    state.counters["shuffle_ms"] = sim.shuffle_ms;
+    state.counters["reduce_ms"] = sim.reduce_ms;
+    state.counters["total_ms"] = sim.TotalMs();
+    state.counters["outputs"] = static_cast<double>(result.patterns.size());
+    std::printf("Fig6c    LASH        machines=%zu(%d%%)   map=%8.0fms "
+                "shuffle=%6.0fms reduce=%8.0fms total=%8.0fms outputs=%zu\n",
+                point.machines, point.percent, sim.map_ms, sim.shuffle_ms,
+                sim.reduce_ms, sim.TotalMs(), result.patterns.size());
+    std::fflush(stdout);
+  }
+  state.SetLabel(std::to_string(point.machines) + "(" +
+                 std::to_string(point.percent) + "%)");
+}
+
+BENCHMARK(BM_WeakScaling)->DenseRange(0, 2)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Micro-benchmarks of the core primitives every LASH phase is built from:
+// the ⊑γ matcher, the partition rewrites, the generalized f-list scan, and
+// the varint codecs. These are classic hot-loop benchmarks (many
+// iterations), complementary to the figure benches which time whole jobs.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/flist.h"
+#include "core/match.h"
+#include "core/rewrite.h"
+#include "datagen/text_gen.h"
+#include "util/rng.h"
+#include "util/varint.h"
+
+namespace lash {
+namespace {
+
+// A mid-sized corpus shared by all micro benches.
+const GeneratedText& Corpus() {
+  static const GeneratedText data = [] {
+    TextGenConfig config;
+    config.num_sentences = 2000;
+    config.num_lemmas = 1000;
+    config.hierarchy = TextHierarchy::kCLP;
+    return GenerateText(config);
+  }();
+  return data;
+}
+
+const PreprocessResult& Pre() {
+  static const PreprocessResult pre =
+      Preprocess(Corpus().database, Corpus().hierarchy);
+  return pre;
+}
+
+void BM_Match(benchmark::State& state) {
+  const PreprocessResult& pre = Pre();
+  const uint32_t gamma = static_cast<uint32_t>(state.range(0));
+  // A frequent 3-pattern: the three most frequent items.
+  Sequence pattern = {1, 2, 3};
+  size_t i = 0, matched = 0;
+  for (auto _ : state) {
+    const Sequence& t = pre.database[i];
+    if (++i == pre.database.size()) i = 0;
+    matched += Matches(pattern, t, pre.hierarchy, gamma);
+  }
+  benchmark::DoNotOptimize(matched);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Match)->Arg(0)->Arg(2);
+
+void BM_Rewrite(benchmark::State& state) {
+  const PreprocessResult& pre = Pre();
+  Rewriter rewriter(&pre.hierarchy, /*gamma=*/1, /*lambda=*/5);
+  const ItemId pivot = static_cast<ItemId>(state.range(0));
+  size_t i = 0, bytes = 0;
+  for (auto _ : state) {
+    const Sequence& t = pre.database[i];
+    if (++i == pre.database.size()) i = 0;
+    Sequence rewritten = rewriter.Rewrite(t, pivot);
+    bytes += rewritten.size();
+  }
+  benchmark::DoNotOptimize(bytes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rewrite)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_GeneralizedFList(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<Frequency> freq =
+        GeneralizedItemFrequencies(Corpus().database, Corpus().hierarchy);
+    benchmark::DoNotOptimize(freq.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Corpus().database.size()));
+}
+BENCHMARK(BM_GeneralizedFList);
+
+void BM_VarintSequenceCodec(benchmark::State& state) {
+  Rng rng(1);
+  Sequence seq;
+  for (int i = 0; i < 64; ++i) {
+    seq.push_back(rng.Bernoulli(0.2) ? kBlank
+                                     : static_cast<ItemId>(1 + rng.Uniform(50000)));
+  }
+  for (auto _ : state) {
+    std::string buffer;
+    EncodeRewrittenSequence(&buffer, seq);
+    Sequence decoded;
+    size_t pos = 0;
+    DecodeRewrittenSequence(buffer, &pos, &decoded);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 4);
+}
+BENCHMARK(BM_VarintSequenceCodec);
+
+void BM_Preprocess(benchmark::State& state) {
+  for (auto _ : state) {
+    PreprocessResult pre = Preprocess(Corpus().database, Corpus().hierarchy);
+    benchmark::DoNotOptimize(pre.freq.data());
+  }
+}
+BENCHMARK(BM_Preprocess)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lash
+
+BENCHMARK_MAIN();

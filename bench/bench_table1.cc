@@ -1,0 +1,45 @@
+// Table 1: dataset characteristics (sequences, avg/max length, total and
+// unique items) for the synthetic NYT-like and AMZN-like datasets.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+void Print(const char* name, const DatasetStats& s) {
+  std::printf("Table1   %-8s sequences=%9zu avg_len=%6.1f max_len=%6zu "
+              "total_items=%10zu unique_items=%8zu\n",
+              name, s.num_sequences, s.avg_length, s.max_length,
+              s.total_items, s.unique_items);
+  std::fflush(stdout);
+}
+
+void BM_Nyt(benchmark::State& state) {
+  for (auto _ : state) {
+    DatasetStats s = ComputeStats(NytData(TextHierarchy::kCLP).database);
+    Print("NYT", s);
+    state.counters["sequences"] = static_cast<double>(s.num_sequences);
+    state.counters["avg_len"] = s.avg_length;
+    state.counters["unique"] = static_cast<double>(s.unique_items);
+  }
+}
+
+void BM_Amzn(benchmark::State& state) {
+  for (auto _ : state) {
+    DatasetStats s = ComputeStats(AmznData(8).database);
+    Print("AMZN", s);
+    state.counters["sequences"] = static_cast<double>(s.num_sequences);
+    state.counters["avg_len"] = s.avg_length;
+    state.counters["unique"] = static_cast<double>(s.unique_items);
+  }
+}
+
+BENCHMARK(BM_Nyt)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Amzn)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

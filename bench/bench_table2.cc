@@ -1,0 +1,56 @@
+// Table 2: hierarchy characteristics (total/leaf/root/intermediate items,
+// levels, avg and max fan-out) for the NYT L/P/LP/CLP and AMZN h2..h8
+// hierarchy variants.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace lash::bench {
+namespace {
+
+void Print(const std::string& name, const Hierarchy& h) {
+  std::printf("Table2   %-10s total=%8zu leaves=%8zu roots=%6zu "
+              "intermediate=%7zu levels=%d avg_fanout=%9.1f max_fanout=%8zu\n",
+              name.c_str(), h.NumItems(), h.NumLeaves(), h.NumRoots(),
+              h.NumIntermediate(), h.NumLevels(), h.AvgFanOut(), h.MaxFanOut());
+  std::fflush(stdout);
+}
+
+void SetCounters(benchmark::State& state, const Hierarchy& h) {
+  state.counters["total"] = static_cast<double>(h.NumItems());
+  state.counters["levels"] = h.NumLevels();
+  state.counters["roots"] = static_cast<double>(h.NumRoots());
+  state.counters["avg_fanout"] = h.AvgFanOut();
+}
+
+void BM_NytHierarchy(benchmark::State& state) {
+  const TextHierarchy kKinds[] = {TextHierarchy::kL, TextHierarchy::kP,
+                                  TextHierarchy::kLP, TextHierarchy::kCLP};
+  TextHierarchy kind = kKinds[state.range(0)];
+  for (auto _ : state) {
+    const Hierarchy& h = NytData(kind).hierarchy;
+    Print(TextHierarchyName(kind), h);
+    SetCounters(state, h);
+  }
+  state.SetLabel(TextHierarchyName(kind));
+}
+
+void BM_AmznHierarchy(benchmark::State& state) {
+  const int kLevels[] = {2, 3, 4, 8};
+  int levels = kLevels[state.range(0)];
+  for (auto _ : state) {
+    const Hierarchy& h = AmznData(levels).hierarchy;
+    Print(ProductHierarchyName(levels), h);
+    SetCounters(state, h);
+  }
+  state.SetLabel(ProductHierarchyName(levels));
+}
+
+BENCHMARK(BM_NytHierarchy)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_AmznHierarchy)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Table 3: output statistics — % of non-trivial, closed, and maximal
+// output sequences. NYT with P/LP/CLP hierarchies (sigma=100, lambda=5,
+// gamma=0) and AMZN-h8 across supports (gamma=1, lambda=5).
+//
+// Expected shape: deeper hierarchies and lower supports reduce the closed
+// and maximal fractions (more redundancy) while the non-trivial share stays
+// high — hierarchy-aware mining finds mostly patterns flat mining cannot.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "stats/output_stats.h"
+
+namespace lash::bench {
+namespace {
+
+OutputStatsResult StatsFor(const Database& db, const Hierarchy& h,
+                           const PreprocessResult& pre,
+                           const GsmParams& params) {
+  AlgoResult gsm = RunLash(pre, params, DefaultJobConfig());
+  // Flat mining on the same data, translated into the hierarchical rank
+  // space for comparison.
+  PreprocessResult flat_pre = Preprocess(db, Hierarchy::Flat(h.NumItems()));
+  AlgoResult flat = RunLash(flat_pre, params, DefaultJobConfig());
+  std::vector<ItemId> flat_to_gsm(flat_pre.raw_of_rank.size(), kInvalidItem);
+  for (size_t r = 1; r < flat_pre.raw_of_rank.size(); ++r) {
+    flat_to_gsm[r] = pre.rank_of_raw[flat_pre.raw_of_rank[r]];
+  }
+  PatternMap flat_patterns = RemapPatterns(flat.patterns, flat_to_gsm);
+  return ComputeOutputStats(gsm.patterns, flat_patterns, pre.hierarchy);
+}
+
+void Print(const std::string& name, const OutputStatsResult& s) {
+  std::printf("Table3   %-14s total=%8zu nontrivial=%6.2f%% closed=%6.2f%% "
+              "maximal=%6.2f%%\n",
+              name.c_str(), s.total, s.nontrivial_pct, s.closed_pct,
+              s.maximal_pct);
+  std::fflush(stdout);
+}
+
+void SetCounters(benchmark::State& state, const OutputStatsResult& s) {
+  state.counters["total"] = static_cast<double>(s.total);
+  state.counters["nontrivial_pct"] = s.nontrivial_pct;
+  state.counters["closed_pct"] = s.closed_pct;
+  state.counters["maximal_pct"] = s.maximal_pct;
+}
+
+void BM_NytStats(benchmark::State& state) {
+  const TextHierarchy kKinds[] = {TextHierarchy::kP, TextHierarchy::kLP,
+                                  TextHierarchy::kCLP};
+  TextHierarchy kind = kKinds[state.range(0)];
+  const GeneratedText& data = NytData(kind);
+  const PreprocessResult& pre =
+      Preprocessed(TextHierarchyName(kind), data.database, data.hierarchy);
+  GsmParams params{.sigma = 100, .gamma = 0, .lambda = 5};
+  for (auto _ : state) {
+    OutputStatsResult s = StatsFor(data.database, data.hierarchy, pre, params);
+    Print(TextHierarchyName(kind), s);
+    SetCounters(state, s);
+  }
+  state.SetLabel(TextHierarchyName(kind));
+}
+
+void BM_AmznStats(benchmark::State& state) {
+  const Frequency kSigmas[] = {1600, 400, 100};
+  Frequency sigma = kSigmas[state.range(0)];
+  const GeneratedProducts& data = AmznData(8);
+  const PreprocessResult& pre =
+      Preprocessed("AMZN-h8", data.database, data.hierarchy);
+  GsmParams params{.sigma = sigma, .gamma = 1, .lambda = 5};
+  for (auto _ : state) {
+    OutputStatsResult s = StatsFor(data.database, data.hierarchy, pre, params);
+    Print("AMZN-h8@" + std::to_string(sigma), s);
+    SetCounters(state, s);
+  }
+  state.SetLabel("sigma=" + std::to_string(sigma));
+}
+
+BENCHMARK(BM_NytStats)->DenseRange(0, 2)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_AmznStats)->DenseRange(0, 2)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace lash::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Market-basket sequence mining on a synthetic AMZN-like dataset (Sec. 1).
+//
+// The paper's motivating retail example: "users may first buy some camera,
+// then some photography book, and finally some flash" — a pattern that only
+// exists at the *category* level. This example generates product sessions
+// with an 8-level category hierarchy, mines with a gap constraint, and
+// prints the dominant category-level sequences.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "algo/lash.h"
+#include "datagen/product_gen.h"
+
+int main() {
+  using namespace lash;
+
+  ProductGenConfig gen;
+  gen.num_sessions = 20000;
+  gen.num_products = 5000;
+  gen.levels = 8;
+  GeneratedProducts data = GenerateProducts(gen);
+  DatasetStats dstats = ComputeStats(data.database);
+  std::cout << "Sessions: " << dstats.num_sequences << ", avg length "
+            << dstats.avg_length << ", products+categories "
+            << data.hierarchy.NumItems() << " (levels "
+            << data.hierarchy.NumLevels() << ")\n";
+
+  GsmParams params{.sigma = 50, .gamma = 1, .lambda = 5};
+  JobConfig config;
+  PreprocessResult pre =
+      PreprocessWithJob(data.database, data.hierarchy, config);
+  AlgoResult result = RunLash(pre, params, config);
+  std::cout << "LASH mined " << result.patterns.size()
+            << " generalized sequences (sigma=" << params.sigma
+            << ", gamma=" << params.gamma << ", lambda=" << params.lambda
+            << ") in " << result.job.times.TotalMs() / 1000.0 << " s\n";
+
+  // Patterns consisting purely of category items (no literal products):
+  // invisible to flat mining because individual products are rarely
+  // repurchased in the same order.
+  std::vector<std::pair<Frequency, Sequence>> category_patterns;
+  for (const auto& [s, freq] : result.patterns) {
+    bool all_categories = true;
+    for (ItemId w : s) {
+      if (data.hierarchy.IsLeaf(pre.raw_of_rank[w])) all_categories = false;
+    }
+    if (all_categories) category_patterns.emplace_back(freq, s);
+  }
+  std::sort(category_patterns.rbegin(), category_patterns.rend());
+  std::cout << "\nTop category-level purchase sequences ("
+            << category_patterns.size() << " total):\n";
+  for (size_t i = 0; i < std::min<size_t>(10, category_patterns.size()); ++i) {
+    std::cout << "  " << category_patterns[i].first << "\t";
+    for (ItemId w : category_patterns[i].second) {
+      std::cout << data.vocabulary.Name(pre.raw_of_rank[w]) << ' ';
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nEach pattern reads: a purchase from the first category is "
+               "followed (within gamma=1 steps)\nby purchases from the next "
+               "categories — the paper's camera -> book -> flash motif.\n";
+  return 0;
+}

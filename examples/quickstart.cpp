@@ -1,0 +1,59 @@
+// Quickstart: mine the running example of the LASH paper (Fig. 1/2).
+//
+// Builds the six-sequence database and the b*/d* hierarchy from Sec. 2,
+// runs LASH with sigma=2, gamma=1, lambda=3, and prints the ten frequent
+// generalized sequences of the paper — including b1D and BD, which never
+// occur literally in the data.
+
+#include <iostream>
+
+#include "algo/lash.h"
+#include "core/vocabulary.h"
+#include "io/text_io.h"
+
+int main() {
+  using namespace lash;
+
+  // 1. Vocabulary + hierarchy: b1|b2|b3 -> B, b11|b12|b13 -> b1, d1|d2 -> D.
+  Vocabulary vocab;
+  vocab.AddItemWithParent("b1", "B");
+  vocab.AddItemWithParent("b2", "B");
+  vocab.AddItemWithParent("b3", "B");
+  vocab.AddItemWithParent("b11", "b1");
+  vocab.AddItemWithParent("b12", "b1");
+  vocab.AddItemWithParent("b13", "b1");
+  vocab.AddItemWithParent("d1", "D");
+  vocab.AddItemWithParent("d2", "D");
+
+  // 2. The sequence database of Fig. 1(a).
+  auto seq = [&](std::initializer_list<const char*> names) {
+    Sequence s;
+    for (const char* name : names) s.push_back(vocab.AddItem(name));
+    return s;
+  };
+  Database db = {
+      seq({"a", "b1", "a", "b1"}),       // T1
+      seq({"a", "b3", "c", "c", "b2"}),  // T2
+      seq({"a", "c"}),                   // T3
+      seq({"b11", "a", "e", "a"}),       // T4
+      seq({"a", "b12", "d1", "c"}),      // T5
+      seq({"b13", "f", "d2"}),           // T6
+  };
+
+  // 3. Preprocess (generalized f-list + item order) and run LASH.
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  JobConfig config;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 4;
+  PreprocessResult pre = PreprocessWithJob(db, vocab.BuildHierarchy(), config);
+  AlgoResult result = RunLash(pre, params, config);
+
+  // 4. Print patterns with their original names.
+  std::cout << "Frequent generalized sequences (sigma=2, gamma=1, lambda=3):\n";
+  WritePatterns(std::cout, result.patterns, [&](ItemId rank) {
+    return vocab.Name(pre.raw_of_rank[rank]);
+  });
+  std::cout << "\nNote: 'b1 D' and 'B D' never occur in the input; they are\n"
+               "visible only to hierarchy-aware mining (Sec. 2 of the paper).\n";
+  return 0;
+}

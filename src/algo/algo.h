@@ -1,0 +1,67 @@
+#ifndef LASH_ALGO_ALGO_H_
+#define LASH_ALGO_ALGO_H_
+
+#include <algorithm>
+
+#include "core/flist.h"
+#include "core/params.h"
+#include "mapreduce/job.h"
+#include "miner/miner.h"
+#include "util/hash.h"
+
+namespace lash {
+
+/// Partition shape accounting for LASH runs: how evenly the rewrites spread
+/// the data over pivots. Skew is shortcoming (1) the rewrites address
+/// (Sec. 4) — one oversized partition bounds the reduce makespan no matter
+/// how many nodes exist.
+struct PartitionShape {
+  size_t partitions = 0;           ///< Partitions actually materialized.
+  uint64_t total_sequences = 0;    ///< Aggregated sequences over partitions.
+  uint64_t max_partition = 0;      ///< Largest partition (sequences).
+
+  /// max/mean partition size; 1.0 is perfectly balanced.
+  double SkewFactor() const {
+    if (partitions == 0 || total_sequences == 0) return 0;
+    double mean = static_cast<double>(total_sequences) /
+                  static_cast<double>(partitions);
+    return static_cast<double>(max_partition) / mean;
+  }
+
+  void Merge(const PartitionShape& other) {
+    partitions += other.partitions;
+    total_sequences += other.total_sequences;
+    max_partition = std::max(max_partition, other.max_partition);
+  }
+};
+
+/// Result of one distributed GSM run: the mined patterns (in rank-id space)
+/// plus the MapReduce bookkeeping the paper's experiments report.
+struct AlgoResult {
+  PatternMap patterns;
+  JobResult job;
+  MinerStats miner_stats;  ///< Filled by LASH/MG-FSM (local mining accounting).
+  PartitionShape partition_shape;  ///< Filled by LASH/MG-FSM.
+  bool aborted = false;    ///< True if an emit cap stopped the run ("DNF").
+};
+
+/// Safety valve for the (semi-)naive baselines, which can be exponential:
+/// once a job emits more than this many intermediate records it stops
+/// emitting and flags `aborted` — the analogue of the paper's ">12 hours,
+/// aborted" entries in Fig. 4(a).
+struct BaselineLimits {
+  uint64_t max_emitted_records = 200'000'000;
+};
+
+/// Runs the preprocessing phase (Sec. 3.3/3.4) as a MapReduce job: computes
+/// the generalized f-list over `raw_db`, derives the total order, and recodes
+/// database and hierarchy into rank space. `job_out`, if non-null, receives
+/// the f-list job's timings/counters.
+PreprocessResult PreprocessWithJob(const Database& raw_db,
+                                   const Hierarchy& raw_h,
+                                   const JobConfig& config,
+                                   JobResult* job_out = nullptr);
+
+}  // namespace lash
+
+#endif  // LASH_ALGO_ALGO_H_

@@ -1,0 +1,126 @@
+#include "algo/gsp.h"
+
+#include <algorithm>
+
+namespace lash {
+
+namespace {
+
+// An extended sequence: one sorted itemset (item + ancestors) per position.
+using Itemset = std::vector<ItemId>;
+using ExtendedSequence = std::vector<Itemset>;
+
+// Enumerates, deduplicated, every length-k sequence S over frequent items
+// such that S matches the extended sequence under the gap constraint and
+// every element of S appears in `candidates`. Used for counting: GSP's
+// hash-tree candidate matching realized as bounded enumeration + lookup.
+class CandidateMatcher {
+ public:
+  CandidateMatcher(const ExtendedSequence& t, const PatternMap& candidates,
+                   uint32_t gamma, size_t k, SequenceSet* found)
+      : t_(t), candidates_(candidates), gamma_(gamma), k_(k), found_(found) {}
+
+  void Run() {
+    for (size_t i = 0; i < t_.size(); ++i) ExtendAt(i);
+  }
+
+ private:
+  void ExtendAt(size_t i) {
+    for (ItemId a : t_[i]) {
+      current_.push_back(a);
+      if (current_.size() == k_) {
+        if (candidates_.contains(current_)) found_->insert(current_);
+      } else {
+        size_t hi = std::min(t_.size(), i + static_cast<size_t>(gamma_) + 2);
+        for (size_t j = i + 1; j < hi; ++j) ExtendAt(j);
+      }
+      current_.pop_back();
+    }
+  }
+
+  const ExtendedSequence& t_;
+  const PatternMap& candidates_;
+  uint32_t gamma_;
+  size_t k_;
+  SequenceSet* found_;
+  Sequence current_;
+};
+
+}  // namespace
+
+PatternMap RunGspExtended(const PreprocessResult& pre, const GsmParams& params,
+                          GspStats* stats) {
+  params.Validate();
+  const Hierarchy& h = pre.hierarchy;
+  const ItemId num_frequent = static_cast<ItemId>(pre.NumFrequent(params.sigma));
+
+  // --- Materialize extended sequences, pruned to frequent items. ---
+  // (Infrequent items cannot occur in any frequent pattern, Lemma 1; this
+  // is the standard GSP optimization and keeps the blowup at delta, not
+  // delta + junk.)
+  std::vector<ExtendedSequence> extended;
+  extended.reserve(pre.database.size());
+  for (const Sequence& t : pre.database) {
+    ExtendedSequence e;
+    e.reserve(t.size());
+    for (ItemId w : t) {
+      Itemset itemset;
+      for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+        if (a <= num_frequent) itemset.push_back(a);
+      }
+      std::sort(itemset.begin(), itemset.end());
+      if (stats != nullptr) stats->extended_items += itemset.size();
+      e.push_back(std::move(itemset));  // Possibly empty (acts as a blank).
+    }
+    extended.push_back(std::move(e));
+  }
+
+  // --- Level 2 candidates: all ordered pairs of frequent items. ---
+  PatternMap candidates;
+  for (ItemId a = 1; a <= num_frequent; ++a) {
+    for (ItemId b = 1; b <= num_frequent; ++b) {
+      candidates.emplace(Sequence{a, b}, 0);
+    }
+  }
+  if (stats != nullptr) stats->candidates += candidates.size();
+
+  PatternMap output;
+  SequenceSet found;
+  for (uint32_t k = 2; k <= params.lambda && !candidates.empty(); ++k) {
+    // Count candidates with one full scan of the extended database.
+    if (stats != nullptr) ++stats->database_scans;
+    for (const ExtendedSequence& t : extended) {
+      found.clear();
+      CandidateMatcher(t, candidates, params.gamma, k, &found).Run();
+      for (const Sequence& s : found) ++candidates.at(s);
+    }
+    // Keep the frequent ones.
+    PatternMap frequent_k;
+    for (auto& [seq, freq] : candidates) {
+      if (freq >= params.sigma) frequent_k.emplace(seq, freq);
+    }
+    output.insert(frequent_k.begin(), frequent_k.end());
+    if (k == params.lambda) break;
+    // Generate k+1 candidates by prefix/suffix join over frequent k-seqs.
+    std::unordered_map<Sequence, std::vector<ItemId>, SequenceHash> by_prefix;
+    for (const auto& [seq, freq] : frequent_k) {
+      by_prefix[Sequence(seq.begin(), seq.end() - 1)].push_back(seq.back());
+    }
+    PatternMap next;
+    for (const auto& [seq, freq] : frequent_k) {
+      Sequence suffix(seq.begin() + 1, seq.end());
+      auto it = by_prefix.find(suffix);
+      if (it == by_prefix.end()) continue;
+      for (ItemId x : it->second) {
+        Sequence candidate = seq;
+        candidate.push_back(x);
+        next.emplace(std::move(candidate), 0);
+      }
+    }
+    if (stats != nullptr) stats->candidates += next.size();
+    candidates = std::move(next);
+  }
+  return output;
+}
+
+}  // namespace lash

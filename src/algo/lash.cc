@@ -1,0 +1,110 @@
+#include "algo/lash.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "core/rewrite.h"
+#include "util/varint.h"
+
+namespace lash {
+
+AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
+                   const JobConfig& config, const LashOptions& options) {
+  params.Validate();
+  const Hierarchy& h = pre.hierarchy;
+  const ItemId num_frequent = static_cast<ItemId>(pre.NumFrequent(params.sigma));
+  const size_t num_red = std::max<size_t>(1, config.num_reduce_tasks);
+  Rewriter rewriter(&h, params.gamma, params.lambda);
+
+  AlgoResult result;
+  // Per reduce task: partitions under construction, outputs, miner stats.
+  std::vector<std::map<ItemId, Partition>> partitions(num_red);
+  std::vector<PatternMap> outputs(num_red);
+  std::vector<MinerStats> stats(num_red);
+  std::vector<PartitionShape> shapes(num_red);
+
+  // Intermediate key: [pivot, rewritten sequence...]. The partitioner routes
+  // by pivot so that a reduce task sees every sequence of its pivots; the
+  // full-key hash keeps in-memory grouping and combining efficient.
+  using Job = MapReduceJob<Sequence, Sequence, Frequency, SequenceHash>;
+  Job job(
+      // Map = partitioning phase (Alg. 1 lines 1-5).
+      [&](const Sequence& t, const Job::EmitFn& emit) {
+        // G1(T) restricted to frequent items: walk each item's ancestor
+        // chain; dedup via sort at the end (chains are short).
+        Sequence pivots;
+        for (ItemId w : t) {
+          for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+            if (a <= num_frequent) pivots.push_back(a);
+            // Ancestors of an already-seen item repeat; the sort+unique
+            // below removes them.
+          }
+        }
+        std::sort(pivots.begin(), pivots.end());
+        pivots.erase(std::unique(pivots.begin(), pivots.end()), pivots.end());
+        Sequence key;
+        for (ItemId w : pivots) {
+          Sequence rewritten;
+          switch (options.rewrite) {
+            case RewriteLevel::kNone:
+              rewritten = t;
+              break;
+            case RewriteLevel::kGeneralizeOnly:
+              rewritten = rewriter.Generalize(t, w);
+              break;
+            case RewriteLevel::kFull:
+              rewritten = rewriter.Rewrite(t, w);
+              break;
+          }
+          if (rewritten.empty()) continue;
+          key.clear();
+          key.reserve(rewritten.size() + 1);
+          key.push_back(w);
+          key.insert(key.end(), rewritten.begin(), rewritten.end());
+          emit(key, 1);
+        }
+      },
+      // Reduce = aggregation of identical rewrites (Sec. 4.4); mining runs
+      // in the reduce-finish hook once the partition is complete.
+      [&](size_t rtask, const Sequence& key, std::vector<Frequency>& values) {
+        Frequency total = 0;
+        for (Frequency v : values) total += v;
+        Sequence sequence(key.begin() + 1, key.end());
+        partitions[rtask][key[0]].Add(std::move(sequence), total);
+      },
+      // MAP_OUTPUT_BYTES: pivot + blank-run-compressed sequence + weight.
+      [](const Sequence& key, const Frequency& value) {
+        Sequence sequence(key.begin() + 1, key.end());
+        return Varint32Size(key[0]) + EncodedRewrittenSequenceSize(sequence) +
+               Varint64Size(value);
+      });
+  if (options.use_combiner) {
+    job.set_combiner(
+        [](Frequency* acc, Frequency&& incoming) { *acc += incoming; });
+  }
+  job.set_partitioner([](const Sequence& key) {
+    return static_cast<size_t>(key[0]);
+  });
+  job.set_reduce_finish([&](size_t rtask) {
+    // Mining phase (Alg. 1 lines 7-11): one local miner per task.
+    auto miner = MakeLocalMiner(options.miner, &h, params);
+    for (auto& [pivot, partition] : partitions[rtask]) {
+      shapes[rtask].partitions += 1;
+      shapes[rtask].total_sequences += partition.size();
+      shapes[rtask].max_partition =
+          std::max<uint64_t>(shapes[rtask].max_partition, partition.size());
+      PatternMap mined = miner->Mine(partition, pivot, &stats[rtask]);
+      outputs[rtask].merge(mined);
+    }
+    partitions[rtask].clear();
+  });
+
+  result.job = job.Run(pre.database, config);
+  for (PatternMap& part : outputs) result.patterns.merge(part);
+  for (const MinerStats& s : stats) result.miner_stats.Merge(s);
+  for (const PartitionShape& s : shapes) result.partition_shape.Merge(s);
+  return result;
+}
+
+}  // namespace lash

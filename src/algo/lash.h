@@ -1,0 +1,51 @@
+#ifndef LASH_ALGO_LASH_H_
+#define LASH_ALGO_LASH_H_
+
+#include "algo/algo.h"
+
+namespace lash {
+
+/// How much of the Sec. 4 rewrite machinery to apply when constructing
+/// P_w(T). Used by the rewrite ablation bench; every level is correct
+/// (w-equivalent), they differ only in partition size.
+enum class RewriteLevel {
+  /// P_w(T) = T — the paper's "simple and correct approach" (Sec. 3.4).
+  kNone,
+  /// w-generalization only (Sec. 4.2).
+  kGeneralizeOnly,
+  /// Full pipeline: w-generalization + unreachability reduction +
+  /// isolated-pivot removal + blank compression (default).
+  kFull,
+};
+
+/// Options of a LASH run.
+struct LashOptions {
+  /// Local mining algorithm run per partition (Sec. 5). PSM+Index is the
+  /// paper's best-performing configuration and the default.
+  MinerKind miner = MinerKind::kPsmIndex;
+  /// Rewrite aggressiveness (ablation knob; keep kFull for production).
+  RewriteLevel rewrite = RewriteLevel::kFull;
+  /// Whether the map-side combiner aggregates identical rewrites
+  /// (Sec. 4.4). Disabled only by the aggregation ablation.
+  bool use_combiner = true;
+};
+
+/// LASH (Sec. 3.4, Alg. 1): hierarchy-aware item-based partitioning.
+///
+/// Map: for every input sequence T and every frequent item w ∈ G1(T),
+/// construct the rewritten sequence P_w(T) (w-generalization +
+/// unreachability reduction + isolated-pivot removal + blank compression,
+/// Sec. 4) and emit it keyed by (w, P_w(T)). The combiner and the shuffle
+/// aggregate identical rewrites into weights (Sec. 4.4).
+///
+/// Reduce: partitions are routed by pivot (custom partitioner); once a
+/// reduce task has aggregated all sequences of its pivots, it runs the
+/// configured local miner on each partition P_w, emitting exactly the
+/// frequent pivot sequences G_{σ,γ,λ}(w, P_w). Correctness follows from
+/// w-equivalency (Lemma 2): f_γ(S, D) = f_γ(S, P_w) for p(S) = w.
+AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
+                   const JobConfig& config, const LashOptions& options = {});
+
+}  // namespace lash
+
+#endif  // LASH_ALGO_LASH_H_

@@ -1,0 +1,27 @@
+#include "algo/mgfsm.h"
+
+#include <stdexcept>
+
+#include "algo/lash.h"
+
+namespace lash {
+
+AlgoResult RunMgFsm(const PreprocessResult& pre, const GsmParams& params,
+                    const JobConfig& config) {
+  if (pre.hierarchy.MaxDepth() != 0) {
+    throw std::invalid_argument(
+        "RunMgFsm: MG-FSM cannot handle hierarchies; preprocess with "
+        "PreprocessFlat first");
+  }
+  LashOptions options;
+  options.miner = MinerKind::kBfs;
+  return RunLash(pre, params, config, options);
+}
+
+PreprocessResult PreprocessFlat(const Database& raw_db, size_t num_raw_items,
+                                const JobConfig& config, JobResult* job_out) {
+  return PreprocessWithJob(raw_db, Hierarchy::Flat(num_raw_items), config,
+                           job_out);
+}
+
+}  // namespace lash

@@ -1,0 +1,30 @@
+#ifndef LASH_ALGO_MGFSM_H_
+#define LASH_ALGO_MGFSM_H_
+
+#include "algo/algo.h"
+
+namespace lash {
+
+/// The MG-FSM baseline of Miliaraki et al. [20] (Sec. 6.3).
+///
+/// MG-FSM is LASH's ancestor: item-based partitioning with the same rewrite
+/// framework but *without* hierarchy support, and with a standard BFS miner
+/// for each partition. On hierarchy-free data LASH's machinery degenerates
+/// to exactly MG-FSM's (w-generalization can only blank out irrelevant
+/// items), so we realize MG-FSM as the LASH pipeline on a flat hierarchy
+/// with the BFS local miner — the paper itself notes "in this setting, LASH
+/// is equivalent to MG-FSM with its local miner replaced by PSM" (Sec. 6.3,
+/// footnote 3). Throws std::invalid_argument if the hierarchy is not flat.
+AlgoResult RunMgFsm(const PreprocessResult& pre, const GsmParams& params,
+                    const JobConfig& config);
+
+/// Strips hierarchy information from a database: re-runs preprocessing with
+/// a flat hierarchy over the same raw items. Used by the "no hierarchy"
+/// experiments (Fig. 4(e)).
+PreprocessResult PreprocessFlat(const Database& raw_db, size_t num_raw_items,
+                                const JobConfig& config,
+                                JobResult* job_out = nullptr);
+
+}  // namespace lash
+
+#endif  // LASH_ALGO_MGFSM_H_

@@ -1,0 +1,57 @@
+#include "algo/naive_gsm.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "miner/enumerate.h"
+#include "util/varint.h"
+
+namespace lash {
+
+AlgoResult RunNaiveGsm(const PreprocessResult& pre, const GsmParams& params,
+                       const JobConfig& config, const BaselineLimits& limits) {
+  params.Validate();
+  const Hierarchy& h = pre.hierarchy;
+  AlgoResult result;
+  std::atomic<uint64_t> emitted{0};
+  std::atomic<bool> aborted{false};
+
+  std::vector<PatternMap> outputs(std::max<size_t>(1, config.num_reduce_tasks));
+
+  using Job = MapReduceJob<Sequence, Sequence, Frequency, SequenceHash>;
+  Job job(
+      // Map: enumerate G_λ(T), deduplicated per transaction.
+      [&](const Sequence& t, const Job::EmitFn& emit) {
+        if (aborted.load(std::memory_order_relaxed)) return;
+        SequenceSet subsequences;
+        EnumerateGeneralizedSubsequences(t, h, params.gamma, params.lambda,
+                                         &subsequences);
+        if (emitted.fetch_add(subsequences.size(),
+                              std::memory_order_relaxed) >
+            limits.max_emitted_records) {
+          aborted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        for (const Sequence& s : subsequences) emit(s, 1);
+      },
+      // Reduce: sum and filter by sigma.
+      [&](size_t rtask, const Sequence& key, std::vector<Frequency>& values) {
+        Frequency total = 0;
+        for (Frequency v : values) total += v;
+        if (total >= params.sigma) outputs[rtask].emplace(key, total);
+      },
+      // MAP_OUTPUT_BYTES: varint-encoded sequence + count.
+      [](const Sequence& key, const Frequency& value) {
+        return EncodedSequenceSize(key) + Varint64Size(value);
+      });
+  job.set_combiner([](Frequency* acc, Frequency&& incoming) { *acc += incoming; });
+
+  result.job = job.Run(pre.database, config);
+  result.aborted = aborted.load();
+  for (PatternMap& part : outputs) {
+    result.patterns.merge(part);
+  }
+  return result;
+}
+
+}  // namespace lash

@@ -1,0 +1,22 @@
+#ifndef LASH_ALGO_NAIVE_GSM_H_
+#define LASH_ALGO_NAIVE_GSM_H_
+
+#include "algo/algo.h"
+
+namespace lash {
+
+/// The naive distributed baseline (Sec. 3.2): "word counting" over all
+/// generalized subsequences.
+///
+/// Map: for every input sequence T emit each S ∈ G_λ(T) with count 1
+/// (deduplicated per transaction — frequencies are document frequencies).
+/// Combine/Reduce: sum counts, keep S with f ≥ σ. The output size per input
+/// sequence is O(l^λ δ^λ) for γ=0 and O((δ+1)^l) for unconstrained gaps,
+/// which is why this baseline blows up on deep hierarchies (Fig. 4(a)).
+AlgoResult RunNaiveGsm(const PreprocessResult& pre, const GsmParams& params,
+                       const JobConfig& config,
+                       const BaselineLimits& limits = {});
+
+}  // namespace lash
+
+#endif  // LASH_ALGO_NAIVE_GSM_H_

@@ -1,0 +1,97 @@
+#include "algo/algo.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/varint.h"
+
+namespace lash {
+
+PreprocessResult PreprocessWithJob(const Database& raw_db,
+                                   const Hierarchy& raw_h,
+                                   const JobConfig& config,
+                                   JobResult* job_out) {
+  const size_t n = raw_h.NumItems();
+  const size_t num_red = std::max<size_t>(1, config.num_reduce_tasks);
+  std::vector<std::vector<Frequency>> partial(num_red,
+                                              std::vector<Frequency>(n + 1, 0));
+
+  // The f-list job of Sec. 3.3: map emits each item of G1(T) with count 1;
+  // combine/reduce sum to generalized document frequencies.
+  using Job = MapReduceJob<Sequence, ItemId, Frequency>;
+  Job job(
+      [&](const Sequence& t, const Job::EmitFn& emit) {
+        // Dedup G1(T) via a small sort (ancestor chains are short).
+        Sequence items;
+        for (ItemId w : t) {
+          for (ItemId a = w; a != kInvalidItem; a = raw_h.Parent(a)) {
+            items.push_back(a);
+          }
+        }
+        std::sort(items.begin(), items.end());
+        items.erase(std::unique(items.begin(), items.end()), items.end());
+        for (ItemId w : items) emit(w, 1);
+      },
+      [&](size_t rtask, const ItemId& item, std::vector<Frequency>& values) {
+        Frequency total = 0;
+        for (Frequency v : values) total += v;
+        partial[rtask][item] += total;
+      },
+      [](const ItemId& key, const Frequency& value) {
+        return Varint32Size(key) + Varint64Size(value);
+      });
+  job.set_combiner([](Frequency* acc, Frequency&& incoming) { *acc += incoming; });
+
+  JobResult job_result = job.Run(raw_db, config);
+  if (job_out != nullptr) *job_out = job_result;
+
+  // The remainder of preprocessing (total order + recoding) is a cheap
+  // driver-side step; reuse the sequential implementation for the ordering
+  // logic by handing it the frequencies we just computed.
+  std::vector<Frequency> raw_freq(n + 1, 0);
+  for (const auto& part : partial) {
+    for (size_t w = 1; w <= n; ++w) raw_freq[w] += part[w];
+  }
+
+  std::vector<ItemId> order(n);
+  std::iota(order.begin(), order.end(), 1);
+  std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    if (raw_freq[a] != raw_freq[b]) return raw_freq[a] > raw_freq[b];
+    if (raw_h.Depth(a) != raw_h.Depth(b)) return raw_h.Depth(a) < raw_h.Depth(b);
+    return a < b;
+  });
+
+  PreprocessResult result;
+  result.rank_of_raw.assign(n + 1, kInvalidItem);
+  result.raw_of_rank.assign(n + 1, kInvalidItem);
+  result.freq.assign(n + 1, 0);
+  for (size_t r = 0; r < n; ++r) {
+    ItemId raw = order[r];
+    ItemId rank = static_cast<ItemId>(r + 1);
+    result.rank_of_raw[raw] = rank;
+    result.raw_of_rank[rank] = raw;
+    result.freq[rank] = raw_freq[raw];
+  }
+  std::vector<ItemId> rank_parent(n + 1, kInvalidItem);
+  for (size_t r = 1; r <= n; ++r) {
+    ItemId raw_parent = raw_h.Parent(result.raw_of_rank[r]);
+    if (raw_parent != kInvalidItem) {
+      rank_parent[r] = result.rank_of_raw[raw_parent];
+    }
+  }
+  result.hierarchy = Hierarchy(std::move(rank_parent));
+  if (!result.hierarchy.IsRankMonotone()) {
+    throw std::logic_error("PreprocessWithJob: order is not hierarchy-monotone");
+  }
+  result.database.reserve(raw_db.size());
+  for (const Sequence& t : raw_db) {
+    Sequence recoded;
+    recoded.reserve(t.size());
+    for (ItemId w : t) recoded.push_back(result.rank_of_raw[w]);
+    result.database.push_back(std::move(recoded));
+  }
+  return result;
+}
+
+}  // namespace lash

@@ -1,0 +1,72 @@
+#include "algo/seminaive_gsm.h"
+
+#include <atomic>
+
+#include "miner/enumerate.h"
+#include "util/varint.h"
+
+namespace lash {
+
+AlgoResult RunSemiNaiveGsm(const PreprocessResult& pre, const GsmParams& params,
+                           const JobConfig& config,
+                           const BaselineLimits& limits) {
+  params.Validate();
+  const Hierarchy& h = pre.hierarchy;
+  // Frequent items are exactly ranks 1..num_frequent (f-list order).
+  const ItemId num_frequent = static_cast<ItemId>(pre.NumFrequent(params.sigma));
+
+  AlgoResult result;
+  std::atomic<uint64_t> emitted{0};
+  std::atomic<bool> aborted{false};
+  std::vector<PatternMap> outputs(std::max<size_t>(1, config.num_reduce_tasks));
+
+  using Job = MapReduceJob<Sequence, Sequence, Frequency, SequenceHash>;
+  Job job(
+      [&](const Sequence& t, const Job::EmitFn& emit) {
+        if (aborted.load(std::memory_order_relaxed)) return;
+        // Generalize every item to its closest frequent ancestor; blank out
+        // items without one. Ancestor ranks strictly decrease walking up,
+        // so the first ancestor with rank <= num_frequent is the closest.
+        Sequence pruned;
+        pruned.reserve(t.size());
+        for (ItemId w : t) {
+          ItemId replacement = kBlank;
+          for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+            if (a <= num_frequent) {
+              replacement = a;
+              break;
+            }
+          }
+          pruned.push_back(replacement);
+        }
+        // All items of `pruned` are frequent, and generalizations of
+        // frequent items are frequent, so every enumerated subsequence is
+        // free of infrequent items.
+        SequenceSet subsequences;
+        EnumerateGeneralizedSubsequences(pruned, h, params.gamma, params.lambda,
+                                         &subsequences);
+        if (emitted.fetch_add(subsequences.size(),
+                              std::memory_order_relaxed) >
+            limits.max_emitted_records) {
+          aborted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        for (const Sequence& s : subsequences) emit(s, 1);
+      },
+      [&](size_t rtask, const Sequence& key, std::vector<Frequency>& values) {
+        Frequency total = 0;
+        for (Frequency v : values) total += v;
+        if (total >= params.sigma) outputs[rtask].emplace(key, total);
+      },
+      [](const Sequence& key, const Frequency& value) {
+        return EncodedSequenceSize(key) + Varint64Size(value);
+      });
+  job.set_combiner([](Frequency* acc, Frequency&& incoming) { *acc += incoming; });
+
+  result.job = job.Run(pre.database, config);
+  result.aborted = aborted.load();
+  for (PatternMap& part : outputs) result.patterns.merge(part);
+  return result;
+}
+
+}  // namespace lash

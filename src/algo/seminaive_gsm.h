@@ -1,0 +1,21 @@
+#ifndef LASH_ALGO_SEMINAIVE_GSM_H_
+#define LASH_ALGO_SEMINAIVE_GSM_H_
+
+#include "algo/algo.h"
+
+namespace lash {
+
+/// The semi-naive distributed baseline (Sec. 3.3).
+///
+/// Uses the generalized f-list to prune: each item of an input sequence is
+/// first generalized to its closest frequent ancestor (or replaced by a
+/// blank if none exists); only blank-free generalized subsequences of the
+/// pruned sequence are emitted. Correct by support monotonicity (Lemma 1).
+/// Reduces to the naive algorithm when every item is frequent.
+AlgoResult RunSemiNaiveGsm(const PreprocessResult& pre, const GsmParams& params,
+                           const JobConfig& config,
+                           const BaselineLimits& limits = {});
+
+}  // namespace lash
+
+#endif  // LASH_ALGO_SEMINAIVE_GSM_H_

@@ -1,0 +1,54 @@
+#include "algo/sequential.h"
+
+#include "core/rewrite.h"
+
+namespace lash {
+
+PatternMap MineSequential(const PreprocessResult& pre, const GsmParams& params,
+                          MinerKind miner_kind, MinerStats* stats) {
+  params.Validate();
+  const Hierarchy& h = pre.hierarchy;
+  const ItemId num_frequent = static_cast<ItemId>(pre.NumFrequent(params.sigma));
+  Rewriter rewriter(&h, params.gamma, params.lambda);
+  auto miner = MakeLocalMiner(miner_kind, &h, params);
+
+  // One pass over the data builds the pivot -> transactions index (the
+  // frequent part of G1(T) per transaction, Sec. 3.3); afterwards only the
+  // relevant transactions are rewritten per pivot and memory never holds
+  // more than one partition.
+  std::vector<std::vector<uint32_t>> transactions_of_pivot(num_frequent + 1);
+  {
+    std::vector<uint32_t> seen(num_frequent + 1, 0);
+    uint32_t epoch = 0;
+    for (uint32_t tid = 0; tid < pre.database.size(); ++tid) {
+      ++epoch;
+      for (ItemId w : pre.database[tid]) {
+        for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+          if (a > num_frequent) continue;
+          if (seen[a] == epoch) break;  // Whole chain above already seen.
+          seen[a] = epoch;
+          transactions_of_pivot[a].push_back(tid);
+        }
+      }
+    }
+  }
+
+  PatternMap output;
+  for (ItemId pivot = 1; pivot <= num_frequent; ++pivot) {
+    PatternMap aggregated;
+    for (uint32_t tid : transactions_of_pivot[pivot]) {
+      Sequence rewritten = rewriter.Rewrite(pre.database[tid], pivot);
+      if (!rewritten.empty()) ++aggregated[rewritten];
+    }
+    if (aggregated.empty()) continue;
+    Partition partition;
+    for (auto& [seq, weight] : aggregated) {
+      partition.Add(seq, weight);
+    }
+    PatternMap mined = miner->Mine(partition, pivot, stats);
+    output.merge(mined);
+  }
+  return output;
+}
+
+}  // namespace lash

@@ -1,0 +1,28 @@
+#ifndef LASH_ALGO_SEQUENTIAL_H_
+#define LASH_ALGO_SEQUENTIAL_H_
+
+#include "core/flist.h"
+#include "core/params.h"
+#include "miner/miner.h"
+#include "util/hash.h"
+
+namespace lash {
+
+/// Single-node GSM without the MapReduce substrate: the partition/mine
+/// pipeline of LASH executed in-process, partition by partition.
+///
+/// This is the entry point for library users who just want the algorithm —
+/// e.g. to embed hierarchy-aware sequence mining inside another system —
+/// and it is what the paper calls running the "customized GSM algorithm"
+/// directly (Sec. 5). Memory never holds more than one partition.
+///
+/// `pre` must come from Preprocess()/PreprocessWithJob(). Returns patterns
+/// in rank-id space with their frequencies; `stats`, if non-null, receives
+/// the local miners' search-space accounting.
+PatternMap MineSequential(const PreprocessResult& pre, const GsmParams& params,
+                          MinerKind miner = MinerKind::kPsmIndex,
+                          MinerStats* stats = nullptr);
+
+}  // namespace lash
+
+#endif  // LASH_ALGO_SEQUENTIAL_H_

@@ -1,0 +1,24 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lash {
+
+DatasetStats ComputeStats(const Database& db) {
+  DatasetStats stats;
+  stats.num_sequences = db.size();
+  std::unordered_set<ItemId> unique;
+  for (const Sequence& t : db) {
+    stats.total_items += t.size();
+    stats.max_length = std::max(stats.max_length, t.size());
+    unique.insert(t.begin(), t.end());
+  }
+  stats.unique_items = unique.size();
+  stats.avg_length = db.empty() ? 0.0
+                                : static_cast<double>(stats.total_items) /
+                                      static_cast<double>(db.size());
+  return stats;
+}
+
+}  // namespace lash

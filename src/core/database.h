@@ -1,0 +1,43 @@
+#ifndef LASH_CORE_DATABASE_H_
+#define LASH_CORE_DATABASE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace lash {
+
+/// A sequence database D = {T1, ..., T|D|} (Sec. 2). A plain vector keeps
+/// the mining code allocation-friendly; metadata lives in DatasetStats.
+using Database = std::vector<Sequence>;
+
+/// A mined partition P_w: rewritten sequences with aggregation weights
+/// (Sec. 4.4). Identical rewrites are merged; `weights[i]` counts how many
+/// input sequences produced `sequences[i]`.
+struct Partition {
+  std::vector<Sequence> sequences;
+  std::vector<Frequency> weights;
+
+  size_t size() const { return sequences.size(); }
+  void Add(Sequence seq, Frequency weight) {
+    sequences.push_back(std::move(seq));
+    weights.push_back(weight);
+  }
+};
+
+/// Summary statistics in the format of Table 1 of the paper.
+struct DatasetStats {
+  size_t num_sequences = 0;
+  double avg_length = 0;
+  size_t max_length = 0;
+  size_t total_items = 0;
+  size_t unique_items = 0;
+};
+
+/// Computes Table-1 style statistics for `db`.
+DatasetStats ComputeStats(const Database& db);
+
+}  // namespace lash
+
+#endif  // LASH_CORE_DATABASE_H_

@@ -1,0 +1,103 @@
+#include "core/flist.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lash {
+
+void CollectGeneralizedItems(const Sequence& t, const Hierarchy& h,
+                             std::vector<uint32_t>* scratch, uint32_t epoch,
+                             std::vector<ItemId>* out) {
+  for (ItemId w : t) {
+    if (!IsItem(w)) continue;
+    for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+      if ((*scratch)[a] == epoch) break;  // This ancestor chain is done.
+      (*scratch)[a] = epoch;
+      out->push_back(a);
+    }
+  }
+}
+
+std::vector<Frequency> GeneralizedItemFrequencies(const Database& db,
+                                                  const Hierarchy& h) {
+  const size_t n = h.NumItems();
+  std::vector<Frequency> freq(n + 1, 0);
+  std::vector<uint32_t> visited(n + 1, 0);
+  std::vector<ItemId> items;
+  uint32_t epoch = 0;
+  for (const Sequence& t : db) {
+    ++epoch;
+    items.clear();
+    CollectGeneralizedItems(t, h, &visited, epoch, &items);
+    for (ItemId w : items) ++freq[w];
+  }
+  return freq;
+}
+
+size_t PreprocessResult::NumFrequent(Frequency sigma) const {
+  // freq is non-increasing over ranks 1..n; find the last rank >= sigma.
+  size_t lo = 1, hi = freq.size();  // [lo, hi): first rank with freq < sigma.
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (freq[mid] >= sigma) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo - 1;
+}
+
+PreprocessResult Preprocess(const Database& raw_db, const Hierarchy& raw_h) {
+  const size_t n = raw_h.NumItems();
+  std::vector<Frequency> raw_freq = GeneralizedItemFrequencies(raw_db, raw_h);
+
+  // Hierarchy-aware total order (Sec. 3.4): frequency desc, then hierarchy
+  // level asc (more general items first), then raw id for stability.
+  std::vector<ItemId> order(n);
+  std::iota(order.begin(), order.end(), 1);
+  std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    if (raw_freq[a] != raw_freq[b]) return raw_freq[a] > raw_freq[b];
+    if (raw_h.Depth(a) != raw_h.Depth(b)) return raw_h.Depth(a) < raw_h.Depth(b);
+    return a < b;
+  });
+
+  PreprocessResult result;
+  result.rank_of_raw.assign(n + 1, kInvalidItem);
+  result.raw_of_rank.assign(n + 1, kInvalidItem);
+  result.freq.assign(n + 1, 0);
+  for (size_t r = 0; r < n; ++r) {
+    ItemId raw = order[r];
+    ItemId rank = static_cast<ItemId>(r + 1);
+    result.rank_of_raw[raw] = rank;
+    result.raw_of_rank[rank] = raw;
+    result.freq[rank] = raw_freq[raw];
+  }
+
+  std::vector<ItemId> rank_parent(n + 1, kInvalidItem);
+  for (size_t r = 1; r <= n; ++r) {
+    ItemId raw = result.raw_of_rank[r];
+    ItemId raw_parent = raw_h.Parent(raw);
+    if (raw_parent != kInvalidItem) {
+      rank_parent[r] = result.rank_of_raw[raw_parent];
+    }
+  }
+  result.hierarchy = Hierarchy(std::move(rank_parent));
+  if (!result.hierarchy.IsRankMonotone()) {
+    // Cannot happen: ancestors dominate descendants in generalized frequency
+    // and are at a strictly higher level on ties.
+    throw std::logic_error("Preprocess: rank order is not hierarchy-monotone");
+  }
+
+  result.database.reserve(raw_db.size());
+  for (const Sequence& t : raw_db) {
+    Sequence recoded;
+    recoded.reserve(t.size());
+    for (ItemId w : t) recoded.push_back(result.rank_of_raw[w]);
+    result.database.push_back(std::move(recoded));
+  }
+  return result;
+}
+
+}  // namespace lash

@@ -1,0 +1,60 @@
+#ifndef LASH_CORE_FLIST_H_
+#define LASH_CORE_FLIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/database.h"
+#include "core/hierarchy.h"
+#include "util/types.h"
+
+namespace lash {
+
+/// Result of the preprocessing phase (Sec. 3.3 / 3.4): the generalized
+/// f-list, the hierarchy-aware total order `<` (realized as a rank recoding),
+/// and the database recoded into rank space.
+///
+/// Ranks start at 1; `rank(u) < rank(v)` iff `u < v` in the paper's order:
+/// higher generalized document frequency first, ties broken toward items at
+/// a higher (more general) hierarchy level, remaining ties by raw id. This
+/// guarantees `rank(parent) < rank(child)` because an ancestor's support set
+/// is a superset of its descendant's (Lemma 1).
+struct PreprocessResult {
+  /// Hierarchy over rank ids; IsRankMonotone() holds.
+  Hierarchy hierarchy;
+  /// Input database with every item replaced by its rank.
+  Database database;
+  /// Generalized document frequency per rank; `freq[0] == 0`, non-increasing
+  /// for ranks `1..n`. This is the generalized f-list of Sec. 3.3.
+  std::vector<Frequency> freq;
+  /// Raw id -> rank (index 0 unused).
+  std::vector<ItemId> rank_of_raw;
+  /// Rank -> raw id (index 0 unused).
+  std::vector<ItemId> raw_of_rank;
+
+  PreprocessResult() : hierarchy(Hierarchy::Flat(0)) {}
+
+  /// Number of frequent items; ranks `1..NumFrequent(sigma)` are exactly the
+  /// frequent items because `freq` is non-increasing.
+  size_t NumFrequent(Frequency sigma) const;
+};
+
+/// Computes the generalized document frequency of every raw item: the number
+/// of input sequences containing the item or any descendant (Sec. 3.3).
+std::vector<Frequency> GeneralizedItemFrequencies(const Database& db,
+                                                  const Hierarchy& h);
+
+/// Runs the full preprocessing phase on a raw database + hierarchy.
+PreprocessResult Preprocess(const Database& raw_db, const Hierarchy& raw_h);
+
+/// Appends the distinct items of G1(T) — every item of T together with all
+/// its generalizations (Sec. 3.3) — to `out` in unspecified order. `scratch`
+/// is a caller-provided visited marker of size >= NumItems()+1, zeroed or
+/// reusable across calls via the `epoch` trick.
+void CollectGeneralizedItems(const Sequence& t, const Hierarchy& h,
+                             std::vector<uint32_t>* scratch, uint32_t epoch,
+                             std::vector<ItemId>* out);
+
+}  // namespace lash
+
+#endif  // LASH_CORE_FLIST_H_

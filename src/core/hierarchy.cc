@@ -1,0 +1,112 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lash {
+
+Hierarchy::Hierarchy(std::vector<ItemId> parent) : parent_(std::move(parent)) {
+  if (parent_.empty()) parent_.push_back(kInvalidItem);
+  parent_[0] = kInvalidItem;
+  const size_t n = parent_.size() - 1;
+  for (size_t w = 1; w <= n; ++w) {
+    ItemId p = parent_[w];
+    if (p == static_cast<ItemId>(w) || (p != kInvalidItem && (p == 0 || p > n))) {
+      throw std::invalid_argument("Hierarchy: parent id out of range");
+    }
+  }
+  // Compute depths; 0 = unvisited sentinel is fine because we fill roots
+  // first and detect cycles via a path-length bound.
+  depth_.assign(n + 1, -1);
+  for (size_t w = 1; w <= n; ++w) {
+    if (depth_[w] >= 0) continue;
+    // Walk up collecting the path; stop at a known depth or a root.
+    std::vector<ItemId> path;
+    ItemId cur = static_cast<ItemId>(w);
+    while (cur != kInvalidItem && depth_[cur] < 0) {
+      path.push_back(cur);
+      if (path.size() > n) throw std::invalid_argument("Hierarchy: cycle detected");
+      cur = parent_[cur];
+    }
+    int base = (cur == kInvalidItem) ? -1 : depth_[cur];
+    for (auto it = path.rbegin(); it != path.rend(); ++it) depth_[*it] = ++base;
+  }
+  max_depth_ = 0;
+  for (size_t w = 1; w <= n; ++w) max_depth_ = std::max(max_depth_, depth_[w]);
+  is_leaf_.assign(n + 1, true);
+  for (size_t w = 1; w <= n; ++w) {
+    if (parent_[w] != kInvalidItem) is_leaf_[parent_[w]] = false;
+  }
+}
+
+Hierarchy Hierarchy::Flat(size_t num_items) {
+  return Hierarchy(std::vector<ItemId>(num_items + 1, kInvalidItem));
+}
+
+bool Hierarchy::GeneralizesTo(ItemId w, ItemId anc) const {
+  for (ItemId a = w; a != kInvalidItem; a = parent_[a]) {
+    if (a == anc) return true;
+    // In rank space ancestors only get smaller; but we must stay correct for
+    // raw-space hierarchies too, so walk all the way up.
+  }
+  return false;
+}
+
+bool Hierarchy::IsRankMonotone() const {
+  for (size_t w = 1; w < parent_.size(); ++w) {
+    ItemId p = parent_[w];
+    if (p != kInvalidItem && p >= w) return false;
+  }
+  return true;
+}
+
+size_t Hierarchy::NumLeaves() const {
+  size_t count = 0;
+  for (size_t w = 1; w < parent_.size(); ++w) {
+    if (is_leaf_[w]) ++count;
+  }
+  return count;
+}
+
+size_t Hierarchy::NumRoots() const {
+  size_t count = 0;
+  for (size_t w = 1; w < parent_.size(); ++w) {
+    if (parent_[w] == kInvalidItem) ++count;
+  }
+  return count;
+}
+
+size_t Hierarchy::NumIntermediate() const {
+  size_t count = 0;
+  for (size_t w = 1; w < parent_.size(); ++w) {
+    if (!is_leaf_[w] && parent_[w] != kInvalidItem) ++count;
+  }
+  return count;
+}
+
+double Hierarchy::AvgFanOut() const {
+  std::vector<size_t> children(parent_.size(), 0);
+  for (size_t w = 1; w < parent_.size(); ++w) {
+    if (parent_[w] != kInvalidItem) ++children[parent_[w]];
+  }
+  size_t inner = 0, total = 0;
+  for (size_t w = 1; w < parent_.size(); ++w) {
+    if (children[w] > 0) {
+      ++inner;
+      total += children[w];
+    }
+  }
+  return inner == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(inner);
+}
+
+size_t Hierarchy::MaxFanOut() const {
+  std::vector<size_t> children(parent_.size(), 0);
+  for (size_t w = 1; w < parent_.size(); ++w) {
+    if (parent_[w] != kInvalidItem) ++children[parent_[w]];
+  }
+  size_t max_fan = 0;
+  for (size_t w = 1; w < parent_.size(); ++w) max_fan = std::max(max_fan, children[w]);
+  return max_fan;
+}
+
+}  // namespace lash

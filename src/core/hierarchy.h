@@ -1,0 +1,90 @@
+#ifndef LASH_CORE_HIERARCHY_H_
+#define LASH_CORE_HIERARCHY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace lash {
+
+/// An item hierarchy: a forest over items `1..NumItems()` where every item
+/// has at most one parent (Sec. 2).
+///
+/// The hierarchy is immutable after construction and validated to be acyclic.
+/// Two id spaces use this class: the *raw* space produced by a Vocabulary
+/// (arbitrary parent ids) and the *rank* space produced by preprocessing
+/// (Sec. 3.4), in which `Parent(w) < w` holds for every non-root item; the
+/// latter invariant can be checked with IsRankMonotone().
+class Hierarchy {
+ public:
+  /// Builds a hierarchy from a parent array. `parent[0]` is ignored (item 0
+  /// is reserved); `parent[w] == kInvalidItem` marks a root. Throws
+  /// std::invalid_argument on out-of-range parents or cycles.
+  explicit Hierarchy(std::vector<ItemId> parent);
+
+  /// Convenience: a flat hierarchy (every item a root) over `num_items`
+  /// items. Used by the MG-FSM baseline and flat-mining mode.
+  static Hierarchy Flat(size_t num_items);
+
+  /// Number of real items; valid ids are `1..NumItems()`.
+  size_t NumItems() const { return parent_.size() - 1; }
+
+  /// Parent of `w`, or kInvalidItem if `w` is a root.
+  ItemId Parent(ItemId w) const { return parent_[w]; }
+
+  /// True iff `w` has no parent.
+  bool IsRoot(ItemId w) const { return parent_[w] == kInvalidItem; }
+
+  /// True iff `w` has no children.
+  bool IsLeaf(ItemId w) const { return is_leaf_[w]; }
+
+  /// Number of edges from `w` up to its root (roots have depth 0).
+  int Depth(ItemId w) const { return depth_[w]; }
+
+  /// Maximum Depth() over all items; 0 for a flat hierarchy.
+  int MaxDepth() const { return max_depth_; }
+
+  /// Number of hierarchy levels (MaxDepth() + 1), as reported in Table 2.
+  int NumLevels() const { return max_depth_ + 1; }
+
+  /// True iff `w →* anc`, i.e. `anc` equals `w` or is an ancestor of it.
+  bool GeneralizesTo(ItemId w, ItemId anc) const;
+
+  /// Invokes `fn(a)` for `w` itself and then each ancestor, root last.
+  template <typename Fn>
+  void ForEachAncestorOrSelf(ItemId w, Fn fn) const {
+    for (ItemId a = w; a != kInvalidItem; a = parent_[a]) fn(a);
+  }
+
+  /// True iff `Parent(w) < w` for every non-root item — the invariant
+  /// guaranteed by the hierarchy-aware total order of Sec. 3.4 and required
+  /// by the rewrite and mining code.
+  bool IsRankMonotone() const;
+
+  /// Number of items with no children (Table 2, "Leaf items").
+  size_t NumLeaves() const;
+
+  /// Number of items with no parent (Table 2, "Root items").
+  size_t NumRoots() const;
+
+  /// Number of items that are neither leaves nor roots (Table 2).
+  size_t NumIntermediate() const;
+
+  /// Average number of children over items that have children (Table 2,
+  /// "Avg. fan-out"). Returns 0 for flat hierarchies.
+  double AvgFanOut() const;
+
+  /// Maximum number of children of any item (Table 2, "Max. fan-out").
+  size_t MaxFanOut() const;
+
+ private:
+  std::vector<ItemId> parent_;
+  std::vector<int> depth_;
+  std::vector<bool> is_leaf_;
+  int max_depth_ = 0;
+};
+
+}  // namespace lash
+
+#endif  // LASH_CORE_HIERARCHY_H_

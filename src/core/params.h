@@ -1,0 +1,28 @@
+#ifndef LASH_CORE_PARAMS_H_
+#define LASH_CORE_PARAMS_H_
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/types.h"
+
+namespace lash {
+
+/// Parameters of the GSM problem (Sec. 2): minimum support `sigma`, maximum
+/// gap `gamma`, and maximum pattern length `lambda`.
+struct GsmParams {
+  Frequency sigma = 1;   ///< Minimum support threshold, > 0.
+  uint32_t gamma = 0;    ///< Maximum number of items between matched items.
+  uint32_t lambda = 2;   ///< Maximum pattern length, >= 2.
+
+  /// Throws std::invalid_argument if the parameters violate the problem
+  /// statement (sigma > 0, lambda >= 2).
+  void Validate() const {
+    if (sigma == 0) throw std::invalid_argument("GsmParams: sigma must be > 0");
+    if (lambda < 2) throw std::invalid_argument("GsmParams: lambda must be >= 2");
+  }
+};
+
+}  // namespace lash
+
+#endif  // LASH_CORE_PARAMS_H_

@@ -1,0 +1,66 @@
+#ifndef LASH_CORE_REWRITE_H_
+#define LASH_CORE_REWRITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "util/types.h"
+
+namespace lash {
+
+/// Partition construction rewrites (Sec. 4).
+///
+/// Given a pivot item `w`, `Rewriter::Rewrite` turns an input sequence `T`
+/// into a w-equivalent sequence `P_w(T)` (Lemma 3) that is as small as
+/// possible:
+///
+///  1. *w-generalization* (Sec. 4.2): every w-irrelevant item (rank > w) is
+///     replaced by its most specific ancestor with rank <= w, or by the
+///     blank placeholder if no such ancestor exists.
+///  2. *Unreachability reduction* (Sec. 4.3): indexes whose minimum pivot
+///     distance exceeds lambda are blanked out. The pivot distance of an
+///     index is the size of the smallest chain of increasing indexes from a
+///     pivot index to it where consecutive chain members are at most gamma
+///     items apart and intermediate members are non-blank.
+///  3. *Isolated pivot removal* (Sec. 4.3): a pivot occurrence with no
+///     non-blank neighbour within gamma+1 positions cannot appear in any
+///     pattern of length >= 2 and is blanked out.
+///  4. *Blank compression* (Sec. 4.3): leading/trailing blanks are dropped
+///     and every run of more than gamma+1 blanks is truncated to exactly
+///     gamma+1 (still unbridgeable under the gap constraint).
+///
+/// Unlike MG-FSM we never *delete* an interior index: deletion changes the
+/// positions of surviving items and therefore the gap structure; blanking
+/// preserves it exactly, and step 4 recovers (almost all of) the size
+/// benefit. The w-equivalency property test in tests/rewrite_test.cc checks
+/// G_{w,λ}(T) == G_{w,λ}(Rewrite(T)) against the naive enumerator.
+class Rewriter {
+ public:
+  /// The hierarchy must be in rank space (IsRankMonotone()).
+  Rewriter(const Hierarchy* hierarchy, uint32_t gamma, uint32_t lambda);
+
+  /// Computes P_w(T). Returns an empty sequence when the rewrite proves that
+  /// T contributes no pivot sequence for pivot `w` (no pivot index survives
+  /// or fewer than 2 items remain).
+  Sequence Rewrite(const Sequence& t, ItemId pivot) const;
+
+  /// Step 1 alone; exposed for tests.
+  Sequence Generalize(const Sequence& t, ItemId pivot) const;
+
+  /// Computes the minimum pivot distances of every index of a
+  /// w-generalized sequence; "infinite" is represented by kUnreachable.
+  /// Exposed for tests (reproduces the distance table of Sec. 4.3).
+  std::vector<uint32_t> MinPivotDistances(const Sequence& t, ItemId pivot) const;
+
+  static constexpr uint32_t kUnreachable = 0xffffffffu;
+
+ private:
+  const Hierarchy* hierarchy_;
+  uint32_t gamma_;
+  uint32_t lambda_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_CORE_REWRITE_H_

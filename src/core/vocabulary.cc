@@ -1,0 +1,39 @@
+#include "core/vocabulary.h"
+
+#include <stdexcept>
+
+namespace lash {
+
+ItemId Vocabulary::AddItem(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  ItemId id = static_cast<ItemId>(names_.size());
+  names_.push_back(name);
+  parent_.push_back(kInvalidItem);
+  index_.emplace(name, id);
+  return id;
+}
+
+ItemId Vocabulary::AddItemWithParent(const std::string& child,
+                                     const std::string& parent) {
+  if (child == parent) {
+    throw std::invalid_argument("Vocabulary: item cannot be its own parent");
+  }
+  ItemId c = AddItem(child);
+  ItemId p = AddItem(parent);
+  if (parent_[c] != kInvalidItem && parent_[c] != p) {
+    throw std::invalid_argument("Vocabulary: item '" + child +
+                                "' already has a different parent");
+  }
+  parent_[c] = p;
+  return c;
+}
+
+ItemId Vocabulary::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidItem : it->second;
+}
+
+Hierarchy Vocabulary::BuildHierarchy() const { return Hierarchy(parent_); }
+
+}  // namespace lash

@@ -1,0 +1,55 @@
+#ifndef LASH_CORE_VOCABULARY_H_
+#define LASH_CORE_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "util/types.h"
+
+namespace lash {
+
+/// A mutable string dictionary with parent links, used to assemble a raw
+/// vocabulary and hierarchy from application data before preprocessing.
+///
+/// Items receive raw ids `1, 2, ...` in insertion order; preprocessing
+/// (core/flist.h) later recodes them to frequency ranks. Parents may be
+/// declared before or after their children, and an item's parent may be set
+/// exactly once.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `name`, inserting it as a new root item if unseen.
+  ItemId AddItem(const std::string& name);
+
+  /// Adds (or finds) both items and records `child → parent`. Throws
+  /// std::invalid_argument if `child` already has a different parent or if
+  /// child == parent.
+  ItemId AddItemWithParent(const std::string& child, const std::string& parent);
+
+  /// Returns the id of `name` or kInvalidItem if unknown.
+  ItemId Lookup(const std::string& name) const;
+
+  /// Name of item `id`; `id` must be valid.
+  const std::string& Name(ItemId id) const { return names_[id]; }
+
+  /// Parent of item `id`, or kInvalidItem if it is a root.
+  ItemId Parent(ItemId id) const { return parent_[id]; }
+
+  size_t NumItems() const { return names_.size() - 1; }
+
+  /// Freezes the vocabulary into a validated raw-space Hierarchy.
+  Hierarchy BuildHierarchy() const;
+
+ private:
+  // Index 0 reserved; names_[id] / parent_[id] for id >= 1.
+  std::vector<std::string> names_{""};
+  std::vector<ItemId> parent_{kInvalidItem};
+  std::unordered_map<std::string, ItemId> index_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_CORE_VOCABULARY_H_

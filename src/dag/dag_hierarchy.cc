@@ -1,0 +1,89 @@
+#include "dag/dag_hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lash {
+
+DagHierarchy::DagHierarchy(std::vector<std::vector<ItemId>> parents)
+    : parents_(std::move(parents)) {
+  if (parents_.empty()) parents_.emplace_back();
+  parents_[0].clear();
+  const size_t n = parents_.size() - 1;
+  for (size_t w = 1; w <= n; ++w) {
+    for (ItemId p : parents_[w]) {
+      if (p == 0 || p > n || p == static_cast<ItemId>(w)) {
+        throw std::invalid_argument("DagHierarchy: bad parent id");
+      }
+    }
+  }
+  // Depths via iterative DFS with cycle detection (colors: 0 new, 1 on
+  // stack, 2 done). depth = longest upward path.
+  depth_.assign(n + 1, -1);
+  std::vector<int> color(n + 1, 0);
+  for (size_t start = 1; start <= n; ++start) {
+    if (color[start] == 2) continue;
+    std::vector<std::pair<ItemId, size_t>> stack{{static_cast<ItemId>(start), 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [w, next] = stack.back();
+      if (next < parents_[w].size()) {
+        ItemId p = parents_[w][next++];
+        if (color[p] == 1) {
+          throw std::invalid_argument("DagHierarchy: cycle detected");
+        }
+        if (color[p] == 0) {
+          color[p] = 1;
+          stack.emplace_back(p, 0);
+        }
+      } else {
+        int d = 0;
+        for (ItemId p : parents_[w]) d = std::max(d, depth_[p] + 1);
+        depth_[w] = d;
+        color[w] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  max_depth_ = 0;
+  for (size_t w = 1; w <= n; ++w) max_depth_ = std::max(max_depth_, depth_[w]);
+
+  // Ancestor closures (self first), deduplicated per item.
+  closure_.assign(n + 1, {});
+  std::vector<uint32_t> visited(n + 1, 0);
+  std::vector<ItemId> stack;
+  for (size_t w = 1; w <= n; ++w) {
+    closure_[w].push_back(static_cast<ItemId>(w));
+    visited[w] = static_cast<uint32_t>(w);
+    stack.assign(parents_[w].begin(), parents_[w].end());
+    while (!stack.empty()) {
+      ItemId a = stack.back();
+      stack.pop_back();
+      if (visited[a] == w) continue;
+      visited[a] = static_cast<uint32_t>(w);
+      closure_[w].push_back(a);
+      stack.insert(stack.end(), parents_[a].begin(), parents_[a].end());
+    }
+  }
+
+  is_leaf_.assign(n + 1, true);
+  for (size_t w = 1; w <= n; ++w) {
+    for (ItemId p : parents_[w]) is_leaf_[p] = false;
+  }
+}
+
+bool DagHierarchy::GeneralizesTo(ItemId w, ItemId anc) const {
+  const std::vector<ItemId>& closure = closure_[w];
+  return std::find(closure.begin(), closure.end(), anc) != closure.end();
+}
+
+bool DagHierarchy::IsRankMonotone() const {
+  for (size_t w = 1; w < parents_.size(); ++w) {
+    for (ItemId p : parents_[w]) {
+      if (p >= w) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lash

@@ -1,0 +1,65 @@
+#ifndef LASH_DAG_DAG_HIERARCHY_H_
+#define LASH_DAG_DAG_HIERARCHY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace lash {
+
+/// A multiple-inheritance item hierarchy: a DAG where an item may have any
+/// number of parents (footnote 2 of the paper: "in some applications ...
+/// the hierarchy may instead form a directed acyclic graph; our methods can
+/// be extended to deal with such hierarchies as well").
+///
+/// Examples: a product filed under both "Electronics > Cameras" and
+/// "Gifts > For photographers"; a word sense with two hypernyms. The
+/// generalization relation →* becomes "reachable through any parent path".
+///
+/// Items are `1..NumItems()`. Construction validates acyclicity and
+/// precomputes, per item, its deduplicated ancestor closure (self first),
+/// which is what all DAG mining code iterates.
+class DagHierarchy {
+ public:
+  /// `parents[w]` lists the parents of item `w` (index 0 unused). Throws
+  /// std::invalid_argument on out-of-range ids, self-loops or cycles.
+  explicit DagHierarchy(std::vector<std::vector<ItemId>> parents);
+
+  size_t NumItems() const { return parents_.size() - 1; }
+
+  /// Parents of `w` (possibly empty).
+  const std::vector<ItemId>& Parents(ItemId w) const { return parents_[w]; }
+
+  /// `w` itself followed by every distinct ancestor (unspecified order).
+  const std::vector<ItemId>& AncestorsOrSelf(ItemId w) const {
+    return closure_[w];
+  }
+
+  /// True iff `w →* anc` (anc equals w or is reachable upward from it).
+  bool GeneralizesTo(ItemId w, ItemId anc) const;
+
+  /// Length of the longest upward path from `w` to a root.
+  int Depth(ItemId w) const { return depth_[w]; }
+
+  int MaxDepth() const { return max_depth_; }
+
+  bool IsRoot(ItemId w) const { return parents_[w].empty(); }
+
+  bool IsLeaf(ItemId w) const { return is_leaf_[w]; }
+
+  /// True iff every parent id is smaller than its child — the invariant
+  /// the DAG preprocessing establishes by rank recoding.
+  bool IsRankMonotone() const;
+
+ private:
+  std::vector<std::vector<ItemId>> parents_;
+  std::vector<std::vector<ItemId>> closure_;  // AncestorsOrSelf per item.
+  std::vector<int> depth_;
+  std::vector<bool> is_leaf_;
+  int max_depth_ = 0;
+};
+
+}  // namespace lash
+
+#endif  // LASH_DAG_DAG_HIERARCHY_H_

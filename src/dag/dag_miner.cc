@@ -1,0 +1,431 @@
+#include "dag/dag_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/match.h"
+
+namespace lash {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Matching
+// ---------------------------------------------------------------------
+
+bool DagReachable(const Sequence& s, const Sequence& t, const DagHierarchy& dag,
+                  uint32_t gamma, std::vector<char>* reach) {
+  const size_t m = t.size();
+  reach->assign(m, 0);
+  bool any = false;
+  for (size_t i = 0; i < m; ++i) {
+    if (IsItem(t[i]) && dag.GeneralizesTo(t[i], s[0])) {
+      (*reach)[i] = 1;
+      any = true;
+    }
+  }
+  if (!any) return false;
+  std::vector<char> next(m, 0);
+  for (size_t j = 1; j < s.size(); ++j) {
+    std::fill(next.begin(), next.end(), 0);
+    any = false;
+    size_t window_count = 0;
+    const size_t window = static_cast<size_t>(gamma) + 1;
+    for (size_t i = 0; i < m; ++i) {
+      if (i >= 1 && (*reach)[i - 1]) ++window_count;
+      if (i >= window + 1 && (*reach)[i - window - 1]) --window_count;
+      if (window_count > 0 && IsItem(t[i]) && dag.GeneralizesTo(t[i], s[j])) {
+        next[i] = 1;
+        any = true;
+      }
+    }
+    reach->swap(next);
+    if (!any) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Reference enumeration
+// ---------------------------------------------------------------------
+
+class DagEnumerator {
+ public:
+  DagEnumerator(const Sequence& t, const DagHierarchy& dag, uint32_t gamma,
+                uint32_t lambda, SequenceSet* out)
+      : t_(t), dag_(dag), gamma_(gamma), lambda_(lambda), out_(out) {}
+
+  void Run() {
+    for (size_t i = 0; i < t_.size(); ++i) ExtendAt(i);
+  }
+
+ private:
+  void ExtendAt(size_t i) {
+    if (!IsItem(t_[i])) return;
+    for (ItemId a : dag_.AncestorsOrSelf(t_[i])) {
+      current_.push_back(a);
+      if (current_.size() >= 2) out_->insert(current_);
+      if (current_.size() < lambda_) {
+        size_t hi = std::min(t_.size(), i + static_cast<size_t>(gamma_) + 2);
+        for (size_t j = i + 1; j < hi; ++j) ExtendAt(j);
+      }
+      current_.pop_back();
+    }
+  }
+
+  const Sequence& t_;
+  const DagHierarchy& dag_;
+  uint32_t gamma_;
+  uint32_t lambda_;
+  SequenceSet* out_;
+  Sequence current_;
+};
+
+// ---------------------------------------------------------------------
+// DAG-aware PSM (embeddings as (start, end) pairs; see miner/psm.cc for
+// the tree-space twin and the enumeration-uniqueness argument, which only
+// relies on →* being a partial order).
+// ---------------------------------------------------------------------
+
+struct DagPosting {
+  uint32_t tid;
+  std::vector<Embedding> embeddings;
+};
+using DagDb = std::vector<DagPosting>;
+
+class DagPsmRun {
+ public:
+  DagPsmRun(const Partition& partition, const DagHierarchy& dag,
+            const GsmParams& params, ItemId pivot)
+      : partition_(partition), dag_(dag), params_(params), pivot_(pivot) {}
+
+  PatternMap Mine() {
+    DagDb db;
+    for (uint32_t tid = 0; tid < partition_.size(); ++tid) {
+      const Sequence& t = partition_.sequences[tid];
+      DagPosting posting{tid, {}};
+      for (uint32_t pos = 0; pos < t.size(); ++pos) {
+        if (IsItem(t[pos]) && dag_.GeneralizesTo(t[pos], pivot_)) {
+          posting.embeddings.push_back({pos, pos});
+        }
+      }
+      if (!posting.embeddings.empty()) db.push_back(std::move(posting));
+    }
+    Sequence pattern{pivot_};
+    LeftNode(pattern, db);
+    return std::move(output_);
+  }
+
+ private:
+  Frequency Weight(const DagDb& db) const {
+    Frequency total = 0;
+    for (const DagPosting& p : db) total += partition_.weights[p.tid];
+    return total;
+  }
+
+  void LeftNode(Sequence& pattern, const DagDb& db) {
+    ExpandRight(pattern, db);
+    ExpandLeft(pattern, db);
+  }
+
+  void ExpandRight(Sequence& pattern, const DagDb& db) {
+    if (pattern.size() >= params_.lambda) return;
+    std::map<ItemId, DagDb> expansions;
+    for (const DagPosting& posting : db) {
+      const Sequence& t = partition_.sequences[posting.tid];
+      for (const Embedding& emb : posting.embeddings) {
+        uint64_t hi = std::min<uint64_t>(
+            t.size(), static_cast<uint64_t>(emb.end) + params_.gamma + 2);
+        for (uint32_t j = emb.end + 1; j < hi; ++j) {
+          if (!IsItem(t[j])) continue;
+          for (ItemId a : dag_.AncestorsOrSelf(t[j])) {
+            if (a > pivot_) continue;
+            AddEmbedding(posting.tid, {emb.start, j}, &expansions[a]);
+          }
+        }
+      }
+    }
+    for (auto& [item, edb] : expansions) {
+      if (item == pivot_) continue;  // Right expansions exclude the pivot.
+      Frequency freq = Weight(edb);
+      if (freq < params_.sigma) continue;
+      pattern.push_back(item);
+      output_.emplace(pattern, freq);
+      ExpandRight(pattern, edb);
+      pattern.pop_back();
+    }
+  }
+
+  void ExpandLeft(Sequence& pattern, const DagDb& db) {
+    if (pattern.size() >= params_.lambda) return;
+    std::map<ItemId, DagDb> expansions;
+    for (const DagPosting& posting : db) {
+      const Sequence& t = partition_.sequences[posting.tid];
+      for (const Embedding& emb : posting.embeddings) {
+        uint32_t window = params_.gamma + 1;
+        uint32_t lo = emb.start >= window ? emb.start - window : 0;
+        for (uint32_t j = lo; j < emb.start; ++j) {
+          if (!IsItem(t[j])) continue;
+          for (ItemId a : dag_.AncestorsOrSelf(t[j])) {
+            if (a > pivot_) continue;
+            AddEmbedding(posting.tid, {j, emb.end}, &expansions[a]);
+          }
+        }
+      }
+    }
+    for (auto& [item, edb] : expansions) {
+      Frequency freq = Weight(edb);
+      if (freq < params_.sigma) continue;
+      pattern.insert(pattern.begin(), item);
+      output_.emplace(pattern, freq);
+      LeftNode(pattern, edb);
+      pattern.erase(pattern.begin());
+    }
+  }
+
+  static void AddEmbedding(uint32_t tid, Embedding emb, DagDb* db) {
+    if (db->empty() || db->back().tid != tid) db->push_back(DagPosting{tid, {}});
+    std::vector<Embedding>& embs = db->back().embeddings;
+    if (std::find(embs.begin(), embs.end(), emb) == embs.end()) {
+      embs.push_back(emb);
+    }
+  }
+
+  const Partition& partition_;
+  const DagHierarchy& dag_;
+  const GsmParams& params_;
+  ItemId pivot_;
+  PatternMap output_;
+};
+
+// ---------------------------------------------------------------------
+// Sound DAG rewrites (subset of Sec. 4; see header).
+// ---------------------------------------------------------------------
+
+Sequence DagRewrite(const Sequence& t, const DagHierarchy& dag, ItemId pivot,
+                    uint32_t gamma, uint32_t lambda) {
+  const size_t window = static_cast<size_t>(gamma) + 1;
+  // 1. Blank items with no ancestor-or-self <= pivot (they can never be
+  // part of a pivot sequence). Items <= pivot and items with *some* small
+  // ancestor are kept verbatim (no single-item generalization exists).
+  Sequence gen;
+  gen.reserve(t.size());
+  for (ItemId w : t) {
+    bool relevant = false;
+    if (IsItem(w)) {
+      for (ItemId a : dag.AncestorsOrSelf(w)) {
+        if (a <= pivot) {
+          relevant = true;
+          break;
+        }
+      }
+    }
+    gen.push_back(relevant ? w : kBlank);
+  }
+  // 2. Unreachability: blank indexes farther than lambda from every pivot
+  // occurrence (same chain definition as Rewriter::MinPivotDistances, with
+  // pivot occurrence = closure containment).
+  const size_t m = gen.size();
+  auto is_pivot = [&](ItemId w) {
+    return IsItem(w) && dag.GeneralizesTo(w, pivot);
+  };
+  constexpr uint32_t kInf = 0xffffffffu;
+  std::vector<uint32_t> left(m, kInf), right(m, kInf);
+  for (size_t i = 0; i < m; ++i) {
+    if (is_pivot(gen[i])) left[i] = 1;
+    size_t lo = i >= window ? i - window : 0;
+    for (size_t j = lo; j < i; ++j) {
+      if (gen[j] != kBlank && left[j] != kInf && left[j] + 1 < left[i]) {
+        left[i] = left[j] + 1;
+      }
+    }
+  }
+  for (size_t ii = m; ii-- > 0;) {
+    if (is_pivot(gen[ii])) right[ii] = 1;
+    size_t hi = std::min(m, ii + window + 1);
+    for (size_t j = ii + 1; j < hi; ++j) {
+      if (gen[j] != kBlank && right[j] != kInf && right[j] + 1 < right[ii]) {
+        right[ii] = right[j] + 1;
+      }
+    }
+  }
+  bool has_pivot = false;
+  for (size_t i = 0; i < m; ++i) {
+    if (std::min(left[i], right[i]) > lambda) gen[i] = kBlank;
+    if (is_pivot(gen[i])) has_pivot = true;
+  }
+  if (!has_pivot) return {};
+  // 3. Isolated pivot removal.
+  std::vector<char> isolated(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    if (!is_pivot(gen[i])) continue;
+    bool has_neighbor = false;
+    size_t lo = i >= window ? i - window : 0;
+    size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi && !has_neighbor; ++j) {
+      if (j != i && gen[j] != kBlank) has_neighbor = true;
+    }
+    if (!has_neighbor) isolated[i] = 1;
+  }
+  has_pivot = false;
+  for (size_t i = 0; i < m; ++i) {
+    if (isolated[i]) gen[i] = kBlank;
+    if (is_pivot(gen[i])) has_pivot = true;
+  }
+  if (!has_pivot) return {};
+  // 4. Blank compression.
+  Sequence out;
+  out.reserve(m);
+  size_t run = 0;
+  for (ItemId w : gen) {
+    if (w == kBlank) {
+      ++run;
+      if (!out.empty() && run <= window) out.push_back(kBlank);
+    } else {
+      run = 0;
+      out.push_back(w);
+    }
+  }
+  while (!out.empty() && out.back() == kBlank) out.pop_back();
+  size_t non_blank = 0;
+  for (ItemId w : out) {
+    if (w != kBlank) ++non_blank;
+  }
+  return non_blank < 2 ? Sequence{} : out;
+}
+
+}  // namespace
+
+bool DagMatches(const Sequence& s, const Sequence& t, const DagHierarchy& dag,
+                uint32_t gamma) {
+  if (s.empty() || s.size() > t.size()) return false;
+  std::vector<char> reach;
+  return DagReachable(s, t, dag, gamma, &reach);
+}
+
+void EnumerateDagSubsequences(const Sequence& t, const DagHierarchy& dag,
+                              uint32_t gamma, uint32_t lambda,
+                              SequenceSet* out) {
+  DagEnumerator(t, dag, gamma, lambda, out).Run();
+}
+
+PatternMap MineDagByEnumeration(const Database& db, const DagHierarchy& dag,
+                                const GsmParams& params) {
+  params.Validate();
+  PatternMap counts;
+  SequenceSet per_transaction;
+  for (const Sequence& t : db) {
+    per_transaction.clear();
+    EnumerateDagSubsequences(t, dag, params.gamma, params.lambda,
+                             &per_transaction);
+    for (const Sequence& s : per_transaction) ++counts[s];
+  }
+  PatternMap frequent;
+  for (auto& [seq, freq] : counts) {
+    if (freq >= params.sigma) frequent.emplace(seq, freq);
+  }
+  return frequent;
+}
+
+size_t DagPreprocessResult::NumFrequent(Frequency sigma) const {
+  size_t lo = 1, hi = freq.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (freq[mid] >= sigma) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo - 1;
+}
+
+std::vector<Frequency> DagGeneralizedFrequencies(const Database& db,
+                                                 const DagHierarchy& dag) {
+  const size_t n = dag.NumItems();
+  std::vector<Frequency> freq(n + 1, 0);
+  std::vector<uint32_t> visited(n + 1, 0);
+  uint32_t epoch = 0;
+  for (const Sequence& t : db) {
+    ++epoch;
+    for (ItemId w : t) {
+      if (!IsItem(w)) continue;
+      for (ItemId a : dag.AncestorsOrSelf(w)) {
+        if (visited[a] == epoch) continue;
+        visited[a] = epoch;
+        ++freq[a];
+      }
+    }
+  }
+  return freq;
+}
+
+DagPreprocessResult DagPreprocess(const Database& raw_db,
+                                  const DagHierarchy& raw_dag) {
+  const size_t n = raw_dag.NumItems();
+  std::vector<Frequency> raw_freq = DagGeneralizedFrequencies(raw_db, raw_dag);
+  std::vector<ItemId> order(n);
+  std::iota(order.begin(), order.end(), 1);
+  std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    if (raw_freq[a] != raw_freq[b]) return raw_freq[a] > raw_freq[b];
+    if (raw_dag.Depth(a) != raw_dag.Depth(b)) {
+      return raw_dag.Depth(a) < raw_dag.Depth(b);
+    }
+    return a < b;
+  });
+  DagPreprocessResult result;
+  result.rank_of_raw.assign(n + 1, kInvalidItem);
+  result.raw_of_rank.assign(n + 1, kInvalidItem);
+  result.freq.assign(n + 1, 0);
+  for (size_t r = 0; r < n; ++r) {
+    result.rank_of_raw[order[r]] = static_cast<ItemId>(r + 1);
+    result.raw_of_rank[r + 1] = order[r];
+    result.freq[r + 1] = raw_freq[order[r]];
+  }
+  std::vector<std::vector<ItemId>> rank_parents(n + 1);
+  for (size_t r = 1; r <= n; ++r) {
+    for (ItemId raw_parent : raw_dag.Parents(result.raw_of_rank[r])) {
+      rank_parents[r].push_back(result.rank_of_raw[raw_parent]);
+    }
+  }
+  result.hierarchy = DagHierarchy(std::move(rank_parents));
+  if (!result.hierarchy.IsRankMonotone()) {
+    // An ancestor's generalized support set is a superset of its
+    // descendant's (even in a DAG), and on equal frequency the ancestor's
+    // longest-path depth is strictly smaller; so this cannot happen.
+    throw std::logic_error("DagPreprocess: order is not rank-monotone");
+  }
+  result.database.reserve(raw_db.size());
+  for (const Sequence& t : raw_db) {
+    Sequence recoded;
+    recoded.reserve(t.size());
+    for (ItemId w : t) recoded.push_back(result.rank_of_raw[w]);
+    result.database.push_back(std::move(recoded));
+  }
+  return result;
+}
+
+PatternMap MineDag(const DagPreprocessResult& pre, const GsmParams& params) {
+  params.Validate();
+  const DagHierarchy& dag = pre.hierarchy;
+  const ItemId num_frequent = static_cast<ItemId>(pre.NumFrequent(params.sigma));
+  PatternMap output;
+  for (ItemId pivot = 1; pivot <= num_frequent; ++pivot) {
+    PatternMap aggregated;
+    for (const Sequence& t : pre.database) {
+      Sequence rewritten = DagRewrite(t, dag, pivot, params.gamma,
+                                      params.lambda);
+      if (!rewritten.empty()) ++aggregated[rewritten];
+    }
+    if (aggregated.empty()) continue;
+    Partition partition;
+    for (auto& [seq, weight] : aggregated) partition.Add(seq, weight);
+    DagPsmRun run(partition, dag, params, pivot);
+    output.merge(run.Mine());
+  }
+  return output;
+}
+
+}  // namespace lash

@@ -1,0 +1,75 @@
+#ifndef LASH_DAG_DAG_MINER_H_
+#define LASH_DAG_DAG_MINER_H_
+
+#include "core/database.h"
+#include "core/params.h"
+#include "dag/dag_hierarchy.h"
+#include "util/hash.h"
+
+namespace lash {
+
+/// GSM over DAG hierarchies — the extension sketched in footnote 2 of the
+/// paper. Same problem statement as Sec. 2 with →* taken over the DAG.
+///
+/// What transfers from the tree case and what does not:
+///  * the generalized f-list, the frequency-descending rank order with
+///    parents-before-children ties, and item-based partitioning transfer
+///    unchanged (support monotonicity, Lemma 1, only needs →* to be a
+///    partial order);
+///  * *w-generalization does not*: an irrelevant item may have several
+///    incomparable maximal ancestors `<= w`, so it cannot be replaced by a
+///    single item. The sound subset we apply instead: blank items whose
+///    ancestor closure contains nothing `<= w`, blank unreachable indexes,
+///    remove isolated pivots, and compress blank runs (all of Sec. 4.3
+///    remains valid);
+///  * PSM transfers with expansions iterating ancestor *closures* instead
+///    of parent chains, and pivot occurrences being items whose closure
+///    contains the pivot.
+
+/// True iff S ⊑γ T under the DAG's →* (the DP matcher of core/match.h
+/// adapted to closures).
+bool DagMatches(const Sequence& s, const Sequence& t, const DagHierarchy& dag,
+                uint32_t gamma);
+
+/// Enumerates G_λ(T) (deduplicated) under the DAG; reference only.
+void EnumerateDagSubsequences(const Sequence& t, const DagHierarchy& dag,
+                              uint32_t gamma, uint32_t lambda,
+                              SequenceSet* out);
+
+/// Reference solver by per-transaction enumeration; ground truth in tests.
+PatternMap MineDagByEnumeration(const Database& db, const DagHierarchy& dag,
+                                const GsmParams& params);
+
+/// Result of DAG preprocessing: rank-recoded DAG + database + generalized
+/// f-list (same contract as core PreprocessResult).
+struct DagPreprocessResult {
+  DagHierarchy hierarchy;
+  Database database;
+  std::vector<Frequency> freq;
+  std::vector<ItemId> rank_of_raw;
+  std::vector<ItemId> raw_of_rank;
+
+  DagPreprocessResult() : hierarchy(std::vector<std::vector<ItemId>>{}) {}
+
+  size_t NumFrequent(Frequency sigma) const;
+};
+
+/// Generalized document frequencies over the DAG (an item counts every
+/// transaction containing it or any item whose closure includes it).
+std::vector<Frequency> DagGeneralizedFrequencies(const Database& db,
+                                                 const DagHierarchy& dag);
+
+/// Rank recoding: frequency desc, depth asc on ties, id asc. Guarantees
+/// IsRankMonotone() for the recoded DAG.
+DagPreprocessResult DagPreprocess(const Database& raw_db,
+                                  const DagHierarchy& raw_dag);
+
+/// LASH's partition/mine pipeline over a DAG, executed sequentially:
+/// for every frequent pivot w, build P_w with the sound DAG rewrites and
+/// mine it with the DAG-aware PSM. Returns all frequent generalized
+/// sequences with 2 <= |S| <= λ.
+PatternMap MineDag(const DagPreprocessResult& pre, const GsmParams& params);
+
+}  // namespace lash
+
+#endif  // LASH_DAG_DAG_MINER_H_

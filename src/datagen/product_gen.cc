@@ -1,0 +1,168 @@
+#include "datagen/product_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lash {
+
+std::string ProductHierarchyName(int levels) {
+  return "AMZN-h" + std::to_string(levels);
+}
+
+GeneratedProducts GenerateProducts(const ProductGenConfig& config) {
+  if (config.levels < 2) {
+    throw std::invalid_argument("GenerateProducts: levels must be >= 2");
+  }
+  if (config.num_products == 0 || config.num_root_categories == 0) {
+    throw std::invalid_argument("GenerateProducts: empty vocabulary");
+  }
+  // Three independent streams so that the *session stream* and the
+  // product -> root assignment are identical for every `levels` variant
+  // (Fig. 5(e) compares hierarchy depths on the same data). Only the
+  // category tree shape (tree_rng) depends on `levels`.
+  Rng tree_rng(config.seed);
+  Rng product_rng(config.seed ^ 0x9e0dULL);
+  Rng session_rng(config.seed ^ 0xab1eULL);
+
+  // --- Category tree ---
+  // Category levels 0 (roots) .. levels-2; products form the final level.
+  // Every root is guaranteed a descendant chain down to the deepest level.
+  const int category_levels = config.levels - 1;
+  const size_t num_roots = config.num_root_categories;
+  struct Category {
+    size_t parent;  // Index within the previous level (unused at level 0).
+    size_t root;
+  };
+  std::vector<std::vector<Category>> tree(category_levels);
+  // nodes_by_root[level][root] = indexes of that root's nodes at `level`.
+  std::vector<std::vector<std::vector<size_t>>> nodes_by_root(
+      category_levels, std::vector<std::vector<size_t>>(num_roots));
+  for (size_t r = 0; r < num_roots; ++r) {
+    tree[0].push_back({0, r});
+    nodes_by_root[0][r].push_back(r);
+  }
+  for (int level = 1; level < category_levels; ++level) {
+    // One guaranteed child per root, then random expansion.
+    for (size_t r = 0; r < num_roots; ++r) {
+      const std::vector<size_t>& parents = nodes_by_root[level - 1][r];
+      size_t parent = parents[tree_rng.Uniform(parents.size())];
+      nodes_by_root[level][r].push_back(tree[level].size());
+      tree[level].push_back({parent, r});
+    }
+    // Width growth is capped so that deep hierarchies stay proportionate
+    // to Table 2: in the real Amazon hierarchy intermediate categories are
+    // a tiny fraction of the catalogue even at depth 8.
+    size_t extra = std::min<size_t>(
+        tree[level - 1].size() * (config.category_branching - 1),
+        config.num_products / 20);
+    for (size_t i = 0; i < extra; ++i) {
+      size_t parent = tree_rng.Uniform(tree[level - 1].size());
+      size_t root = tree[level - 1][parent].root;
+      nodes_by_root[level][root].push_back(tree[level].size());
+      tree[level].push_back({parent, root});
+    }
+  }
+
+  // --- Products ---
+  // Root assignment and per-product random draws are independent of the
+  // tree shape: exactly three draws per product, always.
+  struct Product {
+    std::string name;
+    int category_level;
+    size_t category_index;  // Index within tree[category_level].
+  };
+  std::vector<Product> products(config.num_products);
+  std::vector<std::vector<size_t>> products_by_root(num_roots);
+  for (size_t p = 0; p < config.num_products; ++p) {
+    size_t root = product_rng.Uniform(num_roots);
+    double depth_draw = product_rng.NextDouble();
+    uint64_t index_draw = product_rng.Next();
+
+    // Geometric attachment depth capped by max_attach_depth, with a small
+    // fraction of products using the full available depth.
+    int attach_cap =
+        std::min(category_levels - 1, config.max_attach_depth - 1);
+    int level = 0;
+    double threshold = 0.4;  // P(stop at current level).
+    double x = depth_draw;
+    while (level < attach_cap && x > threshold) {
+      x = (x - threshold) / (1.0 - threshold);
+      ++level;
+    }
+    // A small minority of products attaches at the full depth (the paper:
+    // "most products in the Amazon product hierarchy have no more than 4
+    // parent categories", which mutes the h4 -> h8 step in Fig. 5(e)).
+    if (category_levels - 1 > attach_cap && x < 0.05) {
+      level = category_levels - 1;
+    }
+    Product& product = products[p];
+    product.name = "item" + std::to_string(p);
+    product.category_level = level;
+    const std::vector<size_t>& pool = nodes_by_root[level][root];
+    product.category_index = pool[index_draw % pool.size()];
+    products_by_root[root].push_back(p);
+  }
+  for (size_t r = 0; r < num_roots; ++r) {
+    if (products_by_root[r].empty()) {
+      // Degenerate only for tiny configs; keep pools non-empty.
+      products_by_root[r].push_back(r % config.num_products);
+    }
+  }
+
+  // --- Sessions ---
+  ZipfSampler product_dist(config.num_products, config.zipf_exponent);
+  ZipfSampler root_dist(num_roots, 1.0);
+  std::vector<std::vector<size_t>> sessions(config.num_sessions);
+  for (std::vector<size_t>& session : sessions) {
+    double u = session_rng.NextDouble();
+    size_t target = 1 + static_cast<size_t>(
+                            -std::log(1.0 - u) *
+                            std::max(0.5, config.avg_session_length - 1.0));
+    size_t interest_root = root_dist.Sample(&session_rng);
+    const std::vector<size_t>& pool = products_by_root[interest_root];
+    for (size_t i = 0; i < target; ++i) {
+      if (session_rng.Bernoulli(config.affinity_prob)) {
+        session.push_back(pool[product_dist.Sample(&session_rng) % pool.size()]);
+      } else {
+        session.push_back(product_dist.Sample(&session_rng));
+      }
+    }
+  }
+
+  // --- Vocabulary + hierarchy ---
+  GeneratedProducts out;
+  Vocabulary& vocab = out.vocabulary;
+  auto category_name = [](int level, size_t index) {
+    return "cat" + std::to_string(level) + "_" + std::to_string(index);
+  };
+  // Register all category edges.
+  for (int level = category_levels - 1; level >= 1; --level) {
+    for (size_t i = 0; i < tree[level].size(); ++i) {
+      vocab.AddItemWithParent(category_name(level, i),
+                              category_name(level - 1, tree[level][i].parent));
+    }
+  }
+  for (size_t r = 0; r < num_roots; ++r) vocab.AddItem(category_name(0, r));
+  for (const Product& product : products) {
+    vocab.AddItemWithParent(
+        product.name,
+        category_name(product.category_level, product.category_index));
+  }
+  out.database.reserve(config.num_sessions);
+  for (const std::vector<size_t>& session : sessions) {
+    Sequence seq;
+    seq.reserve(session.size());
+    for (size_t p : session) {
+      seq.push_back(vocab.Lookup(products[p].name));
+    }
+    out.database.push_back(std::move(seq));
+  }
+  out.hierarchy = vocab.BuildHierarchy();
+  return out;
+}
+
+}  // namespace lash

@@ -1,0 +1,57 @@
+#ifndef LASH_DATAGEN_PRODUCT_GEN_H_
+#define LASH_DATAGEN_PRODUCT_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+#include "core/hierarchy.h"
+#include "core/vocabulary.h"
+
+namespace lash {
+
+/// Configuration of the synthetic AMZN-like product-session dataset.
+///
+/// The real dataset (35M Amazon reviews grouped into 6.6M user sessions,
+/// avg length 4.5, with the Amazon product hierarchy at depths 2-8) is
+/// replaced by a generator that reproduces the relevant structure:
+/// Zipf-distributed product popularity, short sessions, per-session category
+/// affinity (users buy related products — "some camera, then some
+/// photography book", Sec. 1), and a category tree whose depth is
+/// configurable (`levels` = h2..h8 of Table 2). As in the real hierarchy,
+/// most products attach at depth <= `max_attach_depth` even when deeper
+/// levels exist, which is why the paper sees the depth effect flatten
+/// between h4 and h8 (Fig. 5(e)).
+struct ProductGenConfig {
+  size_t num_sessions = 50000;
+  double avg_session_length = 4.5;
+  size_t num_products = 10000;
+  size_t num_root_categories = 26;
+  size_t category_branching = 4;   ///< Children per category node.
+  int levels = 8;                  ///< Hierarchy levels incl. products (2..).
+  int max_attach_depth = 4;        ///< Products mostly attach above this.
+  double affinity_prob = 0.75;     ///< P(session item from the interest root).
+  double zipf_exponent = 1.0;
+  uint64_t seed = 7;
+};
+
+/// A generated dataset: raw-id database + hierarchy + names.
+struct GeneratedProducts {
+  Database database;
+  Hierarchy hierarchy;
+  Vocabulary vocabulary;
+
+  GeneratedProducts() : hierarchy(Hierarchy::Flat(0)) {}
+};
+
+/// Generates the dataset. The session stream depends only on
+/// (seed, size parameters) — *not* on `levels` — so the h2..h8 variants of
+/// Fig. 5(e) see identical sessions.
+GeneratedProducts GenerateProducts(const ProductGenConfig& config);
+
+/// Short label ("AMZN-h8") for bench output.
+std::string ProductHierarchyName(int levels);
+
+}  // namespace lash
+
+#endif  // LASH_DATAGEN_PRODUCT_GEN_H_

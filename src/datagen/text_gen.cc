@@ -1,0 +1,193 @@
+#include "datagen/text_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lash {
+
+namespace {
+
+// One lemma with its part-of-speech tag and surface forms. Form index 0 is
+// the lemma itself; every form may additionally occur capitalized.
+struct Lemma {
+  size_t pos_tag;
+  std::vector<std::string> forms;
+};
+
+// A phrase template: a short list of POS slots that sentences instantiate
+// with random lemmas of that tag, creating POS-level n-gram structure.
+struct Template {
+  std::vector<size_t> pos_slots;
+};
+
+std::string PosName(size_t tag) { return "POS" + std::to_string(tag); }
+
+}  // namespace
+
+std::string TextHierarchyName(TextHierarchy kind) {
+  switch (kind) {
+    case TextHierarchy::kL:
+      return "NYT-L";
+    case TextHierarchy::kP:
+      return "NYT-P";
+    case TextHierarchy::kLP:
+      return "NYT-LP";
+    case TextHierarchy::kCLP:
+      return "NYT-CLP";
+  }
+  return "NYT-?";
+}
+
+GeneratedText GenerateText(const TextGenConfig& config) {
+  if (config.num_lemmas == 0 || config.num_pos_tags == 0) {
+    throw std::invalid_argument("GenerateText: empty vocabulary");
+  }
+  // Separate streams: vocabulary tables and sentence sampling must not
+  // interact so that all hierarchy variants see identical token streams.
+  Rng vocab_rng(config.seed);
+  Rng sentence_rng(config.seed ^ 0x5eedu);
+
+  // --- Lemma table ---
+  ZipfSampler tag_dist(config.num_pos_tags, 1.0);
+  std::vector<Lemma> lemmas(config.num_lemmas);
+  std::vector<std::vector<size_t>> lemmas_by_tag(config.num_pos_tags);
+  static const char* kSuffixes[] = {"s", "ed", "ing", "er", "est"};
+  for (size_t l = 0; l < config.num_lemmas; ++l) {
+    Lemma& lemma = lemmas[l];
+    lemma.pos_tag = tag_dist.Sample(&vocab_rng);
+    lemmas_by_tag[lemma.pos_tag].push_back(l);
+    std::string base = "w" + std::to_string(l);
+    lemma.forms.push_back(base);
+    size_t num_inflections = 1 + vocab_rng.Uniform(4);
+    for (size_t f = 0; f < num_inflections; ++f) {
+      lemma.forms.push_back(base + kSuffixes[f % 5]);
+    }
+  }
+  // Guard: every tag used by templates must have at least one lemma.
+  for (size_t tag = 0; tag < config.num_pos_tags; ++tag) {
+    if (lemmas_by_tag[tag].empty()) {
+      lemmas_by_tag[tag].push_back(vocab_rng.Uniform(config.num_lemmas));
+    }
+  }
+
+  // --- Phrase templates (length 2..4 POS slots) ---
+  std::vector<Template> templates(config.num_templates);
+  for (Template& t : templates) {
+    size_t len = 2 + vocab_rng.Uniform(3);
+    for (size_t i = 0; i < len; ++i) {
+      t.pos_slots.push_back(tag_dist.Sample(&vocab_rng));
+    }
+  }
+  ZipfSampler template_dist(std::max<size_t>(1, config.num_templates), 1.0);
+  ZipfSampler lemma_dist(config.num_lemmas, config.zipf_exponent);
+
+  // --- Token stream ---
+  // A token is (lemma id, form index, cased?). Sentences are built from
+  // template chunks and free tokens.
+  struct Token {
+    size_t lemma;
+    size_t form;
+    bool cased;
+  };
+  auto sample_token = [&](size_t forced_tag, bool use_tag) {
+    size_t l;
+    if (use_tag) {
+      const std::vector<size_t>& pool = lemmas_by_tag[forced_tag];
+      // Zipf-ish selection within the tag pool: reuse the global lemma
+      // distribution by rejection-free modulo mapping.
+      l = pool[lemma_dist.Sample(&sentence_rng) % pool.size()];
+    } else {
+      l = lemma_dist.Sample(&sentence_rng);
+    }
+    Token token;
+    token.lemma = l;
+    bool inflect = sentence_rng.Bernoulli(config.inflect_prob) &&
+                   lemmas[l].forms.size() > 1;
+    token.form =
+        inflect ? 1 + sentence_rng.Uniform(lemmas[l].forms.size() - 1) : 0;
+    token.cased = sentence_rng.Bernoulli(config.cased_prob);
+    return token;
+  };
+
+  std::vector<std::vector<Token>> sentences(config.num_sentences);
+  for (std::vector<Token>& sentence : sentences) {
+    // Length ~ 1 + Exp(avg - 1): right-skewed like real sentence lengths.
+    double u = sentence_rng.NextDouble();
+    size_t target = 1 + static_cast<size_t>(
+                            -std::log(1.0 - u) *
+                            std::max(1.0, config.avg_sentence_length - 1.0));
+    while (sentence.size() < target) {
+      if (sentence_rng.Bernoulli(config.template_prob) &&
+          config.num_templates > 0) {
+        const Template& t = templates[template_dist.Sample(&sentence_rng)];
+        for (size_t tag : t.pos_slots) {
+          sentence.push_back(sample_token(tag, /*use_tag=*/true));
+        }
+      } else {
+        sentence.push_back(sample_token(0, /*use_tag=*/false));
+      }
+    }
+    if (sentence.size() > target) sentence.resize(target);
+  }
+
+  // --- Vocabulary + hierarchy for the requested variant ---
+  GeneratedText out;
+  Vocabulary& vocab = out.vocabulary;
+  auto surface_name = [&](const Token& t) {
+    std::string lower = lemmas[t.lemma].forms[t.form];
+    if (!t.cased) return lower;
+    lower[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(lower[0])));
+    return lower;
+  };
+  auto lower_name = [&](const Token& t) { return lemmas[t.lemma].forms[t.form]; };
+  auto lemma_name = [&](const Token& t) { return lemmas[t.lemma].forms[0]; };
+  auto pos_name = [&](const Token& t) { return PosName(lemmas[t.lemma].pos_tag); };
+
+  out.database.reserve(config.num_sentences);
+  for (const std::vector<Token>& sentence : sentences) {
+    Sequence seq;
+    seq.reserve(sentence.size());
+    for (const Token& t : sentence) {
+      std::string surface = surface_name(t);
+      // Register the token's generalization chain for the chosen variant.
+      // Chains collapse naturally when adjacent levels coincide ("changing"
+      // is its own lowercase form), which is how items of the input end up
+      // at different hierarchy levels.
+      switch (config.hierarchy) {
+        case TextHierarchy::kL: {
+          std::string lem = lemma_name(t);
+          if (surface != lem) vocab.AddItemWithParent(surface, lem);
+          break;
+        }
+        case TextHierarchy::kP: {
+          vocab.AddItemWithParent(surface, pos_name(t));
+          break;
+        }
+        case TextHierarchy::kLP: {
+          std::string lem = lemma_name(t);
+          if (surface != lem) vocab.AddItemWithParent(surface, lem);
+          vocab.AddItemWithParent(lem, pos_name(t));
+          break;
+        }
+        case TextHierarchy::kCLP: {
+          std::string lower = lower_name(t);
+          std::string lem = lemma_name(t);
+          if (surface != lower) vocab.AddItemWithParent(surface, lower);
+          if (lower != lem) vocab.AddItemWithParent(lower, lem);
+          vocab.AddItemWithParent(lem, pos_name(t));
+          break;
+        }
+      }
+      seq.push_back(vocab.AddItem(surface));
+    }
+    out.database.push_back(std::move(seq));
+  }
+  out.hierarchy = vocab.BuildHierarchy();
+  return out;
+}
+
+}  // namespace lash

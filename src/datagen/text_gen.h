@@ -1,0 +1,64 @@
+#ifndef LASH_DATAGEN_TEXT_GEN_H_
+#define LASH_DATAGEN_TEXT_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+#include "core/hierarchy.h"
+#include "core/vocabulary.h"
+
+namespace lash {
+
+/// Which syntactic hierarchy variant to build over the generated tokens
+/// (Sec. 6.1, Table 2):
+///   kL   — word → lemma              (many roots, tiny fan-out)
+///   kP   — word → POS tag            (few roots, huge fan-out)
+///   kLP  — word → lemma → POS        (3 levels)
+///   kCLP — word → case → lemma → POS (4 levels)
+enum class TextHierarchy { kL, kP, kLP, kCLP };
+
+/// Configuration of the synthetic NYT-like corpus.
+///
+/// The real New York Times corpus (50M sentences, avg length 21.1, 2.76M
+/// unique tokens) is LDC-licensed; this generator reproduces the properties
+/// LASH's behaviour depends on: Zipf-distributed tokens, sentences of
+/// NYT-like length, items occurring at multiple hierarchy levels (a token
+/// whose surface form equals its lowercase form or lemma *is* that
+/// intermediate item), and POS-level sequential structure coming from
+/// phrase templates — which is what makes generalized n-grams like
+/// "the ADJ NOUN" frequent while their specializations are not.
+struct TextGenConfig {
+  size_t num_sentences = 50000;
+  double avg_sentence_length = 21.0;
+  size_t num_lemmas = 5000;         ///< Lemma types (Zipf-distributed usage).
+  size_t num_pos_tags = 22;         ///< NYT-P has 22 root items (Table 2).
+  double zipf_exponent = 1.0;
+  double inflect_prob = 0.55;       ///< P(token is an inflected form).
+  double cased_prob = 0.12;         ///< P(token is capitalized).
+  double template_prob = 0.7;       ///< P(sentence chunk from a POS template).
+  size_t num_templates = 60;
+  uint64_t seed = 42;
+  TextHierarchy hierarchy = TextHierarchy::kCLP;
+};
+
+/// A generated corpus: raw-id database + hierarchy + names.
+struct GeneratedText {
+  Database database;
+  Hierarchy hierarchy;
+  Vocabulary vocabulary;
+
+  GeneratedText() : hierarchy(Hierarchy::Flat(0)) {}
+};
+
+/// Generates the corpus. The token stream depends only on
+/// (seed, size/shape parameters) — *not* on `hierarchy` — so the four
+/// variants of Fig. 5(f) see identical sentences.
+GeneratedText GenerateText(const TextGenConfig& config);
+
+/// Short dataset label ("NYT-CLP" etc.) for bench output.
+std::string TextHierarchyName(TextHierarchy kind);
+
+}  // namespace lash
+
+#endif  // LASH_DATAGEN_TEXT_GEN_H_

@@ -1,0 +1,127 @@
+#include "io/binary_io.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/varint.h"
+
+namespace lash {
+
+namespace {
+
+constexpr uint32_t kDatabaseMagic = 0x4c414442;   // "LADB"
+constexpr uint32_t kHierarchyMagic = 0x4c414849;  // "LAHI"
+constexpr uint32_t kPatternsMagic = 0x4c415054;   // "LAPT"
+
+void WriteAll(std::ostream& out, const std::string& buffer) {
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!out) throw std::runtime_error("binary_io: write failed");
+}
+
+std::string ReadAll(std::istream& in) {
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void CheckMagic(const std::string& data, size_t* pos, uint32_t expected,
+                const char* what) {
+  uint32_t magic = 0;
+  if (!GetVarint32(data, pos, &magic) || magic != expected) {
+    throw std::runtime_error(std::string("binary_io: bad magic for ") + what);
+  }
+}
+
+}  // namespace
+
+void WriteDatabaseBinary(std::ostream& out, const Database& db) {
+  std::string buffer;
+  PutVarint32(&buffer, kDatabaseMagic);
+  PutVarint64(&buffer, db.size());
+  for (const Sequence& t : db) EncodeSequence(&buffer, t);
+  WriteAll(out, buffer);
+}
+
+Database ReadDatabaseBinary(std::istream& in) {
+  std::string data = ReadAll(in);
+  size_t pos = 0;
+  CheckMagic(data, &pos, kDatabaseMagic, "database");
+  uint64_t count = 0;
+  if (!GetVarint64(data, &pos, &count)) {
+    throw std::runtime_error("binary_io: truncated database header");
+  }
+  Database db;
+  db.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Sequence seq;
+    if (!DecodeSequence(data, &pos, &seq)) {
+      throw std::runtime_error("binary_io: truncated database body");
+    }
+    db.push_back(std::move(seq));
+  }
+  return db;
+}
+
+void WriteHierarchyBinary(std::ostream& out, const Hierarchy& h) {
+  std::string buffer;
+  PutVarint32(&buffer, kHierarchyMagic);
+  PutVarint64(&buffer, h.NumItems());
+  for (ItemId w = 1; w <= h.NumItems(); ++w) {
+    ItemId parent = h.Parent(w);
+    PutVarint32(&buffer, parent == kInvalidItem ? 0 : parent);
+  }
+  WriteAll(out, buffer);
+}
+
+Hierarchy ReadHierarchyBinary(std::istream& in) {
+  std::string data = ReadAll(in);
+  size_t pos = 0;
+  CheckMagic(data, &pos, kHierarchyMagic, "hierarchy");
+  uint64_t count = 0;
+  if (!GetVarint64(data, &pos, &count)) {
+    throw std::runtime_error("binary_io: truncated hierarchy header");
+  }
+  std::vector<ItemId> parent(count + 1, kInvalidItem);
+  for (uint64_t w = 1; w <= count; ++w) {
+    uint32_t p = 0;
+    if (!GetVarint32(data, &pos, &p)) {
+      throw std::runtime_error("binary_io: truncated hierarchy body");
+    }
+    parent[w] = p == 0 ? kInvalidItem : p;
+  }
+  return Hierarchy(std::move(parent));
+}
+
+void WritePatternsBinary(std::ostream& out, const PatternMap& patterns) {
+  std::string buffer;
+  PutVarint32(&buffer, kPatternsMagic);
+  PutVarint64(&buffer, patterns.size());
+  for (const auto& [seq, freq] : SortedPatterns(patterns)) {
+    EncodeSequence(&buffer, seq);
+    PutVarint64(&buffer, freq);
+  }
+  WriteAll(out, buffer);
+}
+
+PatternMap ReadPatternsBinary(std::istream& in) {
+  std::string data = ReadAll(in);
+  size_t pos = 0;
+  CheckMagic(data, &pos, kPatternsMagic, "patterns");
+  uint64_t count = 0;
+  if (!GetVarint64(data, &pos, &count)) {
+    throw std::runtime_error("binary_io: truncated patterns header");
+  }
+  PatternMap patterns;
+  patterns.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Sequence seq;
+    uint64_t freq = 0;
+    if (!DecodeSequence(data, &pos, &seq) || !GetVarint64(data, &pos, &freq)) {
+      throw std::runtime_error("binary_io: truncated patterns body");
+    }
+    patterns.emplace(std::move(seq), freq);
+  }
+  return patterns;
+}
+
+}  // namespace lash

@@ -1,0 +1,45 @@
+#ifndef LASH_IO_BINARY_IO_H_
+#define LASH_IO_BINARY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/database.h"
+#include "core/hierarchy.h"
+#include "util/hash.h"
+
+namespace lash {
+
+/// Compact binary container formats (varint-based, with magic headers) for
+/// databases, hierarchies and pattern sets. These are the formats a
+/// deployment would use for large inputs — the text formats of
+/// io/text_io.h are for interchange and debugging.
+///
+/// All readers validate magic/version and throw std::runtime_error on
+/// corrupt input. Item ids are stored verbatim: writer and reader must
+/// agree on the id space (raw or rank), typically by storing the
+/// vocabulary alongside (text format) or re-running preprocessing.
+
+/// Writes `db` as: magic, sequence count, then each sequence via
+/// EncodeSequence.
+void WriteDatabaseBinary(std::ostream& out, const Database& db);
+
+/// Inverse of WriteDatabaseBinary.
+Database ReadDatabaseBinary(std::istream& in);
+
+/// Writes a parent array as: magic, item count, parent per item (0 = root).
+void WriteHierarchyBinary(std::ostream& out, const Hierarchy& h);
+
+/// Inverse of WriteHierarchyBinary.
+Hierarchy ReadHierarchyBinary(std::istream& in);
+
+/// Writes patterns as: magic, count, then (sequence, frequency) pairs in
+/// deterministic order.
+void WritePatternsBinary(std::ostream& out, const PatternMap& patterns);
+
+/// Inverse of WritePatternsBinary.
+PatternMap ReadPatternsBinary(std::istream& in);
+
+}  // namespace lash
+
+#endif  // LASH_IO_BINARY_IO_H_

@@ -1,0 +1,68 @@
+#include "io/text_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lash {
+
+void WriteDatabase(std::ostream& out, const Database& db,
+                   const Vocabulary& vocab) {
+  for (const Sequence& t : db) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << vocab.Name(t[i]);
+    }
+    out << '\n';
+  }
+}
+
+Database ReadDatabase(std::istream& in, Vocabulary* vocab) {
+  Database db;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream tokens(line);
+    Sequence seq;
+    std::string token;
+    while (tokens >> token) seq.push_back(vocab->AddItem(token));
+    if (!seq.empty()) db.push_back(std::move(seq));
+  }
+  return db;
+}
+
+void WriteHierarchy(std::ostream& out, const Vocabulary& vocab) {
+  for (ItemId id = 1; id <= vocab.NumItems(); ++id) {
+    ItemId parent = vocab.Parent(id);
+    if (parent != kInvalidItem) {
+      out << vocab.Name(id) << '\t' << vocab.Name(parent) << '\n';
+    }
+  }
+}
+
+void ReadHierarchy(std::istream& in, Vocabulary* vocab) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
+      throw std::invalid_argument("ReadHierarchy: malformed line: " + line);
+    }
+    vocab->AddItemWithParent(line.substr(0, tab), line.substr(tab + 1));
+  }
+}
+
+void WritePatterns(std::ostream& out, const PatternMap& patterns,
+                   const std::function<std::string(ItemId)>& name_of) {
+  for (const auto& [seq, freq] : SortedPatterns(patterns)) {
+    out << freq << '\t';
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << name_of(seq[i]);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace lash

@@ -1,0 +1,42 @@
+#ifndef LASH_IO_TEXT_IO_H_
+#define LASH_IO_TEXT_IO_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "core/database.h"
+#include "core/vocabulary.h"
+#include "util/hash.h"
+
+namespace lash {
+
+/// Plain-text dataset exchange formats:
+///   * database  — one sequence per line, whitespace-separated item names;
+///   * hierarchy — one `child<TAB>parent` edge per line;
+///   * patterns  — one `frequency<TAB>item item ...` per line, sorted.
+/// These formats make the example binaries' output diffable and let users
+/// bring their own data (README "Using your own data").
+
+/// Writes `db` using item names from `vocab`.
+void WriteDatabase(std::ostream& out, const Database& db,
+                   const Vocabulary& vocab);
+
+/// Reads a database, interning items (as roots) into `vocab`.
+Database ReadDatabase(std::istream& in, Vocabulary* vocab);
+
+/// Writes all child→parent edges of `vocab`.
+void WriteHierarchy(std::ostream& out, const Vocabulary& vocab);
+
+/// Reads hierarchy edges into `vocab` (items created as needed). Throws
+/// std::invalid_argument on malformed lines or conflicting parents.
+void ReadHierarchy(std::istream& in, Vocabulary* vocab);
+
+/// Writes patterns in deterministic (lexicographic) order; `name_of` maps an
+/// item id in the patterns' id space to a printable name.
+void WritePatterns(std::ostream& out, const PatternMap& patterns,
+                   const std::function<std::string(ItemId)>& name_of);
+
+}  // namespace lash
+
+#endif  // LASH_IO_TEXT_IO_H_

@@ -1,0 +1,30 @@
+#include "mapreduce/cluster.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace lash {
+
+double SimulateMakespan(const std::vector<double>& task_durations_ms,
+                        size_t machines, size_t slots_per_machine,
+                        double per_task_overhead_ms) {
+  if (machines == 0) machines = 1;
+  if (slots_per_machine == 0) slots_per_machine = 1;
+  const size_t slots = machines * slots_per_machine;
+  std::vector<double> sorted = task_durations_ms;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  // Min-heap of slot finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
+  for (size_t i = 0; i < slots; ++i) heap.push(0.0);
+  double makespan = 0.0;
+  for (double d : sorted) {
+    double start = heap.top();
+    heap.pop();
+    double finish = start + d + per_task_overhead_ms;
+    makespan = std::max(makespan, finish);
+    heap.push(finish);
+  }
+  return makespan;
+}
+
+}  // namespace lash

@@ -1,0 +1,249 @@
+#ifndef LASH_MAPREDUCE_JOB_H_
+#define LASH_MAPREDUCE_JOB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace lash {
+
+/// Counters mirroring the Hadoop counters the paper reports (Sec. 6.1):
+/// `map_output_bytes` corresponds to MAP_OUTPUT_BYTES and is computed from
+/// the varint-serialized size of every key/value pair that leaves the map
+/// phase (i.e. after the combiner, which is what is actually transferred).
+struct JobCounters {
+  uint64_t map_input_records = 0;
+  uint64_t map_output_records = 0;
+  uint64_t map_output_bytes = 0;
+  uint64_t reduce_input_groups = 0;
+  uint64_t reduce_output_records = 0;
+
+  void Merge(const JobCounters& other) {
+    map_input_records += other.map_input_records;
+    map_output_records += other.map_output_records;
+    map_output_bytes += other.map_output_bytes;
+    reduce_input_groups += other.reduce_input_groups;
+    reduce_output_records += other.reduce_output_records;
+  }
+};
+
+/// Per-phase elapsed wall-clock, the measure reported throughout Sec. 6
+/// ("we break down this time into time taken by the map phase, shuffle phase
+/// and the reduce phase").
+struct PhaseTimes {
+  double map_ms = 0;
+  double shuffle_ms = 0;
+  double reduce_ms = 0;
+
+  double TotalMs() const { return map_ms + shuffle_ms + reduce_ms; }
+
+  void Merge(const PhaseTimes& other) {
+    map_ms += other.map_ms;
+    shuffle_ms += other.shuffle_ms;
+    reduce_ms += other.reduce_ms;
+  }
+};
+
+/// Execution configuration of a simulated MapReduce job.
+struct JobConfig {
+  /// Real worker threads used to execute tasks on this machine.
+  size_t num_threads = std::thread::hardware_concurrency();
+  /// Number of map tasks the input is split into.
+  size_t num_map_tasks = 16;
+  /// Number of reduce tasks (hash partitions of the key space).
+  size_t num_reduce_tasks = 16;
+};
+
+/// Result of a job run: phase timings, counters, and the recorded per-task
+/// durations that feed the simulated-cluster makespan model (Fig. 6).
+struct JobResult {
+  PhaseTimes times;
+  JobCounters counters;
+  std::vector<double> map_task_ms;
+  std::vector<double> reduce_task_ms;
+
+  /// Simulated per-phase times on an `m`-machine cluster (Sec. 6.6).
+  PhaseTimes SimulatedTimes(size_t machines, size_t slots_per_machine = 8,
+                            double per_task_overhead_ms = 20.0) const {
+    PhaseTimes sim;
+    sim.map_ms = SimulateMakespan(map_task_ms, machines, slots_per_machine,
+                                  per_task_overhead_ms);
+    sim.shuffle_ms = times.shuffle_ms / static_cast<double>(machines);
+    sim.reduce_ms = SimulateMakespan(reduce_task_ms, machines,
+                                     slots_per_machine, per_task_overhead_ms);
+    return sim;
+  }
+};
+
+/// A minimal in-process MapReduce runtime (Sec. 3.1).
+///
+/// `Input` is the map input record type; `K`/`V` the intermediate key/value
+/// types. The runtime splits the input into `num_map_tasks` chunks, runs the
+/// user's map function over each chunk on a thread pool, optionally combines
+/// values per key inside each map task, hash-partitions keys into
+/// `num_reduce_tasks` groups, and runs the user's reduce function per key
+/// group. All phases are timed; per-pair serialized sizes accumulate into
+/// MAP_OUTPUT_BYTES.
+template <typename Input, typename K, typename V,
+          typename KHash = std::hash<K>>
+class MapReduceJob {
+ public:
+  /// Emits one intermediate pair; passed to the map function.
+  using EmitFn = std::function<void(K, V)>;
+  /// User map function: `map(record, emit)`.
+  using MapFn = std::function<void(const Input&, const EmitFn&)>;
+  /// Optional associative combiner: merges `incoming` into `accumulated`.
+  using CombineFn = std::function<void(V* accumulated, V&& incoming)>;
+  /// User reduce function: `reduce(reduce_task_index, key, values)`.
+  /// `values` may be consumed destructively.
+  using ReduceFn =
+      std::function<void(size_t rtask, const K& key, std::vector<V>& values)>;
+  /// Serialized size of a pair, for the MAP_OUTPUT_BYTES counter.
+  using ByteSizeFn = std::function<size_t(const K&, const V&)>;
+  /// Maps a key to a reduce partition (before modulo). Defaults to KHash.
+  /// LASH overrides this to route every key of one pivot to the same reduce
+  /// task while keeping full-key hashing for in-memory grouping.
+  using PartitionFn = std::function<size_t(const K&)>;
+  /// Called once per reduce task after all of its key groups were reduced;
+  /// LASH runs the local miner here (the partition P_w is complete then).
+  using ReduceFinishFn = std::function<void(size_t rtask)>;
+
+  MapReduceJob(MapFn map, ReduceFn reduce, ByteSizeFn byte_size)
+      : map_(std::move(map)),
+        reduce_(std::move(reduce)),
+        byte_size_(std::move(byte_size)),
+        partition_([](const K& key) { return KHash{}(key); }) {}
+
+  /// Installs a combiner, applied within each map task.
+  void set_combiner(CombineFn combine) { combine_ = std::move(combine); }
+
+  /// Overrides the key -> reduce partition routing.
+  void set_partitioner(PartitionFn partition) {
+    partition_ = std::move(partition);
+  }
+
+  /// Installs a per-reduce-task completion hook.
+  void set_reduce_finish(ReduceFinishFn fn) { reduce_finish_ = std::move(fn); }
+
+  /// Runs the job over `inputs`.
+  JobResult Run(const std::vector<Input>& inputs, const JobConfig& config) {
+    const size_t num_map = std::max<size_t>(1, config.num_map_tasks);
+    const size_t num_red = std::max<size_t>(1, config.num_reduce_tasks);
+    JobResult result;
+    result.counters.map_input_records = inputs.size();
+    result.map_task_ms.resize(num_map, 0.0);
+    result.reduce_task_ms.resize(num_red, 0.0);
+
+    // spill[m][r] = pairs emitted by map task m for reduce partition r.
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> spill(
+        num_map, std::vector<std::vector<std::pair<K, V>>>(num_red));
+    std::vector<JobCounters> task_counters(num_map);
+
+    ThreadPool pool(std::max<size_t>(1, config.num_threads));
+    Stopwatch phase;
+
+    // ---- Map phase ----
+    for (size_t m = 0; m < num_map; ++m) {
+      pool.Submit([&, m] {
+        Stopwatch task_clock;
+        const size_t lo = inputs.size() * m / num_map;
+        const size_t hi = inputs.size() * (m + 1) / num_map;
+        if (combine_) {
+          // Combine inside the map task: per-partition hash maps.
+          std::vector<std::unordered_map<K, V, KHash>> acc(num_red);
+          EmitFn emit = [&](K key, V value) {
+            size_t r = partition_(key) % num_red;
+            auto [it, inserted] = acc[r].try_emplace(std::move(key));
+            if (inserted) {
+              it->second = std::move(value);
+            } else {
+              combine_(&it->second, std::move(value));
+            }
+          };
+          for (size_t i = lo; i < hi; ++i) map_(inputs[i], emit);
+          for (size_t r = 0; r < num_red; ++r) {
+            spill[m][r].reserve(acc[r].size());
+            for (auto& [key, value] : acc[r]) {
+              task_counters[m].map_output_bytes += byte_size_(key, value);
+              ++task_counters[m].map_output_records;
+              spill[m][r].emplace_back(key, std::move(value));
+            }
+          }
+        } else {
+          EmitFn emit = [&](K key, V value) {
+            size_t r = partition_(key) % num_red;
+            task_counters[m].map_output_bytes += byte_size_(key, value);
+            ++task_counters[m].map_output_records;
+            spill[m][r].emplace_back(std::move(key), std::move(value));
+          };
+          for (size_t i = lo; i < hi; ++i) map_(inputs[i], emit);
+        }
+        result.map_task_ms[m] = task_clock.ElapsedMs();
+      });
+    }
+    pool.Wait();
+    result.times.map_ms = phase.ElapsedMs();
+    for (const JobCounters& c : task_counters) result.counters.Merge(c);
+    result.counters.map_input_records = inputs.size();
+
+    // ---- Shuffle phase: group values by key per reduce partition. ----
+    phase.Restart();
+    std::vector<std::unordered_map<K, std::vector<V>, KHash>> groups(num_red);
+    for (size_t r = 0; r < num_red; ++r) {
+      pool.Submit([&, r] {
+        size_t total = 0;
+        for (size_t m = 0; m < num_map; ++m) total += spill[m][r].size();
+        groups[r].reserve(total);
+        for (size_t m = 0; m < num_map; ++m) {
+          for (auto& [key, value] : spill[m][r]) {
+            groups[r][std::move(key)].push_back(std::move(value));
+          }
+          spill[m][r].clear();
+          spill[m][r].shrink_to_fit();
+        }
+      });
+    }
+    pool.Wait();
+    result.times.shuffle_ms = phase.ElapsedMs();
+
+    // ---- Reduce phase ----
+    phase.Restart();
+    std::vector<uint64_t> group_counts(num_red, 0);
+    for (size_t r = 0; r < num_red; ++r) {
+      pool.Submit([&, r] {
+        Stopwatch task_clock;
+        group_counts[r] = groups[r].size();
+        for (auto& [key, values] : groups[r]) {
+          reduce_(r, key, values);
+        }
+        if (reduce_finish_) reduce_finish_(r);
+        result.reduce_task_ms[r] = task_clock.ElapsedMs();
+      });
+    }
+    pool.Wait();
+    result.times.reduce_ms = phase.ElapsedMs();
+    for (uint64_t c : group_counts) result.counters.reduce_input_groups += c;
+    return result;
+  }
+
+ private:
+  MapFn map_;
+  CombineFn combine_;
+  ReduceFn reduce_;
+  ByteSizeFn byte_size_;
+  PartitionFn partition_;
+  ReduceFinishFn reduce_finish_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_MAPREDUCE_JOB_H_

@@ -1,0 +1,123 @@
+#include "miner/bfs_miner.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/match.h"
+
+namespace lash {
+
+namespace {
+
+// Vertical representation: pattern -> sorted tids of supporting transactions.
+using TidList = std::vector<uint32_t>;
+using Level = std::unordered_map<Sequence, TidList, SequenceHash>;
+
+Frequency WeightOf(const TidList& tids, const Partition& partition) {
+  Frequency total = 0;
+  for (uint32_t tid : tids) total += partition.weights[tid];
+  return total;
+}
+
+}  // namespace
+
+BfsMiner::BfsMiner(const Hierarchy* hierarchy, const GsmParams& params)
+    : hierarchy_(hierarchy), params_(params) {
+  params_.Validate();
+}
+
+PatternMap BfsMiner::Mine(const Partition& partition, ItemId pivot,
+                          MinerStats* stats) {
+  const Hierarchy& h = *hierarchy_;
+  PatternMap output;
+
+  // --- Level 2 directly from the data (G2(T) per transaction). ---
+  Level level;
+  {
+    SequenceSet per_transaction;
+    for (uint32_t tid = 0; tid < partition.size(); ++tid) {
+      per_transaction.clear();
+      const Sequence& t = partition.sequences[tid];
+      Sequence pair(2);
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (!IsItem(t[i])) continue;
+        size_t hi = std::min(t.size(), i + static_cast<size_t>(params_.gamma) + 2);
+        for (size_t j = i + 1; j < hi; ++j) {
+          if (!IsItem(t[j])) continue;
+          for (ItemId a = t[i]; a != kInvalidItem; a = h.Parent(a)) {
+            for (ItemId b = t[j]; b != kInvalidItem; b = h.Parent(b)) {
+              pair[0] = a;
+              pair[1] = b;
+              per_transaction.insert(pair);
+            }
+          }
+        }
+      }
+      for (const Sequence& s : per_transaction) level[s].push_back(tid);
+    }
+  }
+  // Keep only frequent 2-sequences.
+  for (auto it = level.begin(); it != level.end();) {
+    if (stats != nullptr) ++stats->candidates;
+    if (WeightOf(it->second, partition) < params_.sigma) {
+      it = level.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  auto emit = [&](const Level& lv) {
+    for (const auto& [seq, tids] : lv) {
+      ItemId max_item = *std::max_element(seq.begin(), seq.end());
+      if (pivot == kInvalidItem || max_item == pivot) {
+        output.emplace(seq, WeightOf(tids, partition));
+        if (stats != nullptr) ++stats->outputs;
+      }
+    }
+  };
+  emit(level);
+
+  // --- Levels 3..lambda by prefix/suffix join + verification. ---
+  for (uint32_t len = 3; len <= params_.lambda && !level.empty(); ++len) {
+    // Index frequent (len-1)-sequences by their (len-2)-item prefix.
+    std::unordered_map<Sequence, std::vector<const Sequence*>, SequenceHash>
+        by_prefix;
+    for (const auto& [seq, tids] : level) {
+      Sequence prefix(seq.begin(), seq.end() - 1);
+      by_prefix[prefix].push_back(&seq);
+    }
+    Level next;
+    for (const auto& [seq, tids] : level) {
+      // Join: candidates seq + x where seq[1..] + x is frequent.
+      Sequence suffix(seq.begin() + 1, seq.end());
+      auto it = by_prefix.find(suffix);
+      if (it == by_prefix.end()) continue;
+      for (const Sequence* other : it->second) {
+        Sequence candidate = seq;
+        candidate.push_back(other->back());
+        if (stats != nullptr) ++stats->candidates;
+        const TidList& suffix_tids = level.at(*other);
+        TidList verified;
+        // Intersect prefix/suffix tid lists, then verify the gap-constrained
+        // embedding with the DP matcher.
+        std::vector<uint32_t> common;
+        std::set_intersection(tids.begin(), tids.end(), suffix_tids.begin(),
+                              suffix_tids.end(), std::back_inserter(common));
+        for (uint32_t tid : common) {
+          if (Matches(candidate, partition.sequences[tid], h, params_.gamma)) {
+            verified.push_back(tid);
+          }
+        }
+        if (WeightOf(verified, partition) >= params_.sigma) {
+          next.emplace(std::move(candidate), std::move(verified));
+        }
+      }
+    }
+    emit(next);
+    level = std::move(next);
+  }
+  return output;
+}
+
+}  // namespace lash

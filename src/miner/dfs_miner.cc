@@ -1,0 +1,137 @@
+#include "miner/dfs_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace lash {
+
+namespace {
+
+// Projected database of a pattern: per supporting transaction, the sorted
+// distinct end positions of its embeddings.
+struct Posting {
+  uint32_t tid;
+  std::vector<uint32_t> ends;
+};
+using ProjectedDb = std::vector<Posting>;
+
+class DfsRun {
+ public:
+  DfsRun(const Partition& partition, const Hierarchy& h,
+         const GsmParams& params, ItemId pivot, MinerStats* stats)
+      : partition_(partition),
+        h_(h),
+        params_(params),
+        pivot_(pivot),
+        stats_(stats) {}
+
+  PatternMap Mine() {
+    // Level 1: occurrences of every item and its generalizations.
+    std::map<ItemId, ProjectedDb> by_item;
+    for (uint32_t tid = 0; tid < partition_.size(); ++tid) {
+      const Sequence& t = partition_.sequences[tid];
+      for (uint32_t pos = 0; pos < t.size(); ++pos) {
+        if (!IsItem(t[pos])) continue;
+        for (ItemId a = t[pos]; a != kInvalidItem; a = h_.Parent(a)) {
+          ProjectedDb& db = by_item[a];
+          if (db.empty() || db.back().tid != tid) {
+            db.push_back(Posting{tid, {}});
+          }
+          if (db.back().ends.empty() || db.back().ends.back() != pos) {
+            db.back().ends.push_back(pos);
+          }
+        }
+      }
+    }
+    Sequence pattern;
+    for (auto& [item, db] : by_item) {
+      if (stats_ != nullptr) ++stats_->candidates;
+      if (Weight(db) < params_.sigma) continue;
+      pattern.push_back(item);
+      Grow(pattern, db, item);
+      pattern.pop_back();
+    }
+    return std::move(output_);
+  }
+
+ private:
+  Frequency Weight(const ProjectedDb& db) const {
+    Frequency total = 0;
+    for (const Posting& p : db) total += partition_.weights[p.tid];
+    return total;
+  }
+
+  // Recursively right-expands `pattern` (whose projected database is `db`).
+  // `max_item` tracks the largest item seen so far (for the pivot filter).
+  void Grow(Sequence& pattern, const ProjectedDb& db, ItemId max_seen) {
+    if (pattern.size() >= params_.lambda) return;
+    // Collect expansion items with weighted document frequencies and their
+    // new end positions in one pass.
+    std::map<ItemId, ProjectedDb> expansions;
+    for (const Posting& posting : db) {
+      const Sequence& t = partition_.sequences[posting.tid];
+      // Distinct new end positions reachable from any current end.
+      std::vector<uint32_t> windows;
+      for (uint32_t e : posting.ends) {
+        uint32_t hi = std::min<uint64_t>(t.size(),
+                                         static_cast<uint64_t>(e) + params_.gamma + 2);
+        for (uint32_t j = e + 1; j < hi; ++j) windows.push_back(j);
+      }
+      std::sort(windows.begin(), windows.end());
+      windows.erase(std::unique(windows.begin(), windows.end()), windows.end());
+      for (uint32_t j : windows) {
+        const ItemId item = t[j];
+        if (!IsItem(item)) continue;
+        for (ItemId a = item; a != kInvalidItem; a = h_.Parent(a)) {
+          ProjectedDb& edb = expansions[a];
+          if (edb.empty() || edb.back().tid != posting.tid) {
+            edb.push_back(Posting{posting.tid, {}});
+          }
+          if (edb.back().ends.empty() || edb.back().ends.back() != j) {
+            edb.back().ends.push_back(j);
+          }
+        }
+      }
+    }
+    for (auto& [item, edb] : expansions) {
+      if (stats_ != nullptr) ++stats_->candidates;
+      if (Weight(edb) < params_.sigma) continue;
+      pattern.push_back(item);
+      ItemId max_next = std::max(max_seen, item);
+      if (pattern.size() >= 2 && MaxItemEquals(max_next)) {
+        output_.emplace(pattern, Weight(edb));
+        if (stats_ != nullptr) ++stats_->outputs;
+      }
+      Grow(pattern, edb, max_next);
+      pattern.pop_back();
+    }
+  }
+
+  bool MaxItemEquals(ItemId max_seen) const {
+    return pivot_ == kInvalidItem || max_seen == pivot_;
+  }
+
+  const Partition& partition_;
+  const Hierarchy& h_;
+  const GsmParams& params_;
+  ItemId pivot_;
+  MinerStats* stats_;
+  PatternMap output_;
+};
+
+}  // namespace
+
+DfsMiner::DfsMiner(const Hierarchy* hierarchy, const GsmParams& params)
+    : hierarchy_(hierarchy), params_(params) {
+  params_.Validate();
+}
+
+PatternMap DfsMiner::Mine(const Partition& partition, ItemId pivot,
+                          MinerStats* stats) {
+  DfsRun run(partition, *hierarchy_, params_, pivot, stats);
+  return run.Mine();
+}
+
+}  // namespace lash

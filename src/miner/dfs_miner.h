@@ -1,0 +1,37 @@
+#ifndef LASH_MINER_DFS_MINER_H_
+#define LASH_MINER_DFS_MINER_H_
+
+#include "miner/miner.h"
+
+namespace lash {
+
+/// Hierarchy-aware DFS (pattern-growth) miner in the style of PrefixSpan
+/// (Sec. 5.1, "DFS with hierarchies").
+///
+/// The miner starts from single items and recursively right-expands. The
+/// projected database of a pattern S stores, per supporting transaction, the
+/// end positions of all embeddings of S (or of a specialization of S — the
+/// support set D_S of the paper). Right expansion collects, per transaction,
+/// the items within `gamma`+1 positions after any end position together with
+/// all their generalizations.
+///
+/// In the context of LASH this miner computes *all* locally frequent
+/// sequences and filters non-pivot sequences at output time, which is the
+/// computational overhead PSM removes (Sec. 5.1, "Overhead").
+class DfsMiner : public LocalMiner {
+ public:
+  DfsMiner(const Hierarchy* hierarchy, const GsmParams& params);
+
+  PatternMap Mine(const Partition& partition, ItemId pivot,
+                  MinerStats* stats) override;
+
+  std::string name() const override { return "DFS"; }
+
+ private:
+  const Hierarchy* hierarchy_;
+  GsmParams params_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_MINER_DFS_MINER_H_

@@ -1,0 +1,106 @@
+#include "miner/enumerate.h"
+
+#include <algorithm>
+
+namespace lash {
+
+namespace {
+
+// Shared recursive enumerator. When `pivot != kInvalidItem`, only ancestors
+// with rank <= pivot are considered and emitted sequences must contain the
+// pivot (max item == pivot given the rank cap).
+class Enumerator {
+ public:
+  Enumerator(const Sequence& t, const Hierarchy& h, uint32_t gamma,
+             uint32_t lambda, ItemId pivot, SequenceSet* out)
+      : t_(t), h_(h), gamma_(gamma), lambda_(lambda), pivot_(pivot), out_(out) {}
+
+  void Run() {
+    for (size_t i = 0; i < t_.size(); ++i) ExtendAt(i, /*pivot_seen=*/false);
+  }
+
+ private:
+  // Places the item at position i (and each of its admissible
+  // generalizations) as the next pattern element, then recurses on positions
+  // within the gap window.
+  void ExtendAt(size_t i, bool pivot_seen) {
+    if (!IsItem(t_[i])) return;
+    ItemId item = t_[i];
+    for (ItemId a = item; a != kInvalidItem; a = h_.Parent(a)) {
+      if (pivot_ != kInvalidItem && a > pivot_) continue;
+      bool now_pivot = pivot_seen || a == pivot_;
+      current_.push_back(a);
+      if (current_.size() >= 2 && (pivot_ == kInvalidItem || now_pivot)) {
+        out_->insert(current_);
+      }
+      if (current_.size() < lambda_) {
+        size_t hi = std::min(t_.size(), i + static_cast<size_t>(gamma_) + 2);
+        for (size_t j = i + 1; j < hi; ++j) ExtendAt(j, now_pivot);
+      }
+      current_.pop_back();
+    }
+  }
+
+  const Sequence& t_;
+  const Hierarchy& h_;
+  uint32_t gamma_;
+  uint32_t lambda_;
+  ItemId pivot_;
+  SequenceSet* out_;
+  Sequence current_;
+};
+
+}  // namespace
+
+void EnumerateGeneralizedSubsequences(const Sequence& t, const Hierarchy& h,
+                                      uint32_t gamma, uint32_t lambda,
+                                      SequenceSet* out) {
+  Enumerator(t, h, gamma, lambda, kInvalidItem, out).Run();
+}
+
+void EnumeratePivotSequences(const Sequence& t, const Hierarchy& h,
+                             uint32_t gamma, uint32_t lambda, ItemId pivot,
+                             SequenceSet* out) {
+  Enumerator(t, h, gamma, lambda, pivot, out).Run();
+}
+
+PatternMap MineByEnumeration(const Database& db, const Hierarchy& h,
+                             const GsmParams& params) {
+  params.Validate();
+  PatternMap counts;
+  SequenceSet per_transaction;
+  for (const Sequence& t : db) {
+    per_transaction.clear();
+    EnumerateGeneralizedSubsequences(t, h, params.gamma, params.lambda,
+                                     &per_transaction);
+    for (const Sequence& s : per_transaction) ++counts[s];
+  }
+  PatternMap frequent;
+  for (auto& [seq, freq] : counts) {
+    if (freq >= params.sigma) frequent.emplace(seq, freq);
+  }
+  return frequent;
+}
+
+PatternMap MinePartitionByEnumeration(const Partition& partition,
+                                      const Hierarchy& h,
+                                      const GsmParams& params, ItemId pivot) {
+  params.Validate();
+  PatternMap counts;
+  SequenceSet per_transaction;
+  for (size_t i = 0; i < partition.size(); ++i) {
+    per_transaction.clear();
+    EnumeratePivotSequences(partition.sequences[i], h, params.gamma,
+                            params.lambda, pivot, &per_transaction);
+    for (const Sequence& s : per_transaction) {
+      counts[s] += partition.weights[i];
+    }
+  }
+  PatternMap frequent;
+  for (auto& [seq, freq] : counts) {
+    if (freq >= params.sigma) frequent.emplace(seq, freq);
+  }
+  return frequent;
+}
+
+}  // namespace lash

@@ -1,0 +1,44 @@
+#ifndef LASH_MINER_ENUMERATE_H_
+#define LASH_MINER_ENUMERATE_H_
+
+#include <cstdint>
+
+#include "core/database.h"
+#include "core/hierarchy.h"
+#include "core/params.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace lash {
+
+/// Enumerates G_λ(T) (Sec. 3.2): every generalized subsequence S of T with
+/// `2 <= |S| <= lambda` under gap constraint `gamma`, deduplicated into
+/// `out`. Blank positions in T are skipped (they match nothing). Worst-case
+/// exponential — this is the point of the naive baseline.
+void EnumerateGeneralizedSubsequences(const Sequence& t, const Hierarchy& h,
+                                      uint32_t gamma, uint32_t lambda,
+                                      SequenceSet* out);
+
+/// Enumerates G_{w,λ}(T) (Sec. 4.1, Eq. 2): like above but restricted to
+/// pivot sequences — every item has rank <= `pivot` and the maximum item
+/// equals `pivot`. Requires a rank-monotone hierarchy.
+void EnumeratePivotSequences(const Sequence& t, const Hierarchy& h,
+                             uint32_t gamma, uint32_t lambda, ItemId pivot,
+                             SequenceSet* out);
+
+/// Reference GSM solver: counts every generalized subsequence by brute-force
+/// enumeration and keeps those with frequency >= sigma. Ground truth for
+/// correctness tests of every other algorithm in this repository.
+PatternMap MineByEnumeration(const Database& db, const Hierarchy& h,
+                             const GsmParams& params);
+
+/// Reference local miner for a weighted partition: enumerates pivot
+/// sequences per transaction and accumulates weights. Ground truth for the
+/// BFS/DFS/PSM miner-agreement tests.
+PatternMap MinePartitionByEnumeration(const Partition& partition,
+                                      const Hierarchy& h,
+                                      const GsmParams& params, ItemId pivot);
+
+}  // namespace lash
+
+#endif  // LASH_MINER_ENUMERATE_H_

@@ -1,0 +1,75 @@
+#include "miner/miner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "miner/bfs_miner.h"
+#include "miner/dfs_miner.h"
+#include "miner/enumerate.h"
+#include "miner/psm.h"
+
+namespace lash {
+
+namespace {
+
+/// Reference miner: per-transaction enumeration + counting. Exponential;
+/// only suitable for tests and tiny partitions.
+class NaiveLocalMiner : public LocalMiner {
+ public:
+  NaiveLocalMiner(const Hierarchy* hierarchy, const GsmParams& params)
+      : hierarchy_(hierarchy), params_(params) {
+    params_.Validate();
+  }
+
+  PatternMap Mine(const Partition& partition, ItemId pivot,
+                  MinerStats* stats) override {
+    PatternMap result =
+        MinePartitionByEnumeration(partition, *hierarchy_, params_, pivot);
+    if (stats != nullptr) {
+      stats->candidates += result.size();
+      stats->outputs += result.size();
+    }
+    return result;
+  }
+
+  std::string name() const override { return "Naive"; }
+
+ private:
+  const Hierarchy* hierarchy_;
+  GsmParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<LocalMiner> MakeLocalMiner(MinerKind kind,
+                                           const Hierarchy* hierarchy,
+                                           const GsmParams& params) {
+  switch (kind) {
+    case MinerKind::kNaive:
+      return std::make_unique<NaiveLocalMiner>(hierarchy, params);
+    case MinerKind::kBfs:
+      return std::make_unique<BfsMiner>(hierarchy, params);
+    case MinerKind::kDfs:
+      return std::make_unique<DfsMiner>(hierarchy, params);
+    case MinerKind::kPsm:
+      return std::make_unique<PsmMiner>(hierarchy, params, /*use_index=*/false);
+    case MinerKind::kPsmIndex:
+      return std::make_unique<PsmMiner>(hierarchy, params, /*use_index=*/true);
+  }
+  throw std::invalid_argument("MakeLocalMiner: unknown miner kind");
+}
+
+MinerKind ParseMinerKind(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "naive") return MinerKind::kNaive;
+  if (lower == "bfs") return MinerKind::kBfs;
+  if (lower == "dfs") return MinerKind::kDfs;
+  if (lower == "psm") return MinerKind::kPsm;
+  if (lower == "psm+index" || lower == "psmindex") return MinerKind::kPsmIndex;
+  throw std::invalid_argument("ParseMinerKind: unknown miner '" + name + "'");
+}
+
+}  // namespace lash

@@ -1,0 +1,69 @@
+#ifndef LASH_MINER_MINER_H_
+#define LASH_MINER_MINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "core/hierarchy.h"
+#include "core/params.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace lash {
+
+/// Search-space accounting for Fig. 4(d): how many candidate sequences a
+/// local miner evaluated (frequency-tested) versus how many it output.
+struct MinerStats {
+  uint64_t candidates = 0;  ///< Patterns whose support was evaluated.
+  uint64_t outputs = 0;     ///< Frequent pivot sequences emitted.
+
+  /// Candidates generated per output sequence (Fig. 4(d) y-axis).
+  double CandidatesPerOutput() const {
+    return outputs == 0 ? static_cast<double>(candidates)
+                        : static_cast<double>(candidates) /
+                              static_cast<double>(outputs);
+  }
+
+  void Merge(const MinerStats& other) {
+    candidates += other.candidates;
+    outputs += other.outputs;
+  }
+};
+
+/// Interface of the local (per-partition) GSM miners of Sec. 5.
+///
+/// A miner receives a w-generalized, aggregated partition P_w (every
+/// sequence has pivot p(T) = w; duplicates are merged with weights) and must
+/// return exactly G_{σ,γ,λ}(w, P_w): the frequent generalized sequences S
+/// with p(S) = w and 2 <= |S| <= λ, with their weighted frequencies.
+class LocalMiner {
+ public:
+  virtual ~LocalMiner() = default;
+
+  /// Mines `partition` for pivot `pivot`. If `stats` is non-null the miner
+  /// adds its search-space accounting to it.
+  virtual PatternMap Mine(const Partition& partition, ItemId pivot,
+                          MinerStats* stats) = 0;
+
+  /// Human-readable name ("BFS", "DFS", "PSM", "PSM+Index", "Naive").
+  virtual std::string name() const = 0;
+};
+
+/// Identifies a local mining algorithm; used to configure LASH runs and
+/// benchmark series.
+enum class MinerKind { kNaive, kBfs, kDfs, kPsm, kPsmIndex };
+
+/// Factory. The returned miner borrows `hierarchy` (must outlive it).
+std::unique_ptr<LocalMiner> MakeLocalMiner(MinerKind kind,
+                                           const Hierarchy* hierarchy,
+                                           const GsmParams& params);
+
+/// Parses "naive", "bfs", "dfs", "psm", "psm+index" (case-insensitive);
+/// throws std::invalid_argument otherwise.
+MinerKind ParseMinerKind(const std::string& name);
+
+}  // namespace lash
+
+#endif  // LASH_MINER_MINER_H_

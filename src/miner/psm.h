@@ -1,0 +1,45 @@
+#ifndef LASH_MINER_PSM_H_
+#define LASH_MINER_PSM_H_
+
+#include "miner/miner.h"
+
+namespace lash {
+
+/// PSM — the pivot sequence miner (Sec. 5.2, Alg. 2).
+///
+/// PSM enumerates *only* pivot sequences: it starts from the pivot item and
+/// expands right and left. Every pivot sequence S has a unique decomposition
+/// S = Sl·w·Sr with w ∉ Sr; PSM generates it by left-expanding w to Sl·w and
+/// then right-expanding to Sl·w·Sr. Hence:
+///   * right expansions never add the pivot (Alg. 2 line 11), and
+///   * a sequence produced by a right expansion is never left-expanded,
+/// which guarantees each pivot sequence is enumerated exactly once.
+///
+/// Embeddings are tracked as (start, end) position pairs per supporting
+/// transaction so that both expansion directions are cheap.
+///
+/// With `use_index = true` (PSM+Index), each left-node Sl·w memoizes, per
+/// right-expansion depth d, the union R of frequent expansion items observed
+/// anywhere in its right-expansion subtree at that depth. A left child
+/// x·Sl·w restricts its depth-d right expansions to its parent's R: if Sw'
+/// is infrequent then x·S·w' is infrequent (Lemma 1). Pruned items are never
+/// support-tested (and not counted as candidates), and an empty R skips the
+/// scan entirely.
+class PsmMiner : public LocalMiner {
+ public:
+  PsmMiner(const Hierarchy* hierarchy, const GsmParams& params, bool use_index);
+
+  PatternMap Mine(const Partition& partition, ItemId pivot,
+                  MinerStats* stats) override;
+
+  std::string name() const override { return use_index_ ? "PSM+Index" : "PSM"; }
+
+ private:
+  const Hierarchy* hierarchy_;
+  GsmParams params_;
+  bool use_index_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_MINER_PSM_H_

@@ -1,0 +1,87 @@
+#include "stats/filters.h"
+
+#include <algorithm>
+
+namespace lash {
+
+namespace {
+
+// Shared marking pass: for every output pattern P, visits each one-step
+// reduction R (end-item drop or single one-level generalization); if R is
+// in the output, P witnesses R ⊑0 P. `fn(R_iterator, P_frequency)` decides
+// what to record.
+template <typename Fn>
+void MarkOneStepReductions(const PatternMap& output, const Hierarchy& h,
+                           Fn fn) {
+  Sequence copy;
+  for (const auto& [p, freq] : output) {
+    if (p.size() >= 3) {
+      copy.assign(p.begin() + 1, p.end());
+      auto it = output.find(copy);
+      if (it != output.end()) fn(it, freq);
+      copy.assign(p.begin(), p.end() - 1);
+      it = output.find(copy);
+      if (it != output.end()) fn(it, freq);
+    }
+    copy = p;
+    for (size_t i = 0; i < p.size(); ++i) {
+      ItemId parent = h.Parent(p[i]);
+      if (parent == kInvalidItem) continue;
+      copy[i] = parent;
+      auto it = output.find(copy);
+      if (it != output.end()) fn(it, freq);
+      copy[i] = p[i];
+    }
+  }
+}
+
+}  // namespace
+
+SequenceSet NonMaximalPatterns(const PatternMap& output, const Hierarchy& h) {
+  SequenceSet marked;
+  MarkOneStepReductions(output, h, [&](PatternMap::const_iterator it,
+                                       Frequency) { marked.insert(it->first); });
+  return marked;
+}
+
+SequenceSet NonClosedPatterns(const PatternMap& output, const Hierarchy& h) {
+  SequenceSet marked;
+  MarkOneStepReductions(output, h,
+                        [&](PatternMap::const_iterator it, Frequency freq) {
+                          if (it->second == freq) marked.insert(it->first);
+                        });
+  return marked;
+}
+
+PatternMap FilterMaximal(const PatternMap& output, const Hierarchy& h) {
+  SequenceSet non_maximal = NonMaximalPatterns(output, h);
+  PatternMap filtered;
+  for (const auto& [s, freq] : output) {
+    if (!non_maximal.contains(s)) filtered.emplace(s, freq);
+  }
+  return filtered;
+}
+
+PatternMap FilterClosed(const PatternMap& output, const Hierarchy& h) {
+  SequenceSet non_closed = NonClosedPatterns(output, h);
+  PatternMap filtered;
+  for (const auto& [s, freq] : output) {
+    if (!non_closed.contains(s)) filtered.emplace(s, freq);
+  }
+  return filtered;
+}
+
+std::vector<std::pair<Sequence, Frequency>> TopK(const PatternMap& output,
+                                                 size_t k) {
+  std::vector<std::pair<Sequence, Frequency>> all(output.begin(), output.end());
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace lash

@@ -1,0 +1,43 @@
+#ifndef LASH_STATS_FILTERS_H_
+#define LASH_STATS_FILTERS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "util/hash.h"
+
+namespace lash {
+
+/// Redundancy filters over a *complete* GSM output (every frequent pattern
+/// of admissible length present — which LASH guarantees).
+///
+/// Sec. 6.7 of the paper measures closed/maximal fractions and names direct
+/// mining of closed/maximal generalized sequences as future work; these
+/// post-processing filters realize that output reduction exactly. Both run
+/// in O(|output| * λ) via the one-step-neighbour marking argument (each
+/// witness S' ⊒0 S is reachable through frequent one-step intermediates,
+/// all of which are in the output by Lemma 1).
+
+/// Marks every pattern with a frequent supersequence (S ⊑0 S', S' in the
+/// output, S' != S).
+SequenceSet NonMaximalPatterns(const PatternMap& output, const Hierarchy& h);
+
+/// Marks every pattern with an *equal-frequency* frequent supersequence.
+SequenceSet NonClosedPatterns(const PatternMap& output, const Hierarchy& h);
+
+/// Keeps only maximal patterns.
+PatternMap FilterMaximal(const PatternMap& output, const Hierarchy& h);
+
+/// Keeps only closed patterns.
+PatternMap FilterClosed(const PatternMap& output, const Hierarchy& h);
+
+/// The `k` most frequent patterns (ties broken lexicographically for
+/// determinism), as (sequence, frequency) pairs in descending frequency.
+std::vector<std::pair<Sequence, Frequency>> TopK(const PatternMap& output,
+                                                 size_t k);
+
+}  // namespace lash
+
+#endif  // LASH_STATS_FILTERS_H_

@@ -1,0 +1,74 @@
+#include "stats/output_stats.h"
+
+#include <deque>
+#include <stdexcept>
+
+#include "stats/filters.h"
+
+namespace lash {
+
+OutputStatsResult ComputeOutputStats(const PatternMap& gsm_output,
+                                     const PatternMap& flat_output,
+                                     const Hierarchy& h) {
+  OutputStatsResult result;
+  result.total = gsm_output.size();
+  if (gsm_output.empty()) return result;
+
+  // Maximal / closed via the shared one-step marking pass (stats/filters.h).
+  SequenceSet non_maximal = NonMaximalPatterns(gsm_output, h);
+  SequenceSet non_closed = NonClosedPatterns(gsm_output, h);
+
+  // Trivial: closure of the flat output under one-step generalization.
+  // Every closure element is frequent (Lemma 1), hence in gsm_output; we
+  // intersect defensively anyway.
+  SequenceSet trivial;
+  std::deque<Sequence> frontier;
+  for (const auto& [s, freq] : flat_output) {
+    if (gsm_output.contains(s) && trivial.insert(s).second) {
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    Sequence s = std::move(frontier.front());
+    frontier.pop_front();
+    Sequence copy = s;
+    for (size_t i = 0; i < s.size(); ++i) {
+      ItemId parent = h.Parent(s[i]);
+      if (parent == kInvalidItem) continue;
+      copy[i] = parent;
+      if (gsm_output.contains(copy) && trivial.insert(copy).second) {
+        frontier.push_back(copy);
+      }
+      copy[i] = s[i];
+    }
+  }
+
+  const double total = static_cast<double>(result.total);
+  result.maximal_pct =
+      100.0 * static_cast<double>(result.total - non_maximal.size()) / total;
+  result.closed_pct =
+      100.0 * static_cast<double>(result.total - non_closed.size()) / total;
+  result.nontrivial_pct =
+      100.0 * static_cast<double>(result.total - trivial.size()) / total;
+  return result;
+}
+
+PatternMap RemapPatterns(const PatternMap& patterns,
+                         const std::vector<ItemId>& id_map) {
+  PatternMap out;
+  out.reserve(patterns.size());
+  for (const auto& [s, freq] : patterns) {
+    Sequence mapped;
+    mapped.reserve(s.size());
+    for (ItemId w : s) {
+      if (w >= id_map.size() || id_map[w] == kInvalidItem) {
+        throw std::invalid_argument("RemapPatterns: unmapped item id");
+      }
+      mapped.push_back(id_map[w]);
+    }
+    out.emplace(std::move(mapped), freq);
+  }
+  return out;
+}
+
+}  // namespace lash

@@ -1,0 +1,53 @@
+#ifndef LASH_STATS_OUTPUT_STATS_H_
+#define LASH_STATS_OUTPUT_STATS_H_
+
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace lash {
+
+/// Output statistics in the format of Table 3 (Sec. 6.7).
+struct OutputStatsResult {
+  size_t total = 0;            ///< Number of mined generalized sequences.
+  double nontrivial_pct = 0;   ///< % not derivable from flat mining output.
+  double closed_pct = 0;       ///< % with no equal-frequency supersequence.
+  double maximal_pct = 0;      ///< % with no frequent supersequence.
+};
+
+/// Computes Table-3 statistics for a GSM output.
+///
+/// Definitions (Sec. 6.7): a frequent sequence S is *maximal* if every
+/// supersequence S' ⊒0 S is infrequent, and *closed* if every supersequence
+/// has a different frequency. S is *trivial* if it can be generated from the
+/// output of a standard (hierarchy-ignoring) sequence miner by generalizing
+/// items.
+///
+/// Both pattern maps must use the same item-id space. `flat_output` is the
+/// result of mining the same database with the same (σ, γ, λ) but a flat
+/// hierarchy. As in the paper, closedness/maximality are evaluated within
+/// the mined set (length-λ boundary effects are shared with the paper).
+///
+/// Implementation: S ⊑0 S' holds iff S matches a *contiguous* window of S'
+/// with itemwise generalization, so every witness is reachable through
+/// one-step neighbours (drop an end item / generalize one item one level),
+/// all of which are frequent by Lemma 1 and hence present in the output.
+/// One marking pass over the output therefore suffices; the trivial set is
+/// the closure of the flat output under one-step generalization (every
+/// element of which is frequent, hence also in the output).
+OutputStatsResult ComputeOutputStats(const PatternMap& gsm_output,
+                                     const PatternMap& flat_output,
+                                     const Hierarchy& h);
+
+/// Remaps the item ids of every pattern via `id_map` (old id -> new id);
+/// used to translate between the rank spaces of different preprocessing
+/// runs (e.g. flat vs hierarchical). Throws std::invalid_argument if a
+/// pattern contains an id without a mapping.
+PatternMap RemapPatterns(const PatternMap& patterns,
+                         const std::vector<ItemId>& id_map);
+
+}  // namespace lash
+
+#endif  // LASH_STATS_OUTPUT_STATS_H_

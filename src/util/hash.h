@@ -1,0 +1,46 @@
+#ifndef LASH_UTIL_HASH_H_
+#define LASH_UTIL_HASH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace lash {
+
+/// FNV-1a hash over the items of a sequence; used for pattern hash maps.
+struct SequenceHash {
+  size_t operator()(const Sequence& seq) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (ItemId w : seq) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Mined patterns with their frequencies (document counts).
+using PatternMap = std::unordered_map<Sequence, Frequency, SequenceHash>;
+
+/// A deduplicated set of sequences (e.g. the per-transaction pattern sets of
+/// the naive enumerator, Sec. 3.2).
+using SequenceSet = std::unordered_set<Sequence, SequenceHash>;
+
+/// Deterministically ordered (lexicographic) view of a PatternMap, used for
+/// comparisons in tests and for stable output files.
+inline std::vector<std::pair<Sequence, Frequency>> SortedPatterns(
+    const PatternMap& patterns) {
+  std::vector<std::pair<Sequence, Frequency>> out(patterns.begin(),
+                                                  patterns.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lash
+
+#endif  // LASH_UTIL_HASH_H_

@@ -1,0 +1,69 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lash {
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 initialization so that nearby seeds give unrelated streams.
+  auto splitmix = [](uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  state0_ = splitmix(&x);
+  state1_ = splitmix(&x);
+  if (state0_ == 0 && state1_ == 0) state0_ = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t s1 = state0_;
+  const uint64_t s0 = state1_;
+  const uint64_t result = s0 + s1;
+  state0_ = s0;
+  s1 ^= s1 << 23;
+  state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::Uniform: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (s < 0) throw std::invalid_argument("ZipfSampler: s must be >= 0");
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (size_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;  // Guard against floating-point round-off.
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace lash

@@ -1,0 +1,54 @@
+#ifndef LASH_UTIL_THREAD_POOL_H_
+#define LASH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lash {
+
+/// A fixed-size worker pool used by the MapReduce substrate to execute map
+/// and reduce tasks concurrently.
+///
+/// Tasks are `void()` closures. `Wait()` blocks until every submitted task
+/// has finished; the pool can then be reused for the next phase. Exceptions
+/// escaping a task terminate the process (tasks are expected to handle their
+/// own failures), mirroring how a Hadoop task failure kills the attempt.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains pending work and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,33 @@
+#ifndef LASH_UTIL_TIMER_H_
+#define LASH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace lash {
+
+/// Wall-clock stopwatch used for the per-phase timings the paper reports
+/// (map / shuffle / reduce elapsed times, Sec. 6.1 "Measures").
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or the last Restart.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_UTIL_TIMER_H_

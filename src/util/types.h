@@ -1,0 +1,40 @@
+#ifndef LASH_UTIL_TYPES_H_
+#define LASH_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lash {
+
+/// Identifier of a vocabulary item after rank recoding.
+///
+/// Items are recoded to ranks `1, 2, ...` in the hierarchy-aware total order
+/// `<` of the paper (Sec. 3.4): smaller rank means more frequent (ties broken
+/// toward more general items). Rank comparisons therefore implement the
+/// paper's item order directly: `u < v` iff `rank(u) < rank(v)`.
+using ItemId = uint32_t;
+
+/// Reserved invalid item id (rank 0 is never assigned to a real item).
+inline constexpr ItemId kInvalidItem = 0;
+
+/// The blank placeholder symbol written by w-generalization (Sec. 4.2).
+///
+/// The paper defines the blank `_` to be larger than every item, which the
+/// all-ones encoding satisfies under unsigned comparison.
+inline constexpr ItemId kBlank = std::numeric_limits<ItemId>::max();
+
+/// Returns true iff `w` is a real item (neither invalid nor a blank).
+inline constexpr bool IsItem(ItemId w) {
+  return w != kInvalidItem && w != kBlank;
+}
+
+/// A sequence of items; transactions and patterns share this representation.
+using Sequence = std::vector<ItemId>;
+
+/// Support / frequency counts (document frequencies).
+using Frequency = uint64_t;
+
+}  // namespace lash
+
+#endif  // LASH_UTIL_TYPES_H_

@@ -1,0 +1,146 @@
+#include "util/varint.h"
+
+namespace lash {
+
+void PutVarint32(std::string* out, uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint32(const std::string& data, size_t* pos, uint32_t* value) {
+  uint32_t result = 0;
+  for (int shift = 0; shift <= 28; shift += 7) {
+    if (*pos >= data.size()) return false;
+    uint8_t byte = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    result |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint64(const std::string& data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (*pos >= data.size()) return false;
+    uint8_t byte = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Varint32Size(uint32_t value) {
+  size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+size_t Varint64Size(uint64_t value) {
+  size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+void EncodeSequence(std::string* out, const Sequence& seq) {
+  PutVarint32(out, static_cast<uint32_t>(seq.size()));
+  for (ItemId w : seq) PutVarint32(out, w);
+}
+
+bool DecodeSequence(const std::string& data, size_t* pos, Sequence* seq) {
+  uint32_t length = 0;
+  if (!GetVarint32(data, pos, &length)) return false;
+  seq->clear();
+  seq->reserve(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    uint32_t item = 0;
+    if (!GetVarint32(data, pos, &item)) return false;
+    seq->push_back(item);
+  }
+  return true;
+}
+
+size_t EncodedSequenceSize(const Sequence& seq) {
+  size_t size = Varint32Size(static_cast<uint32_t>(seq.size()));
+  for (ItemId w : seq) size += Varint32Size(w);
+  return size;
+}
+
+void EncodeRewrittenSequence(std::string* out, const Sequence& seq) {
+  PutVarint32(out, static_cast<uint32_t>(seq.size()));
+  for (size_t i = 0; i < seq.size();) {
+    if (seq[i] == kBlank) {
+      size_t run = 0;
+      while (i + run < seq.size() && seq[i + run] == kBlank) ++run;
+      PutVarint32(out, 0);
+      PutVarint32(out, static_cast<uint32_t>(run));
+      i += run;
+    } else {
+      PutVarint32(out, seq[i] + 1);
+      ++i;
+    }
+  }
+}
+
+bool DecodeRewrittenSequence(const std::string& data, size_t* pos,
+                             Sequence* seq) {
+  uint32_t length = 0;
+  if (!GetVarint32(data, pos, &length)) return false;
+  seq->clear();
+  seq->reserve(length);
+  while (seq->size() < length) {
+    uint32_t token = 0;
+    if (!GetVarint32(data, pos, &token)) return false;
+    if (token == 0) {
+      uint32_t run = 0;
+      if (!GetVarint32(data, pos, &run)) return false;
+      if (seq->size() + run > length) return false;
+      seq->insert(seq->end(), run, kBlank);
+    } else {
+      seq->push_back(token - 1);
+    }
+  }
+  return true;
+}
+
+size_t EncodedRewrittenSequenceSize(const Sequence& seq) {
+  size_t size = Varint32Size(static_cast<uint32_t>(seq.size()));
+  for (size_t i = 0; i < seq.size();) {
+    if (seq[i] == kBlank) {
+      size_t run = 0;
+      while (i + run < seq.size() && seq[i + run] == kBlank) ++run;
+      size += 1 + Varint32Size(static_cast<uint32_t>(run));
+      i += run;
+    } else {
+      size += Varint32Size(seq[i] + 1);
+      ++i;
+    }
+  }
+  return size;
+}
+
+}  // namespace lash

@@ -1,0 +1,62 @@
+#ifndef LASH_UTIL_VARINT_H_
+#define LASH_UTIL_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace lash {
+
+/// Appends `value` to `out` using LEB128 variable-length encoding.
+///
+/// The paper compresses data transmitted between the map and reduce phases
+/// with variable-length integer encoding (Sec. 6.1); we use the same scheme
+/// both for the MAP_OUTPUT_BYTES counter and for on-disk pattern files.
+void PutVarint32(std::string* out, uint32_t value);
+
+/// 64-bit variant of PutVarint32.
+void PutVarint64(std::string* out, uint64_t value);
+
+/// Decodes a varint32 from `data` at `*pos`, advancing `*pos` past it.
+/// Returns false on truncated or malformed input.
+bool GetVarint32(const std::string& data, size_t* pos, uint32_t* value);
+
+/// 64-bit variant of GetVarint32.
+bool GetVarint64(const std::string& data, size_t* pos, uint64_t* value);
+
+/// Returns the number of bytes PutVarint32 would write for `value`.
+size_t Varint32Size(uint32_t value);
+
+/// Returns the number of bytes PutVarint64 would write for `value`.
+size_t Varint64Size(uint64_t value);
+
+/// Serializes a sequence as `<length><item>*`, all varint-encoded.
+void EncodeSequence(std::string* out, const Sequence& seq);
+
+/// Inverse of EncodeSequence. Returns false on malformed input.
+bool DecodeSequence(const std::string& data, size_t* pos, Sequence* seq);
+
+/// Returns the serialized size of `seq` under EncodeSequence.
+size_t EncodedSequenceSize(const Sequence& seq);
+
+/// Serializes a rewritten (possibly blank-containing) sequence compactly:
+/// item ids are varint-encoded shifted by one, and a run of blanks is stored
+/// as a 0 marker followed by the run length. This realizes the paper's
+/// observation (Sec. 4.2) that blanks and small generalized ids are cheap to
+/// represent, which is what makes w-generalization pay off in
+/// MAP_OUTPUT_BYTES even when it does not shorten the sequence.
+void EncodeRewrittenSequence(std::string* out, const Sequence& seq);
+
+/// Inverse of EncodeRewrittenSequence. Returns false on malformed input.
+bool DecodeRewrittenSequence(const std::string& data, size_t* pos,
+                             Sequence* seq);
+
+/// Returns the serialized size of `seq` under EncodeRewrittenSequence.
+size_t EncodedRewrittenSequenceSize(const Sequence& seq);
+
+}  // namespace lash
+
+#endif  // LASH_UTIL_VARINT_H_

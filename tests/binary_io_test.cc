@@ -1,0 +1,75 @@
+#include "io/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+TEST(BinaryIoTest, DatabaseRoundTrip) {
+  testing::PaperExample ex;
+  std::stringstream buffer;
+  WriteDatabaseBinary(buffer, ex.pre.database);
+  Database decoded = ReadDatabaseBinary(buffer);
+  EXPECT_EQ(decoded, ex.pre.database);
+}
+
+TEST(BinaryIoTest, EmptyDatabaseRoundTrip) {
+  std::stringstream buffer;
+  WriteDatabaseBinary(buffer, {});
+  EXPECT_TRUE(ReadDatabaseBinary(buffer).empty());
+}
+
+TEST(BinaryIoTest, HierarchyRoundTrip) {
+  testing::PaperExample ex;
+  std::stringstream buffer;
+  WriteHierarchyBinary(buffer, ex.pre.hierarchy);
+  Hierarchy decoded = ReadHierarchyBinary(buffer);
+  ASSERT_EQ(decoded.NumItems(), ex.pre.hierarchy.NumItems());
+  for (ItemId w = 1; w <= decoded.NumItems(); ++w) {
+    EXPECT_EQ(decoded.Parent(w), ex.pre.hierarchy.Parent(w));
+  }
+}
+
+TEST(BinaryIoTest, PatternsRoundTrip) {
+  testing::PaperExample ex;
+  PatternMap patterns = ex.ExpectedOutput();
+  std::stringstream buffer;
+  WritePatternsBinary(buffer, patterns);
+  PatternMap decoded = ReadPatternsBinary(buffer);
+  EXPECT_EQ(testing::Sorted(decoded), testing::Sorted(patterns));
+}
+
+TEST(BinaryIoTest, RejectsWrongMagic) {
+  std::stringstream buffer;
+  WriteDatabaseBinary(buffer, {{1, 2}});
+  EXPECT_THROW(ReadHierarchyBinary(buffer), std::runtime_error);
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  std::stringstream buffer;
+  WriteDatabaseBinary(buffer, {{1, 2, 3}, {4, 5}});
+  std::string data = buffer.str();
+  for (size_t cut : {data.size() - 1, data.size() / 2, size_t{1}}) {
+    std::stringstream truncated(data.substr(0, cut));
+    EXPECT_THROW(ReadDatabaseBinary(truncated), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(BinaryIoTest, RandomRoundTrips) {
+  Rng rng(1999);
+  for (int trial = 0; trial < 20; ++trial) {
+    Database db =
+        testing::RandomDatabase(1 + rng.Uniform(20), 10, 50, &rng);
+    std::stringstream buffer;
+    WriteDatabaseBinary(buffer, db);
+    EXPECT_EQ(ReadDatabaseBinary(buffer), db);
+  }
+}
+
+}  // namespace
+}  // namespace lash

@@ -1,0 +1,175 @@
+#include "dag/dag_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/dag_hierarchy.h"
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+// Diamond: 4 has parents {2, 3}; 2 and 3 have parent 1.
+DagHierarchy Diamond() {
+  return DagHierarchy({{}, {}, {1}, {1}, {2, 3}});
+}
+
+TEST(DagHierarchyTest, DiamondClosure) {
+  DagHierarchy dag = Diamond();
+  EXPECT_TRUE(dag.GeneralizesTo(4, 2));
+  EXPECT_TRUE(dag.GeneralizesTo(4, 3));
+  EXPECT_TRUE(dag.GeneralizesTo(4, 1));
+  EXPECT_TRUE(dag.GeneralizesTo(4, 4));
+  EXPECT_FALSE(dag.GeneralizesTo(2, 3));
+  EXPECT_FALSE(dag.GeneralizesTo(1, 4));
+  // Closure of 4 = {4, 2, 3, 1} with 1 listed once despite two paths.
+  EXPECT_EQ(dag.AncestorsOrSelf(4).size(), 4u);
+}
+
+TEST(DagHierarchyTest, DepthIsLongestPath) {
+  // 1 <- 2 <- 3, and 3 also directly under 1: depth(3) = 2.
+  DagHierarchy dag({{}, {}, {1}, {1, 2}});
+  EXPECT_EQ(dag.Depth(3), 2);
+  EXPECT_EQ(dag.MaxDepth(), 2);
+}
+
+TEST(DagHierarchyTest, RejectsCycle) {
+  EXPECT_THROW(DagHierarchy({{}, {2}, {1}}), std::invalid_argument);
+  EXPECT_THROW(DagHierarchy({{}, {1}}), std::invalid_argument);
+  EXPECT_THROW(DagHierarchy({{}, {7}}), std::invalid_argument);
+}
+
+TEST(DagHierarchyTest, LeavesAndRoots) {
+  DagHierarchy dag = Diamond();
+  EXPECT_TRUE(dag.IsRoot(1));
+  EXPECT_FALSE(dag.IsRoot(4));
+  EXPECT_TRUE(dag.IsLeaf(4));
+  EXPECT_FALSE(dag.IsLeaf(2));
+  EXPECT_TRUE(dag.IsRankMonotone());
+}
+
+TEST(DagMatchTest, MatchesThroughEitherParent) {
+  DagHierarchy dag = Diamond();
+  Sequence t = {4, 4};
+  EXPECT_TRUE(DagMatches({2, 3}, t, dag, 0));
+  EXPECT_TRUE(DagMatches({3, 2}, t, dag, 0));
+  EXPECT_TRUE(DagMatches({1, 4}, t, dag, 0));
+  EXPECT_FALSE(DagMatches({2, 2}, {4}, dag, 0));
+}
+
+TEST(DagMineTest, DiamondPatterns) {
+  DagHierarchy dag = Diamond();
+  // Item 4 generalizes to both 2 and 3; sequences of two 4's should make
+  // every combination frequent.
+  Database db = {{4, 4}, {4, 4}};
+  GsmParams params{.sigma = 2, .gamma = 0, .lambda = 2};
+  DagPreprocessResult pre = DagPreprocess(db, dag);
+  PatternMap mined = MineDag(pre, params);
+  PatternMap expected = MineDagByEnumeration(pre.database, pre.hierarchy, params);
+  EXPECT_EQ(testing::Sorted(mined), testing::Sorted(expected));
+  // 4 items generalize to 4 choices each position: 16 patterns.
+  EXPECT_EQ(mined.size(), 16u);
+}
+
+TEST(DagMineTest, MultiParentFrequenciesAccumulate) {
+  // Item 3 has parents 1 and 2 (both roots). Transactions with 3 support
+  // patterns through both parents.
+  DagHierarchy dag({{}, {}, {}, {1, 2}});
+  Database db = {{3, 3}, {3, 3}, {1, 2}};
+  GsmParams params{.sigma = 2, .gamma = 0, .lambda = 2};
+  DagPreprocessResult pre = DagPreprocess(db, dag);
+  PatternMap mined = MineDag(pre, params);
+  // "1 2" occurs via specialization (3,3) in two transactions and literally
+  // in the third.
+  ItemId r1 = pre.rank_of_raw[1], r2 = pre.rank_of_raw[2];
+  ASSERT_TRUE(mined.contains(Sequence{r1, r2}));
+  EXPECT_EQ(mined.at(Sequence{r1, r2}), 3u);
+}
+
+TEST(DagPreprocessTest, GeneralizedFrequenciesCountClosure) {
+  DagHierarchy dag = Diamond();
+  Database db = {{4}, {2}, {3}};
+  std::vector<Frequency> freq = DagGeneralizedFrequencies(db, dag);
+  EXPECT_EQ(freq[1], 3u);  // All three transactions reach 1.
+  EXPECT_EQ(freq[2], 2u);  // {4}, {2}.
+  EXPECT_EQ(freq[3], 2u);
+  EXPECT_EQ(freq[4], 1u);
+}
+
+TEST(DagPreprocessTest, RankMonotoneAfterRecode) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 3 + rng.Uniform(8);
+    std::vector<std::vector<ItemId>> parents(n + 1);
+    for (ItemId w = 2; w <= n; ++w) {
+      size_t count = rng.Uniform(3);
+      for (size_t k = 0; k < count; ++k) {
+        ItemId p = static_cast<ItemId>(1 + rng.Uniform(w - 1));
+        parents[w].push_back(p);
+      }
+    }
+    DagHierarchy dag(parents);
+    Database db = testing::RandomDatabase(10, 6, n, &rng);
+    DagPreprocessResult pre = DagPreprocess(db, dag);
+    EXPECT_TRUE(pre.hierarchy.IsRankMonotone());
+    for (size_t r = 2; r < pre.freq.size(); ++r) {
+      EXPECT_LE(pre.freq[r], pre.freq[r - 1]);
+    }
+  }
+}
+
+// The central property: the full DAG pipeline (preprocess + sound rewrites
+// + DAG-PSM per pivot) agrees with brute-force enumeration.
+class DagAgreementTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(DagAgreementTest, PipelineAgreesWithEnumeration) {
+  const auto [gamma, lambda] = GetParam();
+  GsmParams params{.sigma = 2, .gamma = gamma, .lambda = lambda};
+  Rng rng(616 + gamma * 31 + lambda);
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t n = 3 + rng.Uniform(7);
+    std::vector<std::vector<ItemId>> parents(n + 1);
+    for (ItemId w = 2; w <= n; ++w) {
+      size_t count = rng.Uniform(3);
+      for (size_t k = 0; k < count; ++k) {
+        ItemId p = static_cast<ItemId>(1 + rng.Uniform(w - 1));
+        if (std::find(parents[w].begin(), parents[w].end(), p) ==
+            parents[w].end()) {
+          parents[w].push_back(p);
+        }
+      }
+    }
+    DagHierarchy dag(parents);
+    Database db = testing::RandomDatabase(12, 8, n, &rng);
+    DagPreprocessResult pre = DagPreprocess(db, dag);
+    PatternMap expected =
+        MineDagByEnumeration(pre.database, pre.hierarchy, params);
+    PatternMap mined = MineDag(pre, params);
+    ASSERT_EQ(testing::Sorted(mined), testing::Sorted(expected))
+        << "trial " << trial << " gamma " << gamma << " lambda " << lambda;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DagAgreementTest,
+                         ::testing::Combine(::testing::Values(0u, 1u, 2u),
+                                            ::testing::Values(2u, 3u, 4u)));
+
+TEST(DagMineTest, TreeDagMatchesTreePipeline) {
+  // A DAG where every item has at most one parent must reproduce the tree
+  // pipeline's output exactly (same rank space: both recode by frequency).
+  testing::PaperExample ex;
+  std::vector<std::vector<ItemId>> parents(ex.raw_hierarchy.NumItems() + 1);
+  for (ItemId w = 1; w <= ex.raw_hierarchy.NumItems(); ++w) {
+    if (ex.raw_hierarchy.Parent(w) != kInvalidItem) {
+      parents[w].push_back(ex.raw_hierarchy.Parent(w));
+    }
+  }
+  DagHierarchy dag(parents);
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  DagPreprocessResult pre = DagPreprocess(ex.raw_db, dag);
+  PatternMap mined = MineDag(pre, params);
+  EXPECT_EQ(testing::Sorted(mined), testing::Sorted(ex.ExpectedOutput()));
+}
+
+}  // namespace
+}  // namespace lash

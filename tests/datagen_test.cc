@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/flist.h"
+#include "datagen/product_gen.h"
+#include "datagen/text_gen.h"
+
+namespace lash {
+namespace {
+
+TextGenConfig SmallTextConfig(TextHierarchy kind) {
+  TextGenConfig config;
+  config.num_sentences = 500;
+  config.num_lemmas = 300;
+  config.hierarchy = kind;
+  return config;
+}
+
+TEST(TextGenTest, BasicShape) {
+  GeneratedText data = GenerateText(SmallTextConfig(TextHierarchy::kCLP));
+  EXPECT_EQ(data.database.size(), 500u);
+  DatasetStats stats = ComputeStats(data.database);
+  EXPECT_GT(stats.avg_length, 10.0);
+  EXPECT_LT(stats.avg_length, 40.0);
+  EXPECT_GT(stats.unique_items, 100u);
+}
+
+TEST(TextGenTest, HierarchyLevels) {
+  EXPECT_EQ(GenerateText(SmallTextConfig(TextHierarchy::kL)).hierarchy.NumLevels(), 2);
+  EXPECT_EQ(GenerateText(SmallTextConfig(TextHierarchy::kP)).hierarchy.NumLevels(), 2);
+  EXPECT_EQ(GenerateText(SmallTextConfig(TextHierarchy::kLP)).hierarchy.NumLevels(), 3);
+  EXPECT_EQ(GenerateText(SmallTextConfig(TextHierarchy::kCLP)).hierarchy.NumLevels(), 4);
+}
+
+TEST(TextGenTest, PHasFewRootsWithHugeFanout_LHasManyRoots) {
+  // The structural contrast driving Fig. 5(f) (Table 2): NYT-P has 22 roots
+  // and fan-out in the hundreds of thousands; NYT-L has millions of roots
+  // with fan-out ~2.7.
+  GeneratedText p = GenerateText(SmallTextConfig(TextHierarchy::kP));
+  GeneratedText l = GenerateText(SmallTextConfig(TextHierarchy::kL));
+  EXPECT_LE(p.hierarchy.NumRoots(), 22u);
+  EXPECT_GT(l.hierarchy.NumRoots(), 100u);
+  EXPECT_GT(p.hierarchy.AvgFanOut(), l.hierarchy.AvgFanOut() * 5);
+}
+
+TEST(TextGenTest, SentencesIdenticalAcrossHierarchyVariants) {
+  // Fig. 5(f) compares hierarchies on the same data: token *names* must
+  // match position-for-position across variants.
+  GeneratedText clp = GenerateText(SmallTextConfig(TextHierarchy::kCLP));
+  GeneratedText p = GenerateText(SmallTextConfig(TextHierarchy::kP));
+  ASSERT_EQ(clp.database.size(), p.database.size());
+  for (size_t i = 0; i < clp.database.size(); ++i) {
+    ASSERT_EQ(clp.database[i].size(), p.database[i].size()) << "sentence " << i;
+    for (size_t j = 0; j < clp.database[i].size(); ++j) {
+      EXPECT_EQ(clp.vocabulary.Name(clp.database[i][j]),
+                p.vocabulary.Name(p.database[i][j]));
+    }
+  }
+}
+
+TEST(TextGenTest, Deterministic) {
+  GeneratedText a = GenerateText(SmallTextConfig(TextHierarchy::kCLP));
+  GeneratedText b = GenerateText(SmallTextConfig(TextHierarchy::kCLP));
+  EXPECT_EQ(a.database, b.database);
+}
+
+TEST(TextGenTest, ItemsOccurAtMultipleLevels) {
+  // Some tokens coincide with their lemma (intermediate items in the input),
+  // the key property the paper highlights for NYT (Sec. 6.1).
+  GeneratedText data = GenerateText(SmallTextConfig(TextHierarchy::kCLP));
+  size_t non_leaf_occurrences = 0;
+  for (const Sequence& t : data.database) {
+    for (ItemId w : t) {
+      if (!data.hierarchy.IsLeaf(w)) ++non_leaf_occurrences;
+    }
+  }
+  EXPECT_GT(non_leaf_occurrences, 0u);
+}
+
+TEST(TextGenTest, ZipfSkew) {
+  GeneratedText data = GenerateText(SmallTextConfig(TextHierarchy::kP));
+  std::vector<Frequency> freq =
+      GeneralizedItemFrequencies(data.database, data.hierarchy);
+  Frequency max_freq = *std::max_element(freq.begin(), freq.end());
+  // The top item should dominate: it appears in a large share of sentences.
+  EXPECT_GT(max_freq, data.database.size() / 4);
+}
+
+ProductGenConfig SmallProductConfig(int levels) {
+  ProductGenConfig config;
+  config.num_sessions = 800;
+  config.num_products = 500;
+  config.levels = levels;
+  return config;
+}
+
+TEST(ProductGenTest, BasicShape) {
+  GeneratedProducts data = GenerateProducts(SmallProductConfig(8));
+  EXPECT_EQ(data.database.size(), 800u);
+  DatasetStats stats = ComputeStats(data.database);
+  EXPECT_GT(stats.avg_length, 2.0);
+  EXPECT_LT(stats.avg_length, 10.0);
+}
+
+TEST(ProductGenTest, LevelsMatchConfig) {
+  for (int levels : {2, 3, 4, 8}) {
+    GeneratedProducts data = GenerateProducts(SmallProductConfig(levels));
+    EXPECT_EQ(data.hierarchy.NumLevels(), levels)
+        << ProductHierarchyName(levels);
+  }
+}
+
+TEST(ProductGenTest, IntermediatesGrowWithDepth) {
+  // Table 2: deeper AMZN hierarchies have more intermediate items.
+  size_t prev = 0;
+  for (int levels : {2, 3, 4, 8}) {
+    GeneratedProducts data = GenerateProducts(SmallProductConfig(levels));
+    size_t inter = data.hierarchy.NumIntermediate();
+    EXPECT_GE(inter, prev) << "levels " << levels;
+    prev = inter;
+  }
+}
+
+TEST(ProductGenTest, SessionsIdenticalAcrossDepthVariants) {
+  GeneratedProducts h2 = GenerateProducts(SmallProductConfig(2));
+  GeneratedProducts h8 = GenerateProducts(SmallProductConfig(8));
+  ASSERT_EQ(h2.database.size(), h8.database.size());
+  for (size_t i = 0; i < h2.database.size(); ++i) {
+    ASSERT_EQ(h2.database[i].size(), h8.database[i].size()) << "session " << i;
+    for (size_t j = 0; j < h2.database[i].size(); ++j) {
+      EXPECT_EQ(h2.vocabulary.Name(h2.database[i][j]),
+                h8.vocabulary.Name(h8.database[i][j]));
+    }
+  }
+}
+
+TEST(ProductGenTest, RejectsBadConfig) {
+  ProductGenConfig config = SmallProductConfig(1);
+  EXPECT_THROW(GenerateProducts(config), std::invalid_argument);
+}
+
+TEST(ProductGenTest, ProductsAreLeaves) {
+  GeneratedProducts data = GenerateProducts(SmallProductConfig(4));
+  for (const Sequence& t : data.database) {
+    for (ItemId w : t) {
+      EXPECT_TRUE(data.hierarchy.IsLeaf(w));
+      EXPECT_FALSE(data.hierarchy.IsRoot(w));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lash

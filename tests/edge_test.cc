@@ -1,0 +1,168 @@
+// Edge-case and failure-injection tests spanning modules: degenerate
+// databases, boundary parameters, deep hierarchies, and odd job
+// configurations. Complements the per-module suites.
+
+#include <gtest/gtest.h>
+
+#include "algo/lash.h"
+#include "algo/naive_gsm.h"
+#include "algo/sequential.h"
+#include "core/rewrite.h"
+#include "miner/enumerate.h"
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+JobConfig OddConfig(size_t maps, size_t reds) {
+  JobConfig config;
+  config.num_threads = 2;
+  config.num_map_tasks = maps;
+  config.num_reduce_tasks = reds;
+  return config;
+}
+
+TEST(EdgeTest, EmptyDatabase) {
+  Hierarchy h = Hierarchy::Flat(3);
+  PreprocessResult pre = Preprocess({}, h);
+  GsmParams params{.sigma = 1, .gamma = 0, .lambda = 2};
+  EXPECT_TRUE(RunLash(pre, params, OddConfig(4, 4)).patterns.empty());
+  EXPECT_TRUE(MineSequential(pre, params).empty());
+}
+
+TEST(EdgeTest, SingleItemSequencesYieldNothing) {
+  // Patterns need length >= 2; a database of singletons has none.
+  Hierarchy h = Hierarchy::Flat(2);
+  Database db = {{1}, {1}, {2}, {2}};
+  PreprocessResult pre = Preprocess(db, h);
+  GsmParams params{.sigma = 1, .gamma = 0, .lambda = 3};
+  EXPECT_TRUE(RunLash(pre, params, OddConfig(2, 2)).patterns.empty());
+}
+
+TEST(EdgeTest, SigmaOneCountsEverything) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 1, .gamma = 1, .lambda = 3};
+  PatternMap reference =
+      MineByEnumeration(ex.pre.database, ex.pre.hierarchy, params);
+  AlgoResult lash = RunLash(ex.pre, params, OddConfig(3, 5));
+  EXPECT_EQ(testing::Sorted(lash.patterns), testing::Sorted(reference));
+  EXPECT_GT(lash.patterns.size(), 10u);
+}
+
+TEST(EdgeTest, LambdaTwoMinimum) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 2};
+  PatternMap reference =
+      MineByEnumeration(ex.pre.database, ex.pre.hierarchy, params);
+  AlgoResult lash = RunLash(ex.pre, params, OddConfig(2, 2));
+  EXPECT_EQ(testing::Sorted(lash.patterns), testing::Sorted(reference));
+  for (const auto& [s, freq] : lash.patterns) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(EdgeTest, HugeGammaActsUnbounded) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1000, .lambda = 3};
+  PatternMap reference =
+      MineByEnumeration(ex.pre.database, ex.pre.hierarchy, params);
+  AlgoResult lash = RunLash(ex.pre, params, OddConfig(2, 2));
+  EXPECT_EQ(testing::Sorted(lash.patterns), testing::Sorted(reference));
+}
+
+TEST(EdgeTest, DeepChainHierarchy) {
+  // A 12-level chain: every item generalizes to the root; frequencies
+  // accumulate along the whole chain.
+  const size_t depth = 12;
+  std::vector<ItemId> parent(depth + 1);
+  parent[0] = kInvalidItem;
+  parent[1] = kInvalidItem;
+  for (size_t w = 2; w <= depth; ++w) parent[w] = static_cast<ItemId>(w - 1);
+  Hierarchy h{std::move(parent)};
+  Database db = {{static_cast<ItemId>(depth), static_cast<ItemId>(depth)},
+                 {static_cast<ItemId>(depth), static_cast<ItemId>(depth)}};
+  PreprocessResult pre = Preprocess(db, h);
+  GsmParams params{.sigma = 2, .gamma = 0, .lambda = 2};
+  AlgoResult lash = RunLash(pre, params, OddConfig(2, 2));
+  // Every pair of ancestors (depth^2 combinations) is frequent.
+  EXPECT_EQ(lash.patterns.size(), depth * depth);
+}
+
+TEST(EdgeTest, MoreReduceTasksThanPivots) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  AlgoResult lash = RunLash(ex.pre, params, OddConfig(1, 64));
+  EXPECT_EQ(testing::Sorted(lash.patterns),
+            testing::Sorted(ex.ExpectedOutput()));
+}
+
+TEST(EdgeTest, SingleMapSingleReduceTask) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  AlgoResult lash = RunLash(ex.pre, params, OddConfig(1, 1));
+  EXPECT_EQ(testing::Sorted(lash.patterns),
+            testing::Sorted(ex.ExpectedOutput()));
+  AlgoResult naive = RunNaiveGsm(ex.pre, params, OddConfig(1, 1));
+  EXPECT_EQ(testing::Sorted(naive.patterns),
+            testing::Sorted(ex.ExpectedOutput()));
+}
+
+TEST(EdgeTest, MoreMapTasksThanSequences) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  AlgoResult lash = RunLash(ex.pre, params, OddConfig(100, 4));
+  EXPECT_EQ(testing::Sorted(lash.patterns),
+            testing::Sorted(ex.ExpectedOutput()));
+}
+
+TEST(EdgeTest, RepeatedItemsWithinTransaction) {
+  // Document frequency: repeats inside one transaction count once.
+  Hierarchy h = Hierarchy::Flat(1);
+  Database db = {{1, 1, 1, 1, 1}, {1, 1}};
+  PreprocessResult pre = Preprocess(db, h);
+  GsmParams params{.sigma = 2, .gamma = 0, .lambda = 3};
+  AlgoResult lash = RunLash(pre, params, OddConfig(2, 2));
+  ASSERT_TRUE(lash.patterns.contains(Sequence{1, 1}));
+  EXPECT_EQ(lash.patterns.at(Sequence{1, 1}), 2u);
+}
+
+TEST(EdgeTest, ItemsNeverInDataRankLast) {
+  // Vocabulary items that never occur (directly or via descendants) get
+  // zero generalized frequency and must never become pivots.
+  Hierarchy h = Hierarchy::Flat(5);
+  Database db = {{1, 2}, {1, 2}};
+  PreprocessResult pre = Preprocess(db, h);
+  EXPECT_EQ(pre.NumFrequent(1), 2u);
+  EXPECT_EQ(pre.freq[5], 0u);
+  GsmParams params{.sigma = 1, .gamma = 0, .lambda = 2};
+  AlgoResult lash = RunLash(pre, params, OddConfig(2, 2));
+  EXPECT_EQ(lash.patterns.size(), 1u);
+}
+
+TEST(EdgeTest, RewriterOnAllIrrelevantSequence) {
+  Hierarchy h = Hierarchy::Flat(5);
+  Rewriter rewriter(&h, 1, 3);
+  // Pivot 1 does not occur: rewrite proves emptiness.
+  EXPECT_TRUE(rewriter.Rewrite({4, 5, 3}, 1).empty());
+}
+
+TEST(EdgeTest, RewriterPivotIsLargestItem) {
+  // Pivot = largest rank: everything is relevant, nothing is blanked.
+  Hierarchy h = Hierarchy::Flat(4);
+  Rewriter rewriter(&h, 1, 4);
+  Sequence t = {1, 4, 2, 3};
+  EXPECT_EQ(rewriter.Rewrite(t, 4), t);
+}
+
+TEST(EdgeTest, NaiveOnLongUniformSequence) {
+  // A single long sequence of one item: output is exactly the runs up to
+  // lambda, each with frequency 1 (sigma=1).
+  Hierarchy h = Hierarchy::Flat(1);
+  Database db = {Sequence(30, 1)};
+  PreprocessResult pre = Preprocess(db, h);
+  GsmParams params{.sigma = 1, .gamma = 2, .lambda = 4};
+  AlgoResult result = RunNaiveGsm(pre, params, OddConfig(2, 2));
+  // Patterns: 11, 111, 1111.
+  EXPECT_EQ(result.patterns.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lash

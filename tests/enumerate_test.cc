@@ -1,0 +1,116 @@
+#include "miner/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+class EnumeratePaperTest : public ::testing::Test {
+ protected:
+  testing::PaperExample ex_;
+};
+
+TEST_F(EnumeratePaperTest, G3OfT4) {
+  // Sec. 3.2: for T4 = b11 a e a, gamma=1, lambda=3, G3(T4) has 19 elements.
+  SequenceSet out;
+  EnumerateGeneralizedSubsequences(ex_.pre.database[3], ex_.pre.hierarchy,
+                                   /*gamma=*/1, /*lambda=*/3, &out);
+  EXPECT_EQ(out.size(), 19u);
+  // Spot-check a few members listed in the paper.
+  EXPECT_TRUE(out.contains(ex_.RankSeq({"b11", "a"})));
+  EXPECT_TRUE(out.contains(ex_.RankSeq({"b11", "a", "e"})));
+  EXPECT_TRUE(out.contains(ex_.RankSeq({"a", "e", "a"})));
+  EXPECT_TRUE(out.contains(ex_.RankSeq({"B", "e", "a"})));
+  EXPECT_TRUE(out.contains(ex_.RankSeq({"b1", "a", "a"})));
+  EXPECT_TRUE(out.contains(ex_.RankSeq({"a", "a"})));
+  // b11 e a would need a gap of 2 between e and... no: b11(1) e(3) gap 1,
+  // e(3) a(4) gap 0 — it IS in G3. But "b11 a a" needs positions 1,2,4 ✓.
+  EXPECT_TRUE(out.contains(ex_.RankSeq({"b11", "a", "a"})));
+  // Not contained: any sequence with two e's or wrong order.
+  EXPECT_FALSE(out.contains(ex_.RankSeq({"a", "b11"})));
+  EXPECT_FALSE(out.contains(ex_.RankSeq({"e", "e"})));
+}
+
+TEST_F(EnumeratePaperTest, PivotSequencesOfT1) {
+  // Eq. (3): G_{b1,2}(T1) = {ab1, b1a, b1b1, b1B, Bb1} for lambda=2.
+  SequenceSet out;
+  EnumeratePivotSequences(ex_.pre.database[0], ex_.pre.hierarchy, /*gamma=*/1,
+                          /*lambda=*/2, ex_.Rank("b1"), &out);
+  SequenceSet expected;
+  expected.insert(ex_.RankSeq({"a", "b1"}));
+  expected.insert(ex_.RankSeq({"b1", "a"}));
+  expected.insert(ex_.RankSeq({"b1", "b1"}));
+  expected.insert(ex_.RankSeq({"b1", "B"}));
+  expected.insert(ex_.RankSeq({"B", "b1"}));
+  EXPECT_EQ(out, expected);  // BB is excluded: its pivot is B, not b1.
+}
+
+TEST_F(EnumeratePaperTest, WEquivalencyExampleOfSection41) {
+  // G_{B,2}(T2) = G_{B,2}(a b3 c c b1) = {aB} = G_{B,2}(aB) (Sec. 4.1).
+  SequenceSet out_t2, out_alt, out_ab;
+  const Hierarchy& h = ex_.pre.hierarchy;
+  EnumeratePivotSequences(ex_.pre.database[1], h, 1, 2, ex_.Rank("B"), &out_t2);
+  EnumeratePivotSequences(ex_.RankSeq({"a", "b3", "c", "c", "b1"}), h, 1, 2,
+                          ex_.Rank("B"), &out_alt);
+  EnumeratePivotSequences(ex_.RankSeq({"a", "B"}), h, 1, 2, ex_.Rank("B"),
+                          &out_ab);
+  SequenceSet expected;
+  expected.insert(ex_.RankSeq({"a", "B"}));
+  EXPECT_EQ(out_t2, expected);
+  EXPECT_EQ(out_alt, expected);
+  EXPECT_EQ(out_ab, expected);
+}
+
+TEST_F(EnumeratePaperTest, MineByEnumerationReproducesSection2) {
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  PatternMap result =
+      MineByEnumeration(ex_.pre.database, ex_.pre.hierarchy, params);
+  EXPECT_EQ(testing::Sorted(result), testing::Sorted(ex_.ExpectedOutput()));
+}
+
+TEST(EnumerateTest, BlanksAreSkipped) {
+  Hierarchy h = Hierarchy::Flat(3);
+  SequenceSet out;
+  EnumerateGeneralizedSubsequences({1, kBlank, 2}, h, 1, 3, &out);
+  SequenceSet expected;
+  expected.insert({1, 2});  // Blank occupies a position but matches nothing.
+  EXPECT_EQ(out, expected);
+  out.clear();
+  EnumerateGeneralizedSubsequences({1, kBlank, 2}, h, 0, 3, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EnumerateTest, LengthBoundsRespected) {
+  Hierarchy h = Hierarchy::Flat(2);
+  SequenceSet out;
+  EnumerateGeneralizedSubsequences({1, 1, 1, 1}, h, 2, 3, &out);
+  for (const Sequence& s : out) {
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), 3u);
+  }
+}
+
+TEST(EnumerateTest, WeightedPartitionCounts) {
+  Hierarchy h = Hierarchy::Flat(2);
+  Partition partition;
+  partition.Add({2, 1}, 3);  // Pivot 2 then item 1, weight 3.
+  partition.Add({2, kBlank, 1}, 2);
+  GsmParams params{.sigma = 4, .gamma = 1, .lambda = 2};
+  PatternMap result = MinePartitionByEnumeration(partition, h, params, 2);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at({2, 1}), 5u);
+}
+
+TEST(EnumerateTest, SigmaFiltersOutput) {
+  Hierarchy h = Hierarchy::Flat(2);
+  Database db = {{1, 2}, {1, 2}, {2, 1}};
+  GsmParams params{.sigma = 2, .gamma = 0, .lambda = 2};
+  PatternMap result = MineByEnumeration(db, h, params);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at({1, 2}), 2u);
+}
+
+}  // namespace
+}  // namespace lash

@@ -1,0 +1,127 @@
+#include "stats/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "core/match.h"
+#include "miner/enumerate.h"
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+TEST(FiltersTest, PaperExampleMaximal) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  PatternMap output =
+      MineByEnumeration(ex.pre.database, ex.pre.hierarchy, params);
+  PatternMap maximal = FilterMaximal(output, ex.pre.hierarchy);
+  // Hand-derived (see stats_test): {aa, ac, ab1, b1a, aBc, b1D}.
+  PatternMap expected;
+  auto add = [&](std::vector<std::string> names, Frequency f) {
+    expected.emplace(ex.RankSeq(names), f);
+  };
+  add({"a", "a"}, 2);
+  add({"a", "c"}, 2);
+  add({"a", "b1"}, 2);
+  add({"b1", "a"}, 2);
+  add({"a", "B", "c"}, 2);
+  add({"b1", "D"}, 2);
+  EXPECT_EQ(testing::Sorted(maximal), testing::Sorted(expected));
+}
+
+TEST(FiltersTest, PaperExampleClosed) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  PatternMap output =
+      MineByEnumeration(ex.pre.database, ex.pre.hierarchy, params);
+  PatternMap closed = FilterClosed(output, ex.pre.hierarchy);
+  // Non-closed: Ba (b1a, equal freq), Bc (aBc), BD (b1D). aB stays: its
+  // frequency 3 differs from every supersequence's.
+  EXPECT_EQ(closed.size(), 7u);
+  EXPECT_TRUE(closed.contains(ex.RankSeq({"a", "B"})));
+  EXPECT_FALSE(closed.contains(ex.RankSeq({"B", "a"})));
+  EXPECT_FALSE(closed.contains(ex.RankSeq({"B", "c"})));
+  EXPECT_FALSE(closed.contains(ex.RankSeq({"B", "D"})));
+}
+
+TEST(FiltersTest, MaximalSubsetOfClosed) {
+  // Every maximal pattern is closed (no frequent supersequence at all, so
+  // in particular none with equal frequency).
+  Rng rng(4711);
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 4};
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 4 + rng.Uniform(6);
+    Hierarchy h = testing::RandomRankHierarchy(n, 0.4, &rng);
+    Database db = testing::RandomDatabase(12, 8, n, &rng);
+    PatternMap output = MineByEnumeration(db, h, params);
+    PatternMap maximal = FilterMaximal(output, h);
+    PatternMap closed = FilterClosed(output, h);
+    for (const auto& [s, freq] : maximal) {
+      EXPECT_TRUE(closed.contains(s)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FiltersTest, MaximalAgainstBruteForce) {
+  // Brute force: S is maximal iff no other output pattern S' has S ⊑0 S'.
+  Rng rng(1213);
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 4};
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 3 + rng.Uniform(5);
+    Hierarchy h = testing::RandomRankHierarchy(n, 0.4, &rng);
+    Database db = testing::RandomDatabase(10, 7, n, &rng);
+    PatternMap output = MineByEnumeration(db, h, params);
+    PatternMap maximal = FilterMaximal(output, h);
+    for (const auto& [s, freq] : output) {
+      bool has_super = false;
+      for (const auto& [other, f2] : output) {
+        if (other != s && Matches(s, other, h, 0)) {
+          has_super = true;
+          break;
+        }
+      }
+      EXPECT_EQ(!has_super, maximal.contains(s))
+          << "trial " << trial << " len " << s.size();
+    }
+  }
+}
+
+TEST(FiltersTest, ClosedAgainstBruteForce) {
+  Rng rng(3141);
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 4};
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 3 + rng.Uniform(5);
+    Hierarchy h = testing::RandomRankHierarchy(n, 0.4, &rng);
+    Database db = testing::RandomDatabase(10, 7, n, &rng);
+    PatternMap output = MineByEnumeration(db, h, params);
+    PatternMap closed = FilterClosed(output, h);
+    for (const auto& [s, freq] : output) {
+      bool has_equal_super = false;
+      for (const auto& [other, f2] : output) {
+        if (other != s && f2 == freq && Matches(s, other, h, 0)) {
+          has_equal_super = true;
+          break;
+        }
+      }
+      EXPECT_EQ(!has_equal_super, closed.contains(s)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FiltersTest, TopKOrderingAndTies) {
+  PatternMap output;
+  output.emplace(Sequence{1, 2}, 5);
+  output.emplace(Sequence{1, 3}, 9);
+  output.emplace(Sequence{2, 2}, 5);
+  output.emplace(Sequence{3, 1}, 1);
+  auto top = TopK(output, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, (Sequence{1, 3}));
+  EXPECT_EQ(top[1].first, (Sequence{1, 2}));  // Tie broken lexicographically.
+  EXPECT_EQ(top[2].first, (Sequence{2, 2}));
+  EXPECT_EQ(TopK(output, 100).size(), 4u);
+  EXPECT_TRUE(TopK({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace lash

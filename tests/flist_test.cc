@@ -1,0 +1,99 @@
+#include "core/flist.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+TEST(FListTest, PaperExampleFrequencies) {
+  testing::PaperExample ex;
+  // Generalized f-list of Fig. 2: a:5, B:5, b1:4, c:3, D:2.
+  EXPECT_EQ(ex.pre.freq[ex.Rank("a")], 5u);
+  EXPECT_EQ(ex.pre.freq[ex.Rank("B")], 5u);
+  EXPECT_EQ(ex.pre.freq[ex.Rank("b1")], 4u);
+  EXPECT_EQ(ex.pre.freq[ex.Rank("c")], 3u);
+  EXPECT_EQ(ex.pre.freq[ex.Rank("D")], 2u);
+}
+
+TEST(FListTest, PaperExampleOrder) {
+  testing::PaperExample ex;
+  // a < B < b1 < c < D (Fig. 2, items ordered small to large).
+  EXPECT_EQ(ex.Rank("a"), 1u);
+  EXPECT_EQ(ex.Rank("B"), 2u);
+  EXPECT_EQ(ex.Rank("b1"), 3u);
+  EXPECT_EQ(ex.Rank("c"), 4u);
+  EXPECT_EQ(ex.Rank("D"), 5u);
+}
+
+TEST(FListTest, NumFrequentPrefix) {
+  testing::PaperExample ex;
+  EXPECT_EQ(ex.pre.NumFrequent(2), 5u);  // a, B, b1, c, D.
+  EXPECT_EQ(ex.pre.NumFrequent(3), 4u);  // a, B, b1, c.
+  EXPECT_EQ(ex.pre.NumFrequent(5), 2u);  // a, B.
+  EXPECT_EQ(ex.pre.NumFrequent(6), 0u);
+  EXPECT_EQ(ex.pre.NumFrequent(1), ex.pre.freq.size() - 1);
+}
+
+TEST(FListTest, FrequenciesNonIncreasing) {
+  testing::PaperExample ex;
+  for (size_t r = 2; r < ex.pre.freq.size(); ++r) {
+    EXPECT_LE(ex.pre.freq[r], ex.pre.freq[r - 1]) << "rank " << r;
+  }
+}
+
+TEST(FListTest, RankHierarchyMonotoneAndEquivalent) {
+  testing::PaperExample ex;
+  EXPECT_TRUE(ex.pre.hierarchy.IsRankMonotone());
+  // Parent relations survive recoding.
+  EXPECT_EQ(ex.pre.hierarchy.Parent(ex.Rank("b1")), ex.Rank("B"));
+  EXPECT_EQ(ex.pre.hierarchy.Parent(ex.Rank("b11")), ex.Rank("b1"));
+  EXPECT_EQ(ex.pre.hierarchy.Parent(ex.Rank("d1")), ex.Rank("D"));
+  EXPECT_EQ(ex.pre.hierarchy.Parent(ex.Rank("a")), kInvalidItem);
+}
+
+TEST(FListTest, DatabaseRecoded) {
+  testing::PaperExample ex;
+  ASSERT_EQ(ex.pre.database.size(), 6u);
+  EXPECT_EQ(ex.pre.database[0], ex.RankSeq({"a", "b1", "a", "b1"}));
+  EXPECT_EQ(ex.pre.database[2], ex.RankSeq({"a", "c"}));
+}
+
+TEST(FListTest, GeneralizedFrequencyCountsDescendants) {
+  // Hierarchy 1 <- 2; item 2 occurs in two sequences, item 1 never
+  // literally occurs but inherits both.
+  Hierarchy h({kInvalidItem, kInvalidItem, 1});
+  Database db = {{2}, {2, 2}, {}};
+  std::vector<Frequency> freq = GeneralizedItemFrequencies(db, h);
+  EXPECT_EQ(freq[1], 2u);  // Document frequency, not occurrence count.
+  EXPECT_EQ(freq[2], 2u);
+}
+
+TEST(FListTest, TieBreakPrefersMoreGeneralItem) {
+  // Items: root 1 with child 2; both occur in exactly the same sequences.
+  Hierarchy h({kInvalidItem, kInvalidItem, 1});
+  Database db = {{2}, {2}};
+  PreprocessResult pre = Preprocess(db, h);
+  // Equal generalized frequency (2 each): the root must get rank 1.
+  EXPECT_EQ(pre.rank_of_raw[1], 1u);
+  EXPECT_EQ(pre.rank_of_raw[2], 2u);
+}
+
+TEST(FListTest, CollectGeneralizedItemsDedups) {
+  testing::PaperExample ex;
+  const Hierarchy& h = ex.raw_hierarchy;
+  std::vector<uint32_t> scratch(h.NumItems() + 1, 0);
+  std::vector<ItemId> items;
+  // T4 = b11 a e a: G1 = {b11, b1, B, a, e} (Sec. 3.3).
+  CollectGeneralizedItems(ex.raw_db[3], h, &scratch, 1, &items);
+  std::sort(items.begin(), items.end());
+  std::vector<ItemId> expected = {ex.vocab.Lookup("a"), ex.vocab.Lookup("B"),
+                                  ex.vocab.Lookup("b1"), ex.vocab.Lookup("b11"),
+                                  ex.vocab.Lookup("e")};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(items, expected);
+}
+
+}  // namespace
+}  // namespace lash

@@ -1,0 +1,60 @@
+#include "algo/gsp.h"
+
+#include <gtest/gtest.h>
+
+#include "miner/enumerate.h"
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+TEST(GspTest, ReproducesPaperExample) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  GspStats stats;
+  PatternMap mined = RunGspExtended(ex.pre, params, &stats);
+  EXPECT_EQ(testing::Sorted(mined), testing::Sorted(ex.ExpectedOutput()));
+  EXPECT_GT(stats.candidates, mined.size());
+  EXPECT_GE(stats.database_scans, 2u);
+}
+
+TEST(GspTest, ExtendedDatabaseInflatesWithDepth) {
+  // The core inefficiency the paper calls out: the extended database grows
+  // by roughly the hierarchy depth.
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  GspStats stats;
+  RunGspExtended(ex.pre, params, &stats);
+  size_t raw_items = 0;
+  for (const Sequence& t : ex.pre.database) raw_items += t.size();
+  EXPECT_GT(stats.extended_items, raw_items);
+}
+
+TEST(GspTest, AgreesWithEnumerationOnRandomData) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 12; ++trial) {
+    GsmParams params{.sigma = 2,
+                     .gamma = static_cast<uint32_t>(rng.Uniform(3)),
+                     .lambda = static_cast<uint32_t>(2 + rng.Uniform(3))};
+    const size_t n = 4 + rng.Uniform(6);
+    Hierarchy h = testing::RandomRankHierarchy(n, 0.4, &rng);
+    Database db = testing::RandomDatabase(14, 7, n, &rng);
+    PreprocessResult pre = Preprocess(db, h);
+    PatternMap expected =
+        MineByEnumeration(pre.database, pre.hierarchy, params);
+    PatternMap mined = RunGspExtended(pre, params);
+    ASSERT_EQ(testing::Sorted(mined), testing::Sorted(expected))
+        << "trial " << trial;
+  }
+}
+
+TEST(GspTest, EmptyWhenNothingFrequent) {
+  Hierarchy h = Hierarchy::Flat(3);
+  Database db = {{1, 2}, {2, 3}};
+  PreprocessResult pre = Preprocess(db, h);
+  GsmParams params{.sigma = 5, .gamma = 0, .lambda = 3};
+  EXPECT_TRUE(RunGspExtended(pre, params).empty());
+}
+
+}  // namespace
+}  // namespace lash

@@ -1,0 +1,103 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+TEST(HierarchyTest, FlatHierarchy) {
+  Hierarchy h = Hierarchy::Flat(5);
+  EXPECT_EQ(h.NumItems(), 5u);
+  EXPECT_EQ(h.MaxDepth(), 0);
+  EXPECT_EQ(h.NumLevels(), 1);
+  EXPECT_EQ(h.NumRoots(), 5u);
+  EXPECT_EQ(h.NumLeaves(), 5u);
+  EXPECT_EQ(h.NumIntermediate(), 0u);
+  for (ItemId w = 1; w <= 5; ++w) {
+    EXPECT_TRUE(h.IsRoot(w));
+    EXPECT_TRUE(h.IsLeaf(w));
+    EXPECT_TRUE(h.GeneralizesTo(w, w));
+  }
+  EXPECT_FALSE(h.GeneralizesTo(1, 2));
+}
+
+TEST(HierarchyTest, ChainDepths) {
+  // 1 <- 2 <- 3 <- 4 (4 most specific).
+  Hierarchy h({kInvalidItem, kInvalidItem, 1, 2, 3});
+  EXPECT_EQ(h.Depth(1), 0);
+  EXPECT_EQ(h.Depth(4), 3);
+  EXPECT_EQ(h.MaxDepth(), 3);
+  EXPECT_EQ(h.NumLevels(), 4);
+  EXPECT_TRUE(h.GeneralizesTo(4, 1));
+  EXPECT_TRUE(h.GeneralizesTo(4, 3));
+  EXPECT_FALSE(h.GeneralizesTo(1, 4));
+  EXPECT_TRUE(h.IsRankMonotone());
+  EXPECT_EQ(h.NumLeaves(), 1u);
+  EXPECT_EQ(h.NumRoots(), 1u);
+  EXPECT_EQ(h.NumIntermediate(), 2u);
+}
+
+TEST(HierarchyTest, ForestStatistics) {
+  // Roots 1, 2; children of 1: 3, 4; child of 2: 5; child of 3: 6.
+  Hierarchy h({kInvalidItem, kInvalidItem, kInvalidItem, 1, 1, 2, 3});
+  EXPECT_EQ(h.NumRoots(), 2u);
+  EXPECT_EQ(h.NumLeaves(), 3u);  // 4, 5, 6.
+  EXPECT_EQ(h.NumIntermediate(), 1u);  // 3.
+  EXPECT_DOUBLE_EQ(h.AvgFanOut(), 4.0 / 3.0);  // 1->2, 2->1, 3->1.
+  EXPECT_EQ(h.MaxFanOut(), 2u);
+}
+
+TEST(HierarchyTest, RejectsCycle) {
+  EXPECT_THROW(Hierarchy({kInvalidItem, 2, 1}), std::invalid_argument);
+}
+
+TEST(HierarchyTest, RejectsSelfParent) {
+  EXPECT_THROW(Hierarchy({kInvalidItem, 1}), std::invalid_argument);
+}
+
+TEST(HierarchyTest, RejectsOutOfRangeParent) {
+  EXPECT_THROW(Hierarchy({kInvalidItem, 9}), std::invalid_argument);
+}
+
+TEST(HierarchyTest, NonMonotoneDetected) {
+  // 1's parent is 2: valid forest, but not rank-monotone.
+  Hierarchy h({kInvalidItem, 2, kInvalidItem});
+  EXPECT_FALSE(h.IsRankMonotone());
+}
+
+TEST(HierarchyTest, AncestorIterationOrder) {
+  Hierarchy h({kInvalidItem, kInvalidItem, 1, 2});
+  std::vector<ItemId> chain;
+  h.ForEachAncestorOrSelf(3, [&](ItemId a) { chain.push_back(a); });
+  EXPECT_EQ(chain, (std::vector<ItemId>{3, 2, 1}));
+}
+
+TEST(HierarchyTest, RandomRankHierarchiesAreMonotone) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Hierarchy h = testing::RandomRankHierarchy(30, 0.3, &rng);
+    EXPECT_TRUE(h.IsRankMonotone());
+    EXPECT_EQ(h.NumItems(), 30u);
+  }
+}
+
+TEST(HierarchyTest, PaperExampleStructure) {
+  testing::PaperExample ex;
+  const Hierarchy& h = ex.raw_hierarchy;
+  ItemId b11 = ex.vocab.Lookup("b11");
+  ItemId b1 = ex.vocab.Lookup("b1");
+  ItemId big_b = ex.vocab.Lookup("B");
+  EXPECT_TRUE(h.GeneralizesTo(b11, b1));
+  EXPECT_TRUE(h.GeneralizesTo(b11, big_b));
+  EXPECT_TRUE(h.GeneralizesTo(b1, big_b));
+  EXPECT_FALSE(h.GeneralizesTo(big_b, b1));
+  EXPECT_EQ(h.Depth(b11), 2);
+  EXPECT_EQ(h.MaxDepth(), 2);
+}
+
+}  // namespace
+}  // namespace lash

@@ -1,0 +1,68 @@
+#include "io/text_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+TEST(TextIoTest, DatabaseRoundTrip) {
+  testing::PaperExample ex;
+  std::ostringstream out;
+  WriteDatabase(out, ex.raw_db, ex.vocab);
+  std::istringstream in(out.str());
+  Vocabulary vocab2;
+  Database db2 = ReadDatabase(in, &vocab2);
+  ASSERT_EQ(db2.size(), ex.raw_db.size());
+  for (size_t i = 0; i < db2.size(); ++i) {
+    ASSERT_EQ(db2[i].size(), ex.raw_db[i].size());
+    for (size_t j = 0; j < db2[i].size(); ++j) {
+      EXPECT_EQ(vocab2.Name(db2[i][j]), ex.vocab.Name(ex.raw_db[i][j]));
+    }
+  }
+}
+
+TEST(TextIoTest, HierarchyRoundTrip) {
+  testing::PaperExample ex;
+  std::ostringstream out;
+  WriteHierarchy(out, ex.vocab);
+  std::istringstream in(out.str());
+  Vocabulary vocab2;
+  ReadHierarchy(in, &vocab2);
+  // All parent relations preserved (by name).
+  for (ItemId id = 1; id <= ex.vocab.NumItems(); ++id) {
+    ItemId parent = ex.vocab.Parent(id);
+    if (parent == kInvalidItem) continue;
+    ItemId id2 = vocab2.Lookup(ex.vocab.Name(id));
+    ASSERT_NE(id2, kInvalidItem);
+    EXPECT_EQ(vocab2.Name(vocab2.Parent(id2)), ex.vocab.Name(parent));
+  }
+}
+
+TEST(TextIoTest, ReadHierarchyRejectsMalformed) {
+  std::istringstream in("childwithouttab\n");
+  Vocabulary vocab;
+  EXPECT_THROW(ReadHierarchy(in, &vocab), std::invalid_argument);
+}
+
+TEST(TextIoTest, ReadDatabaseSkipsEmptyLines) {
+  std::istringstream in("a b\n\n\nc\n");
+  Vocabulary vocab;
+  Database db = ReadDatabase(in, &vocab);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(TextIoTest, WritePatternsSortedAndNamed) {
+  PatternMap patterns;
+  patterns.emplace(Sequence{2, 1}, 7);
+  patterns.emplace(Sequence{1, 2}, 9);
+  std::ostringstream out;
+  WritePatterns(out, patterns, [](ItemId w) { return "i" + std::to_string(w); });
+  EXPECT_EQ(out.str(), "9\ti1 i2\n7\ti2 i1\n");
+}
+
+}  // namespace
+}  // namespace lash

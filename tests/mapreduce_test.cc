@@ -1,0 +1,160 @@
+#include "mapreduce/job.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mapreduce/cluster.h"
+
+namespace lash {
+namespace {
+
+JobConfig SmallConfig() {
+  JobConfig config;
+  config.num_threads = 2;
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 4;
+  return config;
+}
+
+TEST(MapReduceTest, WordCount) {
+  std::vector<std::string> docs = {"a b a", "b c", "a"};
+  std::unordered_map<std::string, int> counts;
+  std::mutex mu;
+
+  using Job = MapReduceJob<std::string, std::string, int>;
+  Job job(
+      [](const std::string& doc, const Job::EmitFn& emit) {
+        size_t pos = 0;
+        while (pos < doc.size()) {
+          size_t space = doc.find(' ', pos);
+          if (space == std::string::npos) space = doc.size();
+          if (space > pos) emit(doc.substr(pos, space - pos), 1);
+          pos = space + 1;
+        }
+      },
+      [&](size_t, const std::string& key, std::vector<int>& values) {
+        int total = 0;
+        for (int v : values) total += v;
+        std::lock_guard<std::mutex> lock(mu);
+        counts[key] = total;
+      },
+      [](const std::string& key, const int&) { return key.size() + 4; });
+
+  JobResult result = job.Run(docs, SmallConfig());
+  EXPECT_EQ(counts.at("a"), 3);
+  EXPECT_EQ(counts.at("b"), 2);
+  EXPECT_EQ(counts.at("c"), 1);
+  EXPECT_EQ(result.counters.map_input_records, 3u);
+  EXPECT_EQ(result.counters.map_output_records, 6u);
+  EXPECT_EQ(result.counters.reduce_input_groups, 3u);
+}
+
+TEST(MapReduceTest, CombinerReducesRecordsAndBytes) {
+  std::vector<int> inputs(100, 0);
+  auto make_job = [](std::unordered_map<int, int>* out, std::mutex* mu) {
+    using Job = MapReduceJob<int, int, int>;
+    Job job(
+        [](const int&, const Job::EmitFn& emit) {
+          for (int k = 0; k < 10; ++k) emit(k % 2, 1);
+        },
+        [out, mu](size_t, const int& key, std::vector<int>& values) {
+          int total = 0;
+          for (int v : values) total += v;
+          std::lock_guard<std::mutex> lock(*mu);
+          (*out)[key] += total;
+        },
+        [](const int&, const int&) { return 8; });
+    return job;
+  };
+
+  std::unordered_map<int, int> plain, combined;
+  std::mutex mu;
+  auto job_plain = make_job(&plain, &mu);
+  JobResult r_plain = job_plain.Run(inputs, SmallConfig());
+
+  auto job_combined = make_job(&combined, &mu);
+  job_combined.set_combiner([](int* acc, int&& v) { *acc += v; });
+  JobResult r_combined = job_combined.Run(inputs, SmallConfig());
+
+  EXPECT_EQ(plain, combined);
+  EXPECT_EQ(plain.at(0), 500);
+  EXPECT_EQ(r_plain.counters.map_output_records, 1000u);
+  // With the combiner each map task emits at most 2 records.
+  EXPECT_LE(r_combined.counters.map_output_records, 6u);
+  EXPECT_LT(r_combined.counters.map_output_bytes,
+            r_plain.counters.map_output_bytes);
+}
+
+TEST(MapReduceTest, CustomPartitionerRoutesKeys) {
+  std::vector<int> inputs = {0};
+  std::vector<std::vector<int>> seen(4);
+  using Job = MapReduceJob<int, int, int>;
+  Job job(
+      [](const int&, const Job::EmitFn& emit) {
+        for (int k = 0; k < 16; ++k) emit(k, 1);
+      },
+      [&](size_t rtask, const int& key, std::vector<int>&) {
+        seen[rtask].push_back(key);
+      },
+      [](const int&, const int&) { return 1; });
+  // Route everything to partition 2.
+  job.set_partitioner([](const int&) { return 2u; });
+  JobConfig config = SmallConfig();
+  job.Run(inputs, config);
+  EXPECT_EQ(seen[2].size(), 16u);
+  EXPECT_TRUE(seen[0].empty() && seen[1].empty() && seen[3].empty());
+}
+
+TEST(MapReduceTest, ReduceFinishRunsOncePerTask) {
+  std::vector<int> inputs = {1, 2, 3};
+  std::atomic<int> finishes{0};
+  using Job = MapReduceJob<int, int, int>;
+  Job job([](const int& x, const Job::EmitFn& emit) { emit(x, 1); },
+          [](size_t, const int&, std::vector<int>&) {},
+          [](const int&, const int&) { return 1; });
+  job.set_reduce_finish([&](size_t) { finishes.fetch_add(1); });
+  JobConfig config = SmallConfig();
+  job.Run(inputs, config);
+  EXPECT_EQ(finishes.load(), static_cast<int>(config.num_reduce_tasks));
+}
+
+TEST(MapReduceTest, PhaseTimesPopulated) {
+  std::vector<int> inputs(10, 1);
+  using Job = MapReduceJob<int, int, int>;
+  Job job([](const int& x, const Job::EmitFn& emit) { emit(x, x); },
+          [](size_t, const int&, std::vector<int>&) {},
+          [](const int&, const int&) { return 2; });
+  JobResult result = job.Run(inputs, SmallConfig());
+  EXPECT_GE(result.times.map_ms, 0.0);
+  EXPECT_GE(result.times.TotalMs(), result.times.map_ms);
+  EXPECT_EQ(result.map_task_ms.size(), 3u);
+  EXPECT_EQ(result.reduce_task_ms.size(), 4u);
+}
+
+TEST(ClusterTest, MakespanPerfectlyParallelWork) {
+  // 16 unit tasks on 2 machines x 1 slot -> 8; on 4 machines -> 4.
+  std::vector<double> tasks(16, 1.0);
+  EXPECT_DOUBLE_EQ(SimulateMakespan(tasks, 2, 1), 8.0);
+  EXPECT_DOUBLE_EQ(SimulateMakespan(tasks, 4, 1), 4.0);
+  EXPECT_DOUBLE_EQ(SimulateMakespan(tasks, 16, 1), 1.0);
+}
+
+TEST(ClusterTest, MakespanBoundedByLargestTask) {
+  // One giant task dominates no matter how many machines: skew (Sec. 4).
+  std::vector<double> tasks = {100.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(SimulateMakespan(tasks, 64, 8), 100.0);
+}
+
+TEST(ClusterTest, OverheadAddsPerTask) {
+  std::vector<double> tasks = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(SimulateMakespan(tasks, 1, 1, 0.5), 3.0);
+}
+
+TEST(ClusterTest, ZeroMachinesClamped) {
+  std::vector<double> tasks = {2.0};
+  EXPECT_DOUBLE_EQ(SimulateMakespan(tasks, 0, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace lash

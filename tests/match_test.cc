@@ -1,0 +1,186 @@
+#include "core/match.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+class MatchPaperTest : public ::testing::Test {
+ protected:
+  testing::PaperExample ex_;
+};
+
+TEST_F(MatchPaperTest, SubsequenceExamples) {
+  const Hierarchy& h = ex_.pre.hierarchy;
+  // T5 = a b12 d1 c (Sec. 2 examples).
+  Sequence t5 = ex_.RankSeq({"a", "b12", "d1", "c"});
+  EXPECT_TRUE(Matches(ex_.RankSeq({"a", "b12"}), t5, h, 0));
+  EXPECT_TRUE(Matches(ex_.RankSeq({"a", "d1", "c"}), t5, h, 1));
+  EXPECT_FALSE(Matches(ex_.RankSeq({"b12", "a"}), t5, h, 5));
+  EXPECT_FALSE(Matches(ex_.RankSeq({"a", "d1", "c"}), t5, h, 0));
+}
+
+TEST_F(MatchPaperTest, GeneralizedExamples) {
+  const Hierarchy& h = ex_.pre.hierarchy;
+  Sequence t5 = ex_.RankSeq({"a", "b12", "d1", "c"});
+  // aD ⊑1 T5 even though D does not occur in T5 (Sec. 2).
+  EXPECT_TRUE(Matches(ex_.RankSeq({"a", "D"}), t5, h, 1));
+  EXPECT_TRUE(Matches(ex_.RankSeq({"a", "d1"}), t5, h, 1));
+  EXPECT_TRUE(Matches(ex_.RankSeq({"a", "B", "c"}), t5, h, 1));
+  EXPECT_FALSE(Matches(ex_.RankSeq({"a", "B", "c"}), t5, h, 0));
+}
+
+TEST_F(MatchPaperTest, SupportExamples) {
+  const Hierarchy& h = ex_.pre.hierarchy;
+  // Sup_0(aBc) = {T2}, Sup_1(aBc) = {T2, T5} (Sec. 2).
+  Sequence abc = ex_.RankSeq({"a", "B", "c"});
+  int sup0 = 0, sup1 = 0;
+  for (const Sequence& t : ex_.pre.database) {
+    sup0 += Matches(abc, t, h, 0);
+    sup1 += Matches(abc, t, h, 1);
+  }
+  EXPECT_EQ(sup0, 1);
+  EXPECT_EQ(sup1, 2);
+}
+
+TEST(MatchTest, GreedyPitfall) {
+  // S=ab, gamma=0, T=acab: greedy leftmost matching of 'a' fails; the DP
+  // must find the second 'a'.
+  Hierarchy h = Hierarchy::Flat(3);
+  Sequence t = {1, 3, 1, 2};
+  EXPECT_TRUE(Matches({1, 2}, t, h, 0));
+}
+
+TEST(MatchTest, BlanksNeverMatch) {
+  Hierarchy h = Hierarchy::Flat(3);
+  Sequence t = {1, kBlank, 2};
+  EXPECT_TRUE(Matches({1, 2}, t, h, 1));
+  EXPECT_FALSE(Matches({1, 2}, t, h, 0));  // Blank occupies a position.
+  EXPECT_FALSE(Matches({1, kBlank}, t, h, 1));
+}
+
+TEST(MatchTest, EmptyAndOversizePatterns) {
+  Hierarchy h = Hierarchy::Flat(3);
+  EXPECT_FALSE(Matches({}, {1, 2}, h, 0));
+  EXPECT_FALSE(Matches({1, 2, 3}, {1, 2}, h, 0));
+}
+
+TEST(MatchTest, EndPositions) {
+  Hierarchy h = Hierarchy::Flat(2);
+  // T = 1 2 1 2; pattern 1,2 ends at positions 1 and 3 for gamma=1.
+  Sequence t = {1, 2, 1, 2};
+  EXPECT_EQ(MatchEndPositions({1, 2}, t, h, 1),
+            (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(MatchEndPositions({1, 2}, t, h, 0),
+            (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(MatchEndPositions({1, 1}, t, h, 0), (std::vector<uint32_t>{}));
+  EXPECT_EQ(MatchEndPositions({1, 1}, t, h, 1),
+            (std::vector<uint32_t>{2}));
+}
+
+TEST(MatchTest, EmbeddingsTrackStartAndEnd) {
+  Hierarchy h = Hierarchy::Flat(2);
+  Sequence t = {1, 2, 1, 2};
+  std::vector<Embedding> embs = MatchEmbeddings({1, 2}, t, h, 1);
+  // (0,3) is NOT an embedding: two items lie between positions 0 and 3.
+  ASSERT_EQ(embs.size(), 2u);
+  EXPECT_EQ(embs[0], (Embedding{0, 1}));
+  EXPECT_EQ(embs[1], (Embedding{2, 3}));
+}
+
+// Property: Matches agrees with a brute-force recursive matcher.
+class MatchPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+bool BruteForceMatch(const Sequence& s, size_t j, const Sequence& t, size_t i,
+                     const Hierarchy& h, uint32_t gamma) {
+  if (j == s.size()) return true;
+  size_t hi = (j == 0) ? t.size() : std::min(t.size(), i + gamma + 1);
+  size_t lo = (j == 0) ? 0 : i;
+  for (size_t k = lo; k < hi; ++k) {
+    if (IsItem(t[k]) && h.GeneralizesTo(t[k], s[j]) &&
+        BruteForceMatch(s, j + 1, t, k + 1, h, gamma)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST_P(MatchPropertyTest, AgreesWithBruteForce) {
+  const uint32_t gamma = GetParam();
+  Rng rng(1000 + gamma);
+  for (int trial = 0; trial < 300; ++trial) {
+    Hierarchy h = testing::RandomRankHierarchy(8, 0.4, &rng);
+    Sequence t;
+    size_t tlen = 1 + rng.Uniform(10);
+    for (size_t i = 0; i < tlen; ++i) {
+      t.push_back(rng.Bernoulli(0.15) ? kBlank
+                                      : static_cast<ItemId>(1 + rng.Uniform(8)));
+    }
+    Sequence s;
+    size_t slen = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < slen; ++i) {
+      s.push_back(static_cast<ItemId>(1 + rng.Uniform(8)));
+    }
+    EXPECT_EQ(Matches(s, t, h, gamma), BruteForceMatch(s, 0, t, 0, h, gamma))
+        << "gamma=" << gamma << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, MatchPropertyTest,
+                         ::testing::Values(0u, 1u, 2u, 5u));
+
+// Property: MatchEmbeddings returns exactly the distinct (start, end) pairs
+// over embeddings found by brute-force enumeration.
+void BruteForceEmbeddings(const Sequence& s, size_t j, const Sequence& t,
+                          size_t i, uint32_t first, const Hierarchy& h,
+                          uint32_t gamma, std::set<Embedding>* out) {
+  if (j == s.size()) {
+    out->insert(Embedding{first, static_cast<uint32_t>(i - 1)});
+    return;
+  }
+  size_t hi = (j == 0) ? t.size() : std::min(t.size(), i + gamma + 1);
+  size_t lo = (j == 0) ? 0 : i;
+  for (size_t k = lo; k < hi; ++k) {
+    if (IsItem(t[k]) && h.GeneralizesTo(t[k], s[j])) {
+      BruteForceEmbeddings(s, j + 1, t, k + 1,
+                           j == 0 ? static_cast<uint32_t>(k) : first, h, gamma,
+                           out);
+    }
+  }
+}
+
+class EmbeddingPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EmbeddingPropertyTest, AgreesWithBruteForce) {
+  const uint32_t gamma = GetParam();
+  Rng rng(5000 + gamma);
+  for (int trial = 0; trial < 200; ++trial) {
+    Hierarchy h = testing::RandomRankHierarchy(6, 0.4, &rng);
+    Sequence t;
+    size_t tlen = 1 + rng.Uniform(9);
+    for (size_t i = 0; i < tlen; ++i) {
+      t.push_back(rng.Bernoulli(0.15) ? kBlank
+                                      : static_cast<ItemId>(1 + rng.Uniform(6)));
+    }
+    Sequence s;
+    size_t slen = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < slen; ++i) {
+      s.push_back(static_cast<ItemId>(1 + rng.Uniform(6)));
+    }
+    std::set<Embedding> expected;
+    BruteForceEmbeddings(s, 0, t, 0, 0, h, gamma, &expected);
+    std::vector<Embedding> actual = MatchEmbeddings(s, t, h, gamma);
+    EXPECT_EQ(actual, std::vector<Embedding>(expected.begin(), expected.end()))
+        << "gamma=" << gamma << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, EmbeddingPropertyTest,
+                         ::testing::Values(0u, 1u, 3u));
+
+}  // namespace
+}  // namespace lash

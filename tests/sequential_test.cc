@@ -1,0 +1,67 @@
+#include "algo/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "miner/enumerate.h"
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+TEST(SequentialTest, ReproducesPaperExample) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  PatternMap mined = MineSequential(ex.pre, params);
+  EXPECT_EQ(testing::Sorted(mined), testing::Sorted(ex.ExpectedOutput()));
+}
+
+TEST(SequentialTest, AllMinersAgree) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  for (MinerKind kind : {MinerKind::kBfs, MinerKind::kDfs, MinerKind::kPsm,
+                         MinerKind::kPsmIndex}) {
+    PatternMap mined = MineSequential(ex.pre, params, kind);
+    EXPECT_EQ(testing::Sorted(mined), testing::Sorted(ex.ExpectedOutput()))
+        << static_cast<int>(kind);
+  }
+}
+
+TEST(SequentialTest, AgreesWithEnumerationOnRandomData) {
+  Rng rng(2718);
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 4};
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 4 + rng.Uniform(7);
+    Hierarchy h = testing::RandomRankHierarchy(n, 0.4, &rng);
+    Database db = testing::RandomDatabase(15, 8, n, &rng);
+    PreprocessResult pre = Preprocess(db, h);
+    PatternMap expected =
+        MineByEnumeration(pre.database, pre.hierarchy, params);
+    PatternMap mined = MineSequential(pre, params);
+    ASSERT_EQ(testing::Sorted(mined), testing::Sorted(expected))
+        << "trial " << trial;
+  }
+}
+
+TEST(SequentialTest, CollectsMinerStats) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  MinerStats stats;
+  PatternMap mined = MineSequential(ex.pre, params, MinerKind::kPsm, &stats);
+  EXPECT_EQ(stats.outputs, mined.size());
+  EXPECT_GE(stats.candidates, stats.outputs);
+}
+
+TEST(SequentialTest, HighSigmaYieldsEmpty) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 100, .gamma = 1, .lambda = 3};
+  EXPECT_TRUE(MineSequential(ex.pre, params).empty());
+}
+
+TEST(SequentialTest, ValidatesParams) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 0, .gamma = 0, .lambda = 3};
+  EXPECT_THROW(MineSequential(ex.pre, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lash

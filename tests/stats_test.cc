@@ -1,0 +1,137 @@
+#include "stats/output_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/lash.h"
+#include "algo/mgfsm.h"
+#include "miner/enumerate.h"
+#include "test_util.h"
+
+namespace lash {
+namespace {
+
+TEST(OutputStatsTest, EmptyOutput) {
+  Hierarchy h = Hierarchy::Flat(3);
+  OutputStatsResult stats = ComputeOutputStats({}, {}, h);
+  EXPECT_EQ(stats.total, 0u);
+}
+
+TEST(OutputStatsTest, SingletonIsMaximalClosedNontrivial) {
+  Hierarchy h({kInvalidItem, kInvalidItem, 1});
+  PatternMap out;
+  out.emplace(Sequence{1, 1}, 5);
+  OutputStatsResult stats = ComputeOutputStats(out, {}, h);
+  EXPECT_EQ(stats.total, 1u);
+  EXPECT_DOUBLE_EQ(stats.maximal_pct, 100.0);
+  EXPECT_DOUBLE_EQ(stats.closed_pct, 100.0);
+  EXPECT_DOUBLE_EQ(stats.nontrivial_pct, 100.0);
+}
+
+TEST(OutputStatsTest, LongerPatternSubsumesShorter) {
+  Hierarchy h = Hierarchy::Flat(3);
+  PatternMap out;
+  out.emplace(Sequence{1, 2}, 5);      // Non-maximal: 1 2 3 extends it.
+  out.emplace(Sequence{2, 3}, 7);      // Non-maximal, and non-closed? freq differs -> closed.
+  out.emplace(Sequence{1, 2, 3}, 5);   // Maximal.
+  OutputStatsResult stats = ComputeOutputStats(out, {}, h);
+  // {1,2} has an equal-frequency supersequence -> non-closed, non-maximal.
+  // {2,3}: supersequence has different frequency -> closed but non-maximal.
+  // {1,2,3}: maximal and closed.
+  EXPECT_EQ(stats.total, 3u);
+  EXPECT_NEAR(stats.maximal_pct, 100.0 / 3, 1e-9);
+  EXPECT_NEAR(stats.closed_pct, 200.0 / 3, 1e-9);
+}
+
+TEST(OutputStatsTest, SpecializationSubsumesGeneralization) {
+  // Hierarchy: 1 <- 2 (2 specializes 1). A *complete* GSM output (as the
+  // marking pass assumes — every frequent pattern of admissible length is
+  // present, by Lemma 1): all four patterns at the 1/2 level.
+  Hierarchy h({kInvalidItem, kInvalidItem, 1});
+  PatternMap out;
+  out.emplace(Sequence{1, 1}, 4);
+  out.emplace(Sequence{1, 2}, 4);
+  out.emplace(Sequence{2, 1}, 4);
+  out.emplace(Sequence{2, 2}, 4);  // The only maximal pattern.
+  OutputStatsResult stats = ComputeOutputStats(out, {}, h);
+  EXPECT_NEAR(stats.maximal_pct, 25.0, 1e-9);
+  // All frequencies equal -> every non-maximal pattern is also non-closed.
+  EXPECT_NEAR(stats.closed_pct, 25.0, 1e-9);
+}
+
+TEST(OutputStatsTest, MultiStepSubsumptionDetected) {
+  // {1,1} ⊑0 {3,3} needs two generalization steps (3 -> 2 -> 1); the
+  // intermediate {2,2}-level patterns are frequent and present, so the
+  // one-step marking must still catch it.
+  Hierarchy h({kInvalidItem, kInvalidItem, 1, 2});
+  PatternMap out;
+  out.emplace(Sequence{1, 1}, 4);
+  out.emplace(Sequence{1, 2}, 4);
+  out.emplace(Sequence{2, 1}, 4);
+  out.emplace(Sequence{2, 2}, 4);
+  out.emplace(Sequence{2, 3}, 4);
+  out.emplace(Sequence{3, 2}, 4);
+  out.emplace(Sequence{1, 3}, 4);
+  out.emplace(Sequence{3, 1}, 4);
+  out.emplace(Sequence{3, 3}, 4);
+  OutputStatsResult stats = ComputeOutputStats(out, {}, h);
+  // Only the most specific pattern {3,3} is maximal.
+  EXPECT_NEAR(stats.maximal_pct, 100.0 / 9, 1e-9);
+}
+
+TEST(OutputStatsTest, TrivialClosureFromFlatOutput) {
+  // Hierarchy 1 <- 2, 1 <- 3. Flat miner found {2,2}. Then {2,2}, {1,2},
+  // {2,1}, {1,1} are trivial (reachable by generalization); {3,1} is not.
+  Hierarchy h({kInvalidItem, kInvalidItem, 1, 1});
+  PatternMap out;
+  out.emplace(Sequence{2, 2}, 4);
+  out.emplace(Sequence{1, 2}, 4);
+  out.emplace(Sequence{2, 1}, 4);
+  out.emplace(Sequence{1, 1}, 5);
+  out.emplace(Sequence{3, 1}, 2);
+  PatternMap flat;
+  flat.emplace(Sequence{2, 2}, 4);
+  OutputStatsResult stats = ComputeOutputStats(out, flat, h);
+  EXPECT_NEAR(stats.nontrivial_pct, 100.0 / 5, 1e-9);  // Only {3,1}.
+}
+
+TEST(OutputStatsTest, PaperExampleNontrivialPatterns) {
+  // In the running example b1D and BD are frequent although no
+  // specialization is frequent (Sec. 2) -> they are non-trivial.
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  PatternMap gsm = MineByEnumeration(ex.pre.database, ex.pre.hierarchy, params);
+  // Flat mining: same database, flat hierarchy over the same rank ids.
+  Hierarchy flat_h = Hierarchy::Flat(ex.pre.hierarchy.NumItems());
+  PatternMap flat = MineByEnumeration(ex.pre.database, flat_h, params);
+  OutputStatsResult stats = ComputeOutputStats(gsm, flat, ex.pre.hierarchy);
+  EXPECT_EQ(stats.total, 10u);
+  // Trivial: generalization closure of flat-frequent patterns.
+  // Flat-frequent pairs: aa(2), ab1? b1 occurs literally in T1 only ->
+  // infrequent; ac: T2(gap1),T3 -> 2 frequent. So closure = {aa, ac}.
+  // Non-trivial: the remaining 8 of 10.
+  EXPECT_NEAR(stats.nontrivial_pct, 80.0, 1e-9);
+  // Maximal: {aa, ac, ab1, b1a, aBc, b1D} — aB/Ba/Bc/BD all have frequent
+  // specializations or extensions in the output.
+  EXPECT_NEAR(stats.maximal_pct, 60.0, 1e-9);
+  // Non-closed: Ba (b1a has equal frequency 2), Bc (aBc), BD (b1D).
+  EXPECT_NEAR(stats.closed_pct, 70.0, 1e-9);
+}
+
+TEST(RemapPatternsTest, RemapsIds) {
+  PatternMap in;
+  in.emplace(Sequence{1, 2}, 3);
+  std::vector<ItemId> map = {kInvalidItem, 5, 7};
+  PatternMap out = RemapPatterns(in, map);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(Sequence{5, 7}), 3u);
+}
+
+TEST(RemapPatternsTest, ThrowsOnUnmappedId) {
+  PatternMap in;
+  in.emplace(Sequence{4}, 1);
+  std::vector<ItemId> map = {kInvalidItem, 5};
+  EXPECT_THROW(RemapPatterns(in, map), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lash

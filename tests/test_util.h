@@ -1,0 +1,129 @@
+#ifndef LASH_TESTS_TEST_UTIL_H_
+#define LASH_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/flist.h"
+#include "core/hierarchy.h"
+#include "core/vocabulary.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace lash::testing {
+
+/// The running example of the paper (Fig. 1 / Fig. 2): six sequences over
+/// the vocabulary {a, B, b1, b2, b3, b11, b12, b13, c, D, d1, d2, e, f} with
+/// hierarchy b* -> b1|b2|b3 -> B and d1|d2 -> D.
+struct PaperExample {
+  Vocabulary vocab;
+  Database raw_db;
+  Hierarchy raw_hierarchy;
+  PreprocessResult pre;  ///< Preprocessed (rank space).
+
+  PaperExample() : raw_hierarchy(Hierarchy::Flat(0)) {
+    // Insertion order fixes tie-breaking so that ranks match the paper's
+    // generalized f-list: a < B < b1 < c < D (Fig. 2).
+    vocab.AddItem("a");
+    vocab.AddItem("B");
+    vocab.AddItemWithParent("b1", "B");
+    vocab.AddItem("c");
+    vocab.AddItem("D");
+    vocab.AddItemWithParent("b2", "B");
+    vocab.AddItemWithParent("b3", "B");
+    vocab.AddItemWithParent("b11", "b1");
+    vocab.AddItemWithParent("b12", "b1");
+    vocab.AddItemWithParent("b13", "b1");
+    vocab.AddItemWithParent("d1", "D");
+    vocab.AddItemWithParent("d2", "D");
+    vocab.AddItem("e");
+    vocab.AddItem("f");
+    raw_db = {
+        Seq({"a", "b1", "a", "b1"}),        // T1
+        Seq({"a", "b3", "c", "c", "b2"}),   // T2
+        Seq({"a", "c"}),                    // T3
+        Seq({"b11", "a", "e", "a"}),        // T4
+        Seq({"a", "b12", "d1", "c"}),       // T5
+        Seq({"b13", "f", "d2"}),            // T6
+    };
+    raw_hierarchy = vocab.BuildHierarchy();
+    pre = Preprocess(raw_db, raw_hierarchy);
+  }
+
+  Sequence Seq(const std::vector<std::string>& names) {
+    Sequence seq;
+    for (const std::string& name : names) seq.push_back(vocab.AddItem(name));
+    return seq;
+  }
+
+  /// Item rank by name (valid after preprocessing).
+  ItemId Rank(const std::string& name) const {
+    return pre.rank_of_raw[vocab.Lookup(name)];
+  }
+
+  /// Builds a rank-space sequence from names.
+  Sequence RankSeq(const std::vector<std::string>& names) const {
+    Sequence seq;
+    for (const std::string& name : names) seq.push_back(Rank(name));
+    return seq;
+  }
+
+  /// The expected output for sigma=2, gamma=1, lambda=3 (Sec. 2), keyed in
+  /// rank space.
+  PatternMap ExpectedOutput() const {
+    PatternMap expected;
+    auto add = [&](const std::vector<std::string>& names, Frequency f) {
+      expected.emplace(RankSeq(names), f);
+    };
+    add({"a", "a"}, 2);
+    add({"a", "b1"}, 2);
+    add({"b1", "a"}, 2);
+    add({"a", "B"}, 3);
+    add({"B", "a"}, 2);
+    add({"a", "B", "c"}, 2);
+    add({"B", "c"}, 2);
+    add({"a", "c"}, 2);
+    add({"b1", "D"}, 2);
+    add({"B", "D"}, 2);
+    return expected;
+  }
+};
+
+/// A random forest hierarchy over `num_items` items in *rank-monotone* form
+/// (parent < child), suitable for direct use by miners and rewrites.
+inline Hierarchy RandomRankHierarchy(size_t num_items, double root_prob,
+                                     Rng* rng) {
+  std::vector<ItemId> parent(num_items + 1, kInvalidItem);
+  for (ItemId w = 2; w <= num_items; ++w) {
+    if (!rng->Bernoulli(root_prob)) {
+      parent[w] = static_cast<ItemId>(1 + rng->Uniform(w - 1));
+    }
+  }
+  return Hierarchy(std::move(parent));
+}
+
+/// A random database over items `1..num_items` (rank space).
+inline Database RandomDatabase(size_t num_sequences, size_t max_length,
+                               size_t num_items, Rng* rng) {
+  Database db(num_sequences);
+  for (Sequence& t : db) {
+    size_t len = 1 + rng->Uniform(max_length);
+    for (size_t i = 0; i < len; ++i) {
+      t.push_back(static_cast<ItemId>(1 + rng->Uniform(num_items)));
+    }
+  }
+  return db;
+}
+
+/// Sorted-vector view for readable gtest failure output.
+inline std::vector<std::pair<Sequence, Frequency>> Sorted(const PatternMap& m) {
+  return SortedPatterns(m);
+}
+
+}  // namespace lash::testing
+
+#endif  // LASH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,128 @@
+#include "util/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace lash {
+namespace {
+
+TEST(VarintTest, RoundTrip32) {
+  const uint32_t values[] = {0,    1,    127,        128,
+                             300,  16383, 16384,     (1u << 28) - 1,
+                             1u << 28, std::numeric_limits<uint32_t>::max()};
+  for (uint32_t v : values) {
+    std::string buffer;
+    PutVarint32(&buffer, v);
+    EXPECT_EQ(buffer.size(), Varint32Size(v));
+    size_t pos = 0;
+    uint32_t decoded = 0;
+    ASSERT_TRUE(GetVarint32(buffer, &pos, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(pos, buffer.size());
+  }
+}
+
+TEST(VarintTest, RoundTrip64) {
+  const uint64_t values[] = {0, 1, 127, 128, 1ull << 35, 1ull << 62,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buffer;
+    PutVarint64(&buffer, v);
+    EXPECT_EQ(buffer.size(), Varint64Size(v));
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(buffer, &pos, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, SizeGrowsWithValue) {
+  EXPECT_EQ(Varint32Size(0), 1u);
+  EXPECT_EQ(Varint32Size(127), 1u);
+  EXPECT_EQ(Varint32Size(128), 2u);
+  EXPECT_EQ(Varint32Size(1u << 14), 3u);
+  EXPECT_EQ(Varint32Size(std::numeric_limits<uint32_t>::max()), 5u);
+}
+
+TEST(VarintTest, TruncatedInputRejected) {
+  std::string buffer;
+  PutVarint32(&buffer, 300);
+  buffer.pop_back();
+  size_t pos = 0;
+  uint32_t decoded = 0;
+  EXPECT_FALSE(GetVarint32(buffer, &pos, &decoded));
+}
+
+TEST(VarintTest, MalformedOverlongRejected) {
+  std::string buffer(6, static_cast<char>(0x80));  // Never terminates.
+  size_t pos = 0;
+  uint32_t decoded = 0;
+  EXPECT_FALSE(GetVarint32(buffer, &pos, &decoded));
+}
+
+TEST(VarintTest, SequenceRoundTrip) {
+  Sequence seq = {1, 5, 1000, 42, kBlank};
+  std::string buffer;
+  EncodeSequence(&buffer, seq);
+  EXPECT_EQ(buffer.size(), EncodedSequenceSize(seq));
+  size_t pos = 0;
+  Sequence decoded;
+  ASSERT_TRUE(DecodeSequence(buffer, &pos, &decoded));
+  EXPECT_EQ(decoded, seq);
+}
+
+TEST(VarintTest, EmptySequenceRoundTrip) {
+  Sequence seq;
+  std::string buffer;
+  EncodeSequence(&buffer, seq);
+  size_t pos = 0;
+  Sequence decoded = {9};
+  ASSERT_TRUE(DecodeSequence(buffer, &pos, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(VarintTest, RewrittenSequenceRoundTrip) {
+  Sequence seq = {3, kBlank, kBlank, 1, kBlank, 2};
+  std::string buffer;
+  EncodeRewrittenSequence(&buffer, seq);
+  EXPECT_EQ(buffer.size(), EncodedRewrittenSequenceSize(seq));
+  size_t pos = 0;
+  Sequence decoded;
+  ASSERT_TRUE(DecodeRewrittenSequence(buffer, &pos, &decoded));
+  EXPECT_EQ(decoded, seq);
+}
+
+TEST(VarintTest, BlanksAreCheap) {
+  // A run of blanks costs two bytes regardless of length (Sec. 4.2: blanks
+  // can be represented compactly), whereas plain encoding pays 5 bytes each.
+  Sequence many_blanks = {1};
+  many_blanks.insert(many_blanks.end(), 100, kBlank);
+  many_blanks.push_back(2);
+  EXPECT_LE(EncodedRewrittenSequenceSize(many_blanks), 6u);
+  EXPECT_GE(EncodedSequenceSize(many_blanks), 500u);
+}
+
+TEST(VarintTest, RandomSequencesRoundTrip) {
+  Rng rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    Sequence seq;
+    size_t len = rng.Uniform(20);
+    for (size_t i = 0; i < len; ++i) {
+      seq.push_back(rng.Bernoulli(0.3) ? kBlank
+                                       : static_cast<ItemId>(1 + rng.Uniform(1000)));
+    }
+    std::string buffer;
+    EncodeRewrittenSequence(&buffer, seq);
+    size_t pos = 0;
+    Sequence decoded;
+    ASSERT_TRUE(DecodeRewrittenSequence(buffer, &pos, &decoded));
+    EXPECT_EQ(decoded, seq);
+    EXPECT_EQ(pos, buffer.size());
+  }
+}
+
+}  // namespace
+}  // namespace lash

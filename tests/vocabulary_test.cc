@@ -1,0 +1,81 @@
+#include "core/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace lash {
+namespace {
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary vocab;
+  ItemId a = vocab.AddItem("alpha");
+  ItemId b = vocab.AddItem("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.AddItem("alpha"), a);  // Idempotent.
+  EXPECT_EQ(vocab.Lookup("alpha"), a);
+  EXPECT_EQ(vocab.Lookup("missing"), kInvalidItem);
+  EXPECT_EQ(vocab.Name(a), "alpha");
+  EXPECT_EQ(vocab.NumItems(), 2u);
+}
+
+TEST(VocabularyTest, IdsStartAtOne) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.AddItem("first"), 1u);
+  EXPECT_EQ(vocab.NumItems(), 1u);
+}
+
+TEST(VocabularyTest, ParentRegistration) {
+  Vocabulary vocab;
+  ItemId child = vocab.AddItemWithParent("child", "parent");
+  EXPECT_EQ(vocab.Parent(child), vocab.Lookup("parent"));
+  EXPECT_EQ(vocab.Parent(vocab.Lookup("parent")), kInvalidItem);
+  // Re-registering the same relation is fine.
+  EXPECT_EQ(vocab.AddItemWithParent("child", "parent"), child);
+}
+
+TEST(VocabularyTest, ConflictingParentRejected) {
+  Vocabulary vocab;
+  vocab.AddItemWithParent("child", "parent1");
+  EXPECT_THROW(vocab.AddItemWithParent("child", "parent2"),
+               std::invalid_argument);
+}
+
+TEST(VocabularyTest, SelfParentRejected) {
+  Vocabulary vocab;
+  EXPECT_THROW(vocab.AddItemWithParent("x", "x"), std::invalid_argument);
+}
+
+TEST(VocabularyTest, ParentDeclaredAfterChildUse) {
+  Vocabulary vocab;
+  vocab.AddItem("leaf");
+  vocab.AddItemWithParent("leaf", "root");
+  Hierarchy h = vocab.BuildHierarchy();
+  EXPECT_TRUE(h.GeneralizesTo(vocab.Lookup("leaf"), vocab.Lookup("root")));
+}
+
+TEST(VocabularyTest, BuildHierarchyDetectsCycles) {
+  Vocabulary vocab;
+  vocab.AddItemWithParent("a", "b");
+  vocab.AddItemWithParent("b", "a");
+  EXPECT_THROW(vocab.BuildHierarchy(), std::invalid_argument);
+}
+
+TEST(DatabaseStatsTest, ComputesTable1Fields) {
+  Database db = {{1, 2, 3}, {1}, {2, 2, 2, 2}};
+  DatasetStats stats = ComputeStats(db);
+  EXPECT_EQ(stats.num_sequences, 3u);
+  EXPECT_EQ(stats.total_items, 8u);
+  EXPECT_EQ(stats.max_length, 4u);
+  EXPECT_EQ(stats.unique_items, 3u);
+  EXPECT_NEAR(stats.avg_length, 8.0 / 3, 1e-9);
+}
+
+TEST(DatabaseStatsTest, EmptyDatabase) {
+  DatasetStats stats = ComputeStats({});
+  EXPECT_EQ(stats.num_sequences, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_length, 0.0);
+}
+
+}  // namespace
+}  // namespace lash

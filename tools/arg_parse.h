@@ -1,0 +1,58 @@
+#ifndef LASH_TOOLS_ARG_PARSE_H_
+#define LASH_TOOLS_ARG_PARSE_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+namespace lash::tools {
+
+/// Minimal `--flag value` / `--flag` parser shared by the CLI tools.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << arg << "\n";
+        std::exit(2);
+      }
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      std::cerr << "missing required flag --" << key << "\n";
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace lash::tools
+
+#endif  // LASH_TOOLS_ARG_PARSE_H_

@@ -1,0 +1,77 @@
+// lash_gen — generate the synthetic benchmark datasets to files.
+//
+// Usage:
+//   lash_gen --kind nyt  --out PREFIX [--sentences N] [--hierarchy L|P|LP|CLP]
+//            [--seed N]
+//   lash_gen --kind amzn --out PREFIX [--sessions N] [--levels 2..8] [--seed N]
+//
+// Writes PREFIX.sequences.txt and PREFIX.hierarchy.tsv in the io/text_io.h
+// formats, ready for lash_mine.
+
+#include <fstream>
+#include <iostream>
+
+#include "datagen/product_gen.h"
+#include "datagen/text_gen.h"
+#include "io/text_io.h"
+#include "tools/arg_parse.h"
+
+int main(int argc, char** argv) {
+  using namespace lash;
+  tools::Args args(argc, argv);
+  if (args.Has("help")) {
+    std::cout << "lash_gen --kind nyt|amzn --out PREFIX [--sentences N] "
+                 "[--sessions N] [--hierarchy L|P|LP|CLP] [--levels N] "
+                 "[--seed N]\n";
+    return 0;
+  }
+  std::string kind = args.Require("kind");
+  std::string prefix = args.Require("out");
+
+  Database db;
+  Vocabulary vocab;
+  if (kind == "nyt") {
+    TextGenConfig config;
+    config.num_sentences = args.GetInt("sentences", 20000);
+    config.seed = args.GetInt("seed", 42);
+    std::string h = args.Get("hierarchy", "CLP");
+    if (h == "L") {
+      config.hierarchy = TextHierarchy::kL;
+    } else if (h == "P") {
+      config.hierarchy = TextHierarchy::kP;
+    } else if (h == "LP") {
+      config.hierarchy = TextHierarchy::kLP;
+    } else if (h == "CLP") {
+      config.hierarchy = TextHierarchy::kCLP;
+    } else {
+      std::cerr << "unknown --hierarchy (use L|P|LP|CLP)\n";
+      return 2;
+    }
+    GeneratedText data = GenerateText(config);
+    db = std::move(data.database);
+    vocab = std::move(data.vocabulary);
+  } else if (kind == "amzn") {
+    ProductGenConfig config;
+    config.num_sessions = args.GetInt("sessions", 20000);
+    config.levels = static_cast<int>(args.GetInt("levels", 8));
+    config.seed = args.GetInt("seed", 7);
+    GeneratedProducts data = GenerateProducts(config);
+    db = std::move(data.database);
+    vocab = std::move(data.vocabulary);
+  } else {
+    std::cerr << "unknown --kind (use nyt|amzn)\n";
+    return 2;
+  }
+
+  std::ofstream dbf(prefix + ".sequences.txt");
+  std::ofstream hf(prefix + ".hierarchy.tsv");
+  if (!dbf || !hf) {
+    std::cerr << "cannot open output files\n";
+    return 1;
+  }
+  WriteDatabase(dbf, db, vocab);
+  WriteHierarchy(hf, vocab);
+  std::cerr << "wrote " << db.size() << " sequences and " << vocab.NumItems()
+            << " items to " << prefix << ".{sequences.txt,hierarchy.tsv}\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// lash_mine — mine generalized frequent sequences from text files.
+//
+// Usage:
+//   lash_mine --sequences data.txt --hierarchy hier.tsv \
+//             [--sigma 100] [--gamma 0] [--lambda 5] \
+//             [--miner psm+index|psm|dfs|bfs] [--distributed] \
+//             [--filter none|closed|maximal] [--top K] [--output out.txt]
+//
+// Input formats (io/text_io.h): one sequence per line of item names;
+// hierarchy as child<TAB>parent lines. Output: frequency<TAB>pattern lines.
+
+#include <fstream>
+#include <iostream>
+
+#include "algo/lash.h"
+#include "algo/sequential.h"
+#include "io/text_io.h"
+#include "stats/filters.h"
+#include "tools/arg_parse.h"
+
+int main(int argc, char** argv) {
+  using namespace lash;
+  tools::Args args(argc, argv);
+  if (args.Has("help")) {
+    std::cout << "lash_mine --sequences FILE --hierarchy FILE [--sigma N] "
+                 "[--gamma N] [--lambda N] [--miner NAME] [--distributed] "
+                 "[--filter none|closed|maximal] [--top K] [--output FILE]\n";
+    return 0;
+  }
+
+  Vocabulary vocab;
+  {
+    std::ifstream hf(args.Require("hierarchy"));
+    if (!hf) {
+      std::cerr << "cannot open hierarchy file\n";
+      return 1;
+    }
+    ReadHierarchy(hf, &vocab);
+  }
+  Database db;
+  {
+    std::ifstream dbf(args.Require("sequences"));
+    if (!dbf) {
+      std::cerr << "cannot open sequences file\n";
+      return 1;
+    }
+    db = ReadDatabase(dbf, &vocab);
+  }
+  std::cerr << "read " << db.size() << " sequences, " << vocab.NumItems()
+            << " items\n";
+
+  GsmParams params;
+  params.sigma = args.GetInt("sigma", 100);
+  params.gamma = static_cast<uint32_t>(args.GetInt("gamma", 0));
+  params.lambda = static_cast<uint32_t>(args.GetInt("lambda", 5));
+  params.Validate();
+  MinerKind miner = ParseMinerKind(args.Get("miner", "psm+index"));
+
+  PreprocessResult pre;
+  PatternMap patterns;
+  JobConfig config;
+  if (args.Has("distributed")) {
+    pre = PreprocessWithJob(db, vocab.BuildHierarchy(), config);
+    LashOptions options;
+    options.miner = miner;
+    AlgoResult result = RunLash(pre, params, config, options);
+    patterns = std::move(result.patterns);
+    std::cerr << "map " << result.job.times.map_ms << " ms, shuffle "
+              << result.job.times.shuffle_ms << " ms, reduce "
+              << result.job.times.reduce_ms << " ms, "
+              << result.job.counters.map_output_bytes << " bytes shuffled\n";
+  } else {
+    pre = Preprocess(db, vocab.BuildHierarchy());
+    patterns = MineSequential(pre, params, miner);
+  }
+  std::cerr << "mined " << patterns.size() << " patterns\n";
+
+  std::string filter = args.Get("filter", "none");
+  if (filter == "closed") {
+    patterns = FilterClosed(patterns, pre.hierarchy);
+  } else if (filter == "maximal") {
+    patterns = FilterMaximal(patterns, pre.hierarchy);
+  } else if (filter != "none") {
+    std::cerr << "unknown --filter (use none|closed|maximal)\n";
+    return 2;
+  }
+  if (args.Has("top")) {
+    auto top = TopK(patterns, args.GetInt("top", 10));
+    patterns = PatternMap(top.begin(), top.end());
+  }
+
+  auto name_of = [&](ItemId rank) { return vocab.Name(pre.raw_of_rank[rank]); };
+  if (args.Has("output")) {
+    std::ofstream out(args.Get("output", ""));
+    WritePatterns(out, patterns, name_of);
+  } else {
+    WritePatterns(std::cout, patterns, name_of);
+  }
+  return 0;
+}
