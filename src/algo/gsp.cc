@@ -65,7 +65,7 @@ PatternMap RunGspExtended(const PreprocessResult& pre, const GsmParams& params,
     e.reserve(t.size());
     for (ItemId w : t) {
       Itemset itemset;
-      for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+      for (ItemId a : h.AncestorSpan(w)) {
         if (a <= num_frequent) itemset.push_back(a);
       }
       std::sort(itemset.begin(), itemset.end());

@@ -35,7 +35,7 @@ AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
         // chain; dedup via sort at the end (chains are short).
         Sequence pivots;
         for (ItemId w : t) {
-          for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+          for (ItemId a : h.AncestorSpan(w)) {
             if (a <= num_frequent) pivots.push_back(a);
             // Ancestors of an already-seen item repeat; the sort+unique
             // below removes them.

@@ -31,7 +31,7 @@ AlgoResult RunSemiNaiveGsm(const PreprocessResult& pre, const GsmParams& params,
         pruned.reserve(t.size());
         for (ItemId w : t) {
           ItemId replacement = kBlank;
-          for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+          for (ItemId a : h.AncestorSpan(w)) {
             if (a <= num_frequent) {
               replacement = a;
               break;

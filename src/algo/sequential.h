@@ -1,6 +1,8 @@
 #ifndef LASH_ALGO_SEQUENTIAL_H_
 #define LASH_ALGO_SEQUENTIAL_H_
 
+#include <cstddef>
+
 #include "core/flist.h"
 #include "core/params.h"
 #include "miner/miner.h"
@@ -14,14 +16,39 @@ namespace lash {
 /// This is the entry point for library users who just want the algorithm —
 /// e.g. to embed hierarchy-aware sequence mining inside another system —
 /// and it is what the paper calls running the "customized GSM algorithm"
-/// directly (Sec. 5). Memory never holds more than one partition.
+/// directly (Sec. 5). Memory never holds more than one partition per
+/// worker.
+///
+/// Pivots are independent, so partitions are mined in parallel on a
+/// ThreadPool: `num_threads` workers claim pivots from a shared atomic
+/// counter, each mines into its own PatternMap with its own Rewriter and
+/// local miner, and the per-worker maps are merged at the end (pivot
+/// outputs are disjoint, so the result is identical to a serial run).
+/// `num_threads == 0` (the default) uses the hardware concurrency;
+/// `num_threads == 1` runs inline without spawning workers.
 ///
 /// `pre` must come from Preprocess()/PreprocessWithJob(). Returns patterns
 /// in rank-id space with their frequencies; `stats`, if non-null, receives
 /// the local miners' search-space accounting.
 PatternMap MineSequential(const PreprocessResult& pre, const GsmParams& params,
                           MinerKind miner = MinerKind::kPsmIndex,
-                          MinerStats* stats = nullptr);
+                          MinerStats* stats = nullptr, size_t num_threads = 0);
+
+class Rewriter;
+
+/// One pass over the data builds the pivot -> transactions index: for every
+/// frequent pivot w, the tids whose transaction contains w or a descendant
+/// (the frequent part of G1(T) per transaction, Sec. 3.3). Shared by
+/// MineSequential and the hot-path bench so both partition identically.
+std::vector<std::vector<uint32_t>> BuildPivotIndex(const PreprocessResult& pre,
+                                                   ItemId num_frequent);
+
+/// Builds the aggregated partition P_w of one pivot: rewrites the relevant
+/// transactions and merges identical rewrites with weights (Sec. 4.4).
+/// Returns an empty partition if no rewrite survives.
+Partition BuildPivotPartition(const PreprocessResult& pre,
+                              const Rewriter& rewriter, ItemId pivot,
+                              const std::vector<uint32_t>& tids);
 
 }  // namespace lash
 

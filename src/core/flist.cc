@@ -11,7 +11,7 @@ void CollectGeneralizedItems(const Sequence& t, const Hierarchy& h,
                              std::vector<ItemId>* out) {
   for (ItemId w : t) {
     if (!IsItem(w)) continue;
-    for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+    for (ItemId a : h.AncestorSpan(w)) {
       if ((*scratch)[a] == epoch) break;  // This ancestor chain is done.
       (*scratch)[a] = epoch;
       out->push_back(a);

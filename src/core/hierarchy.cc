@@ -1,7 +1,10 @@
 #include "core/hierarchy.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace lash {
 
@@ -37,19 +40,74 @@ Hierarchy::Hierarchy(std::vector<ItemId> parent) : parent_(std::move(parent)) {
   for (size_t w = 1; w <= n; ++w) {
     if (parent_[w] != kInvalidItem) is_leaf_[parent_[w]] = false;
   }
+
+  // Children lists in CSR form, used to run the Euler tour below.
+  std::vector<uint32_t> child_off(n + 2, 0);
+  for (size_t w = 1; w <= n; ++w) {
+    if (parent_[w] != kInvalidItem) ++child_off[parent_[w] + 1];
+  }
+  for (size_t w = 1; w <= n + 1; ++w) child_off[w] += child_off[w - 1];
+  std::vector<ItemId> child_items(child_off[n + 1]);
+  {
+    std::vector<uint32_t> cursor(child_off.begin(), child_off.end() - 1);
+    for (size_t w = 1; w <= n; ++w) {
+      if (parent_[w] != kInvalidItem) {
+        child_items[cursor[parent_[w]]++] = static_cast<ItemId>(w);
+      }
+    }
+  }
+
+  // Euler-tour interval labels: an iterative DFS from every root assigns
+  // tin at discovery and tout one past the subtree's last label, so
+  // "anc is an ancestor-or-self of w" <=> tin[anc] <= tin[w] < tout[anc].
+  tin_.assign(n + 1, 0);
+  tout_.assign(n + 1, 0);
+  {
+    uint32_t clock = 0;
+    std::vector<std::pair<ItemId, uint32_t>> stack;  // (item, next child idx).
+    for (size_t r = 1; r <= n; ++r) {
+      if (parent_[r] != kInvalidItem) continue;
+      stack.emplace_back(static_cast<ItemId>(r), 0);
+      tin_[r] = clock++;
+      while (!stack.empty()) {
+        auto& [w, next] = stack.back();
+        if (next < child_off[w + 1] - child_off[w]) {
+          ItemId c = child_items[child_off[w] + next++];
+          tin_[c] = clock++;
+          stack.emplace_back(c, 0);
+        } else {
+          tout_[w] = clock;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // CSR-packed ancestor chains (self first, root last). Total size is
+  // sum over items of depth+1; chains are built by one walk each, after
+  // which the hot path never follows parent pointers again.
+  uint64_t total_chain = 0;
+  for (size_t w = 1; w <= n; ++w) total_chain += depth_[w] + 1;
+  if (total_chain > std::numeric_limits<uint32_t>::max()) {
+    // Would overflow the 32-bit CSR offsets (and cost tens of GB): fail
+    // loudly; such pathologically deep hierarchies never arise in practice.
+    throw std::invalid_argument("Hierarchy: ancestor chain table too large");
+  }
+  anc_offsets_.assign(n + 2, 0);
+  for (size_t w = 1; w <= n; ++w) {
+    anc_offsets_[w + 1] = anc_offsets_[w] + static_cast<uint32_t>(depth_[w] + 1);
+  }
+  anc_items_.resize(anc_offsets_[n + 1]);
+  for (size_t w = 1; w <= n; ++w) {
+    uint32_t pos = anc_offsets_[w];
+    for (ItemId a = static_cast<ItemId>(w); a != kInvalidItem; a = parent_[a]) {
+      anc_items_[pos++] = a;
+    }
+  }
 }
 
 Hierarchy Hierarchy::Flat(size_t num_items) {
   return Hierarchy(std::vector<ItemId>(num_items + 1, kInvalidItem));
-}
-
-bool Hierarchy::GeneralizesTo(ItemId w, ItemId anc) const {
-  for (ItemId a = w; a != kInvalidItem; a = parent_[a]) {
-    if (a == anc) return true;
-    // In rank space ancestors only get smaller; but we must stay correct for
-    // raw-space hierarchies too, so walk all the way up.
-  }
-  return false;
 }
 
 bool Hierarchy::IsRankMonotone() const {

@@ -2,6 +2,8 @@
 #define LASH_CORE_HIERARCHY_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/types.h"
@@ -16,6 +18,12 @@ namespace lash {
 /// (arbitrary parent ids) and the *rank* space produced by preprocessing
 /// (Sec. 3.4), in which `Parent(w) < w` holds for every non-root item; the
 /// latter invariant can be checked with IsRankMonotone().
+///
+/// Construction precomputes two flat indexes for the mining hot path:
+///   * Euler-tour interval labels `tin/tout` over the forest, making
+///     GeneralizesTo an O(1) range containment test, and
+///   * a CSR packing of every ancestor chain (self first, root last), so
+///     ancestor iteration is a contiguous scan instead of a pointer walk.
 class Hierarchy {
  public:
   /// Builds a hierarchy from a parent array. `parent[0]` is ignored (item 0
@@ -49,12 +57,33 @@ class Hierarchy {
   int NumLevels() const { return max_depth_ + 1; }
 
   /// True iff `w →* anc`, i.e. `anc` equals `w` or is an ancestor of it.
-  bool GeneralizesTo(ItemId w, ItemId anc) const;
+  /// O(1): an Euler-tour interval containment test.
+  bool GeneralizesTo(ItemId w, ItemId anc) const {
+    if (w == anc) return true;
+    const size_t n = parent_.size() - 1;
+    if (w - 1 >= n || anc - 1 >= n) return false;  // 0 and out-of-range ids.
+    return tin_[anc] <= tin_[w] && tin_[w] < tout_[anc];
+  }
+
+  /// Euler-tour entry label of `w` (DFS discovery index over the forest).
+  /// `u` is an ancestor-or-self of `w` iff `Tin(u) <= Tin(w) < Tout(u)`.
+  uint32_t Tin(ItemId w) const { return tin_[w]; }
+
+  /// Euler-tour exit label of `w` (one past the last label in w's subtree).
+  uint32_t Tout(ItemId w) const { return tout_[w]; }
+
+  /// The ancestor chain of `w` — `w` itself first, then each ancestor, root
+  /// last — as a contiguous view into the CSR-packed chain array. Valid for
+  /// `1 <= w <= NumItems()`.
+  std::span<const ItemId> AncestorSpan(ItemId w) const {
+    return {anc_items_.data() + anc_offsets_[w],
+            anc_items_.data() + anc_offsets_[w + 1]};
+  }
 
   /// Invokes `fn(a)` for `w` itself and then each ancestor, root last.
   template <typename Fn>
   void ForEachAncestorOrSelf(ItemId w, Fn fn) const {
-    for (ItemId a = w; a != kInvalidItem; a = parent_[a]) fn(a);
+    for (ItemId a : AncestorSpan(w)) fn(a);
   }
 
   /// True iff `Parent(w) < w` for every non-root item — the invariant
@@ -83,6 +112,13 @@ class Hierarchy {
   std::vector<int> depth_;
   std::vector<bool> is_leaf_;
   int max_depth_ = 0;
+  // Euler-tour interval labels; index 0 unused.
+  std::vector<uint32_t> tin_;
+  std::vector<uint32_t> tout_;
+  // CSR-packed ancestor chains: chain of w is
+  // anc_items_[anc_offsets_[w] .. anc_offsets_[w+1]).
+  std::vector<uint32_t> anc_offsets_;
+  std::vector<ItemId> anc_items_;
 };
 
 }  // namespace lash

@@ -85,14 +85,14 @@ std::vector<Embedding> MatchEmbeddings(const Sequence& s, const Sequence& t,
       if (!IsItem(t[i]) || !h.GeneralizesTo(t[i], s[j])) continue;
       const size_t window = static_cast<size_t>(gamma) + 1;
       size_t lo = i >= window ? i - window : 0;
+      // Concatenate the window's start lists, then sort+unique once —
+      // repeated pairwise set_union is quadratic in the window's total size.
       std::vector<uint32_t> merged;
       for (size_t p = lo; p < i; ++p) {
-        if (starts[p].empty()) continue;
-        std::vector<uint32_t> tmp;
-        std::set_union(merged.begin(), merged.end(), starts[p].begin(),
-                       starts[p].end(), std::back_inserter(tmp));
-        merged.swap(tmp);
+        merged.insert(merged.end(), starts[p].begin(), starts[p].end());
       }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
       next[i] = std::move(merged);
     }
     starts.swap(next);

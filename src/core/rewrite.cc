@@ -24,11 +24,11 @@ Sequence Rewriter::Generalize(const Sequence& t, ItemId pivot) const {
       out.push_back(w);
       continue;
     }
-    // Walk up; ancestor ranks strictly decrease, so the first ancestor with
-    // rank <= pivot is the most specific ("largest") sufficiently small one.
+    // Scan the packed chain above w; ancestor ranks strictly decrease, so
+    // the first ancestor with rank <= pivot is the most specific
+    // ("largest") sufficiently small one.
     ItemId replacement = kBlank;
-    for (ItemId a = hierarchy_->Parent(w); a != kInvalidItem;
-         a = hierarchy_->Parent(a)) {
+    for (ItemId a : hierarchy_->AncestorSpan(w).subspan(1)) {
       if (a <= pivot) {
         replacement = a;
         break;

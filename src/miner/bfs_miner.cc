@@ -45,8 +45,8 @@ PatternMap BfsMiner::Mine(const Partition& partition, ItemId pivot,
         size_t hi = std::min(t.size(), i + static_cast<size_t>(params_.gamma) + 2);
         for (size_t j = i + 1; j < hi; ++j) {
           if (!IsItem(t[j])) continue;
-          for (ItemId a = t[i]; a != kInvalidItem; a = h.Parent(a)) {
-            for (ItemId b = t[j]; b != kInvalidItem; b = h.Parent(b)) {
+          for (ItemId a : h.AncestorSpan(t[i])) {
+            for (ItemId b : h.AncestorSpan(t[j])) {
               pair[0] = a;
               pair[1] = b;
               per_transaction.insert(pair);

@@ -34,7 +34,7 @@ class DfsRun {
       const Sequence& t = partition_.sequences[tid];
       for (uint32_t pos = 0; pos < t.size(); ++pos) {
         if (!IsItem(t[pos])) continue;
-        for (ItemId a = t[pos]; a != kInvalidItem; a = h_.Parent(a)) {
+        for (ItemId a : h_.AncestorSpan(t[pos])) {
           ProjectedDb& db = by_item[a];
           if (db.empty() || db.back().tid != tid) {
             db.push_back(Posting{tid, {}});
@@ -84,7 +84,7 @@ class DfsRun {
       for (uint32_t j : windows) {
         const ItemId item = t[j];
         if (!IsItem(item)) continue;
-        for (ItemId a = item; a != kInvalidItem; a = h_.Parent(a)) {
+        for (ItemId a : h_.AncestorSpan(item)) {
           ProjectedDb& edb = expansions[a];
           if (edb.empty() || edb.back().tid != posting.tid) {
             edb.push_back(Posting{posting.tid, {}});

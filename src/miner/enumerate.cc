@@ -26,7 +26,7 @@ class Enumerator {
   void ExtendAt(size_t i, bool pivot_seen) {
     if (!IsItem(t_[i])) return;
     ItemId item = t_[i];
-    for (ItemId a = item; a != kInvalidItem; a = h_.Parent(a)) {
+    for (ItemId a : h_.AncestorSpan(item)) {
       if (pivot_ != kInvalidItem && a > pivot_) continue;
       bool now_pivot = pivot_seen || a == pivot_;
       current_.push_back(a);

@@ -1,28 +1,152 @@
 #include "miner/psm.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_set>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
-#include "core/match.h"
-
 namespace lash {
+
+namespace psm_internal {
+
+void SortUniqueEvents(std::vector<ExpansionEvent>* events, size_t from) {
+  auto first = events->begin() + static_cast<ptrdiff_t>(from);
+  std::sort(first, events->end());
+  events->erase(std::unique(first, events->end()), events->end());
+}
+
+void EventRegrouper::Prepare(size_t num_items) {
+  if (item_epoch_.size() < num_items) {
+    item_epoch_.assign(num_items, 0);
+    item_count_.resize(num_items);
+    item_cursor_.resize(num_items);
+    epoch_ = 0;
+  }
+}
+
+size_t EventRegrouper::Regroup(std::vector<ExpansionEvent>* events,
+                               size_t from,
+                               const std::vector<Frequency>& weights,
+                               std::vector<EventGroup>* groups) {
+  const size_t end = events->size();
+  if (from == end) return from;
+  ExpansionEvent* ev = events->data();
+
+  // Count events per item; `touched_` records the distinct items so the
+  // counter arrays never need a full clear (epoch-based lazy reset).
+  ++epoch_;
+  touched_.clear();
+  for (size_t i = from; i < end; ++i) {
+    ItemId a = ev[i].item;
+    if (item_epoch_[a] != epoch_) {
+      item_epoch_[a] = epoch_;
+      item_count_[a] = 0;
+      touched_.push_back(a);
+    }
+    ++item_count_[a];
+  }
+
+  // Bucket offsets in ascending item order, then a stable scatter: within a
+  // bucket the generation order survives, so tids stay nondecreasing and
+  // each (item, tid) posting is a contiguous run.
+  std::sort(touched_.begin(), touched_.end());
+  uint32_t offset = 0;
+  for (ItemId a : touched_) {
+    item_cursor_[a] = offset;
+    offset += item_count_[a];
+  }
+  if (scratch_.size() < end - from) scratch_.resize(end - from);
+  for (size_t i = from; i < end; ++i) {
+    scratch_[item_cursor_[ev[i].item]++] = ev[i];
+  }
+
+  // Copy back bucket by bucket, sorting and deduplicating the embeddings of
+  // each (item, tid) run — runs are per-transaction and tiny, so this is
+  // the only comparison sorting left in the pipeline. The same pass
+  // accumulates each group's weighted document frequency (one weight per
+  // tid run), so the caller's support test needs no further scan.
+  size_t write = from;
+  size_t pos = 0;
+  for (ItemId a : touched_) {
+    const size_t bucket_end = pos + item_count_[a];
+    EventGroup group{a, write, write, 0};
+    while (pos < bucket_end) {
+      size_t run_end = pos + 1;
+      const uint32_t tid = scratch_[pos].tid;
+      while (run_end < bucket_end && scratch_[run_end].tid == tid) ++run_end;
+      group.weight += weights[tid];
+      if (run_end - pos == 1) {
+        ev[write++] = scratch_[pos];
+      } else {
+        if (run_end - pos > 2) {
+          std::sort(scratch_.begin() + static_cast<ptrdiff_t>(pos),
+                    scratch_.begin() + static_cast<ptrdiff_t>(run_end),
+                    [](const ExpansionEvent& x, const ExpansionEvent& y) {
+                      return x.emb < y.emb;
+                    });
+        } else if (scratch_[pos + 1].emb < scratch_[pos].emb) {
+          std::swap(scratch_[pos], scratch_[pos + 1]);
+        }
+        for (size_t k = pos; k < run_end; ++k) {
+          if (k == pos || scratch_[k].emb != scratch_[k - 1].emb) {
+            ev[write++] = scratch_[k];
+          }
+        }
+      }
+      pos = run_end;
+    }
+    group.end = write;
+    groups->push_back(group);
+  }
+  events->resize(write);
+  return write;
+}
+
+}  // namespace psm_internal
 
 namespace {
 
-// Support set of a pattern: per supporting transaction, the distinct
-// (start, end) pairs over embeddings.
-struct PsmPosting {
-  uint32_t tid;
-  std::vector<Embedding> embeddings;
-};
-using PsmDb = std::vector<PsmPosting>;
+using psm_internal::EventGroup;
+using psm_internal::EventRegrouper;
+using psm_internal::ExpansionEvent;
 
-// Per-left-node memo for PSM+Index: allowed[d] = union of frequent expansion
-// items at right-expansion depth d (0-based) in this node's right subtree.
-using RightIndex = std::vector<std::unordered_set<ItemId>>;
+// A fixed-capacity bitset over item ids 1..pivot with a population counter;
+// the PSM+Index right index stores one per right-expansion depth. Replaces
+// the unordered_set<ItemId> of the original implementation: membership is a
+// shift+mask instead of a hash probe.
+class ItemBitset {
+ public:
+  void Reset(size_t num_items) {
+    bits_.assign((num_items >> 6) + 1, 0);
+    count_ = 0;
+  }
+  void Set(ItemId w) {
+    uint64_t mask = uint64_t{1} << (w & 63);
+    uint64_t& word = bits_[w >> 6];
+    count_ += (word & mask) == 0;
+    word |= mask;
+  }
+  bool Test(ItemId w) const { return (bits_[w >> 6] >> (w & 63)) & 1; }
+  bool Empty() const { return count_ == 0; }
+
+ private:
+  std::vector<uint64_t> bits_;
+  size_t count_ = 0;
+};
+
+// allowed[d] = frequent expansion items at right-expansion depth d (0-based)
+// in a left node's right subtree.
+using RightIndex = std::vector<ItemBitset>;
+
+// An expansion database: an index range of the shared event arena. Events
+// in the range share one item and are sorted by (tid, embedding), i.e. the
+// postings of the database are the maximal tid-runs of the range. Index
+// (not iterator/pointer) ranges stay valid while children are appended
+// above them.
+struct NodeDb {
+  size_t begin;
+  size_t end;
+};
 
 class PsmRun {
  public:
@@ -37,138 +161,122 @@ class PsmRun {
         stats_(stats) {}
 
   PatternMap Mine() {
-    PsmDb db;
+    regrouper_.Prepare(static_cast<size_t>(pivot_) + 1);
+    // Seed database: one event per pivot occurrence. The scan order (tid
+    // ascending, position ascending) already matches the sorted-unique
+    // event invariant, so no sort is needed.
     for (uint32_t tid = 0; tid < partition_.size(); ++tid) {
       const Sequence& t = partition_.sequences[tid];
-      PsmPosting posting{tid, {}};
       for (uint32_t pos = 0; pos < t.size(); ++pos) {
         // On w-generalized partitions only the literal pivot matches, but
         // PSM stays correct on raw partitions (descendants of the pivot
         // may still occur, e.g. under RewriteLevel::kNone).
         if (IsItem(t[pos]) && h_.GeneralizesTo(t[pos], pivot_)) {
-          posting.embeddings.push_back({pos, pos});
+          events_.push_back({pivot_, tid, Embedding{pos, pos}});
         }
       }
-      if (!posting.embeddings.empty()) db.push_back(std::move(posting));
     }
     Sequence pattern{pivot_};
-    LeftNode(pattern, db, /*parent_index=*/nullptr);
+    LeftNode(pattern, NodeDb{0, events_.size()}, /*parent_index=*/nullptr);
     return std::move(output_);
   }
 
  private:
-  Frequency Weight(const PsmDb& db) const {
-    Frequency total = 0;
-    for (const PsmPosting& p : db) total += partition_.weights[p.tid];
-    return total;
-  }
-
   // Processes a node of the form Sl·w: runs its series of right expansions
   // (building its own right index), then left-expands.
-  void LeftNode(Sequence& pattern, const PsmDb& db,
+  void LeftNode(Sequence& pattern, const NodeDb& db,
                 const RightIndex* parent_index) {
     RightIndex my_index;
-    if (use_index_) my_index.resize(params_.lambda);
+    if (use_index_) {
+      my_index.resize(params_.lambda);
+      for (ItemBitset& bits : my_index) bits.Reset(pivot_ + 1);
+    }
     ExpandRight(pattern, db, /*depth=*/0, parent_index,
                 use_index_ ? &my_index : nullptr);
     ExpandLeft(pattern, db, use_index_ ? &my_index : nullptr);
   }
 
   // One right-expansion step: pattern -> pattern + a for frequent a != pivot.
-  void ExpandRight(Sequence& pattern, const PsmDb& db, uint32_t depth,
+  void ExpandRight(Sequence& pattern, const NodeDb& db, uint32_t depth,
                    const RightIndex* parent_index, RightIndex* my_index) {
     if (pattern.size() >= params_.lambda) return;
-    const std::unordered_set<ItemId>* allowed = nullptr;
+    const ItemBitset* allowed = nullptr;
     if (use_index_ && parent_index != nullptr && depth < parent_index->size()) {
       allowed = &(*parent_index)[depth];
-      if (allowed->empty()) return;  // R_S = ∅: skip the scan (Sec. 5.2).
+      if (allowed->Empty()) return;  // R_S = ∅: skip the scan (Sec. 5.2).
     }
-    std::map<ItemId, PsmDb> expansions;
-    for (const PsmPosting& posting : db) {
-      const Sequence& t = partition_.sequences[posting.tid];
-      CollectRight(t, posting, allowed, &expansions);
+    const size_t mark = events_.size();
+    for (size_t i = db.begin; i < db.end; ++i) {
+      // Copy: push_back below may reallocate the arena.
+      const ExpansionEvent ev = events_[i];
+      const Sequence& t = partition_.sequences[ev.tid];
+      uint64_t hi = std::min<uint64_t>(
+          t.size(), static_cast<uint64_t>(ev.emb.end) + params_.gamma + 2);
+      for (uint32_t j = ev.emb.end + 1; j < hi; ++j) {
+        if (!IsItem(t[j])) continue;
+        for (ItemId a : h_.AncestorSpan(t[j])) {
+          if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
+          if (allowed != nullptr && !allowed->Test(a)) {
+            continue;  // Pruned by the parent's right index.
+          }
+          events_.push_back({a, ev.tid, Embedding{ev.emb.start, j}});
+        }
+      }
     }
-    for (auto& [item, edb] : expansions) {
-      if (item == pivot_) continue;  // Alg. 2 line 11.
+    const size_t gmark = groups_.size();
+    regrouper_.Regroup(&events_, mark, partition_.weights, &groups_);
+    const size_t gend = groups_.size();
+    for (size_t gi = gmark; gi < gend; ++gi) {
+      const EventGroup g = groups_[gi];  // Copy: recursion appends above.
+      if (g.item == pivot_) continue;  // Alg. 2 line 11.
       if (stats_ != nullptr) ++stats_->candidates;
-      Frequency freq = Weight(edb);
-      if (freq < params_.sigma) continue;
-      pattern.push_back(item);
-      Output(pattern, freq);
-      if (my_index != nullptr) (*my_index)[depth].insert(item);
-      ExpandRight(pattern, edb, depth + 1, parent_index, my_index);
+      if (g.weight < params_.sigma) continue;
+      pattern.push_back(g.item);
+      Output(pattern, g.weight);
+      if (my_index != nullptr) (*my_index)[depth].Set(g.item);
+      ExpandRight(pattern, NodeDb{g.begin, g.end}, depth + 1, parent_index,
+                  my_index);
       pattern.pop_back();
     }
+    // Backtrack: release this level's expansions.
+    groups_.resize(gmark);
+    events_.resize(mark);
   }
 
   // One left-expansion step: pattern -> a + pattern (pivot allowed); each
   // frequent result is a new left node.
-  void ExpandLeft(Sequence& pattern, const PsmDb& db,
+  void ExpandLeft(Sequence& pattern, const NodeDb& db,
                   const RightIndex* my_index) {
     if (pattern.size() >= params_.lambda) return;
-    std::map<ItemId, PsmDb> expansions;
-    for (const PsmPosting& posting : db) {
-      const Sequence& t = partition_.sequences[posting.tid];
-      CollectLeft(t, posting, &expansions);
+    const size_t mark = events_.size();
+    for (size_t i = db.begin; i < db.end; ++i) {
+      const ExpansionEvent ev = events_[i];
+      const Sequence& t = partition_.sequences[ev.tid];
+      uint32_t window = params_.gamma + 1;
+      uint32_t lo = ev.emb.start >= window ? ev.emb.start - window : 0;
+      for (uint32_t j = lo; j < ev.emb.start; ++j) {
+        if (!IsItem(t[j])) continue;
+        for (ItemId a : h_.AncestorSpan(t[j])) {
+          if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
+          events_.push_back({a, ev.tid, Embedding{j, ev.emb.end}});
+        }
+      }
     }
-    for (auto& [item, edb] : expansions) {
+    const size_t gmark = groups_.size();
+    regrouper_.Regroup(&events_, mark, partition_.weights, &groups_);
+    const size_t gend = groups_.size();
+    for (size_t gi = gmark; gi < gend; ++gi) {
+      const EventGroup g = groups_[gi];  // Copy: recursion appends above.
       if (stats_ != nullptr) ++stats_->candidates;
-      Frequency freq = Weight(edb);
-      if (freq < params_.sigma) continue;
-      pattern.insert(pattern.begin(), item);
-      Output(pattern, freq);
-      LeftNode(pattern, edb, my_index);
+      if (g.weight < params_.sigma) continue;
+      pattern.insert(pattern.begin(), g.item);
+      Output(pattern, g.weight);
+      LeftNode(pattern, NodeDb{g.begin, g.end}, my_index);
       pattern.erase(pattern.begin());
     }
-  }
-
-  // Gathers right-expansion items (with generalizations) and the expanded
-  // embedding sets for one transaction.
-  void CollectRight(const Sequence& t, const PsmPosting& posting,
-                    const std::unordered_set<ItemId>* allowed,
-                    std::map<ItemId, PsmDb>* expansions) {
-    for (const Embedding& emb : posting.embeddings) {
-      uint64_t hi = std::min<uint64_t>(
-          t.size(), static_cast<uint64_t>(emb.end) + params_.gamma + 2);
-      for (uint32_t j = emb.end + 1; j < hi; ++j) {
-        if (!IsItem(t[j])) continue;
-        for (ItemId a = t[j]; a != kInvalidItem; a = h_.Parent(a)) {
-          if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
-          if (allowed != nullptr && !allowed->contains(a)) {
-            continue;  // Pruned by the parent's right index.
-          }
-          AddEmbedding(posting.tid, Embedding{emb.start, j}, &(*expansions)[a]);
-        }
-      }
-    }
-  }
-
-  // Gathers left-expansion items for one transaction.
-  void CollectLeft(const Sequence& t, const PsmPosting& posting,
-                   std::map<ItemId, PsmDb>* expansions) {
-    for (const Embedding& emb : posting.embeddings) {
-      uint32_t window = params_.gamma + 1;
-      uint32_t lo = emb.start >= window ? emb.start - window : 0;
-      for (uint32_t j = lo; j < emb.start; ++j) {
-        if (!IsItem(t[j])) continue;
-        for (ItemId a = t[j]; a != kInvalidItem; a = h_.Parent(a)) {
-          if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
-          AddEmbedding(posting.tid, Embedding{j, emb.end}, &(*expansions)[a]);
-        }
-      }
-    }
-  }
-
-  // Appends `emb` to the posting of `tid`, deduplicating embeddings.
-  static void AddEmbedding(uint32_t tid, Embedding emb, PsmDb* db) {
-    if (db->empty() || db->back().tid != tid) db->push_back(PsmPosting{tid, {}});
-    std::vector<Embedding>& embs = db->back().embeddings;
-    // Embeddings arrive roughly ordered; a linear containment check on the
-    // tail is cheap, but duplicates can arrive out of order, so do a full
-    // check (embedding sets are small).
-    if (std::find(embs.begin(), embs.end(), emb) == embs.end()) {
-      embs.push_back(emb);
-    }
+    // Backtrack: release this level's expansions.
+    groups_.resize(gmark);
+    events_.resize(mark);
   }
 
   void Output(const Sequence& pattern, Frequency freq) {
@@ -183,6 +291,12 @@ class PsmRun {
   bool use_index_;
   MinerStats* stats_;
   PatternMap output_;
+  // The shared arena backing every expansion database of the run, and the
+  // scatter-based grouper that keeps it sorted without full-buffer sorts.
+  std::vector<ExpansionEvent> events_;
+  // Per-level group directories, stack-disciplined like events_.
+  std::vector<psm_internal::EventGroup> groups_;
+  EventRegrouper regrouper_;
 };
 
 }  // namespace

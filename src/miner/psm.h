@@ -1,9 +1,86 @@
 #ifndef LASH_MINER_PSM_H_
 #define LASH_MINER_PSM_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/match.h"
 #include "miner/miner.h"
 
 namespace lash {
+
+namespace psm_internal {
+
+/// One candidate expansion occurrence: expansion item `item` supports
+/// transaction `tid` with the expanded embedding `emb`. Flat buffers of
+/// these replace the node-based std::map<ItemId, PsmDb> of the original
+/// implementation: sorting by (item, tid, emb) groups the buffer into
+/// per-item expansion databases with tid-grouped postings, and makes
+/// duplicate embeddings adjacent so dedup is a single std::unique pass
+/// instead of a per-insert linear scan.
+struct ExpansionEvent {
+  ItemId item;
+  uint32_t tid;
+  Embedding emb;
+
+  friend bool operator==(const ExpansionEvent&, const ExpansionEvent&) =
+      default;
+  friend auto operator<=>(const ExpansionEvent&, const ExpansionEvent&) =
+      default;
+};
+
+/// Sorts events[from..] by (item, tid, embedding) and removes duplicates.
+/// Reference implementation of the grouping contract (used by tests to
+/// check EventRegrouper); this is the dedup that replaces the former O(n²)
+/// AddEmbedding std::find loop.
+void SortUniqueEvents(std::vector<ExpansionEvent>* events, size_t from);
+
+/// One expansion database produced by EventRegrouper::Regroup: the events
+/// of one candidate item as an index range of the shared arena, plus its
+/// weighted document frequency (accumulated during the same pass, so the
+/// support test costs no extra scan).
+struct EventGroup {
+  ItemId item;
+  size_t begin;
+  size_t end;
+  Frequency weight;
+};
+
+/// Groups the tail of a shared event arena by (item, tid, embedding) with
+/// duplicates removed — the same postcondition as SortUniqueEvents — in
+/// O(E) plus tiny per-transaction embedding sorts, exploiting that PSM
+/// generates events with nondecreasing tids: a stable counting scatter by
+/// item keeps tid runs contiguous, so only embeddings within one (item,
+/// tid) run need sorting. All state (per-item counters with epoch-based
+/// lazy reset, the scatter scratch) is reused across calls, so a call does
+/// no heap allocation once warm.
+class EventRegrouper {
+ public:
+  /// Must be called before Regroup with an exclusive upper bound on the
+  /// item ids that will appear (PSM: pivot + 1).
+  void Prepare(size_t num_items);
+
+  /// Regroups events[from..]; returns the new end-of-buffer index (the
+  /// vector is truncated to it) and appends one EventGroup per distinct
+  /// item, in ascending item order, to `groups`. `weights[tid]` is the
+  /// aggregation weight a transaction contributes to a group's support.
+  /// Requires tids nondecreasing per item in generation order.
+  size_t Regroup(std::vector<ExpansionEvent>* events, size_t from,
+                 const std::vector<Frequency>& weights,
+                 std::vector<EventGroup>* groups);
+
+ private:
+  // 64-bit so the epoch cannot wrap within a run and revive stale counters.
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> item_epoch_;
+  std::vector<uint32_t> item_count_;
+  std::vector<uint32_t> item_cursor_;
+  std::vector<ItemId> touched_;
+  std::vector<ExpansionEvent> scratch_;
+};
+
+}  // namespace psm_internal
 
 /// PSM — the pivot sequence miner (Sec. 5.2, Alg. 2).
 ///
@@ -18,13 +95,20 @@ namespace lash {
 /// Embeddings are tracked as (start, end) position pairs per supporting
 /// transaction so that both expansion directions are cheap.
 ///
+/// Implementation: all expansion databases live in one stack-disciplined
+/// arena of ExpansionEvents — a node's database is an index range into it,
+/// child databases are appended above and truncated on backtrack — so a
+/// whole PsmRun performs O(1) amortized heap allocations per search-tree
+/// node instead of O(postings). Ancestor chains are scanned contiguously
+/// via Hierarchy::AncestorSpan.
+///
 /// With `use_index = true` (PSM+Index), each left-node Sl·w memoizes, per
 /// right-expansion depth d, the union R of frequent expansion items observed
-/// anywhere in its right-expansion subtree at that depth. A left child
-/// x·Sl·w restricts its depth-d right expansions to its parent's R: if Sw'
-/// is infrequent then x·S·w' is infrequent (Lemma 1). Pruned items are never
-/// support-tested (and not counted as candidates), and an empty R skips the
-/// scan entirely.
+/// anywhere in its right-expansion subtree at that depth (as a bitset over
+/// items <= pivot). A left child x·Sl·w restricts its depth-d right
+/// expansions to its parent's R: if Sw' is infrequent then x·S·w' is
+/// infrequent (Lemma 1). Pruned items are never support-tested (and not
+/// counted as candidates), and an empty R skips the scan entirely.
 class PsmMiner : public LocalMiner {
  public:
   PsmMiner(const Hierarchy* hierarchy, const GsmParams& params, bool use_index);

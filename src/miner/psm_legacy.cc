@@ -1,0 +1,209 @@
+// The seed PSM implementation, preserved as the pre-optimization baseline.
+// Do not "fix" the inefficiencies here — bench_hotpath measures the
+// optimized PsmMiner against exactly this code.
+
+#include "miner/psm_legacy.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/match.h"
+
+namespace lash {
+
+namespace {
+
+// Support set of a pattern: per supporting transaction, the distinct
+// (start, end) pairs over embeddings.
+struct PsmPosting {
+  uint32_t tid;
+  std::vector<Embedding> embeddings;
+};
+using PsmDb = std::vector<PsmPosting>;
+
+// Per-left-node memo for PSM+Index: allowed[d] = union of frequent expansion
+// items at right-expansion depth d (0-based) in this node's right subtree.
+using RightIndex = std::vector<std::unordered_set<ItemId>>;
+
+// One-parent-at-a-time ancestor test — the pre-change Hierarchy::
+// GeneralizesTo, kept here so the baseline's costs stay what they were.
+bool WalkGeneralizesTo(const Hierarchy& h, ItemId w, ItemId anc) {
+  for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) {
+    if (a == anc) return true;
+  }
+  return false;
+}
+
+class LegacyPsmRun {
+ public:
+  LegacyPsmRun(const Partition& partition, const Hierarchy& h,
+               const GsmParams& params, ItemId pivot, bool use_index,
+               MinerStats* stats)
+      : partition_(partition),
+        h_(h),
+        params_(params),
+        pivot_(pivot),
+        use_index_(use_index),
+        stats_(stats) {}
+
+  PatternMap Mine() {
+    PsmDb db;
+    for (uint32_t tid = 0; tid < partition_.size(); ++tid) {
+      const Sequence& t = partition_.sequences[tid];
+      PsmPosting posting{tid, {}};
+      for (uint32_t pos = 0; pos < t.size(); ++pos) {
+        if (IsItem(t[pos]) && WalkGeneralizesTo(h_, t[pos], pivot_)) {
+          posting.embeddings.push_back({pos, pos});
+        }
+      }
+      if (!posting.embeddings.empty()) db.push_back(std::move(posting));
+    }
+    Sequence pattern{pivot_};
+    LeftNode(pattern, db, /*parent_index=*/nullptr);
+    return std::move(output_);
+  }
+
+ private:
+  Frequency Weight(const PsmDb& db) const {
+    Frequency total = 0;
+    for (const PsmPosting& p : db) total += partition_.weights[p.tid];
+    return total;
+  }
+
+  // Processes a node of the form Sl·w: runs its series of right expansions
+  // (building its own right index), then left-expands.
+  void LeftNode(Sequence& pattern, const PsmDb& db,
+                const RightIndex* parent_index) {
+    RightIndex my_index;
+    if (use_index_) my_index.resize(params_.lambda);
+    ExpandRight(pattern, db, /*depth=*/0, parent_index,
+                use_index_ ? &my_index : nullptr);
+    ExpandLeft(pattern, db, use_index_ ? &my_index : nullptr);
+  }
+
+  // One right-expansion step: pattern -> pattern + a for frequent a != pivot.
+  void ExpandRight(Sequence& pattern, const PsmDb& db, uint32_t depth,
+                   const RightIndex* parent_index, RightIndex* my_index) {
+    if (pattern.size() >= params_.lambda) return;
+    const std::unordered_set<ItemId>* allowed = nullptr;
+    if (use_index_ && parent_index != nullptr && depth < parent_index->size()) {
+      allowed = &(*parent_index)[depth];
+      if (allowed->empty()) return;  // R_S = ∅: skip the scan (Sec. 5.2).
+    }
+    std::map<ItemId, PsmDb> expansions;
+    for (const PsmPosting& posting : db) {
+      const Sequence& t = partition_.sequences[posting.tid];
+      CollectRight(t, posting, allowed, &expansions);
+    }
+    for (auto& [item, edb] : expansions) {
+      if (item == pivot_) continue;  // Alg. 2 line 11.
+      if (stats_ != nullptr) ++stats_->candidates;
+      Frequency freq = Weight(edb);
+      if (freq < params_.sigma) continue;
+      pattern.push_back(item);
+      Output(pattern, freq);
+      if (my_index != nullptr) (*my_index)[depth].insert(item);
+      ExpandRight(pattern, edb, depth + 1, parent_index, my_index);
+      pattern.pop_back();
+    }
+  }
+
+  // One left-expansion step: pattern -> a + pattern (pivot allowed); each
+  // frequent result is a new left node.
+  void ExpandLeft(Sequence& pattern, const PsmDb& db,
+                  const RightIndex* my_index) {
+    if (pattern.size() >= params_.lambda) return;
+    std::map<ItemId, PsmDb> expansions;
+    for (const PsmPosting& posting : db) {
+      const Sequence& t = partition_.sequences[posting.tid];
+      CollectLeft(t, posting, &expansions);
+    }
+    for (auto& [item, edb] : expansions) {
+      if (stats_ != nullptr) ++stats_->candidates;
+      Frequency freq = Weight(edb);
+      if (freq < params_.sigma) continue;
+      pattern.insert(pattern.begin(), item);
+      Output(pattern, freq);
+      LeftNode(pattern, edb, my_index);
+      pattern.erase(pattern.begin());
+    }
+  }
+
+  // Gathers right-expansion items (with generalizations) and the expanded
+  // embedding sets for one transaction.
+  void CollectRight(const Sequence& t, const PsmPosting& posting,
+                    const std::unordered_set<ItemId>* allowed,
+                    std::map<ItemId, PsmDb>* expansions) {
+    for (const Embedding& emb : posting.embeddings) {
+      uint64_t hi = std::min<uint64_t>(
+          t.size(), static_cast<uint64_t>(emb.end) + params_.gamma + 2);
+      for (uint32_t j = emb.end + 1; j < hi; ++j) {
+        if (!IsItem(t[j])) continue;
+        for (ItemId a = t[j]; a != kInvalidItem; a = h_.Parent(a)) {
+          if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
+          if (allowed != nullptr && !allowed->contains(a)) {
+            continue;  // Pruned by the parent's right index.
+          }
+          AddEmbedding(posting.tid, Embedding{emb.start, j}, &(*expansions)[a]);
+        }
+      }
+    }
+  }
+
+  // Gathers left-expansion items for one transaction.
+  void CollectLeft(const Sequence& t, const PsmPosting& posting,
+                   std::map<ItemId, PsmDb>* expansions) {
+    for (const Embedding& emb : posting.embeddings) {
+      uint32_t window = params_.gamma + 1;
+      uint32_t lo = emb.start >= window ? emb.start - window : 0;
+      for (uint32_t j = lo; j < emb.start; ++j) {
+        if (!IsItem(t[j])) continue;
+        for (ItemId a = t[j]; a != kInvalidItem; a = h_.Parent(a)) {
+          if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
+          AddEmbedding(posting.tid, Embedding{j, emb.end}, &(*expansions)[a]);
+        }
+      }
+    }
+  }
+
+  // Appends `emb` to the posting of `tid`, deduplicating embeddings.
+  static void AddEmbedding(uint32_t tid, Embedding emb, PsmDb* db) {
+    if (db->empty() || db->back().tid != tid) db->push_back(PsmPosting{tid, {}});
+    std::vector<Embedding>& embs = db->back().embeddings;
+    if (std::find(embs.begin(), embs.end(), emb) == embs.end()) {
+      embs.push_back(emb);
+    }
+  }
+
+  void Output(const Sequence& pattern, Frequency freq) {
+    output_.emplace(pattern, freq);
+    if (stats_ != nullptr) ++stats_->outputs;
+  }
+
+  const Partition& partition_;
+  const Hierarchy& h_;
+  const GsmParams& params_;
+  ItemId pivot_;
+  bool use_index_;
+  MinerStats* stats_;
+  PatternMap output_;
+};
+
+}  // namespace
+
+LegacyPsmMiner::LegacyPsmMiner(const Hierarchy* hierarchy,
+                               const GsmParams& params, bool use_index)
+    : hierarchy_(hierarchy), params_(params), use_index_(use_index) {
+  params_.Validate();
+}
+
+PatternMap LegacyPsmMiner::Mine(const Partition& partition, ItemId pivot,
+                                MinerStats* stats) {
+  LegacyPsmRun run(partition, *hierarchy_, params_, pivot, use_index_, stats);
+  return run.Mine();
+}
+
+}  // namespace lash

@@ -1,0 +1,35 @@
+#ifndef LASH_MINER_PSM_LEGACY_H_
+#define LASH_MINER_PSM_LEGACY_H_
+
+#include "miner/miner.h"
+
+namespace lash {
+
+/// The original (pre-optimization) PSM implementation, kept verbatim as the
+/// "before" baseline for bench_hotpath and as an extra differential-testing
+/// oracle. It pointer-chases parent links one step at a time, allocates a
+/// node-based std::map<ItemId, PsmDb> per expansion step, backs the
+/// PSM+Index right index with unordered_sets, and deduplicates embeddings
+/// with a linear std::find — exactly the costs the optimized PsmMiner
+/// removes. Semantics are identical to PsmMiner.
+class LegacyPsmMiner : public LocalMiner {
+ public:
+  LegacyPsmMiner(const Hierarchy* hierarchy, const GsmParams& params,
+                 bool use_index);
+
+  PatternMap Mine(const Partition& partition, ItemId pivot,
+                  MinerStats* stats) override;
+
+  std::string name() const override {
+    return use_index_ ? "PSM+Index-legacy" : "PSM-legacy";
+  }
+
+ private:
+  const Hierarchy* hierarchy_;
+  GsmParams params_;
+  bool use_index_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_MINER_PSM_LEGACY_H_

@@ -85,6 +85,68 @@ TEST(HierarchyTest, RandomRankHierarchiesAreMonotone) {
   }
 }
 
+TEST(HierarchyTest, AncestorSpanOnFlatHierarchy) {
+  Hierarchy h = Hierarchy::Flat(4);
+  for (ItemId w = 1; w <= 4; ++w) {
+    auto span = h.AncestorSpan(w);
+    ASSERT_EQ(span.size(), 1u);
+    EXPECT_EQ(span[0], w);
+  }
+}
+
+TEST(HierarchyTest, AncestorSpanOnChain) {
+  // 1 <- 2 <- 3 <- 4.
+  Hierarchy h({kInvalidItem, kInvalidItem, 1, 2, 3});
+  auto span = h.AncestorSpan(4);
+  EXPECT_EQ(std::vector<ItemId>(span.begin(), span.end()),
+            (std::vector<ItemId>{4, 3, 2, 1}));
+  EXPECT_EQ(h.AncestorSpan(1).size(), 1u);
+}
+
+TEST(HierarchyTest, AncestorSpanOnForestMatchesParentWalk) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    Hierarchy h = testing::RandomRankHierarchy(40, 0.25, &rng);
+    for (ItemId w = 1; w <= 40; ++w) {
+      std::vector<ItemId> walked;
+      for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) walked.push_back(a);
+      auto span = h.AncestorSpan(w);
+      ASSERT_EQ(std::vector<ItemId>(span.begin(), span.end()), walked)
+          << "item " << w;
+      ASSERT_EQ(span.size(), static_cast<size_t>(h.Depth(w)) + 1);
+    }
+  }
+}
+
+TEST(HierarchyTest, EulerIntervalsMatchAncestorWalk) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 25;
+    // Mix of shapes: flat, chains, bushy forests.
+    double root_prob = trial % 3 == 0 ? 1.0 : (trial % 3 == 1 ? 0.05 : 0.4);
+    Hierarchy h = testing::RandomRankHierarchy(n, root_prob, &rng);
+    for (ItemId w = 1; w <= n; ++w) {
+      // Reference: the ancestor-or-self set by explicit parent walk.
+      std::vector<bool> is_anc(n + 1, false);
+      for (ItemId a = w; a != kInvalidItem; a = h.Parent(a)) is_anc[a] = true;
+      for (ItemId u = 1; u <= n; ++u) {
+        ASSERT_EQ(h.GeneralizesTo(w, u), is_anc[u])
+            << "w=" << w << " u=" << u;
+        // The interval labels themselves nest exactly for ancestors.
+        ASSERT_EQ(h.Tin(u) <= h.Tin(w) && h.Tin(w) < h.Tout(u), is_anc[u]);
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, GeneralizesToRejectsInvalidIds) {
+  Hierarchy h({kInvalidItem, kInvalidItem, 1});
+  EXPECT_FALSE(h.GeneralizesTo(2, kInvalidItem));
+  EXPECT_FALSE(h.GeneralizesTo(2, 99));
+  EXPECT_FALSE(h.GeneralizesTo(kBlank, 1));
+  EXPECT_TRUE(h.GeneralizesTo(kBlank, kBlank));  // Degenerate w == anc case.
+}
+
 TEST(HierarchyTest, PaperExampleStructure) {
   testing::PaperExample ex;
   const Hierarchy& h = ex.raw_hierarchy;
