@@ -1,0 +1,271 @@
+// bench_shuffle — the perf gate for the LASH shuffle/partitioning hot path.
+//
+// Times the complete LASH job (map + shuffle + reduce wall clock) with the
+// byte-packed spill + sort-based grouping shuffle (ShuffleMode::kPackedSpill,
+// the default) against the preserved pre-PR2 path (ShuffleMode::kLegacyHash:
+// per-pair heap spill, unordered_map grouping, std::map partitions, serial
+// partition mining) on the full-size NYT-like and AMZN-like generated
+// corpora. Asserts:
+//   * pattern parity of both paths against each other and MineSequential,
+//   * MAP_OUTPUT_BYTES parity: the packed path counts real encoded buffer
+//     bytes; the legacy path simulates the same varint accounting — equal
+//     option sets must produce identical byte counts,
+// and writes the results as machine-readable JSON (BENCH_shuffle.json).
+//
+// Usage: bench_shuffle [--smoke] [--reps N] [--out FILE]
+//   --smoke  small inputs (CI parity gate); implies --reps 1.
+//   --reps   repetitions per path; the fastest total is reported (default 3).
+//   --out    output JSON path (default BENCH_shuffle.json).
+//
+// Exit code is non-zero if any parity check fails; the speedup numbers are
+// reported, not gated, so a loaded machine cannot turn the bench red.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algo/lash.h"
+#include "algo/sequential.h"
+#include "datagen/product_gen.h"
+#include "datagen/text_gen.h"
+#include "util/timer.h"
+
+namespace lash {
+namespace {
+
+struct PathResult {
+  PhaseTimes times;
+  uint64_t bytes = 0;
+  uint64_t records = 0;
+  uint64_t groups = 0;
+  size_t patterns = 0;
+  PatternMap output;
+};
+
+struct WorkloadReport {
+  std::string name;
+  GsmParams params;
+  bool combiner = true;
+  size_t sequences = 0;
+  PathResult legacy;
+  PathResult packed;
+  double speedup_total = 0;
+  bool parity = true;
+  bool sequential_match = true;
+  bool bytes_match = true;
+};
+
+PathResult RunPath(const PreprocessResult& pre, const GsmParams& params,
+                   ShuffleMode mode, bool combiner, int reps) {
+  JobConfig config;
+  config.num_map_tasks = 16;
+  config.num_reduce_tasks = 16;
+  config.shuffle = mode;
+  LashOptions options;
+  options.use_combiner = combiner;
+  // Counters and outputs are identical across repetitions (asserted for the
+  // patterns); the fastest run is reported to damp scheduler noise.
+  PathResult out;
+  for (int rep = 0; rep < reps; ++rep) {
+    AlgoResult result = RunLash(pre, params, config, options);
+    if (rep > 0 && SortedPatterns(result.patterns) !=
+                       SortedPatterns(out.output)) {
+      std::fprintf(stderr, "PARITY FAILURE: unstable output across reps\n");
+      out.output.clear();  // Poison the parity checks downstream.
+    }
+    if (rep == 0 || result.job.times.TotalMs() < out.times.TotalMs()) {
+      out.times = result.job.times;
+    }
+    if (rep == 0) {
+      out.bytes = result.job.counters.map_output_bytes;
+      out.records = result.job.counters.map_output_records;
+      out.groups = result.job.counters.reduce_input_groups;
+      out.patterns = result.patterns.size();
+      out.output = std::move(result.patterns);
+    }
+  }
+  return out;
+}
+
+WorkloadReport RunWorkload(const std::string& name,
+                           const PreprocessResult& pre, const GsmParams& params,
+                           bool combiner, int reps) {
+  WorkloadReport report;
+  report.name = name;
+  report.params = params;
+  report.combiner = combiner;
+  report.sequences = pre.database.size();
+
+  report.legacy = RunPath(pre, params, ShuffleMode::kLegacyHash, combiner,
+                          reps);
+  report.packed = RunPath(pre, params, ShuffleMode::kPackedSpill, combiner,
+                          reps);
+
+  report.speedup_total =
+      report.legacy.times.TotalMs() /
+      std::max(report.packed.times.TotalMs(), 1e-9);
+
+  if (SortedPatterns(report.legacy.output) !=
+      SortedPatterns(report.packed.output)) {
+    std::fprintf(stderr, "PARITY FAILURE: packed vs legacy on %s\n",
+                 name.c_str());
+    report.parity = false;
+  }
+  PatternMap sequential = MineSequential(pre, params, MinerKind::kPsmIndex,
+                                         /*stats=*/nullptr, /*num_threads=*/0);
+  if (SortedPatterns(report.packed.output) != SortedPatterns(sequential)) {
+    std::fprintf(stderr, "PARITY FAILURE: packed vs MineSequential on %s\n",
+                 name.c_str());
+    report.sequential_match = false;
+  }
+  // The packed path measures its buffers; the legacy path simulates the
+  // same varint format per record. Same options => identical records =>
+  // identical bytes, or one of the accountings is wrong.
+  if (report.legacy.bytes != report.packed.bytes) {
+    std::fprintf(stderr,
+                 "BYTE ACCOUNTING FAILURE on %s: legacy=%" PRIu64
+                 " packed=%" PRIu64 "\n",
+                 name.c_str(), report.legacy.bytes, report.packed.bytes);
+    report.bytes_match = false;
+  }
+
+  auto print_path = [](const char* label, const PathResult& p) {
+    std::printf(
+        "  %-8s map=%8.1fms shuffle=%8.1fms reduce=%8.1fms total=%8.1fms "
+        "bytes=%.2fMB records=%" PRIu64 " groups=%" PRIu64 "\n",
+        label, p.times.map_ms, p.times.shuffle_ms, p.times.reduce_ms,
+        p.times.TotalMs(), static_cast<double>(p.bytes) / 1e6, p.records,
+        p.groups);
+  };
+  std::printf("%-10s %zu sequences, combiner=%s, %zu patterns\n", name.c_str(),
+              report.sequences, combiner ? "on" : "off",
+              report.packed.patterns);
+  print_path("legacy", report.legacy);
+  print_path("packed", report.packed);
+  std::printf("  speedup: %.2fx total; parity %s, bytes %s\n",
+              report.speedup_total,
+              report.parity && report.sequential_match ? "ok" : "FAILED",
+              report.bytes_match ? "ok" : "FAILED");
+  std::fflush(stdout);
+  return report;
+}
+
+void WriteJsonPath(std::FILE* f, const char* label, const PathResult& p,
+                   const char* trailing) {
+  std::fprintf(f,
+               "      \"%s\": {\"map_ms\": %.3f, \"shuffle_ms\": %.3f, "
+               "\"reduce_ms\": %.3f, \"total_ms\": %.3f, \"bytes\": %" PRIu64
+               ", \"records\": %" PRIu64 ", \"groups\": %" PRIu64
+               ", \"patterns\": %zu}%s\n",
+               label, p.times.map_ms, p.times.shuffle_ms, p.times.reduce_ms,
+               p.times.TotalMs(), p.bytes, p.records, p.groups, p.patterns,
+               trailing);
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<WorkloadReport>& workloads, bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"shuffle\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(f, "  \"workloads\": [\n");
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const WorkloadReport& w = workloads[i];
+    std::fprintf(f,
+                 "    {\n      \"name\": \"%s\",\n      \"sigma\": %" PRIu64
+                 ",\n      \"gamma\": %u,\n      \"lambda\": %u,\n"
+                 "      \"combiner\": %s,\n      \"sequences\": %zu,\n",
+                 w.name.c_str(), w.params.sigma, w.params.gamma,
+                 w.params.lambda, w.combiner ? "true" : "false", w.sequences);
+    WriteJsonPath(f, "legacy", w.legacy, ",");
+    WriteJsonPath(f, "packed", w.packed, ",");
+    std::fprintf(f,
+                 "      \"speedup_total\": %.3f,\n"
+                 "      \"parity\": %s,\n"
+                 "      \"sequential_match\": %s,\n"
+                 "      \"bytes_match\": %s\n    }%s\n",
+                 w.speedup_total,
+                 w.parity ? "true" : "false",
+                 w.sequential_match ? "true" : "false",
+                 w.bytes_match ? "true" : "false",
+                 i + 1 < workloads.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  int reps = 0;
+  std::string out = "BENCH_shuffle.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--reps N] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (reps <= 0) reps = smoke ? 1 : 3;
+
+  // The full-size NYT-like corpus of bench_common.h over the deepest
+  // hierarchy; gamma = 0 matches the paper's NYT n-gram experiments
+  // (Sec. 6.2) and every bench_fig4* NYT series.
+  TextGenConfig text_config;
+  text_config.num_sentences = smoke ? 1500 : 20000;
+  text_config.num_lemmas = smoke ? 800 : 3000;
+  text_config.hierarchy = TextHierarchy::kCLP;
+  GeneratedText text = GenerateText(text_config);
+  PreprocessResult nyt = Preprocess(text.database, text.hierarchy);
+
+  // AMZN-like sessions with a deep category tree.
+  ProductGenConfig prod_config;
+  prod_config.num_sessions = smoke ? 3000 : 20000;
+  prod_config.num_products = smoke ? 1500 : 5000;
+  prod_config.levels = 8;
+  GeneratedProducts products = GenerateProducts(prod_config);
+  PreprocessResult amzn = Preprocess(products.database, products.hierarchy);
+
+  GsmParams nyt_params{.sigma = smoke ? Frequency{8} : Frequency{40},
+                       .gamma = 0,
+                       .lambda = 5};
+  GsmParams amzn_params{.sigma = smoke ? Frequency{6} : Frequency{20},
+                        .gamma = 0,
+                        .lambda = 5};
+
+  std::vector<WorkloadReport> workloads;
+  workloads.push_back(
+      RunWorkload("nyt-clp", nyt, nyt_params, /*combiner=*/true, reps));
+  workloads.push_back(
+      RunWorkload("nyt-clp-nocomb", nyt, nyt_params, /*combiner=*/false, reps));
+  workloads.push_back(
+      RunWorkload("amzn-h8", amzn, amzn_params, /*combiner=*/true, reps));
+
+  bool ok = WriteJson(out, workloads, smoke);
+  for (const WorkloadReport& w : workloads) {
+    ok = ok && w.parity && w.sequential_match && w.bytes_match;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "bench_shuffle: PARITY CHECKS FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lash
+
+int main(int argc, char** argv) { return lash::Main(argc, argv); }

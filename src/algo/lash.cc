@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <numeric>
 #include <utility>
 
 #include "core/rewrite.h"
@@ -9,9 +11,216 @@
 
 namespace lash {
 
-AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
-                   const JobConfig& config, const LashOptions& options) {
-  params.Validate();
+namespace {
+
+// Collects G1(T) restricted to frequent items into `*pivots` (cleared):
+// walk each item's ancestor chain, dedup via sort (chains are short).
+void CollectFrequentPivots(const Sequence& t, const Hierarchy& h,
+                           ItemId num_frequent, Sequence* pivots) {
+  pivots->clear();
+  for (ItemId w : t) {
+    for (ItemId a : h.AncestorSpan(w)) {
+      if (a <= num_frequent) pivots->push_back(a);
+      // Ancestors of an already-seen item repeat; the sort+unique below
+      // removes them.
+    }
+  }
+  std::sort(pivots->begin(), pivots->end());
+  pivots->erase(std::unique(pivots->begin(), pivots->end()), pivots->end());
+}
+
+// The packed-spill LASH driver. Per worker thread: one ScratchRewriter and
+// reusable pivot/rewrite/key buffers, so the map phase performs no
+// steady-state heap allocation. Per reduce task: partitions accumulate in a
+// flat vector (slot index per pivot) and reduce_finish mines them pivot-
+// sorted, in parallel over pivots on the job's own pool.
+AlgoResult RunLashPacked(const PreprocessResult& pre, const GsmParams& params,
+                         const JobConfig& config, const LashOptions& options) {
+  const Hierarchy& h = pre.hierarchy;
+  const ItemId num_frequent = static_cast<ItemId>(pre.NumFrequent(params.sigma));
+  const size_t num_red = std::max<size_t>(1, config.num_reduce_tasks);
+  const size_t num_threads = std::max<size_t>(1, config.num_threads);
+
+  // Per-worker map-side scratch, indexed by ThreadPool::CurrentIndex().
+  // Map tasks always run on pool workers, so the index is always valid.
+  struct MapScratch {
+    std::unique_ptr<ScratchRewriter> rewriter;
+    Sequence pivots;
+    Sequence rewritten;
+    Sequence key;
+  };
+  std::vector<MapScratch> map_scratch(num_threads);
+
+  // Per reduce task: flat partitions (one slot per pivot seen) plus a
+  // slot directory. With the packed shuffle keys arrive grouped by
+  // (hash, bytes), not by pivot, so the directory does the routing; the
+  // pivot-sorted order is established once in reduce_finish.
+  struct ReduceState {
+    std::vector<ItemId> pivots;
+    std::vector<Partition> partitions;
+    std::unordered_map<ItemId, uint32_t> slot_of_pivot;
+  };
+  std::vector<ReduceState> reduce_state(num_red);
+  std::vector<PatternMap> outputs(num_red);
+  std::vector<MinerStats> stats(num_red);
+  std::vector<PartitionShape> shapes(num_red);
+
+  AlgoResult result;
+  // Intermediate key: [pivot, rewritten sequence...]. The partitioner routes
+  // by pivot so that a reduce task sees every sequence of its pivots.
+  using Job = MapReduceJob<Sequence, Sequence, Frequency, SequenceHash>;
+  Job job(
+      // Map = partitioning phase (Alg. 1 lines 1-5).
+      [&](const Sequence& t, const Job::EmitFn& emit) {
+        MapScratch& scratch = map_scratch[ThreadPool::CurrentIndex()];
+        if (!scratch.rewriter) {
+          scratch.rewriter = std::make_unique<ScratchRewriter>(
+              &h, params.gamma, params.lambda);
+        }
+        if (options.rewrite == RewriteLevel::kFull && params.gamma == 0) {
+          // Occurrence-driven fused loop: every pivot's key in one pass.
+          scratch.rewriter->RewriteAllPivotsGammaZero(
+              t, num_frequent, [&](const Sequence& key) { emit(key, 1); });
+          return;
+        }
+        CollectFrequentPivots(t, h, num_frequent, &scratch.pivots);
+        // P_w(T) = T is pivot-independent; copy once, not per pivot.
+        if (options.rewrite == RewriteLevel::kNone) scratch.rewritten = t;
+        for (ItemId w : scratch.pivots) {
+          switch (options.rewrite) {
+            case RewriteLevel::kNone:
+              break;
+            case RewriteLevel::kGeneralizeOnly:
+              scratch.rewriter->Generalize(t, w, &scratch.rewritten);
+              break;
+            case RewriteLevel::kFull:
+              if (!scratch.rewriter->Rewrite(t, w, &scratch.rewritten)) {
+                continue;
+              }
+              break;
+          }
+          if (scratch.rewritten.empty()) continue;
+          scratch.key.clear();
+          scratch.key.reserve(scratch.rewritten.size() + 1);
+          scratch.key.push_back(w);
+          scratch.key.insert(scratch.key.end(), scratch.rewritten.begin(),
+                             scratch.rewritten.end());
+          emit(scratch.key, 1);
+        }
+      },
+      // Reduce = aggregation of identical rewrites (Sec. 4.4); mining runs
+      // in the reduce-finish hook once the partition is complete.
+      [&](size_t rtask, const Sequence& key, std::vector<Frequency>& values) {
+        Frequency total = 0;
+        for (Frequency v : values) total += v;
+        ReduceState& state = reduce_state[rtask];
+        const ItemId pivot = key[0];
+        auto [it, inserted] = state.slot_of_pivot.try_emplace(
+            pivot, static_cast<uint32_t>(state.pivots.size()));
+        if (inserted) {
+          state.pivots.push_back(pivot);
+          state.partitions.emplace_back();
+        }
+        state.partitions[it->second].Add(Sequence(key.begin() + 1, key.end()),
+                                         total);
+      },
+      // Legacy-path byte accounting; unused when the packed spill is active
+      // (real buffer bytes are counted instead) but kept in sync with the
+      // codec so a fallback reports identical MAP_OUTPUT_BYTES.
+      [](const Sequence& key, const Frequency& value) {
+        return Varint32Size(key[0]) +
+               EncodedRewrittenSpanSize(key.data() + 1, key.size() - 1) +
+               Varint64Size(value);
+      });
+  if (options.use_combiner) {
+    job.set_combiner(
+        [](Frequency* acc, Frequency&& incoming) { *acc += incoming; });
+  }
+  job.set_partitioner([](const Sequence& key) {
+    return static_cast<size_t>(key[0]);
+  });
+  // Spill codec: varint pivot + blank-run-compressed rewritten sequence +
+  // varint weight — the exact byte format the paper's MAP_OUTPUT_BYTES
+  // simulation assumed, now actually materialized.
+  Job::SpillCodec codec;
+  codec.encode_key = [](std::string* out, const Sequence& key) {
+    PutVarint32(out, key[0]);
+    EncodeRewrittenSpan(out, key.data() + 1, key.size() - 1);
+  };
+  codec.decode_key = [](const std::string& data, size_t* pos, Sequence* key) {
+    uint32_t pivot = 0;
+    if (!GetVarint32(data, pos, &pivot)) return false;
+    key->clear();
+    key->push_back(pivot);
+    return DecodeRewrittenSpanAppend(data, pos, key);
+  };
+  codec.encode_value = [](std::string* out, const Frequency& value) {
+    PutVarint64(out, value);
+  };
+  codec.decode_value = [](const std::string& data, size_t* pos,
+                          Frequency* value) {
+    return GetVarint64(data, pos, value);
+  };
+  codec.skip_key = [](const std::string& data, size_t* pos) {
+    uint32_t pivot = 0;
+    return GetVarint32(data, pos, &pivot) && SkipRewrittenSpan(data, pos);
+  };
+  job.set_spill_codec(std::move(codec));
+
+  job.set_reduce_finish([&](size_t rtask, ThreadPool* pool) {
+    // Mining phase (Alg. 1 lines 7-11), parallel over pivots. Pivot
+    // outputs are disjoint (every pattern names its pivot as max item),
+    // so per-worker maps merge to the same result in any order — the same
+    // argument MineSequential relies on.
+    ReduceState& state = reduce_state[rtask];
+    const size_t n = state.pivots.size();
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return state.pivots[a] < state.pivots[b];
+    });
+    for (const Partition& partition : state.partitions) {
+      shapes[rtask].partitions += 1;
+      shapes[rtask].total_sequences += partition.size();
+      shapes[rtask].max_partition =
+          std::max<uint64_t>(shapes[rtask].max_partition, partition.size());
+    }
+    struct WorkerState {
+      std::unique_ptr<LocalMiner> miner;
+      PatternMap output;
+      MinerStats stats;
+    };
+    // Indexed by pool worker; ParallelFor bodies of one call never share a
+    // worker thread concurrently, so the slots are race-free.
+    std::vector<WorkerState> workers(num_threads);
+    pool->ParallelFor(n, [&](size_t i) {
+      WorkerState& ws = workers[ThreadPool::CurrentIndex()];
+      if (!ws.miner) ws.miner = MakeLocalMiner(options.miner, &h, params);
+      const uint32_t slot = order[i];
+      PatternMap mined = ws.miner->Mine(state.partitions[slot],
+                                        state.pivots[slot], &ws.stats);
+      ws.output.merge(mined);
+    });
+    for (WorkerState& ws : workers) {
+      outputs[rtask].merge(ws.output);
+      stats[rtask].Merge(ws.stats);
+    }
+    state = ReduceState{};
+  });
+
+  result.job = job.Run(pre.database, config);
+  for (PatternMap& part : outputs) result.patterns.merge(part);
+  for (const MinerStats& s : stats) result.miner_stats.Merge(s);
+  for (const PartitionShape& s : shapes) result.partition_shape.Merge(s);
+  return result;
+}
+
+// The pre-PR2 driver, verbatim: per-emit key allocation, simulated
+// MAP_OUTPUT_BYTES, std::map partitions, serial mining per reduce task.
+// It is the before-baseline of bench_shuffle (selected via
+// JobConfig::shuffle == ShuffleMode::kLegacyHash); do not optimize it.
+AlgoResult RunLashLegacy(const PreprocessResult& pre, const GsmParams& params,
+                         const JobConfig& config, const LashOptions& options) {
   const Hierarchy& h = pre.hierarchy;
   const ItemId num_frequent = static_cast<ItemId>(pre.NumFrequent(params.sigma));
   const size_t num_red = std::max<size_t>(1, config.num_reduce_tasks);
@@ -24,21 +233,13 @@ AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
   std::vector<MinerStats> stats(num_red);
   std::vector<PartitionShape> shapes(num_red);
 
-  // Intermediate key: [pivot, rewritten sequence...]. The partitioner routes
-  // by pivot so that a reduce task sees every sequence of its pivots; the
-  // full-key hash keeps in-memory grouping and combining efficient.
   using Job = MapReduceJob<Sequence, Sequence, Frequency, SequenceHash>;
   Job job(
-      // Map = partitioning phase (Alg. 1 lines 1-5).
       [&](const Sequence& t, const Job::EmitFn& emit) {
-        // G1(T) restricted to frequent items: walk each item's ancestor
-        // chain; dedup via sort at the end (chains are short).
         Sequence pivots;
         for (ItemId w : t) {
           for (ItemId a : h.AncestorSpan(w)) {
             if (a <= num_frequent) pivots.push_back(a);
-            // Ancestors of an already-seen item repeat; the sort+unique
-            // below removes them.
           }
         }
         std::sort(pivots.begin(), pivots.end());
@@ -65,8 +266,6 @@ AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
           emit(key, 1);
         }
       },
-      // Reduce = aggregation of identical rewrites (Sec. 4.4); mining runs
-      // in the reduce-finish hook once the partition is complete.
       [&](size_t rtask, const Sequence& key, std::vector<Frequency>& values) {
         Frequency total = 0;
         for (Frequency v : values) total += v;
@@ -86,7 +285,7 @@ AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
   job.set_partitioner([](const Sequence& key) {
     return static_cast<size_t>(key[0]);
   });
-  job.set_reduce_finish([&](size_t rtask) {
+  job.set_reduce_finish([&](size_t rtask, ThreadPool*) {
     // Mining phase (Alg. 1 lines 7-11): one local miner per task.
     auto miner = MakeLocalMiner(options.miner, &h, params);
     for (auto& [pivot, partition] : partitions[rtask]) {
@@ -105,6 +304,17 @@ AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
   for (const MinerStats& s : stats) result.miner_stats.Merge(s);
   for (const PartitionShape& s : shapes) result.partition_shape.Merge(s);
   return result;
+}
+
+}  // namespace
+
+AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
+                   const JobConfig& config, const LashOptions& options) {
+  params.Validate();
+  if (config.shuffle == ShuffleMode::kLegacyHash) {
+    return RunLashLegacy(pre, params, config, options);
+  }
+  return RunLashPacked(pre, params, config, options);
 }
 
 }  // namespace lash

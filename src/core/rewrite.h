@@ -1,6 +1,7 @@
 #ifndef LASH_CORE_REWRITE_H_
 #define LASH_CORE_REWRITE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -59,6 +60,133 @@ class Rewriter {
   const Hierarchy* hierarchy_;
   uint32_t gamma_;
   uint32_t lambda_;
+};
+
+/// Allocation-free variant of Rewriter for the LASH map hot loop (the
+/// partitioning phase rewrites every transaction once per pivot, so the
+/// rewrite pipeline runs |D| * avg|G1(T)| times per job). All temporaries
+/// live in the object and `Rewrite` writes into a caller-owned buffer that
+/// is reused across pivots; a warm instance performs no heap allocation.
+///
+/// For gamma == 0 (the paper's n-gram setting, used by every NYT series)
+/// the whole post-generalization pipeline collapses into one run-based
+/// scan: chains cannot cross blanks, so unreachability is the distance to
+/// the nearest in-run pivot, isolated-pivot removal is "drop singleton
+/// runs", and blank compression falls out of the emission order. Identical
+/// output to Rewriter (differential-tested in tests/rewrite_test.cc).
+///
+/// Instances are NOT thread-safe; the LASH driver keeps one per pool worker.
+class ScratchRewriter {
+ public:
+  /// The hierarchy must be in rank space (IsRankMonotone()).
+  ScratchRewriter(const Hierarchy* hierarchy, uint32_t gamma, uint32_t lambda);
+
+  /// Computes P_w(T) into *out (clobbered). Returns false — with *out left
+  /// empty — exactly when Rewriter::Rewrite would return an empty sequence.
+  bool Rewrite(const Sequence& t, ItemId pivot, Sequence* out);
+
+  /// Step 1 (w-generalization) alone, into *out (clobbered).
+  void Generalize(const Sequence& t, ItemId pivot, Sequence* out) const;
+
+  /// The gamma == 0 LASH partitioning loop, fused: computes [w | P_w(T)]
+  /// for *every* frequent pivot w of G1(T) and calls `emit_key(key)` for
+  /// each non-empty rewrite, with pivots ascending. Exactly equivalent to
+  /// collecting G1(T), calling Rewrite per pivot and prepending the pivot —
+  /// but occurrence-driven: instead of re-scanning the whole transaction
+  /// once per pivot, it collects (pivot, position) occurrence pairs in one
+  /// chain walk (gen_w(T)[i] == w iff w is an ancestor-or-self of T[i]),
+  /// and per pivot touches only the <= lambda-1 neighborhood of its
+  /// occurrences. Reachability is a root-rank test: gen_w(T)[j] is blank
+  /// iff rank(root(T[j])) > w, so the interval walks never generalize
+  /// positions they do not keep. Requires gamma == 0 (callers dispatch).
+  template <typename EmitKey>
+  void RewriteAllPivotsGammaZero(const Sequence& t, ItemId num_frequent,
+                                 EmitKey&& emit_key) {
+    const size_t m = t.size();
+    const size_t reach = static_cast<size_t>(lambda_) - 1;
+    // Occurrence pairs (pivot << 32 | position) and per-position chain
+    // roots; both reused across calls.
+    pairs_.clear();
+    root_rank_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      if (!IsItem(t[i])) {
+        root_rank_[i] = kBlank;
+        continue;
+      }
+      auto chain = hierarchy_->AncestorSpan(t[i]);
+      root_rank_[i] = chain.back();
+      for (ItemId a : chain) {
+        if (a <= num_frequent) {
+          pairs_.push_back(static_cast<uint64_t>(a) << 32 | i);
+        }
+      }
+    }
+    std::sort(pairs_.begin(), pairs_.end());
+
+    constexpr size_t kNone = static_cast<size_t>(-1);
+    size_t g = 0;
+    while (g < pairs_.size()) {
+      const ItemId w = static_cast<ItemId>(pairs_[g] >> 32);
+      gen_.clear();  // Key buffer: [w | P_w(T)].
+      gen_.push_back(w);
+      size_t cur_lo = kNone, cur_hi = kNone;
+      auto flush = [&](size_t next_lo) {
+        // Emits [cur_lo, cur_hi]; a following interval is separated by one
+        // blank (the compressed remains of everything between them).
+        if (cur_lo == kNone) return;
+        if (gen_.size() > 1) gen_.push_back(kBlank);
+        for (size_t j = cur_lo; j <= cur_hi; ++j) {
+          ItemId value = kBlank;
+          for (ItemId a : hierarchy_->AncestorSpan(t[j])) {
+            if (a <= w) {
+              value = a;
+              break;
+            }
+          }
+          gen_.push_back(value);
+        }
+        cur_lo = next_lo;
+      };
+      for (; g < pairs_.size() && (pairs_[g] >> 32) == w; ++g) {
+        const size_t p = static_cast<size_t>(
+            static_cast<uint32_t>(pairs_[g]));
+        // Walk to the farthest reachable index on each side: adjacent
+        // steps only (gamma == 0), never across a blank (root > w), chain
+        // size |p - j| + 1 <= lambda.
+        size_t lo = p;
+        while (lo > 0 && p - (lo - 1) <= reach && root_rank_[lo - 1] <= w) {
+          --lo;
+        }
+        size_t hi = p;
+        while (hi + 1 < m && (hi + 1) - p <= reach &&
+               root_rank_[hi + 1] <= w) {
+          ++hi;
+        }
+        if (lo == hi) continue;  // Isolated pivot occurrence (Sec. 4.3).
+        if (cur_lo != kNone && lo <= cur_hi + 1) {
+          if (hi > cur_hi) cur_hi = hi;  // Merge into the open interval.
+        } else {
+          flush(lo);
+          if (cur_lo == kNone) cur_lo = lo;
+          cur_hi = hi;
+        }
+      }
+      flush(kNone);
+      if (gen_.size() > 1) emit_key(static_cast<const Sequence&>(gen_));
+    }
+  }
+
+ private:
+  bool RewriteGammaZero(const Sequence& t, ItemId pivot, Sequence* out);
+
+  const Hierarchy* hierarchy_;
+  uint32_t gamma_;
+  uint32_t lambda_;
+  Sequence gen_;
+  std::vector<uint32_t> left_;
+  std::vector<uint32_t> right_;
+  std::vector<uint64_t> pairs_;
+  std::vector<ItemId> root_rank_;
 };
 
 }  // namespace lash

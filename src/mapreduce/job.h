@@ -1,25 +1,33 @@
 #ifndef LASH_MAPREDUCE_JOB_H_
 #define LASH_MAPREDUCE_JOB_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "mapreduce/cluster.h"
+#include "util/hash.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace lash {
 
 /// Counters mirroring the Hadoop counters the paper reports (Sec. 6.1):
-/// `map_output_bytes` corresponds to MAP_OUTPUT_BYTES and is computed from
-/// the varint-serialized size of every key/value pair that leaves the map
-/// phase (i.e. after the combiner, which is what is actually transferred).
+/// `map_output_bytes` corresponds to MAP_OUTPUT_BYTES. On the packed-spill
+/// path it is the *actual* size of the varint-encoded spill buffers that
+/// leave the map phase (i.e. after the combiner, which is what is actually
+/// transferred); on the legacy path it is simulated via the job's
+/// ByteSizeFn, which the callers define with the same varint formulas.
 struct JobCounters {
   uint64_t map_input_records = 0;
   uint64_t map_output_records = 0;
@@ -53,6 +61,22 @@ struct PhaseTimes {
   }
 };
 
+/// Which shuffle implementation a job run uses.
+enum class ShuffleMode {
+  /// Byte-packed spill: map output is varint-encoded into one flat buffer
+  /// per (map task, reduce partition) via the job's SpillCodec, and the
+  /// shuffle groups records by sorting (hash of the encoded key bytes,
+  /// then the bytes themselves) — equal keys have equal canonical
+  /// encodings, so a run of equal slices is one reduce group. No per-pair
+  /// heap allocation, no hash table, and MAP_OUTPUT_BYTES is measured,
+  /// not simulated. Jobs without a SpillCodec fall back to kLegacyHash.
+  kPackedSpill,
+  /// The pre-PR2 path: one heap std::pair<K, V> per spilled record and an
+  /// unordered_map<K, vector<V>> per reduce partition. Kept as the
+  /// before-baseline of bench_shuffle; do not optimize it.
+  kLegacyHash,
+};
+
 /// Execution configuration of a simulated MapReduce job.
 struct JobConfig {
   /// Real worker threads used to execute tasks on this machine.
@@ -61,6 +85,8 @@ struct JobConfig {
   size_t num_map_tasks = 16;
   /// Number of reduce tasks (hash partitions of the key space).
   size_t num_reduce_tasks = 16;
+  /// Shuffle implementation (see ShuffleMode).
+  ShuffleMode shuffle = ShuffleMode::kPackedSpill;
 };
 
 /// Result of a job run: phase timings, counters, and the recorded per-task
@@ -91,31 +117,68 @@ struct JobResult {
 /// user's map function over each chunk on a thread pool, optionally combines
 /// values per key inside each map task, hash-partitions keys into
 /// `num_reduce_tasks` groups, and runs the user's reduce function per key
-/// group. All phases are timed; per-pair serialized sizes accumulate into
-/// MAP_OUTPUT_BYTES.
+/// group. All phases are timed.
+///
+/// Jobs that install a SpillCodec run the packed-spill shuffle by default
+/// (ShuffleMode::kPackedSpill): map output lives in flat varint buffers,
+/// grouping is sort-based, and MAP_OUTPUT_BYTES is the real buffer size.
+/// Reduce-side code must not assume anything about key arrival order — the
+/// legacy path streams keys in hash-table order, the packed path in
+/// (key-hash, key-bytes) order. Within one key group both paths deliver
+/// values grouped by map task in ascending task order (within a task:
+/// combiner-accumulator order on the legacy path, spill order on the
+/// packed path); order-sensitive reducers should not rely on more than
+/// that.
 template <typename Input, typename K, typename V,
           typename KHash = std::hash<K>>
 class MapReduceJob {
  public:
-  /// Emits one intermediate pair; passed to the map function.
-  using EmitFn = std::function<void(K, V)>;
-  /// User map function: `map(record, emit)`.
+  /// Emits one intermediate pair; passed to the map function. The key is
+  /// taken by const reference so map functions can reuse one scratch key
+  /// buffer across emits (the runtime copies only where it must: into the
+  /// combiner accumulator or the legacy spill).
+  using EmitFn = std::function<void(const K&, const V&)>;
+  /// User map function: `map(record, emit)`. Shared by all map tasks, so it
+  /// must be re-entrant; per-thread scratch can be indexed by
+  /// ThreadPool::CurrentIndex().
   using MapFn = std::function<void(const Input&, const EmitFn&)>;
   /// Optional associative combiner: merges `incoming` into `accumulated`.
   using CombineFn = std::function<void(V* accumulated, V&& incoming)>;
   /// User reduce function: `reduce(reduce_task_index, key, values)`.
-  /// `values` may be consumed destructively.
+  /// `values` may be consumed destructively; the vector is owned by the
+  /// runtime and reused across key groups.
   using ReduceFn =
       std::function<void(size_t rtask, const K& key, std::vector<V>& values)>;
-  /// Serialized size of a pair, for the MAP_OUTPUT_BYTES counter.
+  /// Serialized size of a pair, for the simulated MAP_OUTPUT_BYTES counter
+  /// of the legacy path (the packed path measures its buffers instead).
   using ByteSizeFn = std::function<size_t(const K&, const V&)>;
   /// Maps a key to a reduce partition (before modulo). Defaults to KHash.
   /// LASH overrides this to route every key of one pivot to the same reduce
   /// task while keeping full-key hashing for in-memory grouping.
   using PartitionFn = std::function<size_t(const K&)>;
   /// Called once per reduce task after all of its key groups were reduced;
-  /// LASH runs the local miner here (the partition P_w is complete then).
-  using ReduceFinishFn = std::function<void(size_t rtask)>;
+  /// LASH runs the local miners here (the partitions P_w are complete
+  /// then). `pool` is the job's worker pool — the hook may use
+  /// ThreadPool::ParallelFor for nested parallelism, but must not call
+  /// Wait() on it.
+  using ReduceFinishFn = std::function<void(size_t rtask, ThreadPool* pool)>;
+
+  /// Codec for the packed-spill path. Encodings must be canonical (equal
+  /// keys produce equal bytes) because grouping compares encoded bytes;
+  /// every codec in this repo is varint-based (util/varint.h).
+  struct SpillCodec {
+    std::function<void(std::string* out, const K& key)> encode_key;
+    std::function<bool(const std::string& data, size_t* pos, K* key)>
+        decode_key;
+    std::function<void(std::string* out, const V& value)> encode_value;
+    std::function<bool(const std::string& data, size_t* pos, V* value)>
+        decode_value;
+    /// Optional: advances *pos past one encoded key without materializing
+    /// it. The shuffle scan only needs key slice boundaries (grouping
+    /// hashes the raw bytes); without this hook it falls back to
+    /// decode_key into a scratch key.
+    std::function<bool(const std::string& data, size_t* pos)> skip_key;
+  };
 
   MapReduceJob(MapFn map, ReduceFn reduce, ByteSizeFn byte_size)
       : map_(std::move(map)),
@@ -134,6 +197,9 @@ class MapReduceJob {
   /// Installs a per-reduce-task completion hook.
   void set_reduce_finish(ReduceFinishFn fn) { reduce_finish_ = std::move(fn); }
 
+  /// Installs the spill codec, enabling the packed-spill shuffle.
+  void set_spill_codec(SpillCodec codec) { codec_ = std::move(codec); }
+
   /// Runs the job over `inputs`.
   JobResult Run(const std::vector<Input>& inputs, const JobConfig& config) {
     const size_t num_map = std::max<size_t>(1, config.num_map_tasks);
@@ -143,30 +209,301 @@ class MapReduceJob {
     result.map_task_ms.resize(num_map, 0.0);
     result.reduce_task_ms.resize(num_red, 0.0);
 
-    // spill[m][r] = pairs emitted by map task m for reduce partition r.
-    std::vector<std::vector<std::vector<std::pair<K, V>>>> spill(
-        num_map, std::vector<std::vector<std::pair<K, V>>>(num_red));
-    std::vector<JobCounters> task_counters(num_map);
-
     ThreadPool pool(std::max<size_t>(1, config.num_threads));
+    if (config.shuffle == ShuffleMode::kPackedSpill && codec_.encode_key) {
+      RunPacked(inputs, num_map, num_red, &pool, &result);
+    } else {
+      RunLegacy(inputs, num_map, num_red, &pool, &result);
+    }
+    return result;
+  }
+
+ private:
+  // ---- Packed-spill path -------------------------------------------------
+
+  // One spilled record of a reduce partition: where its encoded key slice
+  // lives (map task + byte range; buffers stay resident until the reduce
+  // task finishes) plus the decoded value and the hash of the key bytes.
+  // Sorting by (hash, slice bytes) makes equal keys adjacent.
+  struct RecordRef {
+    uint64_t hash;
+    uint32_t map_task;
+    uint32_t begin;
+    uint32_t end;
+    V value;
+  };
+
+  // Map-side combiner for the packed path, keyed by encoded key bytes: the
+  // key is serialized into a string arena at emit time and deduplicated
+  // with a chained hash table over (hash, byte slice). Compared to the
+  // legacy unordered_map<K, V> accumulator this performs no per-key heap
+  // allocation and flushing it is a single arena interleave. Entry order is
+  // insertion order, so the spill content is deterministic for a fixed
+  // input split.
+  struct ByteCombiner {
+    struct Entry {
+      uint64_t hash;
+      uint32_t begin;
+      uint32_t end;
+      uint32_t next;  // Chain link, index+1; 0 terminates.
+      V value;
+    };
+    std::string arena;
+    std::vector<Entry> entries;
+    std::vector<uint32_t> heads;  // Power-of-two bucket array.
+    size_t mask = 0;
+
+    // `combine(accumulated, incoming)` merges duplicates.
+    template <typename EncodeKey, typename Combine>
+    void Add(const EncodeKey& encode_key, const K& key, const V& value,
+             const Combine& combine) {
+      if (heads.empty()) {
+        heads.assign(64, 0);
+        mask = heads.size() - 1;
+      }
+      const size_t begin_offset = arena.size();
+      encode_key(&arena, key);
+      // Guard after the append: this is where the arena can cross the
+      // uint32 offset range, and begin_offset <= arena.size() is covered.
+      if (arena.size() > UINT32_MAX) DieOnOversizedSpill();
+      const uint32_t begin = static_cast<uint32_t>(begin_offset);
+      const uint32_t end = static_cast<uint32_t>(arena.size());
+      const uint64_t hash = FnvHashBytes(arena.data() + begin, end - begin);
+      for (uint32_t e = heads[hash & mask]; e != 0; e = entries[e - 1].next) {
+        Entry& entry = entries[e - 1];
+        if (entry.hash == hash && entry.end - entry.begin == end - begin &&
+            std::memcmp(arena.data() + entry.begin, arena.data() + begin,
+                        end - begin) == 0) {
+          combine(&entry.value, V(value));
+          arena.resize(begin);  // Duplicate: drop the appended bytes.
+          return;
+        }
+      }
+      entries.push_back(Entry{hash, begin, end, heads[hash & mask], value});
+      heads[hash & mask] = static_cast<uint32_t>(entries.size());
+      if (entries.size() > heads.size()) Grow();
+    }
+
+    void Grow() {
+      heads.assign(heads.size() * 2, 0);
+      mask = heads.size() - 1;
+      for (uint32_t i = 0; i < entries.size(); ++i) {
+        entries[i].next = heads[entries[i].hash & mask];
+        heads[entries[i].hash & mask] = i + 1;
+      }
+    }
+  };
+
+  void RunPacked(const std::vector<Input>& inputs, size_t num_map,
+                 size_t num_red, ThreadPool* pool, JobResult* result) {
+    // spill[m][r] = varint buffer of the records map task m emitted for
+    // reduce partition r.
+    std::vector<std::vector<std::string>> spill(
+        num_map, std::vector<std::string>(num_red));
+    std::vector<JobCounters> task_counters(num_map);
     Stopwatch phase;
 
     // ---- Map phase ----
     for (size_t m = 0; m < num_map; ++m) {
-      pool.Submit([&, m] {
+      pool->Submit([&, m] {
+        Stopwatch task_clock;
+        const size_t lo = inputs.size() * m / num_map;
+        const size_t hi = inputs.size() * (m + 1) / num_map;
+        std::vector<std::string>& buffers = spill[m];
+        uint64_t records = 0;
+        if (combine_) {
+          // Combine inside the map task directly on encoded key bytes,
+          // then interleave the surviving pairs into the spill buffers;
+          // only what the combiner keeps is counted, mirroring what Hadoop
+          // actually transfers.
+          std::vector<ByteCombiner> acc(num_red);
+          EmitFn emit = [&](const K& key, const V& value) {
+            size_t r = partition_(key) % num_red;
+            acc[r].Add(codec_.encode_key, key, value, combine_);
+          };
+          for (size_t i = lo; i < hi; ++i) map_(inputs[i], emit);
+          for (size_t r = 0; r < num_red; ++r) {
+            for (const auto& entry : acc[r].entries) {
+              buffers[r].append(acc[r].arena, entry.begin,
+                                entry.end - entry.begin);
+              codec_.encode_value(&buffers[r], entry.value);
+              ++records;
+            }
+          }
+        } else {
+          EmitFn emit = [&](const K& key, const V& value) {
+            size_t r = partition_(key) % num_red;
+            codec_.encode_key(&buffers[r], key);
+            codec_.encode_value(&buffers[r], value);
+            ++records;
+          };
+          for (size_t i = lo; i < hi; ++i) map_(inputs[i], emit);
+        }
+        task_counters[m].map_output_records = records;
+        for (const std::string& buffer : buffers) {
+          task_counters[m].map_output_bytes += buffer.size();
+        }
+        result->map_task_ms[m] = task_clock.ElapsedMs();
+      });
+    }
+    pool->Wait();
+    result->times.map_ms = phase.ElapsedMs();
+    for (const JobCounters& c : task_counters) result->counters.Merge(c);
+
+    // ---- Shuffle phase: decode record frames, sort by key bytes. ----
+    phase.Restart();
+    std::vector<std::vector<RecordRef>> records(num_red);
+    for (size_t r = 0; r < num_red; ++r) {
+      pool->Submit([&, r] {
+        std::vector<RecordRef>& refs = records[r];
+        K key_scratch;
+        for (size_t m = 0; m < num_map; ++m) {
+          const std::string& buffer = spill[m][r];
+          if (buffer.size() > UINT32_MAX) DieOnOversizedSpill();
+          size_t pos = 0;
+          while (pos < buffer.size()) {
+            RecordRef ref;
+            ref.map_task = static_cast<uint32_t>(m);
+            ref.begin = static_cast<uint32_t>(pos);
+            // The key is parsed only to find the end of its slice
+            // (skip_key when provided, else a decode into the reused
+            // scratch — either way no allocation once warm). A failure
+            // means the codec is not the inverse of its encoder — fail
+            // loudly rather than silently dropping the rest of the
+            // buffer (same fate as a failed Hadoop attempt).
+            const bool key_ok =
+                codec_.skip_key ? codec_.skip_key(buffer, &pos)
+                                : codec_.decode_key(buffer, &pos, &key_scratch);
+            if (!key_ok) DieOnCorruptSpill();
+            ref.end = static_cast<uint32_t>(pos);
+            if (!codec_.decode_value(buffer, &pos, &ref.value)) {
+              DieOnCorruptSpill();
+            }
+            ref.hash = FnvHashBytes(buffer.data() + ref.begin,
+                                    ref.end - ref.begin);
+            refs.push_back(std::move(ref));
+          }
+        }
+        std::sort(refs.begin(), refs.end(),
+                  [&](const RecordRef& a, const RecordRef& b) {
+                    if (a.hash != b.hash) return a.hash < b.hash;
+                    const int cmp = SliceCompare(spill, r, a, b);
+                    if (cmp != 0) return cmp < 0;
+                    // Equal keys: (map task, spill offset) tie-break so the
+                    // values of a group stream in the legacy path's
+                    // ascending-map-task order despite the unstable sort.
+                    if (a.map_task != b.map_task) {
+                      return a.map_task < b.map_task;
+                    }
+                    return a.begin < b.begin;
+                  });
+      });
+    }
+    pool->Wait();
+    result->times.shuffle_ms = phase.ElapsedMs();
+
+    // ---- Reduce phase: stream run-length key groups. ----
+    phase.Restart();
+    std::vector<uint64_t> group_counts(num_red, 0);
+    for (size_t r = 0; r < num_red; ++r) {
+      pool->Submit([&, r] {
+        Stopwatch task_clock;
+        std::vector<RecordRef>& refs = records[r];
+        K key;
+        std::vector<V> values;  // Reused across groups, never per key.
+        size_t i = 0;
+        while (i < refs.size()) {
+          size_t j = i + 1;
+          while (j < refs.size() && refs[j].hash == refs[i].hash &&
+                 SliceEqual(spill, r, refs[i], refs[j])) {
+            ++j;
+          }
+          const std::string& buffer = spill[refs[i].map_task][r];
+          size_t pos = refs[i].begin;
+          // Cannot fail: this slice already decoded during the scan.
+          if (!codec_.decode_key(buffer, &pos, &key)) DieOnCorruptSpill();
+          values.clear();
+          for (size_t k = i; k < j; ++k) {
+            values.push_back(std::move(refs[k].value));
+          }
+          reduce_(r, key, values);
+          ++group_counts[r];
+          i = j;
+        }
+        if (reduce_finish_) reduce_finish_(r, pool);
+        // Release this partition's slices and buffers.
+        std::vector<RecordRef>().swap(refs);
+        for (size_t m = 0; m < num_map; ++m) {
+          std::string().swap(spill[m][r]);
+        }
+        result->reduce_task_ms[r] = task_clock.ElapsedMs();
+      });
+    }
+    pool->Wait();
+    result->times.reduce_ms = phase.ElapsedMs();
+    for (uint64_t c : group_counts) result->counters.reduce_input_groups += c;
+  }
+
+  [[noreturn]] static void DieOnCorruptSpill() {
+    std::fprintf(stderr,
+                 "MapReduceJob: spill codec failed to decode its own buffer "
+                 "(encode/decode mismatch)\n");
+    std::abort();
+  }
+
+  [[noreturn]] static void DieOnOversizedSpill() {
+    std::fprintf(stderr,
+                 "MapReduceJob: a single (map task, reduce partition) spill "
+                 "buffer exceeds 4 GiB; raise num_map_tasks/num_reduce_tasks\n");
+    std::abort();
+  }
+
+  // Three-way lexicographic comparison of two encoded key slices.
+  static int SliceCompare(const std::vector<std::vector<std::string>>& spill,
+                          size_t r, const RecordRef& a, const RecordRef& b) {
+    const char* pa = spill[a.map_task][r].data() + a.begin;
+    const char* pb = spill[b.map_task][r].data() + b.begin;
+    const size_t la = a.end - a.begin;
+    const size_t lb = b.end - b.begin;
+    const int cmp = std::memcmp(pa, pb, std::min(la, lb));
+    if (cmp != 0) return cmp;
+    return la < lb ? -1 : (la > lb ? 1 : 0);
+  }
+
+  static bool SliceEqual(const std::vector<std::vector<std::string>>& spill,
+                         size_t r, const RecordRef& a, const RecordRef& b) {
+    const size_t la = a.end - a.begin;
+    if (la != b.end - b.begin) return false;
+    return std::memcmp(spill[a.map_task][r].data() + a.begin,
+                       spill[b.map_task][r].data() + b.begin, la) == 0;
+  }
+
+  // ---- Legacy path (before-baseline of bench_shuffle; do not optimize) ---
+
+  void RunLegacy(const std::vector<Input>& inputs, size_t num_map,
+                 size_t num_red, ThreadPool* pool, JobResult* result) {
+    // spill[m][r] = pairs emitted by map task m for reduce partition r.
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> spill(
+        num_map, std::vector<std::vector<std::pair<K, V>>>(num_red));
+    std::vector<JobCounters> task_counters(num_map);
+    Stopwatch phase;
+
+    // ---- Map phase ----
+    for (size_t m = 0; m < num_map; ++m) {
+      pool->Submit([&, m] {
         Stopwatch task_clock;
         const size_t lo = inputs.size() * m / num_map;
         const size_t hi = inputs.size() * (m + 1) / num_map;
         if (combine_) {
           // Combine inside the map task: per-partition hash maps.
           std::vector<std::unordered_map<K, V, KHash>> acc(num_red);
-          EmitFn emit = [&](K key, V value) {
+          EmitFn emit = [&](const K& key, const V& value) {
             size_t r = partition_(key) % num_red;
-            auto [it, inserted] = acc[r].try_emplace(std::move(key));
+            auto [it, inserted] = acc[r].try_emplace(key);
             if (inserted) {
-              it->second = std::move(value);
+              it->second = value;
             } else {
-              combine_(&it->second, std::move(value));
+              combine_(&it->second, V(value));
             }
           };
           for (size_t i = lo; i < hi; ++i) map_(inputs[i], emit);
@@ -179,27 +516,26 @@ class MapReduceJob {
             }
           }
         } else {
-          EmitFn emit = [&](K key, V value) {
+          EmitFn emit = [&](const K& key, const V& value) {
             size_t r = partition_(key) % num_red;
             task_counters[m].map_output_bytes += byte_size_(key, value);
             ++task_counters[m].map_output_records;
-            spill[m][r].emplace_back(std::move(key), std::move(value));
+            spill[m][r].emplace_back(key, value);
           };
           for (size_t i = lo; i < hi; ++i) map_(inputs[i], emit);
         }
-        result.map_task_ms[m] = task_clock.ElapsedMs();
+        result->map_task_ms[m] = task_clock.ElapsedMs();
       });
     }
-    pool.Wait();
-    result.times.map_ms = phase.ElapsedMs();
-    for (const JobCounters& c : task_counters) result.counters.Merge(c);
-    result.counters.map_input_records = inputs.size();
+    pool->Wait();
+    result->times.map_ms = phase.ElapsedMs();
+    for (const JobCounters& c : task_counters) result->counters.Merge(c);
 
     // ---- Shuffle phase: group values by key per reduce partition. ----
     phase.Restart();
     std::vector<std::unordered_map<K, std::vector<V>, KHash>> groups(num_red);
     for (size_t r = 0; r < num_red; ++r) {
-      pool.Submit([&, r] {
+      pool->Submit([&, r] {
         size_t total = 0;
         for (size_t m = 0; m < num_map; ++m) total += spill[m][r].size();
         groups[r].reserve(total);
@@ -212,36 +548,35 @@ class MapReduceJob {
         }
       });
     }
-    pool.Wait();
-    result.times.shuffle_ms = phase.ElapsedMs();
+    pool->Wait();
+    result->times.shuffle_ms = phase.ElapsedMs();
 
     // ---- Reduce phase ----
     phase.Restart();
     std::vector<uint64_t> group_counts(num_red, 0);
     for (size_t r = 0; r < num_red; ++r) {
-      pool.Submit([&, r] {
+      pool->Submit([&, r] {
         Stopwatch task_clock;
         group_counts[r] = groups[r].size();
         for (auto& [key, values] : groups[r]) {
           reduce_(r, key, values);
         }
-        if (reduce_finish_) reduce_finish_(r);
-        result.reduce_task_ms[r] = task_clock.ElapsedMs();
+        if (reduce_finish_) reduce_finish_(r, pool);
+        result->reduce_task_ms[r] = task_clock.ElapsedMs();
       });
     }
-    pool.Wait();
-    result.times.reduce_ms = phase.ElapsedMs();
-    for (uint64_t c : group_counts) result.counters.reduce_input_groups += c;
-    return result;
+    pool->Wait();
+    result->times.reduce_ms = phase.ElapsedMs();
+    for (uint64_t c : group_counts) result->counters.reduce_input_groups += c;
   }
 
- private:
   MapFn map_;
   CombineFn combine_;
   ReduceFn reduce_;
   ByteSizeFn byte_size_;
   PartitionFn partition_;
   ReduceFinishFn reduce_finish_;
+  SpillCodec codec_;
 };
 
 }  // namespace lash

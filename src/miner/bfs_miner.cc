@@ -33,13 +33,16 @@ PatternMap BfsMiner::Mine(const Partition& partition, ItemId pivot,
   PatternMap output;
 
   // --- Level 2 directly from the data (G2(T) per transaction). ---
+  // Per-transaction dedup runs on flat (a << 32 | b) codes with sort +
+  // unique instead of a SequenceSet: no per-pair Sequence allocation, no
+  // hashing, and the buffer is reused across transactions.
   Level level;
   {
-    SequenceSet per_transaction;
+    std::vector<uint64_t> codes;
+    Sequence pair(2);
     for (uint32_t tid = 0; tid < partition.size(); ++tid) {
-      per_transaction.clear();
+      codes.clear();
       const Sequence& t = partition.sequences[tid];
-      Sequence pair(2);
       for (size_t i = 0; i < t.size(); ++i) {
         if (!IsItem(t[i])) continue;
         size_t hi = std::min(t.size(), i + static_cast<size_t>(params_.gamma) + 2);
@@ -47,14 +50,18 @@ PatternMap BfsMiner::Mine(const Partition& partition, ItemId pivot,
           if (!IsItem(t[j])) continue;
           for (ItemId a : h.AncestorSpan(t[i])) {
             for (ItemId b : h.AncestorSpan(t[j])) {
-              pair[0] = a;
-              pair[1] = b;
-              per_transaction.insert(pair);
+              codes.push_back(static_cast<uint64_t>(a) << 32 | b);
             }
           }
         }
       }
-      for (const Sequence& s : per_transaction) level[s].push_back(tid);
+      std::sort(codes.begin(), codes.end());
+      codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+      for (uint64_t code : codes) {
+        pair[0] = static_cast<ItemId>(code >> 32);
+        pair[1] = static_cast<ItemId>(code);
+        level[pair].push_back(tid);
+      }
     }
   }
   // Keep only frequent 2-sequences.

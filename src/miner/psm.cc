@@ -110,33 +110,79 @@ using psm_internal::EventGroup;
 using psm_internal::EventRegrouper;
 using psm_internal::ExpansionEvent;
 
-// A fixed-capacity bitset over item ids 1..pivot with a population counter;
-// the PSM+Index right index stores one per right-expansion depth. Replaces
-// the unordered_set<ItemId> of the original implementation: membership is a
-// shift+mask instead of a hash probe.
-class ItemBitset {
+// The pooled PSM+Index right index: one arena of bitset words shared by
+// every left node of a run. Row `r` holds the index of the left node at
+// left-recursion depth `r` (at most one such node is live at a time — left
+// expansion recurses depth-first), and within a row, depth `d` is the set
+// of frequent expansion items seen at right-expansion depth d of that
+// node's subtree. Acquiring a row bumps its generation counter instead of
+// zeroing its words, so re-initialization is O(depths) rather than
+// O(depths * pivot/64) — the per-LeftNode reset cost that dominated when
+// pivot ids are large. Words are epoch-tagged: a word whose tag is stale
+// reads as empty.
+class RightIndexPool {
  public:
-  void Reset(size_t num_items) {
-    bits_.assign((num_items >> 6) + 1, 0);
-    count_ = 0;
+  // Sizes the arena for `rows` x `depths` bitsets over items < num_items.
+  // Idempotent; keeps existing capacity when large enough.
+  void Prepare(size_t rows, size_t depths, size_t num_items) {
+    rows_ = rows;
+    depths_ = depths;
+    words_per_set_ = (num_items >> 6) + 1;
+    const size_t words = rows_ * depths_ * words_per_set_;
+    if (bits_.size() < words) {
+      bits_.assign(words, 0);
+      word_epoch_.assign(words, 0);
+    }
+    row_epoch_.assign(rows_, 0);
+    counts_.assign(rows_ * depths_, 0);
+    // epoch_ is deliberately NOT reset: stale word tags from an earlier
+    // Prepare stay strictly below every future generation, so reused
+    // capacity can never revive old bits.
   }
-  void Set(ItemId w) {
-    uint64_t mask = uint64_t{1} << (w & 63);
-    uint64_t& word = bits_[w >> 6];
-    count_ += (word & mask) == 0;
-    word |= mask;
+
+  // Claims row `row` for a new left node: all of its sets become empty.
+  void NewGeneration(size_t row) {
+    // 64-bit epoch: cannot wrap within a run and revive stale words.
+    row_epoch_[row] = ++epoch_;
+    std::fill_n(counts_.begin() + static_cast<ptrdiff_t>(row * depths_),
+                depths_, 0u);
   }
-  bool Test(ItemId w) const { return (bits_[w >> 6] >> (w & 63)) & 1; }
-  bool Empty() const { return count_ == 0; }
+
+  void Set(size_t row, size_t depth, ItemId w) {
+    const size_t base = (row * depths_ + depth) * words_per_set_ + (w >> 6);
+    const uint64_t mask = uint64_t{1} << (w & 63);
+    if (word_epoch_[base] != row_epoch_[row]) {
+      word_epoch_[base] = row_epoch_[row];
+      bits_[base] = mask;
+      ++counts_[row * depths_ + depth];
+    } else {
+      counts_[row * depths_ + depth] += (bits_[base] & mask) == 0;
+      bits_[base] |= mask;
+    }
+  }
+
+  bool Test(size_t row, size_t depth, ItemId w) const {
+    const size_t base = (row * depths_ + depth) * words_per_set_ + (w >> 6);
+    return word_epoch_[base] == row_epoch_[row] &&
+           ((bits_[base] >> (w & 63)) & 1);
+  }
+
+  bool Empty(size_t row, size_t depth) const {
+    return counts_[row * depths_ + depth] == 0;
+  }
+
+  size_t depths() const { return depths_; }
 
  private:
+  size_t rows_ = 0;
+  size_t depths_ = 0;
+  size_t words_per_set_ = 0;
+  uint64_t epoch_ = 0;
   std::vector<uint64_t> bits_;
-  size_t count_ = 0;
+  std::vector<uint64_t> word_epoch_;
+  std::vector<uint64_t> row_epoch_;
+  std::vector<uint32_t> counts_;
 };
-
-// allowed[d] = frequent expansion items at right-expansion depth d (0-based)
-// in a left node's right subtree.
-using RightIndex = std::vector<ItemBitset>;
 
 // An expansion database: an index range of the shared event arena. Events
 // in the range share one item and are sorted by (tid, embedding), i.e. the
@@ -162,6 +208,12 @@ class PsmRun {
 
   PatternMap Mine() {
     regrouper_.Prepare(static_cast<size_t>(pivot_) + 1);
+    if (use_index_) {
+      // One row per simultaneously-live left node (the left recursion is
+      // at most lambda deep), each with one set per right-expansion depth.
+      index_pool_.Prepare(params_.lambda, params_.lambda,
+                          static_cast<size_t>(pivot_) + 1);
+    }
     // Seed database: one event per pivot occurrence. The scan order (tid
     // ascending, position ascending) already matches the sorted-unique
     // event invariant, so no sort is needed.
@@ -177,33 +229,37 @@ class PsmRun {
       }
     }
     Sequence pattern{pivot_};
-    LeftNode(pattern, NodeDb{0, events_.size()}, /*parent_index=*/nullptr);
+    LeftNode(pattern, NodeDb{0, events_.size()}, /*left_depth=*/0,
+             /*parent_row=*/kNoRow);
     return std::move(output_);
   }
 
  private:
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+
   // Processes a node of the form Sl·w: runs its series of right expansions
-  // (building its own right index), then left-expands.
-  void LeftNode(Sequence& pattern, const NodeDb& db,
-                const RightIndex* parent_index) {
-    RightIndex my_index;
+  // (building its own right index in pool row `left_depth`), then
+  // left-expands. `parent_row` is the pool row of the parent left node, or
+  // kNoRow at the root (no index to prune against).
+  void LeftNode(Sequence& pattern, const NodeDb& db, size_t left_depth,
+                size_t parent_row) {
+    size_t my_row = kNoRow;
     if (use_index_) {
-      my_index.resize(params_.lambda);
-      for (ItemBitset& bits : my_index) bits.Reset(pivot_ + 1);
+      my_row = left_depth;
+      index_pool_.NewGeneration(my_row);
     }
-    ExpandRight(pattern, db, /*depth=*/0, parent_index,
-                use_index_ ? &my_index : nullptr);
-    ExpandLeft(pattern, db, use_index_ ? &my_index : nullptr);
+    ExpandRight(pattern, db, /*depth=*/0, parent_row, my_row);
+    ExpandLeft(pattern, db, left_depth, my_row);
   }
 
   // One right-expansion step: pattern -> pattern + a for frequent a != pivot.
   void ExpandRight(Sequence& pattern, const NodeDb& db, uint32_t depth,
-                   const RightIndex* parent_index, RightIndex* my_index) {
+                   size_t parent_row, size_t my_row) {
     if (pattern.size() >= params_.lambda) return;
-    const ItemBitset* allowed = nullptr;
-    if (use_index_ && parent_index != nullptr && depth < parent_index->size()) {
-      allowed = &(*parent_index)[depth];
-      if (allowed->Empty()) return;  // R_S = ∅: skip the scan (Sec. 5.2).
+    const bool pruned =
+        parent_row != kNoRow && depth < index_pool_.depths();
+    if (pruned && index_pool_.Empty(parent_row, depth)) {
+      return;  // R_S = ∅: skip the scan (Sec. 5.2).
     }
     const size_t mark = events_.size();
     for (size_t i = db.begin; i < db.end; ++i) {
@@ -216,7 +272,7 @@ class PsmRun {
         if (!IsItem(t[j])) continue;
         for (ItemId a : h_.AncestorSpan(t[j])) {
           if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
-          if (allowed != nullptr && !allowed->Test(a)) {
+          if (pruned && !index_pool_.Test(parent_row, depth, a)) {
             continue;  // Pruned by the parent's right index.
           }
           events_.push_back({a, ev.tid, Embedding{ev.emb.start, j}});
@@ -233,9 +289,9 @@ class PsmRun {
       if (g.weight < params_.sigma) continue;
       pattern.push_back(g.item);
       Output(pattern, g.weight);
-      if (my_index != nullptr) (*my_index)[depth].Set(g.item);
-      ExpandRight(pattern, NodeDb{g.begin, g.end}, depth + 1, parent_index,
-                  my_index);
+      if (my_row != kNoRow) index_pool_.Set(my_row, depth, g.item);
+      ExpandRight(pattern, NodeDb{g.begin, g.end}, depth + 1, parent_row,
+                  my_row);
       pattern.pop_back();
     }
     // Backtrack: release this level's expansions.
@@ -245,8 +301,8 @@ class PsmRun {
 
   // One left-expansion step: pattern -> a + pattern (pivot allowed); each
   // frequent result is a new left node.
-  void ExpandLeft(Sequence& pattern, const NodeDb& db,
-                  const RightIndex* my_index) {
+  void ExpandLeft(Sequence& pattern, const NodeDb& db, size_t left_depth,
+                  size_t my_row) {
     if (pattern.size() >= params_.lambda) return;
     const size_t mark = events_.size();
     for (size_t i = db.begin; i < db.end; ++i) {
@@ -271,7 +327,7 @@ class PsmRun {
       if (g.weight < params_.sigma) continue;
       pattern.insert(pattern.begin(), g.item);
       Output(pattern, g.weight);
-      LeftNode(pattern, NodeDb{g.begin, g.end}, my_index);
+      LeftNode(pattern, NodeDb{g.begin, g.end}, left_depth + 1, my_row);
       pattern.erase(pattern.begin());
     }
     // Backtrack: release this level's expansions.
@@ -297,6 +353,8 @@ class PsmRun {
   // Per-level group directories, stack-disciplined like events_.
   std::vector<psm_internal::EventGroup> groups_;
   EventRegrouper regrouper_;
+  // PSM+Index right indexes, pooled for the whole run (see RightIndexPool).
+  RightIndexPool index_pool_;
 };
 
 }  // namespace

@@ -105,7 +105,9 @@ class EventRegrouper {
 /// With `use_index = true` (PSM+Index), each left-node Sl·w memoizes, per
 /// right-expansion depth d, the union R of frequent expansion items observed
 /// anywhere in its right-expansion subtree at that depth (as a bitset over
-/// items <= pivot). A left child x·Sl·w restricts its depth-d right
+/// items <= pivot, pooled for the whole run in a generation-tagged arena so
+/// acquiring a node's index never re-zeroes words). A left child x·Sl·w
+/// restricts its depth-d right
 /// expansions to its parent's R: if Sw' is infrequent then x·S·w' is
 /// infrequent (Lemma 1). Pruned items are never support-tested (and not
 /// counted as candidates), and an empty R skips the scan entirely.

@@ -12,6 +12,19 @@
 
 namespace lash {
 
+/// FNV-1a over raw bytes; the packed-spill shuffle uses it to bucket
+/// encoded key slices without decoding them (grouping only needs equal
+/// bytes to collide, and the codecs are canonical: equal keys <=> equal
+/// encodings).
+inline uint64_t FnvHashBytes(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 /// FNV-1a hash over the items of a sequence; used for pattern hash maps.
 struct SequenceHash {
   size_t operator()(const Sequence& seq) const {

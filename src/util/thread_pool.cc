@@ -1,14 +1,26 @@
 #include "util/thread_pool.h"
 
+#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace lash {
+
+namespace {
+
+// Set for the lifetime of a worker thread; threads the pool does not own
+// keep the default. A plain thread_local (not a pool member) so CurrentIndex
+// stays a static lookup — tasks of nested constructs never outlive their
+// worker thread.
+thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -35,7 +47,62 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::ParallelFor(size_t n, std::function<void(size_t)> body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+
+  struct LoopState {
+    std::function<void(size_t)> body;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->body = std::move(body);
+  state->n = n;
+
+  // noexcept enforces the documented contract uniformly: an exception from
+  // `body` terminates the process whether it was driven by a helper task or
+  // by the calling thread — it must never unwind out of ParallelFor while
+  // helpers may still be executing the body against the caller's state.
+  auto drive = [](LoopState& s) noexcept {
+    for (;;) {
+      size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s.n) return;
+      s.body(i);
+      // acq_rel so the waiter's final `done` read sees all body effects.
+      if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.all_done.notify_all();
+      }
+    }
+  };
+
+  // Helper tasks add parallelism when workers free up; the calling thread
+  // drives the loop itself, so the loop finishes even if no helper ever
+  // runs (e.g. every worker is busy, or the pool has one thread and the
+  // caller *is* it). Helpers scheduled after completion see next >= n and
+  // exit immediately; shared_ptr keeps the state alive for them.
+  const size_t helpers = std::min(n - 1, threads_.size());
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state, drive] { drive(*state); });
+  }
+  drive(*state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+size_t ThreadPool::CurrentIndex() { return tls_worker_index; }
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -20,6 +21,9 @@ namespace lash {
 /// own failures), mirroring how a Hadoop task failure kills the attempt.
 class ThreadPool {
  public:
+  /// CurrentIndex() result when the calling thread is not a pool worker.
+  static constexpr size_t kNotAWorker = std::numeric_limits<size_t>::max();
+
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
 
@@ -32,13 +36,31 @@ class ThreadPool {
   /// Enqueues one task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. Must not be called
+  /// from inside a pool task (it would wait for itself); tasks that need
+  /// nested parallelism use ParallelFor instead.
   void Wait();
+
+  /// Runs `body(0) .. body(n-1)` to completion with dynamic load balancing
+  /// (workers claim indexes off a shared atomic counter). Unlike
+  /// Submit+Wait, ParallelFor is safe to call from *inside* a pool task:
+  /// the calling thread participates in executing the loop body, so the
+  /// call completes even when every pool worker is busy — which is how the
+  /// LASH reduce-finish hook mines partitions in parallel on the job's own
+  /// pool. Exceptions escaping `body` terminate the process (same contract
+  /// as Submit).
+  void ParallelFor(size_t n, std::function<void(size_t)> body);
+
+  /// Index of the calling pool worker in [0, num_threads()), or kNotAWorker
+  /// when called from a thread the pool does not own. Lets tasks keep
+  /// per-worker state (scratch buffers, output maps) in plain vectors
+  /// indexed by worker.
+  static size_t CurrentIndex();
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable work_available_;

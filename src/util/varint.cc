@@ -90,35 +90,35 @@ size_t EncodedSequenceSize(const Sequence& seq) {
   return size;
 }
 
-void EncodeRewrittenSequence(std::string* out, const Sequence& seq) {
-  PutVarint32(out, static_cast<uint32_t>(seq.size()));
-  for (size_t i = 0; i < seq.size();) {
-    if (seq[i] == kBlank) {
+void EncodeRewrittenSpan(std::string* out, const ItemId* items, size_t n) {
+  PutVarint32(out, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n;) {
+    if (items[i] == kBlank) {
       size_t run = 0;
-      while (i + run < seq.size() && seq[i + run] == kBlank) ++run;
+      while (i + run < n && items[i + run] == kBlank) ++run;
       PutVarint32(out, 0);
       PutVarint32(out, static_cast<uint32_t>(run));
       i += run;
     } else {
-      PutVarint32(out, seq[i] + 1);
+      PutVarint32(out, items[i] + 1);
       ++i;
     }
   }
 }
 
-bool DecodeRewrittenSequence(const std::string& data, size_t* pos,
-                             Sequence* seq) {
+bool DecodeRewrittenSpanAppend(const std::string& data, size_t* pos,
+                               Sequence* seq) {
   uint32_t length = 0;
   if (!GetVarint32(data, pos, &length)) return false;
-  seq->clear();
-  seq->reserve(length);
-  while (seq->size() < length) {
+  const size_t target = seq->size() + length;
+  seq->reserve(target);
+  while (seq->size() < target) {
     uint32_t token = 0;
     if (!GetVarint32(data, pos, &token)) return false;
     if (token == 0) {
       uint32_t run = 0;
       if (!GetVarint32(data, pos, &run)) return false;
-      if (seq->size() + run > length) return false;
+      if (seq->size() + run > target) return false;
       seq->insert(seq->end(), run, kBlank);
     } else {
       seq->push_back(token - 1);
@@ -127,20 +127,55 @@ bool DecodeRewrittenSequence(const std::string& data, size_t* pos,
   return true;
 }
 
-size_t EncodedRewrittenSequenceSize(const Sequence& seq) {
-  size_t size = Varint32Size(static_cast<uint32_t>(seq.size()));
-  for (size_t i = 0; i < seq.size();) {
-    if (seq[i] == kBlank) {
+bool SkipRewrittenSpan(const std::string& data, size_t* pos) {
+  uint32_t length = 0;
+  if (!GetVarint32(data, pos, &length)) return false;
+  uint32_t seen = 0;
+  while (seen < length) {
+    uint32_t token = 0;
+    if (!GetVarint32(data, pos, &token)) return false;
+    if (token == 0) {
+      uint32_t run = 0;
+      if (!GetVarint32(data, pos, &run)) return false;
+      // The encoder never writes empty runs; reject to guarantee progress.
+      // (run > length - seen, not seen + run > length: the sum can wrap.)
+      if (run == 0 || run > length - seen) return false;
+      seen += run;
+    } else {
+      ++seen;
+    }
+  }
+  return true;
+}
+
+size_t EncodedRewrittenSpanSize(const ItemId* items, size_t n) {
+  size_t size = Varint32Size(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n;) {
+    if (items[i] == kBlank) {
       size_t run = 0;
-      while (i + run < seq.size() && seq[i + run] == kBlank) ++run;
+      while (i + run < n && items[i + run] == kBlank) ++run;
       size += 1 + Varint32Size(static_cast<uint32_t>(run));
       i += run;
     } else {
-      size += Varint32Size(seq[i] + 1);
+      size += Varint32Size(items[i] + 1);
       ++i;
     }
   }
   return size;
+}
+
+void EncodeRewrittenSequence(std::string* out, const Sequence& seq) {
+  EncodeRewrittenSpan(out, seq.data(), seq.size());
+}
+
+bool DecodeRewrittenSequence(const std::string& data, size_t* pos,
+                             Sequence* seq) {
+  seq->clear();
+  return DecodeRewrittenSpanAppend(data, pos, seq);
+}
+
+size_t EncodedRewrittenSequenceSize(const Sequence& seq) {
+  return EncodedRewrittenSpanSize(seq.data(), seq.size());
 }
 
 }  // namespace lash

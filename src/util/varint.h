@@ -57,6 +57,26 @@ bool DecodeRewrittenSequence(const std::string& data, size_t* pos,
 /// Returns the serialized size of `seq` under EncodeRewrittenSequence.
 size_t EncodedRewrittenSequenceSize(const Sequence& seq);
 
+/// Span variant of EncodeRewrittenSequence: serializes `items[0..n)` without
+/// requiring them to live in their own Sequence. The LASH spill codec uses
+/// this to encode the rewritten tail of a (pivot, rewritten...) key in place.
+void EncodeRewrittenSpan(std::string* out, const ItemId* items, size_t n);
+
+/// Inverse of EncodeRewrittenSpan; *appends* the decoded items to `seq`
+/// (existing content is preserved). Returns false on malformed input.
+bool DecodeRewrittenSpanAppend(const std::string& data, size_t* pos,
+                               Sequence* seq);
+
+/// Advances *pos past one EncodeRewrittenSpan encoding without
+/// materializing the items. Accepts everything the encoder produces
+/// (rejecting truncation, plus degenerate zero-length blank runs the
+/// encoder never writes). Used by the shuffle scan, which only needs key
+/// slice boundaries.
+bool SkipRewrittenSpan(const std::string& data, size_t* pos);
+
+/// Returns the serialized size of `items[0..n)` under EncodeRewrittenSpan.
+size_t EncodedRewrittenSpanSize(const ItemId* items, size_t n);
+
 }  // namespace lash
 
 #endif  // LASH_UTIL_VARINT_H_

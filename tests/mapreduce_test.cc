@@ -50,6 +50,26 @@ TEST(MapReduceTest, WordCount) {
   EXPECT_EQ(result.counters.reduce_input_groups, 3u);
 }
 
+TEST(MapReduceTest, MapInputRecordsCountedExactlyOnce) {
+  // Regression test: Run used to set counters.map_input_records both
+  // before the map phase and after the per-task counter merge; a stray
+  // per-task contribution would double-count. The counter must equal the
+  // input size exactly, for any task configuration.
+  std::vector<int> inputs(17, 1);
+  using Job = MapReduceJob<int, int, int>;
+  Job job([](const int& x, const Job::EmitFn& emit) { emit(x, 1); },
+          [](size_t, const int&, std::vector<int>&) {},
+          [](const int&, const int&) { return 2; });
+  for (size_t map_tasks : {1u, 3u, 8u, 32u}) {
+    JobConfig config = SmallConfig();
+    config.num_map_tasks = map_tasks;
+    JobResult result = job.Run(inputs, config);
+    EXPECT_EQ(result.counters.map_input_records, inputs.size())
+        << "map_tasks=" << map_tasks;
+    EXPECT_EQ(result.counters.map_output_records, inputs.size());
+  }
+}
+
 TEST(MapReduceTest, CombinerReducesRecordsAndBytes) {
   std::vector<int> inputs(100, 0);
   auto make_job = [](std::unordered_map<int, int>* out, std::mutex* mu) {
@@ -113,7 +133,7 @@ TEST(MapReduceTest, ReduceFinishRunsOncePerTask) {
   Job job([](const int& x, const Job::EmitFn& emit) { emit(x, 1); },
           [](size_t, const int&, std::vector<int>&) {},
           [](const int&, const int&) { return 1; });
-  job.set_reduce_finish([&](size_t) { finishes.fetch_add(1); });
+  job.set_reduce_finish([&](size_t, ThreadPool*) { finishes.fetch_add(1); });
   JobConfig config = SmallConfig();
   job.Run(inputs, config);
   EXPECT_EQ(finishes.load(), static_cast<int>(config.num_reduce_tasks));

@@ -159,5 +159,89 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0u, 1u, 2u),
                        ::testing::Values(2u, 3u, 5u)));
 
+// ScratchRewriter must be output-identical to Rewriter — including the
+// empty-result signal, the gamma == 0 run-based fast path, and sequences
+// that already contain blanks (rewrites of rewrites).
+class ScratchRewriterTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(ScratchRewriterTest, MatchesReferenceRewriter) {
+  const auto [gamma, lambda] = GetParam();
+  Rng rng(90125 + gamma * 17 + lambda);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t num_items = 2 + rng.Uniform(9);
+    Hierarchy h = testing::RandomRankHierarchy(num_items, 0.4, &rng);
+    Rewriter reference(&h, gamma, lambda);
+    ScratchRewriter scratch(&h, gamma, lambda);
+    Sequence t;
+    size_t len = 1 + rng.Uniform(14);
+    for (size_t i = 0; i < len; ++i) {
+      // ~1 in 8 positions blank: exercises runs and IsItem handling.
+      t.push_back(rng.Bernoulli(0.125)
+                      ? kBlank
+                      : static_cast<ItemId>(1 + rng.Uniform(num_items)));
+    }
+    Sequence rewritten;  // Reused across pivots, as in the LASH map phase.
+    for (ItemId pivot = 1; pivot <= num_items; ++pivot) {
+      Sequence expected = reference.Rewrite(t, pivot);
+      bool ok = scratch.Rewrite(t, pivot, &rewritten);
+      ASSERT_EQ(ok, !expected.empty())
+          << "pivot=" << pivot << " trial=" << trial;
+      if (ok) {
+        ASSERT_EQ(rewritten, expected)
+            << "pivot=" << pivot << " trial=" << trial;
+      }
+      Sequence gen_expected = reference.Generalize(t, pivot);
+      Sequence gen;
+      scratch.Generalize(t, pivot, &gen);
+      ASSERT_EQ(gen, gen_expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, ScratchRewriterTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 2u),
+                       ::testing::Values(2u, 3u, 5u)));
+
+TEST(ScratchRewriterTest, FusedPivotLoopMatchesPerPivotRewrites) {
+  // RewriteAllPivotsGammaZero must emit exactly the non-empty [w | P_w(T)]
+  // keys, pivots ascending, that per-pivot rewriting would produce.
+  Rng rng(5150);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t num_items = 2 + rng.Uniform(9);
+    const uint32_t lambda = 2 + rng.Uniform(4);
+    Hierarchy h = testing::RandomRankHierarchy(num_items, 0.4, &rng);
+    Rewriter reference(&h, /*gamma=*/0, lambda);
+    ScratchRewriter scratch(&h, /*gamma=*/0, lambda);
+    Sequence t;
+    size_t len = 1 + rng.Uniform(14);
+    for (size_t i = 0; i < len; ++i) {
+      // ~1 in 8 positions blank: the fused loop must treat them as
+      // impassable (root_rank_ = kBlank) exactly like the reference.
+      t.push_back(rng.Bernoulli(0.125)
+                      ? kBlank
+                      : static_cast<ItemId>(1 + rng.Uniform(num_items)));
+    }
+    // Frequency cut: a random prefix of the item ranks counts as frequent.
+    const ItemId num_frequent =
+        static_cast<ItemId>(rng.Uniform(num_items + 1));
+
+    std::vector<Sequence> expected;
+    for (ItemId w = 1; w <= num_frequent; ++w) {
+      Sequence rewritten = reference.Rewrite(t, w);
+      if (rewritten.empty()) continue;
+      Sequence key{w};
+      key.insert(key.end(), rewritten.begin(), rewritten.end());
+      expected.push_back(std::move(key));
+    }
+    std::vector<Sequence> got;
+    scratch.RewriteAllPivotsGammaZero(
+        t, num_frequent, [&](const Sequence& key) { got.push_back(key); });
+    ASSERT_EQ(got, expected) << "trial=" << trial << " lambda=" << lambda
+                             << " num_frequent=" << num_frequent;
+  }
+}
+
 }  // namespace
 }  // namespace lash

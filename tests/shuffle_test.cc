@@ -1,0 +1,344 @@
+// Tests of the byte-packed shuffle (PR 2): packed-vs-legacy equivalence of
+// reduce output and counters, combiner-on/off parity, determinism of RunLash
+// across thread and task counts, and round-trips of the spill codecs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "algo/lash.h"
+#include "mapreduce/job.h"
+#include "test_util.h"
+#include "util/varint.h"
+
+namespace lash {
+namespace {
+
+JobConfig TestConfig(ShuffleMode mode) {
+  JobConfig config;
+  config.num_threads = 2;
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 4;
+  config.shuffle = mode;
+  return config;
+}
+
+// A word-count job over string keys with a length-prefixed codec, to
+// exercise the generic packed path (not just LASH's Sequence keys).
+struct WordCountJob {
+  using Job = MapReduceJob<std::string, std::string, uint64_t>;
+
+  std::map<std::string, uint64_t> counts;
+  std::mutex mu;
+  Job job;
+
+  WordCountJob()
+      : job(
+            [](const std::string& doc, const Job::EmitFn& emit) {
+              size_t pos = 0;
+              while (pos < doc.size()) {
+                size_t space = doc.find(' ', pos);
+                if (space == std::string::npos) space = doc.size();
+                if (space > pos) emit(doc.substr(pos, space - pos), 1);
+                pos = space + 1;
+              }
+            },
+            [this](size_t, const std::string& key,
+                   std::vector<uint64_t>& values) {
+              uint64_t total = 0;
+              for (uint64_t v : values) total += v;
+              std::lock_guard<std::mutex> lock(mu);
+              counts[key] += total;
+            },
+            [](const std::string& key, const uint64_t& value) {
+              return Varint32Size(static_cast<uint32_t>(key.size())) +
+                     key.size() + Varint64Size(value);
+            }) {
+    Job::SpillCodec codec;
+    codec.encode_key = [](std::string* out, const std::string& key) {
+      PutVarint32(out, static_cast<uint32_t>(key.size()));
+      out->append(key);
+    };
+    codec.decode_key = [](const std::string& data, size_t* pos,
+                          std::string* key) {
+      uint32_t len = 0;
+      if (!GetVarint32(data, pos, &len)) return false;
+      if (*pos + len > data.size()) return false;
+      key->assign(data, *pos, len);
+      *pos += len;
+      return true;
+    };
+    codec.encode_value = [](std::string* out, const uint64_t& value) {
+      PutVarint64(out, value);
+    };
+    codec.decode_value = [](const std::string& data, size_t* pos,
+                            uint64_t* value) {
+      return GetVarint64(data, pos, value);
+    };
+    job.set_spill_codec(std::move(codec));
+  }
+};
+
+std::vector<std::string> Docs() {
+  return {"the quick brown fox", "the lazy dog", "the quick dog",
+          "fox fox fox",         "",             "dog"};
+}
+
+TEST(PackedShuffleTest, MatchesLegacyOutputAndCounters) {
+  for (bool combiner : {false, true}) {
+    WordCountJob legacy, packed;
+    if (combiner) {
+      auto add = [](uint64_t* acc, uint64_t&& v) { *acc += v; };
+      legacy.job.set_combiner(add);
+      packed.job.set_combiner(add);
+    }
+    JobResult r_legacy =
+        legacy.job.Run(Docs(), TestConfig(ShuffleMode::kLegacyHash));
+    JobResult r_packed =
+        packed.job.Run(Docs(), TestConfig(ShuffleMode::kPackedSpill));
+    EXPECT_EQ(legacy.counts, packed.counts) << "combiner=" << combiner;
+    EXPECT_EQ(r_legacy.counters.map_input_records,
+              r_packed.counters.map_input_records);
+    EXPECT_EQ(r_legacy.counters.map_output_records,
+              r_packed.counters.map_output_records);
+    // The legacy ByteSizeFn simulates exactly the codec's encoding, so the
+    // measured buffer bytes must equal the simulated count.
+    EXPECT_EQ(r_legacy.counters.map_output_bytes,
+              r_packed.counters.map_output_bytes);
+    EXPECT_EQ(r_legacy.counters.reduce_input_groups,
+              r_packed.counters.reduce_input_groups);
+  }
+}
+
+TEST(PackedShuffleTest, FallsBackToLegacyWithoutCodec) {
+  // A job without a codec must run (on the legacy path) even when the
+  // config asks for the packed spill.
+  std::map<int, int> sums;
+  std::mutex mu;
+  using Job = MapReduceJob<int, int, int>;
+  Job job([](const int& x, const Job::EmitFn& emit) { emit(x % 3, x); },
+          [&](size_t, const int& key, std::vector<int>& values) {
+            int total = 0;
+            for (int v : values) total += v;
+            std::lock_guard<std::mutex> lock(mu);
+            sums[key] += total;
+          },
+          [](const int&, const int&) { return 8; });
+  std::vector<int> inputs = {1, 2, 3, 4, 5, 6};
+  JobResult result = job.Run(inputs, TestConfig(ShuffleMode::kPackedSpill));
+  EXPECT_EQ(sums.at(0), 9);
+  EXPECT_EQ(sums.at(1), 5);
+  EXPECT_EQ(sums.at(2), 7);
+  EXPECT_EQ(result.counters.map_output_records, 6u);
+}
+
+TEST(PackedShuffleTest, ReduceFinishReceivesThePool) {
+  using Job = MapReduceJob<int, int, int>;
+  std::atomic<int> sum{0};
+  Job job([](const int& x, const Job::EmitFn& emit) { emit(x, 1); },
+          [](size_t, const int&, std::vector<int>&) {},
+          [](const int&, const int&) { return 1; });
+  job.set_reduce_finish([&](size_t, ThreadPool* pool) {
+    ASSERT_NE(pool, nullptr);
+    // Nested parallelism from inside a reduce task must complete.
+    pool->ParallelFor(8, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  });
+  std::vector<int> inputs = {1, 2, 3};
+  JobConfig config = TestConfig(ShuffleMode::kLegacyHash);
+  job.Run(inputs, config);
+  EXPECT_EQ(sum.load(), 28 * static_cast<int>(config.num_reduce_tasks));
+}
+
+// ---- LASH-level parity and determinism -----------------------------------
+
+TEST(LashShuffleTest, CombinerOnOffAndShuffleModeParity) {
+  testing::PaperExample ex;
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  PatternMap expected = ex.ExpectedOutput();
+  struct Run {
+    AlgoResult result;
+    std::string label;
+  };
+  std::vector<Run> runs;
+  for (ShuffleMode mode : {ShuffleMode::kPackedSpill, ShuffleMode::kLegacyHash}) {
+    for (bool combiner : {true, false}) {
+      LashOptions options;
+      options.use_combiner = combiner;
+      runs.push_back({RunLash(ex.pre, params, TestConfig(mode), options),
+                      std::string(mode == ShuffleMode::kPackedSpill
+                                      ? "packed"
+                                      : "legacy") +
+                          (combiner ? "+comb" : "-comb")});
+    }
+  }
+  for (const Run& run : runs) {
+    EXPECT_EQ(testing::Sorted(run.result.patterns), testing::Sorted(expected))
+        << run.label;
+  }
+  // Same options => identical records/bytes across shuffle modes (real
+  // buffer measurement vs varint simulation must agree)...
+  EXPECT_EQ(runs[0].result.job.counters.map_output_records,
+            runs[2].result.job.counters.map_output_records);
+  EXPECT_EQ(runs[0].result.job.counters.map_output_bytes,
+            runs[2].result.job.counters.map_output_bytes);
+  EXPECT_EQ(runs[1].result.job.counters.map_output_bytes,
+            runs[3].result.job.counters.map_output_bytes);
+  // ...the combiner can only shrink the transfer...
+  EXPECT_LE(runs[0].result.job.counters.map_output_records,
+            runs[1].result.job.counters.map_output_records);
+  EXPECT_LE(runs[0].result.job.counters.map_output_bytes,
+            runs[1].result.job.counters.map_output_bytes);
+  // ...and reduce-side grouping sees the same distinct keys either way.
+  EXPECT_EQ(runs[0].result.job.counters.reduce_input_groups,
+            runs[1].result.job.counters.reduce_input_groups);
+  EXPECT_EQ(runs[0].result.job.counters.reduce_input_groups,
+            runs[2].result.job.counters.reduce_input_groups);
+}
+
+TEST(LashShuffleTest, DeterministicAcrossThreadsAndTaskCounts) {
+  Rng rng(20240229);
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 4};
+  Hierarchy h = testing::RandomRankHierarchy(12, 0.4, &rng);
+  Database raw_db = testing::RandomDatabase(60, 10, 12, &rng);
+  PreprocessResult pre = Preprocess(raw_db, h);
+
+  LashOptions options;
+  auto reference = RunLash(pre, params, TestConfig(ShuffleMode::kPackedSpill),
+                           options);
+  for (size_t threads : {1u, 4u}) {
+    for (size_t map_tasks : {1u, 3u, 8u}) {
+      for (size_t reduce_tasks : {1u, 4u, 7u}) {
+        JobConfig config;
+        config.num_threads = threads;
+        config.num_map_tasks = map_tasks;
+        config.num_reduce_tasks = reduce_tasks;
+        AlgoResult result = RunLash(pre, params, config, options);
+        ASSERT_EQ(testing::Sorted(result.patterns),
+                  testing::Sorted(reference.patterns))
+            << "threads=" << threads << " map=" << map_tasks
+            << " reduce=" << reduce_tasks;
+        // Byte/record counters only depend on the map-task split, never on
+        // threads or reduce tasks.
+        if (map_tasks == 3) {
+          EXPECT_EQ(result.job.counters.map_output_records,
+                    reference.job.counters.map_output_records);
+          EXPECT_EQ(result.job.counters.map_output_bytes,
+                    reference.job.counters.map_output_bytes);
+        }
+      }
+    }
+  }
+}
+
+TEST(LashShuffleTest, GammaZeroFastPathMatchesLegacyDriver) {
+  // gamma == 0 engages the occurrence-driven rewrite loop; the legacy
+  // driver still uses the reference Rewriter. Randomized comparison.
+  Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t num_items = 5 + rng.Uniform(8);
+    Hierarchy h = testing::RandomRankHierarchy(num_items, 0.3, &rng);
+    Database raw_db = testing::RandomDatabase(40, 9, num_items, &rng);
+    PreprocessResult pre = Preprocess(raw_db, h);
+    for (uint32_t lambda : {2u, 3u, 5u}) {
+      GsmParams params{.sigma = 2, .gamma = 0, .lambda = lambda};
+      AlgoResult packed =
+          RunLash(pre, params, TestConfig(ShuffleMode::kPackedSpill));
+      AlgoResult legacy =
+          RunLash(pre, params, TestConfig(ShuffleMode::kLegacyHash));
+      ASSERT_EQ(testing::Sorted(packed.patterns),
+                testing::Sorted(legacy.patterns))
+          << "trial " << trial << " lambda " << lambda;
+      ASSERT_EQ(packed.job.counters.map_output_bytes,
+                legacy.job.counters.map_output_bytes);
+      ASSERT_EQ(packed.job.counters.map_output_records,
+                legacy.job.counters.map_output_records);
+    }
+  }
+}
+
+// ---- Spill codec round-trips ---------------------------------------------
+
+TEST(SpillCodecTest, RewrittenSpanRoundTrips) {
+  const ItemId max_item = kBlank - 1;  // Largest real item: 5-byte varint.
+  std::vector<Sequence> cases = {
+      {},                                      // Empty sequence.
+      {kBlank, kBlank, kBlank},                // All-blank runs.
+      {1},
+      {max_item},
+      {max_item, kBlank, max_item},
+      {kBlank, 7, kBlank, kBlank, 9, kBlank},  // Leading/trailing blanks.
+      {127, 128, 16383, 16384, max_item},      // Varint width boundaries.
+  };
+  for (const Sequence& seq : cases) {
+    std::string buffer;
+    EncodeRewrittenSpan(&buffer, seq.data(), seq.size());
+    EXPECT_EQ(buffer.size(), EncodedRewrittenSpanSize(seq.data(), seq.size()));
+    // Append semantics: decoding extends existing content.
+    Sequence decoded = {42};
+    size_t pos = 0;
+    ASSERT_TRUE(DecodeRewrittenSpanAppend(buffer, &pos, &decoded));
+    EXPECT_EQ(pos, buffer.size());
+    Sequence expected = {42};
+    expected.insert(expected.end(), seq.begin(), seq.end());
+    EXPECT_EQ(decoded, expected);
+    // The boundary-only skip must consume exactly the same bytes.
+    size_t skip_pos = 0;
+    ASSERT_TRUE(SkipRewrittenSpan(buffer, &skip_pos));
+    EXPECT_EQ(skip_pos, pos);
+  }
+}
+
+TEST(SpillCodecTest, LashKeyCodecRoundTrips) {
+  // The exact codec RunLash installs: varint pivot + rewritten-span tail +
+  // varint64 weight, concatenated records in one buffer.
+  struct Record {
+    Sequence key;
+    Frequency value;
+  };
+  const ItemId max_item = kBlank - 1;
+  std::vector<Record> records = {
+      {{5, 5, kBlank, 3}, 1},
+      {{max_item, max_item}, 0xffffffffffffffffull},  // Max-width varints.
+      {{1, 2}, 1},
+      {{7, kBlank, kBlank, kBlank, 7}, 12345},
+  };
+  std::string buffer;
+  for (const Record& r : records) {
+    PutVarint32(&buffer, r.key[0]);
+    EncodeRewrittenSpan(&buffer, r.key.data() + 1, r.key.size() - 1);
+    PutVarint64(&buffer, r.value);
+  }
+  size_t pos = 0;
+  for (const Record& r : records) {
+    Sequence key;
+    uint32_t pivot = 0;
+    ASSERT_TRUE(GetVarint32(buffer, &pos, &pivot));
+    key.push_back(pivot);
+    ASSERT_TRUE(DecodeRewrittenSpanAppend(buffer, &pos, &key));
+    Frequency value = 0;
+    ASSERT_TRUE(GetVarint64(buffer, &pos, &value));
+    EXPECT_EQ(key, r.key);
+    EXPECT_EQ(value, r.value);
+  }
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(SpillCodecTest, TruncatedSpanRejected) {
+  Sequence seq = {1, kBlank, kBlank, 2, 3};
+  std::string buffer;
+  EncodeRewrittenSpan(&buffer, seq.data(), seq.size());
+  for (size_t cut = 0; cut < buffer.size(); ++cut) {
+    std::string truncated = buffer.substr(0, cut);
+    Sequence decoded;
+    size_t pos = 0;
+    EXPECT_FALSE(DecodeRewrittenSpanAppend(truncated, &pos, &decoded))
+        << "cut at " << cut;
+    size_t skip_pos = 0;
+    EXPECT_FALSE(SkipRewrittenSpan(truncated, &skip_pos)) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace lash

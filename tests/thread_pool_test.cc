@@ -57,5 +57,64 @@ TEST(ThreadPoolTest, ParallelSums) {
   for (int i = 0; i < 64; ++i) EXPECT_EQ(partial[i], i * (i + 1) / 2);
 }
 
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body called for n=0"; });
+  int calls = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForFromInsidePoolTask) {
+  // The LASH reduce-finish pattern: every pool worker is busy with an
+  // outer task that itself runs a ParallelFor. Must complete (the caller
+  // drives its own loop), including on a single-thread pool.
+  for (size_t threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> total{0};
+    for (int outer = 0; outer < 6; ++outer) {
+      pool.Submit([&] {
+        pool.ParallelFor(50, [&](size_t) { total.fetch_add(1); });
+      });
+    }
+    pool.Wait();
+    EXPECT_EQ(total.load(), 300) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, CurrentIndexIdentifiesWorkers) {
+  EXPECT_EQ(ThreadPool::CurrentIndex(), ThreadPool::kNotAWorker);
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(3);
+  for (auto& s : seen) s.store(0);
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      size_t index = ThreadPool::CurrentIndex();
+      ASSERT_LT(index, 3u);
+      seen[index].fetch_add(1);
+    });
+  }
+  pool.Wait();
+  int total = 0;
+  for (auto& s : seen) total += s.load();
+  EXPECT_EQ(total, 64);
+}
+
 }  // namespace
 }  // namespace lash
