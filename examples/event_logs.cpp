@@ -1,16 +1,17 @@
 // Error-log pattern mining with a severity/type hierarchy (Sec. 1 mentions
 // error logs and event sequences as natural applications).
 //
-// This example also demonstrates the text IO layer: it writes the log
-// database and hierarchy to files, reads them back (the "bring your own
-// data" flow from the README), and mines generalized event patterns such as
-// "IO_ERROR .. RESTART" that hold across concrete error codes.
+// This example also demonstrates the file-loading path of the facade: it
+// writes the log database and hierarchy to files, loads them back with
+// Dataset::FromFiles (the "bring your own data" flow from the README), and
+// mines generalized event patterns such as "IO_ERROR .. RESTART" that hold
+// across concrete error codes.
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "algo/lash.h"
+#include "api/lash_api.h"
 #include "io/text_io.h"
 #include "util/rng.h"
 
@@ -69,29 +70,27 @@ int main() {
     WriteDatabase(dbf, db, vocab);
     WriteHierarchy(hf, vocab);
   }
-  Vocabulary vocab2;
-  std::ifstream hf("/tmp/lash_example_hierarchy.txt"),
-      dbf("/tmp/lash_example_logs.txt");
-  ReadHierarchy(hf, &vocab2);
-  Database db2 = ReadDatabase(dbf, &vocab2);
-  std::cout << "Loaded " << db2.size() << " machine logs, "
-            << vocab2.NumItems() << " event types\n";
+  Dataset dataset = Dataset::FromFiles("/tmp/lash_example_logs.txt",
+                                       "/tmp/lash_example_hierarchy.txt");
+  std::cout << "Loaded " << dataset.NumSequences() << " machine logs, "
+            << dataset.NumItems() << " event types\n";
 
   // 3. Mine with a gap: a retry may sit between the error and the restart.
-  GsmParams params{.sigma = 200, .gamma = 1, .lambda = 4};
-  JobConfig config;
-  PreprocessResult pre = PreprocessWithJob(db2, vocab2.BuildHierarchy(), config);
-  AlgoResult result = RunLash(pre, params, config);
+  MiningTask task(dataset);
+  task.WithAlgorithm(Algorithm::kLash).WithSigma(200).WithGamma(1).WithLambda(
+      4);
+  RunResult result;
+  PatternMap patterns = task.Mine(&result);
 
-  std::cout << "Mined " << result.patterns.size()
-            << " generalized event patterns (sigma=" << params.sigma
-            << ", gamma=" << params.gamma << ")\n\n";
+  std::cout << "Mined " << result.patterns_mined
+            << " generalized event patterns (sigma=200, gamma=1)\n\n";
   // Print the class-level patterns ending in a restart.
   std::cout << "Class-level fault motifs ending in restart:\n";
-  ItemId restart = pre.rank_of_raw[vocab2.Lookup("restart")];
+  const PreprocessResult& pre = dataset.preprocessed();
+  ItemId restart = dataset.RankOfName("restart");
   WritePatterns(std::cout, [&] {
     PatternMap filtered;
-    for (const auto& [s, freq] : result.patterns) {
+    for (const auto& [s, freq] : patterns) {
       if (s.back() != restart) continue;
       bool class_level = false;
       for (ItemId w : s) {
@@ -100,7 +99,7 @@ int main() {
       if (class_level) filtered.emplace(s, freq);
     }
     return filtered;
-  }(), [&](ItemId rank) { return vocab2.Name(pre.raw_of_rank[rank]); });
+  }(), [&](ItemId rank) { return dataset.NameOfRank(rank); });
   std::cout << "\nPatterns like 'IO_ERROR RETRY restart' hold across concrete\n"
                "error codes and are invisible to a hierarchy-unaware miner.\n";
   return 0;

@@ -3,14 +3,15 @@
 // The paper's motivating retail example: "users may first buy some camera,
 // then some photography book, and finally some flash" — a pattern that only
 // exists at the *category* level. This example generates product sessions
-// with an 8-level category hierarchy, mines with a gap constraint, and
-// prints the dominant category-level sequences.
+// with an 8-level category hierarchy, loads them into the facade, mines
+// with a gap constraint, and prints the dominant category-level sequences.
 
 #include <algorithm>
 #include <iostream>
+#include <utility>
 #include <vector>
 
-#include "algo/lash.h"
+#include "api/lash_api.h"
 #include "datagen/product_gen.h"
 
 int main() {
@@ -21,30 +22,32 @@ int main() {
   gen.num_products = 5000;
   gen.levels = 8;
   GeneratedProducts data = GenerateProducts(gen);
-  DatasetStats dstats = ComputeStats(data.database);
-  std::cout << "Sessions: " << dstats.num_sequences << ", avg length "
-            << dstats.avg_length << ", products+categories "
-            << data.hierarchy.NumItems() << " (levels "
-            << data.hierarchy.NumLevels() << ")\n";
+  Dataset dataset =
+      Dataset::FromMemory(std::move(data.database), std::move(data.vocabulary),
+                          std::move(data.hierarchy));
+  std::cout << "Sessions: " << dataset.stats().num_sequences << ", avg length "
+            << dataset.stats().avg_length << ", products+categories "
+            << dataset.NumItems() << " (levels "
+            << dataset.raw_hierarchy().NumLevels() << ")\n";
 
-  GsmParams params{.sigma = 50, .gamma = 1, .lambda = 5};
-  JobConfig config;
-  PreprocessResult pre =
-      PreprocessWithJob(data.database, data.hierarchy, config);
-  AlgoResult result = RunLash(pre, params, config);
-  std::cout << "LASH mined " << result.patterns.size()
-            << " generalized sequences (sigma=" << params.sigma
-            << ", gamma=" << params.gamma << ", lambda=" << params.lambda
-            << ") in " << result.job.times.TotalMs() / 1000.0 << " s\n";
+  MiningTask task(dataset);
+  task.WithAlgorithm(Algorithm::kLash).WithSigma(50).WithGamma(1).WithLambda(5);
+  RunResult result;
+  PatternMap patterns = task.Mine(&result);
+  std::cout << "LASH mined " << result.patterns_mined
+            << " generalized sequences (sigma=50, gamma=1, lambda=5) in "
+            << result.job.times.TotalMs() / 1000.0 << " s\n";
 
   // Patterns consisting purely of category items (no literal products):
   // invisible to flat mining because individual products are rarely
   // repurchased in the same order.
+  const PreprocessResult& pre = dataset.preprocessed();
+  const Hierarchy& raw_h = dataset.raw_hierarchy();
   std::vector<std::pair<Frequency, Sequence>> category_patterns;
-  for (const auto& [s, freq] : result.patterns) {
+  for (const auto& [s, freq] : patterns) {
     bool all_categories = true;
     for (ItemId w : s) {
-      if (data.hierarchy.IsLeaf(pre.raw_of_rank[w])) all_categories = false;
+      if (raw_h.IsLeaf(pre.raw_of_rank[w])) all_categories = false;
     }
     if (all_categories) category_patterns.emplace_back(freq, s);
   }
@@ -54,7 +57,7 @@ int main() {
   for (size_t i = 0; i < std::min<size_t>(10, category_patterns.size()); ++i) {
     std::cout << "  " << category_patterns[i].first << "\t";
     for (ItemId w : category_patterns[i].second) {
-      std::cout << data.vocabulary.Name(pre.raw_of_rank[w]) << ' ';
+      std::cout << dataset.NameOfRank(w) << ' ';
     }
     std::cout << "\n";
   }

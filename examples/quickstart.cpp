@@ -1,15 +1,15 @@
-// Quickstart: mine the running example of the LASH paper (Fig. 1/2).
+// Quickstart: mine the running example of the LASH paper (Fig. 1/2)
+// through the public facade (api/lash_api.h).
 //
 // Builds the six-sequence database and the b*/d* hierarchy from Sec. 2,
-// runs LASH with sigma=2, gamma=1, lambda=3, and prints the ten frequent
+// loads it into a lash::Dataset (preprocessed once), runs a LASH
+// MiningTask with sigma=2, gamma=1, lambda=3, and streams the ten frequent
 // generalized sequences of the paper — including b1D and BD, which never
-// occur literally in the data.
+// occur literally in the data — into a TextWriterSink.
 
 #include <iostream>
 
-#include "algo/lash.h"
-#include "core/vocabulary.h"
-#include "io/text_io.h"
+#include "api/lash_api.h"
 
 int main() {
   using namespace lash;
@@ -40,19 +40,22 @@ int main() {
       seq({"b13", "f", "d2"}),           // T6
   };
 
-  // 3. Preprocess (generalized f-list + item order) and run LASH.
-  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  // 3. Load the dataset (f-list + rank recoding happen once, here) and run
+  // a LASH task; sinks stream the patterns with names already decoded.
+  Dataset dataset = Dataset::FromMemory(std::move(db), std::move(vocab));
   JobConfig config;
   config.num_map_tasks = 4;
   config.num_reduce_tasks = 4;
-  PreprocessResult pre = PreprocessWithJob(db, vocab.BuildHierarchy(), config);
-  AlgoResult result = RunLash(pre, params, config);
+  MiningTask task(dataset);
+  task.WithAlgorithm(Algorithm::kLash)
+      .WithSigma(2)
+      .WithGamma(1)
+      .WithLambda(3)
+      .WithJobConfig(config);
 
-  // 4. Print patterns with their original names.
   std::cout << "Frequent generalized sequences (sigma=2, gamma=1, lambda=3):\n";
-  WritePatterns(std::cout, result.patterns, [&](ItemId rank) {
-    return vocab.Name(pre.raw_of_rank[rank]);
-  });
+  TextWriterSink sink(std::cout);
+  task.Run(sink);
   std::cout << "\nNote: 'b1 D' and 'B D' never occur in the input; they are\n"
                "visible only to hierarchy-aware mining (Sec. 2 of the paper).\n";
   return 0;

@@ -1,17 +1,19 @@
 // Generalized n-gram mining on a synthetic NYT-like corpus (Sec. 6.2).
 //
 // Generates a corpus with the word -> case -> lemma -> POS hierarchy (CLP),
-// mines contiguous generalized n-grams (gamma = 0), and reports:
+// mines contiguous generalized n-grams (gamma = 0) through the facade, and
+// reports:
 //   * the mined pattern count and a sample of POS-level patterns
 //     ("the ADJ NOUN" analogues that never occur literally), and
-//   * Table-3 style output statistics (non-trivial / closed / maximal %).
+//   * Table-3 style output statistics (non-trivial / closed / maximal %),
+//     using the same Dataset for the flat (hierarchy-stripped) baseline run.
 
 #include <algorithm>
 #include <iostream>
+#include <utility>
 #include <vector>
 
-#include "algo/lash.h"
-#include "algo/mgfsm.h"
+#include "api/lash_api.h"
 #include "datagen/text_gen.h"
 #include "stats/output_stats.h"
 
@@ -23,29 +25,33 @@ int main() {
   gen.num_lemmas = 3000;
   gen.hierarchy = TextHierarchy::kCLP;
   GeneratedText data = GenerateText(gen);
-  DatasetStats dstats = ComputeStats(data.database);
-  std::cout << "Corpus: " << dstats.num_sequences << " sentences, avg length "
-            << dstats.avg_length << ", " << dstats.unique_items
+  Dataset dataset =
+      Dataset::FromMemory(std::move(data.database), std::move(data.vocabulary),
+                          std::move(data.hierarchy));
+  std::cout << "Corpus: " << dataset.stats().num_sequences
+            << " sentences, avg length " << dataset.stats().avg_length << ", "
+            << dataset.stats().unique_items
             << " distinct tokens, hierarchy levels "
-            << data.hierarchy.NumLevels() << "\n";
+            << dataset.raw_hierarchy().NumLevels() << "\n";
 
-  GsmParams params{.sigma = 100, .gamma = 0, .lambda = 5};
-  JobConfig config;
-  PreprocessResult pre =
-      PreprocessWithJob(data.database, data.hierarchy, config);
-  AlgoResult result = RunLash(pre, params, config);
-  std::cout << "LASH mined " << result.patterns.size()
-            << " generalized n-grams (sigma=" << params.sigma
-            << ", lambda=" << params.lambda << ") in "
+  MiningTask task(dataset);
+  task.WithAlgorithm(Algorithm::kLash).WithSigma(100).WithGamma(0).WithLambda(
+      5);
+  RunResult result;
+  PatternMap patterns = task.Mine(&result);
+  std::cout << "LASH mined " << result.patterns_mined
+            << " generalized n-grams (sigma=100, lambda=5) in "
             << result.job.times.TotalMs() / 1000.0 << " s\n";
 
   // Show the most frequent patterns that contain at least one POS tag, i.e.
   // patterns invisible to a standard n-gram miner.
+  const PreprocessResult& pre = dataset.preprocessed();
+  const Hierarchy& raw_h = dataset.raw_hierarchy();
   std::vector<std::pair<Frequency, Sequence>> pos_patterns;
-  for (const auto& [s, freq] : result.patterns) {
+  for (const auto& [s, freq] : patterns) {
     bool has_pos = false;
     for (ItemId w : s) {
-      if (data.hierarchy.IsRoot(pre.raw_of_rank[w])) has_pos = true;
+      if (raw_h.IsRoot(pre.raw_of_rank[w])) has_pos = true;
     }
     if (has_pos) pos_patterns.emplace_back(freq, s);
   }
@@ -54,23 +60,18 @@ int main() {
   for (size_t i = 0; i < std::min<size_t>(10, pos_patterns.size()); ++i) {
     std::cout << "  " << pos_patterns[i].first << "\t";
     for (ItemId w : pos_patterns[i].second) {
-      std::cout << data.vocabulary.Name(pre.raw_of_rank[w]) << ' ';
+      std::cout << dataset.NameOfRank(w) << ' ';
     }
     std::cout << "\n";
   }
 
-  // Output statistics vs a flat (hierarchy-ignoring) miner on the same data.
-  PreprocessResult flat_pre =
-      PreprocessFlat(data.database, data.hierarchy.NumItems(), config);
-  AlgoResult flat = RunLash(flat_pre, params, config);
-  // Translate flat ranks -> raw ids -> hierarchical ranks.
-  std::vector<ItemId> flat_to_gsm(flat_pre.raw_of_rank.size(), kInvalidItem);
-  for (size_t r = 1; r < flat_pre.raw_of_rank.size(); ++r) {
-    flat_to_gsm[r] = pre.rank_of_raw[flat_pre.raw_of_rank[r]];
-  }
-  PatternMap flat_patterns = RemapPatterns(flat.patterns, flat_to_gsm);
+  // Output statistics vs a flat (hierarchy-ignoring) miner on the same data:
+  // the same task rerun with the hierarchy stripped, translated back into
+  // the hierarchical rank space by the dataset.
+  PatternMap flat = task.WithFlatHierarchy().Mine();
+  PatternMap flat_patterns = dataset.FlatToHierarchicalRanks(flat);
   OutputStatsResult ostats =
-      ComputeOutputStats(result.patterns, flat_patterns, pre.hierarchy);
+      ComputeOutputStats(patterns, flat_patterns, pre.hierarchy);
   std::cout << "\nOutput statistics (Table 3 style):\n"
             << "  total patterns : " << ostats.total << "\n"
             << "  non-trivial    : " << ostats.nontrivial_pct << " %\n"

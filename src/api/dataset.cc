@@ -1,0 +1,101 @@
+#include <fstream>
+#include <istream>
+#include <utility>
+
+#include "api/lash_api.h"
+#include "core/flist.h"
+#include "io/text_io.h"
+#include "stats/output_stats.h"
+#include "util/timer.h"
+
+namespace lash {
+
+Dataset::Dataset(Database raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
+                 double read_ms)
+    : raw_db_(std::move(raw_db)),
+      vocab_(std::move(vocab)),
+      raw_hierarchy_(std::move(raw_hierarchy)) {
+  load_times_.read_ms = read_ms;
+  Stopwatch timer;
+  pre_ = Preprocess(raw_db_, raw_hierarchy_);
+  load_times_.preprocess_ms = timer.ElapsedMs();
+  stats_ = ComputeStats(raw_db_);
+}
+
+Dataset Dataset::FromFiles(const std::string& sequences_path,
+                           const std::string& hierarchy_path) {
+  Stopwatch timer;
+  Vocabulary vocab;
+  std::ifstream hf(hierarchy_path);
+  if (!hf) {
+    throw ApiError("cannot open hierarchy file: " + hierarchy_path);
+  }
+  ReadHierarchy(hf, &vocab);
+  std::ifstream dbf(sequences_path);
+  if (!dbf) {
+    throw ApiError("cannot open sequences file: " + sequences_path);
+  }
+  Database db = ReadDatabase(dbf, &vocab);
+  Hierarchy hierarchy = vocab.BuildHierarchy();
+  return Dataset(std::move(db), std::move(vocab), std::move(hierarchy),
+                 timer.ElapsedMs());
+}
+
+Dataset Dataset::FromStreams(std::istream& sequences, std::istream& hierarchy) {
+  Stopwatch timer;
+  Vocabulary vocab;
+  ReadHierarchy(hierarchy, &vocab);
+  Database db = ReadDatabase(sequences, &vocab);
+  Hierarchy h = vocab.BuildHierarchy();
+  return Dataset(std::move(db), std::move(vocab), std::move(h),
+                 timer.ElapsedMs());
+}
+
+Dataset Dataset::FromMemory(Database raw_db, Vocabulary vocab) {
+  Hierarchy hierarchy = vocab.BuildHierarchy();
+  return Dataset(std::move(raw_db), std::move(vocab), std::move(hierarchy), 0);
+}
+
+Dataset Dataset::FromMemory(Database raw_db, Vocabulary vocab,
+                            Hierarchy raw_hierarchy) {
+  return Dataset(std::move(raw_db), std::move(vocab), std::move(raw_hierarchy),
+                 0);
+}
+
+const PreprocessResult& Dataset::flat_preprocessed() const {
+  std::lock_guard<std::mutex> lock(flat_mutex_);
+  if (!flat_pre_) {
+    flat_pre_ = std::make_unique<PreprocessResult>(
+        Preprocess(raw_db_, Hierarchy::Flat(vocab_.NumItems())));
+  }
+  return *flat_pre_;
+}
+
+std::string Dataset::NameOfRank(ItemId rank, bool flat) const {
+  const PreprocessResult& pre = flat ? flat_preprocessed() : pre_;
+  if (rank == kInvalidItem || rank >= pre.raw_of_rank.size()) {
+    throw ApiError("NameOfRank: " + std::to_string(rank) +
+                   " is not a valid rank id (did RankOfName return "
+                   "kInvalidItem for an unknown name?)");
+  }
+  return vocab_.Name(pre.raw_of_rank[rank]);
+}
+
+ItemId Dataset::RankOfName(const std::string& name, bool flat) const {
+  ItemId raw = vocab_.Lookup(name);
+  if (raw == kInvalidItem) return kInvalidItem;
+  const PreprocessResult& pre = flat ? flat_preprocessed() : pre_;
+  return pre.rank_of_raw[raw];
+}
+
+PatternMap Dataset::FlatToHierarchicalRanks(
+    const PatternMap& flat_patterns) const {
+  const PreprocessResult& flat_pre = flat_preprocessed();
+  std::vector<ItemId> flat_to_gsm(flat_pre.raw_of_rank.size(), kInvalidItem);
+  for (size_t r = 1; r < flat_pre.raw_of_rank.size(); ++r) {
+    flat_to_gsm[r] = pre_.rank_of_raw[flat_pre.raw_of_rank[r]];
+  }
+  return RemapPatterns(flat_patterns, flat_to_gsm);
+}
+
+}  // namespace lash

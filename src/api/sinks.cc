@@ -1,0 +1,105 @@
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "api/lash_api.h"
+#include "core/flist.h"
+
+namespace lash {
+
+Sequence PatternView::raw_ids() const {
+  Sequence raw;
+  raw.reserve(ranks_->size());
+  for (ItemId rank : *ranks_) raw.push_back(pre_->raw_of_rank[rank]);
+  return raw;
+}
+
+std::vector<std::string> PatternView::names() const {
+  std::vector<std::string> names;
+  names.reserve(ranks_->size());
+  for (ItemId rank : *ranks_) {
+    names.push_back(vocab_->Name(pre_->raw_of_rank[rank]));
+  }
+  return names;
+}
+
+std::string PatternView::ToString() const {
+  std::string joined;
+  for (size_t i = 0; i < ranks_->size(); ++i) {
+    if (i > 0) joined += ' ';
+    joined += vocab_->Name(pre_->raw_of_rank[(*ranks_)[i]]);
+  }
+  return joined;
+}
+
+void CollectSink::OnPattern(const PatternView& pattern) {
+  patterns_.emplace(pattern.ranks(), pattern.frequency());
+}
+
+void CollectSink::Merge(PatternMap&& patterns) {
+  if (patterns_.empty()) {
+    patterns_ = std::move(patterns);
+  } else {
+    patterns_.merge(patterns);  // Splices nodes; existing keys win.
+  }
+}
+
+bool TopKSink::Better(const std::pair<Sequence, Frequency>& a,
+                      const std::pair<Sequence, Frequency>& b) const {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+void TopKSink::OnPattern(const PatternView& pattern) {
+  if (k_ == 0) return;
+  // push_heap/pop_heap with "better" as less-than keep the *worst* kept
+  // pattern at heap_.front(), so replacing it preserves the k best.
+  auto worse_first = [this](const auto& a, const auto& b) {
+    return Better(a, b);
+  };
+  std::pair<Sequence, Frequency> entry(pattern.ranks(), pattern.frequency());
+  if (heap_.size() < k_) {
+    heap_.push_back(std::move(entry));
+    std::push_heap(heap_.begin(), heap_.end(), worse_first);
+    return;
+  }
+  if (!Better(entry, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), worse_first);
+  heap_.back() = std::move(entry);
+  std::push_heap(heap_.begin(), heap_.end(), worse_first);
+}
+
+std::vector<std::pair<Sequence, Frequency>> TopKSink::Sorted() const {
+  std::vector<std::pair<Sequence, Frequency>> sorted = heap_;
+  std::sort(sorted.begin(), sorted.end(),
+            [this](const auto& a, const auto& b) { return Better(a, b); });
+  return sorted;
+}
+
+void TextWriterSink::Write(const Line& line) {
+  *out_ << line.frequency << '\t' << line.names << '\n';
+}
+
+void TextWriterSink::OnPattern(const PatternView& pattern) {
+  if (sorted_) {
+    // The ranks copy exists only as the OnFinish sort key.
+    lines_.push_back({pattern.ranks(), pattern.frequency(), pattern.ToString()});
+  } else {
+    Write({{}, pattern.frequency(), pattern.ToString()});
+  }
+}
+
+void TextWriterSink::OnFinish() {
+  if (sorted_) {
+    // The WritePatterns order: lexicographic on (rank sequence, frequency).
+    std::sort(lines_.begin(), lines_.end(), [](const Line& a, const Line& b) {
+      if (a.ranks != b.ranks) return a.ranks < b.ranks;
+      return a.frequency < b.frequency;
+    });
+    for (const Line& line : lines_) Write(line);
+    lines_.clear();
+  }
+  out_->flush();
+}
+
+}  // namespace lash

@@ -1,0 +1,88 @@
+// Tests of the hardened CLI flag parser (tools/arg_parse.h): declared flag
+// sets, unknown-flag rejection, and integer parse-failure handling.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tools/arg_parse.h"
+
+namespace lash::tools {
+namespace {
+
+Args Parse(std::vector<const char*> argv, std::initializer_list<FlagSpec> spec) {
+  argv.insert(argv.begin(), "tool");
+  return Args(static_cast<int>(argv.size()),
+              const_cast<char**>(argv.data()), spec);
+}
+
+TEST(ArgsTest, ParsesDeclaredFlagsAndSwitches) {
+  Args args = Parse({"--sigma", "100", "--distributed", "--miner", "bfs"},
+                    {{"sigma"}, {"miner"}, {"distributed", false}});
+  EXPECT_TRUE(args.Has("sigma"));
+  EXPECT_EQ(args.GetInt("sigma", 0), 100u);
+  EXPECT_TRUE(args.Has("distributed"));
+  EXPECT_EQ(args.Get("miner", ""), "bfs");
+  EXPECT_FALSE(args.Has("gamma"));
+  EXPECT_EQ(args.GetInt("gamma", 7), 7u);
+}
+
+TEST(ArgsTest, HelpIsAlwaysAccepted) {
+  Args args = Parse({"--help"}, {{"sigma"}});
+  EXPECT_TRUE(args.Has("help"));
+}
+
+TEST(ArgsTest, RejectsUnknownAndTypoedFlags) {
+  try {
+    Parse({"--sigmaa", "100"}, {{"sigma"}});
+    FAIL() << "unknown flag must raise ArgError";
+  } catch (const ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("--sigmaa"), std::string::npos);
+  }
+}
+
+TEST(ArgsTest, RejectsPositionalArguments) {
+  EXPECT_THROW(Parse({"sigma"}, {{"sigma"}}), ArgError);
+}
+
+TEST(ArgsTest, ValueFlagWithoutValueIsAnError) {
+  // Trailing flag with no value...
+  EXPECT_THROW(Parse({"--sigma"}, {{"sigma"}}), ArgError);
+  // ...and a flag directly followed by another flag.
+  try {
+    Parse({"--sigma", "--distributed"}, {{"sigma"}, {"distributed", false}});
+    FAIL() << "missing value must raise ArgError";
+  } catch (const ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("--sigma"), std::string::npos);
+  }
+}
+
+TEST(ArgsTest, GetIntRejectsUnparsableValues) {
+  for (const char* bad :
+       {"abc", "12x", "", "-3", " -3", " 3", "+3", "9999999999999999999999"}) {
+    Args args = Parse({"--sigma", bad}, {{"sigma"}});
+    EXPECT_THROW(args.GetInt("sigma", 0), ArgError) << "value: " << bad;
+  }
+  Args args = Parse({"--sigma", "42"}, {{"sigma"}});
+  EXPECT_EQ(args.GetInt("sigma", 0), 42u);
+}
+
+TEST(ArgsTest, GetIntEnforcesTheCallerRange) {
+  // Values that parse as uint64 but exceed the caller's range must error
+  // instead of silently wrapping in a later narrowing cast.
+  Args args = Parse({"--gamma", "4294967296"}, {{"gamma"}});
+  EXPECT_THROW(args.GetInt("gamma", 0, UINT32_MAX), ArgError);
+  EXPECT_EQ(args.GetInt("gamma", 0), 4294967296u);
+  Args ok = Parse({"--gamma", "4294967295"}, {{"gamma"}});
+  EXPECT_EQ(ok.GetInt("gamma", 0, UINT32_MAX), 4294967295u);
+}
+
+TEST(ArgsTest, RequireThrowsWhenMissing) {
+  Args args = Parse({}, {{"sequences"}});
+  EXPECT_THROW(args.Require("sequences"), ArgError);
+  Args given = Parse({"--sequences", "db.txt"}, {{"sequences"}});
+  EXPECT_EQ(given.Require("sequences"), "db.txt");
+}
+
+}  // namespace
+}  // namespace lash::tools

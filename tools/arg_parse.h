@@ -1,30 +1,65 @@
 #ifndef LASH_TOOLS_ARG_PARSE_H_
 #define LASH_TOOLS_ARG_PARSE_H_
 
+#include <cctype>
 #include <cstdint>
 #include <cstdlib>
-#include <iostream>
+#include <initializer_list>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 namespace lash::tools {
 
+/// Thrown on any command-line problem (unknown flag, missing value,
+/// unparsable number). The tools catch it in main, print the message, and
+/// exit 2 — no uncaught std::invalid_argument terminates.
+class ArgError : public std::runtime_error {
+ public:
+  explicit ArgError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Declaration of one `--flag` a tool understands.
+struct FlagSpec {
+  const char* name;        ///< Without the leading "--".
+  bool takes_value = true; ///< False for boolean switches (e.g. --distributed).
+};
+
 /// Minimal `--flag value` / `--flag` parser shared by the CLI tools.
+///
+/// Each tool declares its full flag set up front; anything else — an unknown
+/// or typo'd flag, a value-taking flag with no value, a positional argument —
+/// raises ArgError with a message naming the offender, instead of being
+/// silently accepted or crashing later.
 class Args {
  public:
-  Args(int argc, char** argv) {
+  Args(int argc, char** argv, std::initializer_list<FlagSpec> spec) {
+    std::map<std::string, bool> takes_value;
+    takes_value["help"] = false;  // Every tool answers --help.
+    for (const FlagSpec& flag : spec) takes_value[flag.name] = flag.takes_value;
+
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
-        std::cerr << "unexpected argument: " << arg << "\n";
-        std::exit(2);
+        throw ArgError("unexpected argument: " + arg +
+                       " (flags start with --; run with --help for usage)");
       }
       std::string key = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "";
+      auto it = takes_value.find(key);
+      if (it == takes_value.end()) {
+        throw ArgError("unknown flag --" + key +
+                       " (run with --help for usage)");
       }
+      if (!it->second) {
+        values_[key] = "";
+        continue;
+      }
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        throw ArgError("flag --" + key + " requires a value");
+      }
+      values_[key] = argv[++i];
     }
   }
 
@@ -38,15 +73,38 @@ class Args {
   std::string Require(const std::string& key) const {
     auto it = values_.find(key);
     if (it == values_.end() || it->second.empty()) {
-      std::cerr << "missing required flag --" << key << "\n";
-      std::exit(2);
+      throw ArgError("missing required flag --" + key);
     }
     return it->second;
   }
 
-  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+  /// Parses the flag as a non-negative integer <= `max`; raises ArgError on
+  /// junk, partial parses, signs, overflow, or out-of-range values, so a
+  /// narrowing cast at the call site can never silently wrap.
+  uint64_t GetInt(const std::string& key, uint64_t fallback,
+                  uint64_t max = std::numeric_limits<uint64_t>::max()) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoull(it->second);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    size_t consumed = 0;
+    uint64_t value = 0;
+    try {
+      value = std::stoull(text, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    // stoull skips leading whitespace and accepts a sign; requiring the
+    // first character to be a digit rejects " -3", "+3", and " 3" too.
+    if (consumed != text.size() || text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(text[0]))) {
+      throw ArgError("invalid value for --" + key + ": '" + text +
+                     "' (expected a non-negative integer)");
+    }
+    if (value > max) {
+      throw ArgError("value for --" + key + " is out of range: " + text +
+                     " (max " + std::to_string(max) + ")");
+    }
+    return value;
   }
 
  private:

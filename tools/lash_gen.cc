@@ -16,15 +16,10 @@
 #include "io/text_io.h"
 #include "tools/arg_parse.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int RealMain(const lash::tools::Args& args) {
   using namespace lash;
-  tools::Args args(argc, argv);
-  if (args.Has("help")) {
-    std::cout << "lash_gen --kind nyt|amzn --out PREFIX [--sentences N] "
-                 "[--sessions N] [--hierarchy L|P|LP|CLP] [--levels N] "
-                 "[--seed N]\n";
-    return 0;
-  }
   std::string kind = args.Require("kind");
   std::string prefix = args.Require("out");
 
@@ -53,7 +48,8 @@ int main(int argc, char** argv) {
   } else if (kind == "amzn") {
     ProductGenConfig config;
     config.num_sessions = args.GetInt("sessions", 20000);
-    config.levels = static_cast<int>(args.GetInt("levels", 8));
+    config.levels = static_cast<int>(
+        args.GetInt("levels", 8, std::numeric_limits<int>::max()));
     config.seed = args.GetInt("seed", 7);
     GeneratedProducts data = GenerateProducts(config);
     db = std::move(data.database);
@@ -67,11 +63,37 @@ int main(int argc, char** argv) {
   std::ofstream hf(prefix + ".hierarchy.tsv");
   if (!dbf || !hf) {
     std::cerr << "cannot open output files\n";
-    return 1;
+    return 2;
   }
   WriteDatabase(dbf, db, vocab);
   WriteHierarchy(hf, vocab);
   std::cerr << "wrote " << db.size() << " sequences and " << vocab.NumItems()
             << " items to " << prefix << ".{sequences.txt,hierarchy.tsv}\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using lash::tools::Args;
+  try {
+    Args args(argc, argv,
+              {{"kind"},
+               {"out"},
+               {"sentences"},
+               {"sessions"},
+               {"hierarchy"},
+               {"levels"},
+               {"seed"}});
+    if (args.Has("help")) {
+      std::cout << "lash_gen --kind nyt|amzn --out PREFIX [--sentences N] "
+                   "[--sessions N] [--hierarchy L|P|LP|CLP] [--levels N] "
+                   "[--seed N]\n";
+      return 0;
+    }
+    return RealMain(args);
+  } catch (const std::exception& e) {
+    std::cerr << "lash_gen: " << e.what() << "\n";
+    return 2;
+  }
 }

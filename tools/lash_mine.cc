@@ -1,100 +1,168 @@
-// lash_mine — mine generalized frequent sequences from text files.
+// lash_mine — mine generalized frequent sequences from text files, through
+// the lash::Dataset / lash::MiningTask facade (api/lash_api.h).
 //
 // Usage:
 //   lash_mine --sequences data.txt --hierarchy hier.tsv \
 //             [--sigma 100] [--gamma 0] [--lambda 5] \
-//             [--miner psm+index|psm|dfs|bfs] [--distributed] \
+//             [--algo sequential|lash|mgfsm|gsp|naive|seminaive] \
+//             [--miner psm+index|psm|dfs|bfs] [--distributed] [--threads N] \
 //             [--filter none|closed|maximal] [--top K] [--output out.txt]
 //
 // Input formats (io/text_io.h): one sequence per line of item names;
 // hierarchy as child<TAB>parent lines. Output: frequency<TAB>pattern lines.
+// Any configuration or input problem prints a message and exits 2.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 
-#include "algo/lash.h"
-#include "algo/sequential.h"
-#include "io/text_io.h"
-#include "stats/filters.h"
+#include "api/lash_api.h"
 #include "tools/arg_parse.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int RealMain(const lash::tools::Args& args) {
   using namespace lash;
-  tools::Args args(argc, argv);
-  if (args.Has("help")) {
-    std::cout << "lash_mine --sequences FILE --hierarchy FILE [--sigma N] "
-                 "[--gamma N] [--lambda N] [--miner NAME] [--distributed] "
-                 "[--filter none|closed|maximal] [--top K] [--output FILE]\n";
-    return 0;
-  }
 
-  Vocabulary vocab;
-  {
-    std::ifstream hf(args.Require("hierarchy"));
-    if (!hf) {
-      std::cerr << "cannot open hierarchy file\n";
-      return 1;
-    }
-    ReadHierarchy(hf, &vocab);
+  // Parse every flag before touching the (potentially huge) input files, so
+  // a bad invocation fails immediately.
+  std::string sequences_path = args.Require("sequences");
+  std::string hierarchy_path = args.Require("hierarchy");
+  // --distributed is kept as a shorthand for --algo lash.
+  std::string algo_name =
+      args.Get("algo", args.Has("distributed") ? "lash" : "sequential");
+  Algorithm algorithm = ParseAlgorithm(algo_name);
+  if (args.Has("distributed") && algorithm != Algorithm::kLash) {
+    throw lash::tools::ArgError("--distributed is shorthand for --algo lash "
+                                "and conflicts with --algo " + algo_name);
   }
-  Database db;
-  {
-    std::ifstream dbf(args.Require("sequences"));
-    if (!dbf) {
-      std::cerr << "cannot open sequences file\n";
-      return 1;
-    }
-    db = ReadDatabase(dbf, &vocab);
-  }
-  std::cerr << "read " << db.size() << " sequences, " << vocab.NumItems()
-            << " items\n";
-
   GsmParams params;
   params.sigma = args.GetInt("sigma", 100);
-  params.gamma = static_cast<uint32_t>(args.GetInt("gamma", 0));
-  params.lambda = static_cast<uint32_t>(args.GetInt("lambda", 5));
-  params.Validate();
-  MinerKind miner = ParseMinerKind(args.Get("miner", "psm+index"));
+  params.gamma = static_cast<uint32_t>(
+      args.GetInt("gamma", 0, std::numeric_limits<uint32_t>::max()));
+  params.lambda = static_cast<uint32_t>(
+      args.GetInt("lambda", 5, std::numeric_limits<uint32_t>::max()));
+  size_t threads = args.GetInt("threads", 0);
+  PatternFilter filter = ParsePatternFilter(args.Get("filter", "none"));
+  uint64_t top = args.Has("top") ? args.GetInt("top", 10) : 0;
+  // WithTopK(0) would mean "all", the opposite of what --top 0 suggests.
+  if (args.Has("top") && top == 0) {
+    throw lash::tools::ArgError("--top must be > 0");
+  }
+  params.Validate();  // sigma/lambda problems also fail before loading.
+  // Only an explicit --miner reaches the task: algorithms without a local
+  // miner reject an explicitly chosen one. Checked here (and again by
+  // MiningTask::Validate) so the contradiction also fails before loading.
+  MinerKind miner = MinerKind::kPsmIndex;
+  if (args.Has("miner")) {
+    miner = ParseMinerKind(args.Get("miner", "psm+index"));
+    if (algorithm != Algorithm::kSequential && algorithm != Algorithm::kLash) {
+      throw lash::tools::ArgError("--miner is not used by --algo " +
+                                  algo_name);
+    }
+  }
 
-  PreprocessResult pre;
-  PatternMap patterns;
-  JobConfig config;
-  if (args.Has("distributed")) {
-    pre = PreprocessWithJob(db, vocab.BuildHierarchy(), config);
-    LashOptions options;
-    options.miner = miner;
-    AlgoResult result = RunLash(pre, params, config, options);
-    patterns = std::move(result.patterns);
+  Dataset dataset = Dataset::FromFiles(sequences_path, hierarchy_path);
+  std::cerr << "read " << dataset.NumSequences() << " sequences, "
+            << dataset.NumItems() << " items\n";
+
+  MiningTask task(dataset);
+  task.WithAlgorithm(algorithm)
+      .WithParams(params)
+      .WithThreads(threads)
+      .WithFilter(filter)
+      .WithTopK(top);
+  if (args.Has("miner")) task.WithMiner(miner);
+
+  // Validate before touching the output file, so a bad configuration never
+  // truncates previous results.
+  bool valid = true;
+  for (const std::string& problem : task.Validate()) {
+    std::cerr << "lash_mine: invalid configuration: " << problem << "\n";
+    valid = false;
+  }
+  if (!valid) return 2;
+
+  // File output goes to a temp file renamed into place only after mining
+  // succeeds, so a failed or interrupted run never truncates a previous
+  // results file.
+  std::string out_path = args.Get("output", "");
+  std::string tmp_path = out_path + ".tmp";
+  std::ofstream file;
+  if (args.Has("output")) {
+    file.open(tmp_path);
+    if (!file) {
+      std::cerr << "cannot open output file " << tmp_path << "\n";
+      return 2;
+    }
+  }
+  TextWriterSink sink(args.Has("output") ? static_cast<std::ostream&>(file)
+                                         : std::cout);
+  RunResult result;
+  try {
+    result = task.Run(sink);
+  } catch (...) {
+    if (args.Has("output")) {
+      file.close();
+      std::remove(tmp_path.c_str());
+    }
+    throw;
+  }
+  if (args.Has("output")) {
+    file.close();
+    if (!file || std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+      std::cerr << "cannot write output file " << out_path << "\n";
+      std::remove(tmp_path.c_str());
+      return 2;
+    }
+  }
+
+  std::cerr << "mined " << result.patterns_mined << " patterns";
+  if (result.patterns_emitted != result.patterns_mined) {
+    std::cerr << ", kept " << result.patterns_emitted;
+  }
+  std::cerr << "\n";
+  if (result.job.times.TotalMs() > 0) {
     std::cerr << "map " << result.job.times.map_ms << " ms, shuffle "
               << result.job.times.shuffle_ms << " ms, reduce "
               << result.job.times.reduce_ms << " ms, "
               << result.job.counters.map_output_bytes << " bytes shuffled\n";
-  } else {
-    pre = Preprocess(db, vocab.BuildHierarchy());
-    patterns = MineSequential(pre, params, miner);
   }
-  std::cerr << "mined " << patterns.size() << " patterns\n";
-
-  std::string filter = args.Get("filter", "none");
-  if (filter == "closed") {
-    patterns = FilterClosed(patterns, pre.hierarchy);
-  } else if (filter == "maximal") {
-    patterns = FilterMaximal(patterns, pre.hierarchy);
-  } else if (filter != "none") {
-    std::cerr << "unknown --filter (use none|closed|maximal)\n";
-    return 2;
-  }
-  if (args.Has("top")) {
-    auto top = TopK(patterns, args.GetInt("top", 10));
-    patterns = PatternMap(top.begin(), top.end());
-  }
-
-  auto name_of = [&](ItemId rank) { return vocab.Name(pre.raw_of_rank[rank]); };
-  if (args.Has("output")) {
-    std::ofstream out(args.Get("output", ""));
-    WritePatterns(out, patterns, name_of);
-  } else {
-    WritePatterns(std::cout, patterns, name_of);
+  if (result.aborted) {
+    std::cerr << "warning: emit cap reached, output is incomplete\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using lash::tools::Args;
+  try {
+    Args args(argc, argv,
+              {{"sequences"},
+               {"hierarchy"},
+               {"sigma"},
+               {"gamma"},
+               {"lambda"},
+               {"algo"},
+               {"miner"},
+               {"distributed", false},
+               {"threads"},
+               {"filter"},
+               {"top"},
+               {"output"}});
+    if (args.Has("help")) {
+      std::cout << "lash_mine --sequences FILE --hierarchy FILE [--sigma N] "
+                   "[--gamma N] [--lambda N] "
+                   "[--algo sequential|lash|mgfsm|gsp|naive|seminaive] "
+                   "[--miner NAME] [--distributed] [--threads N] "
+                   "[--filter none|closed|maximal] [--top K] [--output FILE]\n";
+      return 0;
+    }
+    return RealMain(args);
+  } catch (const std::exception& e) {
+    std::cerr << "lash_mine: " << e.what() << "\n";
+    return 2;
+  }
 }

@@ -1,67 +1,64 @@
 // lash_stats — Table-3 style output statistics for a dataset: mines the
-// data hierarchically and flat, then reports the share of non-trivial,
-// closed and maximal generalized sequences.
+// data hierarchically and flat through the lash::Dataset facade, then
+// reports the share of non-trivial, closed and maximal generalized
+// sequences.
 //
 // Usage:
 //   lash_stats --sequences data.txt --hierarchy hier.tsv \
 //              [--sigma 100] [--gamma 0] [--lambda 5]
 
-#include <fstream>
 #include <iostream>
 
-#include "algo/sequential.h"
-#include "io/text_io.h"
+#include "api/lash_api.h"
 #include "stats/output_stats.h"
 #include "tools/arg_parse.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int RealMain(const lash::tools::Args& args) {
   using namespace lash;
-  tools::Args args(argc, argv);
-  if (args.Has("help")) {
-    std::cout << "lash_stats --sequences FILE --hierarchy FILE [--sigma N] "
-                 "[--gamma N] [--lambda N]\n";
-    return 0;
-  }
 
-  Vocabulary vocab;
-  std::ifstream hf(args.Require("hierarchy"));
-  if (!hf) {
-    std::cerr << "cannot open hierarchy file\n";
-    return 1;
-  }
-  ReadHierarchy(hf, &vocab);
-  std::ifstream dbf(args.Require("sequences"));
-  if (!dbf) {
-    std::cerr << "cannot open sequences file\n";
-    return 1;
-  }
-  Database db = ReadDatabase(dbf, &vocab);
+  Dataset dataset =
+      Dataset::FromFiles(args.Require("sequences"), args.Require("hierarchy"));
 
-  GsmParams params;
-  params.sigma = args.GetInt("sigma", 100);
-  params.gamma = static_cast<uint32_t>(args.GetInt("gamma", 0));
-  params.lambda = static_cast<uint32_t>(args.GetInt("lambda", 5));
-  params.Validate();
+  MiningTask task(dataset);
+  task.WithSigma(args.GetInt("sigma", 100))
+      .WithGamma(static_cast<uint32_t>(
+          args.GetInt("gamma", 0, std::numeric_limits<uint32_t>::max())))
+      .WithLambda(static_cast<uint32_t>(
+          args.GetInt("lambda", 5, std::numeric_limits<uint32_t>::max())));
 
-  Hierarchy hierarchy = vocab.BuildHierarchy();
-  PreprocessResult pre = Preprocess(db, hierarchy);
-  PatternMap gsm = MineSequential(pre, params);
+  // One dataset, two queries: hierarchical GSM and the flat baseline the
+  // non-trivial percentage is measured against.
+  PatternMap gsm = task.Mine();
+  PatternMap flat = task.WithFlatHierarchy().Mine();
+  PatternMap flat_patterns = dataset.FlatToHierarchicalRanks(flat);
 
-  PreprocessResult flat_pre =
-      Preprocess(db, Hierarchy::Flat(hierarchy.NumItems()));
-  PatternMap flat = MineSequential(flat_pre, params);
-  std::vector<ItemId> flat_to_gsm(flat_pre.raw_of_rank.size(), kInvalidItem);
-  for (size_t r = 1; r < flat_pre.raw_of_rank.size(); ++r) {
-    flat_to_gsm[r] = pre.rank_of_raw[flat_pre.raw_of_rank[r]];
-  }
-  PatternMap flat_patterns = RemapPatterns(flat, flat_to_gsm);
-
-  OutputStatsResult stats = ComputeOutputStats(gsm, flat_patterns,
-                                               pre.hierarchy);
+  OutputStatsResult stats =
+      ComputeOutputStats(gsm, flat_patterns, dataset.preprocessed().hierarchy);
   std::cout << "patterns     " << stats.total << "\n"
             << "flat         " << flat.size() << "\n"
             << "non-trivial  " << stats.nontrivial_pct << " %\n"
             << "closed       " << stats.closed_pct << " %\n"
             << "maximal      " << stats.maximal_pct << " %\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using lash::tools::Args;
+  try {
+    Args args(argc, argv,
+              {{"sequences"}, {"hierarchy"}, {"sigma"}, {"gamma"}, {"lambda"}});
+    if (args.Has("help")) {
+      std::cout << "lash_stats --sequences FILE --hierarchy FILE [--sigma N] "
+                   "[--gamma N] [--lambda N]\n";
+      return 0;
+    }
+    return RealMain(args);
+  } catch (const std::exception& e) {
+    std::cerr << "lash_stats: " << e.what() << "\n";
+    return 2;
+  }
 }
