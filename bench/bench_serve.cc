@@ -1,0 +1,238 @@
+// bench_serve — the perf gate for the serving layer (serve/).
+//
+// Replays a mixed query workload (repeated queries, top-k variants,
+// multiple algorithms incl. a flat MG-FSM query) against one shared Dataset
+// two ways:
+//   * naive: a loop of fresh MiningTask::Run per request — what every
+//     caller did before the serving layer existed;
+//   * service: SubmitBatch through lash::serve::MiningService (admission
+//     executor + result cache + coalescing), then a second sequential wave
+//     of the same stream that is answered entirely from the cache.
+// Asserts byte-identical patterns between the naive loop and *every*
+// service response (hit, miss, and coalesced paths), and writes
+// BENCH_serve.json. Speedups are reported, not gated — except the
+// cache-hit economics in full-size mode: a cache hit must be >= 5x faster
+// than the average cold run, the whole point of the layer (the margin in
+// practice is 1000x+, so only a broken hit path can trip it).
+//
+// Usage: bench_serve [--smoke] [--out FILE]
+//   --smoke  small corpus (CI gate).
+//   --out    output JSON path (default BENCH_serve.json).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "api/lash_api.h"
+#include "datagen/text_gen.h"
+#include "serve/mining_service.h"
+#include "serve/task_spec.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace lash {
+namespace {
+
+using serve::MiningService;
+using serve::PendingResult;
+using serve::Response;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+using serve::TaskSpec;
+
+std::vector<TaskSpec> MixedWorkload(bool smoke, size_t* num_distinct) {
+  const Frequency sigma = smoke ? 8 : 40;
+  // Each distinct query carries its own Zipf-ish repeat count (the hot
+  // query dominates, like a production mix).
+  std::vector<std::pair<TaskSpec, size_t>> distinct;
+  auto add = [&](Algorithm algorithm, Frequency s, uint32_t gamma,
+                 uint32_t lambda, size_t top_k, size_t repeats) {
+    TaskSpec spec;
+    spec.algorithm = algorithm;
+    spec.params = {.sigma = s, .gamma = gamma, .lambda = lambda};
+    spec.top_k = top_k;
+    distinct.emplace_back(spec, repeats);
+  };
+  add(Algorithm::kSequential, sigma, 0, 5, 0, 15);      // The hot query.
+  add(Algorithm::kSequential, sigma, 0, 5, 10, 8);      // Its top-k variant.
+  add(Algorithm::kSequential, sigma * 2, 0, 5, 0, 6);   // Tighter support.
+  add(Algorithm::kSequential, sigma, 1, 4, 0, 5);       // Gappy variant.
+  add(Algorithm::kLash, sigma, 0, 5, 0, 5);             // Distributed engine.
+  add(Algorithm::kMgFsm, sigma, 0, 5, 0, 5);            // Flat baseline.
+  *num_distinct = distinct.size();
+
+  // Deterministically shuffled repetition stream.
+  std::vector<TaskSpec> stream;
+  for (const auto& [spec, repeats] : distinct) {
+    for (size_t r = 0; r < repeats; ++r) stream.push_back(spec);
+  }
+  Rng rng(1234);
+  for (size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.Uniform(i)]);
+  }
+  return stream;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The NYT-like corpus of the other two gates, deepest hierarchy.
+  TextGenConfig config;
+  config.num_sentences = smoke ? 1500 : 20000;
+  config.num_lemmas = smoke ? 800 : 3000;
+  config.hierarchy = TextHierarchy::kCLP;
+  GeneratedText data = GenerateText(config);
+  Dataset dataset = Dataset::FromMemory(std::move(data.database),
+                                        std::move(data.vocabulary),
+                                        std::move(data.hierarchy));
+  std::printf("corpus: %zu sequences, %zu items\n", dataset.NumSequences(),
+              dataset.NumItems());
+
+  size_t num_distinct = 0;
+  std::vector<TaskSpec> stream = MixedWorkload(smoke, &num_distinct);
+
+  // Naive loop: every request pays a full fresh run (per-request times are
+  // the cold-run baseline the cache-hit gate compares against).
+  std::vector<PatternMap> naive_outputs;
+  naive_outputs.reserve(stream.size());
+  std::vector<double> naive_ms;
+  naive_ms.reserve(stream.size());
+  Stopwatch naive_total;
+  for (const TaskSpec& spec : stream) {
+    Stopwatch one;
+    naive_outputs.push_back(serve::MakeTask(dataset, spec).Mine());
+    naive_ms.push_back(one.ElapsedMs());
+  }
+  const double naive_total_ms = naive_total.ElapsedMs();
+  const double cold_avg_ms =
+      std::accumulate(naive_ms.begin(), naive_ms.end(), 0.0) /
+      static_cast<double>(naive_ms.size());
+
+  // Service, wave 1: the whole stream fanned out as a batch — repeats of an
+  // in-flight query coalesce, finished ones hit the cache.
+  ServiceOptions options;
+  options.queue_capacity = stream.size();
+  MiningService service(dataset, options);
+  Stopwatch service_total;
+  std::vector<PendingResult> wave1 = service.SubmitBatch(stream);
+  for (PendingResult& r : wave1) r.Wait();
+  const double service_total_ms = service_total.ElapsedMs();
+
+  // Wave 2: the same stream again, sequentially — every request must now be
+  // answered from the cache without mining.
+  std::vector<double> hit_ms;
+  hit_ms.reserve(stream.size());
+  bool all_hits = true;
+  Stopwatch wave2_total;
+  std::vector<PendingResult> wave2;
+  wave2.reserve(stream.size());
+  for (const TaskSpec& spec : stream) wave2.push_back(service.Submit(spec));
+  for (PendingResult& r : wave2) {
+    const Response& response = r.Get();
+    all_hits = all_hits && response.cache_hit;
+    hit_ms.push_back(response.latency_ms);
+  }
+  const double wave2_total_ms = wave2_total.ElapsedMs();
+  const double hit_avg_ms =
+      std::accumulate(hit_ms.begin(), hit_ms.end(), 0.0) /
+      static_cast<double>(hit_ms.size());
+
+  // Parity: every service response (miss, coalesced, and hit) must be
+  // byte-identical to the naive run of the same request.
+  bool parity = true;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (SortedPatterns(wave1[i].Get().patterns()) !=
+            SortedPatterns(naive_outputs[i]) ||
+        SortedPatterns(wave2[i].Get().patterns()) !=
+            SortedPatterns(naive_outputs[i])) {
+      std::fprintf(stderr, "PARITY FAILURE at request %zu\n", i);
+      parity = false;
+    }
+  }
+  if (!all_hits) {
+    std::fprintf(stderr, "CACHE FAILURE: wave 2 was not served end-to-end "
+                         "from the cache\n");
+  }
+
+  const ServiceStats stats = service.Stats();
+  const double speedup_total =
+      naive_total_ms / std::max(service_total_ms + wave2_total_ms, 1e-9);
+  const double hit_speedup = cold_avg_ms / std::max(hit_avg_ms, 1e-9);
+
+  std::printf("workload: %zu requests over %zu distinct queries\n",
+              stream.size(), num_distinct);
+  std::printf("naive loop : total=%8.1fms  cold_avg=%7.2fms\n", naive_total_ms,
+              cold_avg_ms);
+  std::printf("service    : wave1=%8.1fms  wave2=%7.1fms  (both waves %.2fx "
+              "vs naive)\n",
+              service_total_ms, wave2_total_ms, speedup_total);
+  std::printf("cache      : hits=%" PRIu64 " misses=%" PRIu64
+              " coalesced=%" PRIu64 " executions=%" PRIu64 "\n",
+              stats.hits, stats.misses, stats.coalesced, stats.executions);
+  std::printf("latency    : hit avg=%.4fms p95=%.4fms | mine p50=%.1fms "
+              "p95=%.1fms | hit speedup %.0fx\n",
+              hit_avg_ms, stats.hit_p95_ms, stats.mine_p50_ms,
+              stats.mine_p95_ms, hit_speedup);
+  std::fflush(stdout);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"bench\": \"serve\",\n  \"smoke\": %s,\n"
+      "  \"requests\": %zu,\n  \"distinct_queries\": %zu,\n"
+      "  \"sequences\": %zu,\n"
+      "  \"naive_total_ms\": %.3f,\n  \"service_wave1_ms\": %.3f,\n"
+      "  \"service_wave2_ms\": %.3f,\n  \"speedup_total\": %.3f,\n"
+      "  \"cold_avg_ms\": %.3f,\n  \"hit_avg_ms\": %.5f,\n"
+      "  \"hit_p95_ms\": %.5f,\n  \"hit_speedup\": %.1f,\n"
+      "  \"hits\": %" PRIu64 ",\n  \"misses\": %" PRIu64 ",\n"
+      "  \"coalesced\": %" PRIu64 ",\n  \"executions\": %" PRIu64 ",\n"
+      "  \"wave2_all_hits\": %s,\n  \"parity\": %s\n}\n",
+      smoke ? "true" : "false", stream.size(), num_distinct,
+      dataset.NumSequences(), naive_total_ms, service_total_ms,
+      wave2_total_ms, speedup_total, cold_avg_ms, hit_avg_ms, stats.hit_p95_ms,
+      hit_speedup, stats.hits, stats.misses, stats.coalesced, stats.executions,
+      all_hits ? "true" : "false", parity ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  bool ok = parity && all_hits;
+  // Full-size only: the acceptance economics. Smoke runs on loaded CI
+  // machines still assert correctness above, never wall-clock ratios.
+  if (!smoke && hit_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "HIT ECONOMICS FAILURE: cache hits only %.1fx faster than "
+                 "cold runs (gate: 5x)\n",
+                 hit_speedup);
+    ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "bench_serve: CHECKS FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lash
+
+int main(int argc, char** argv) { return lash::Main(argc, argv); }

@@ -1,5 +1,7 @@
+#include <atomic>
 #include <fstream>
 #include <istream>
+#include <mutex>
 #include <utility>
 
 #include "api/lash_api.h"
@@ -10,9 +12,19 @@
 
 namespace lash {
 
+namespace {
+
+uint64_t NextDatasetId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 Dataset::Dataset(Database raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
                  double read_ms)
-    : raw_db_(std::move(raw_db)),
+    : id_(NextDatasetId()),
+      raw_db_(std::move(raw_db)),
       vocab_(std::move(vocab)),
       raw_hierarchy_(std::move(raw_hierarchy)) {
   load_times_.read_ms = read_ms;
@@ -63,11 +75,14 @@ Dataset Dataset::FromMemory(Database raw_db, Vocabulary vocab,
 }
 
 const PreprocessResult& Dataset::flat_preprocessed() const {
-  std::lock_guard<std::mutex> lock(flat_mutex_);
-  if (!flat_pre_) {
+  // call_once (not a plain mutex) so concurrent MiningTasks are safe and
+  // every call after the first is synchronization-light: the preprocessing
+  // is immutable once built, so the once_flag's release/acquire pairing is
+  // all the ordering readers need.
+  std::call_once(flat_once_, [this] {
     flat_pre_ = std::make_unique<PreprocessResult>(
         Preprocess(raw_db_, Hierarchy::Flat(vocab_.NumItems())));
-  }
+  });
   return *flat_pre_;
 }
 

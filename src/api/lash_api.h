@@ -246,6 +246,12 @@ class Dataset {
   Dataset(const Dataset&) = delete;
   Dataset& operator=(const Dataset&) = delete;
 
+  /// Process-unique id assigned at construction (never 0, never reused
+  /// within a process). Serving-layer cache keys include it, so identical
+  /// task specs over different datasets can never collide — even when one
+  /// dataset is destroyed and another is loaded at the same address.
+  uint64_t id() const { return id_; }
+
   const Vocabulary& vocabulary() const { return vocab_; }
   const Database& raw_database() const { return raw_db_; }
   const Hierarchy& raw_hierarchy() const { return raw_hierarchy_; }
@@ -254,8 +260,10 @@ class Dataset {
   const PreprocessResult& preprocessed() const { return pre_; }
 
   /// The flat (hierarchy-stripped) preprocessing, built on first use and
-  /// cached (thread-safe). Backs Algorithm::kMgFsm and
-  /// MiningTask::WithFlatHierarchy.
+  /// cached. Backs Algorithm::kMgFsm and MiningTask::WithFlatHierarchy.
+  /// Thread-safe (std::call_once): concurrent MiningTasks — e.g. a serving
+  /// layer running mixed flat/hierarchical queries against one shared
+  /// Dataset — see exactly one build, and later calls are wait-free.
   const PreprocessResult& flat_preprocessed() const;
 
   /// Table-1 style statistics of the raw database.
@@ -285,6 +293,7 @@ class Dataset {
   Dataset(Database raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
           double read_ms);
 
+  uint64_t id_;
   Database raw_db_;
   Vocabulary vocab_;
   Hierarchy raw_hierarchy_;
@@ -292,7 +301,7 @@ class Dataset {
   DatasetStats stats_;
   LoadTimes load_times_;
 
-  mutable std::mutex flat_mutex_;
+  mutable std::once_flag flat_once_;
   mutable std::unique_ptr<PreprocessResult> flat_pre_;
 };
 

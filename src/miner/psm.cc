@@ -109,80 +109,7 @@ namespace {
 using psm_internal::EventGroup;
 using psm_internal::EventRegrouper;
 using psm_internal::ExpansionEvent;
-
-// The pooled PSM+Index right index: one arena of bitset words shared by
-// every left node of a run. Row `r` holds the index of the left node at
-// left-recursion depth `r` (at most one such node is live at a time — left
-// expansion recurses depth-first), and within a row, depth `d` is the set
-// of frequent expansion items seen at right-expansion depth d of that
-// node's subtree. Acquiring a row bumps its generation counter instead of
-// zeroing its words, so re-initialization is O(depths) rather than
-// O(depths * pivot/64) — the per-LeftNode reset cost that dominated when
-// pivot ids are large. Words are epoch-tagged: a word whose tag is stale
-// reads as empty.
-class RightIndexPool {
- public:
-  // Sizes the arena for `rows` x `depths` bitsets over items < num_items.
-  // Idempotent; keeps existing capacity when large enough.
-  void Prepare(size_t rows, size_t depths, size_t num_items) {
-    rows_ = rows;
-    depths_ = depths;
-    words_per_set_ = (num_items >> 6) + 1;
-    const size_t words = rows_ * depths_ * words_per_set_;
-    if (bits_.size() < words) {
-      bits_.assign(words, 0);
-      word_epoch_.assign(words, 0);
-    }
-    row_epoch_.assign(rows_, 0);
-    counts_.assign(rows_ * depths_, 0);
-    // epoch_ is deliberately NOT reset: stale word tags from an earlier
-    // Prepare stay strictly below every future generation, so reused
-    // capacity can never revive old bits.
-  }
-
-  // Claims row `row` for a new left node: all of its sets become empty.
-  void NewGeneration(size_t row) {
-    // 64-bit epoch: cannot wrap within a run and revive stale words.
-    row_epoch_[row] = ++epoch_;
-    std::fill_n(counts_.begin() + static_cast<ptrdiff_t>(row * depths_),
-                depths_, 0u);
-  }
-
-  void Set(size_t row, size_t depth, ItemId w) {
-    const size_t base = (row * depths_ + depth) * words_per_set_ + (w >> 6);
-    const uint64_t mask = uint64_t{1} << (w & 63);
-    if (word_epoch_[base] != row_epoch_[row]) {
-      word_epoch_[base] = row_epoch_[row];
-      bits_[base] = mask;
-      ++counts_[row * depths_ + depth];
-    } else {
-      counts_[row * depths_ + depth] += (bits_[base] & mask) == 0;
-      bits_[base] |= mask;
-    }
-  }
-
-  bool Test(size_t row, size_t depth, ItemId w) const {
-    const size_t base = (row * depths_ + depth) * words_per_set_ + (w >> 6);
-    return word_epoch_[base] == row_epoch_[row] &&
-           ((bits_[base] >> (w & 63)) & 1);
-  }
-
-  bool Empty(size_t row, size_t depth) const {
-    return counts_[row * depths_ + depth] == 0;
-  }
-
-  size_t depths() const { return depths_; }
-
- private:
-  size_t rows_ = 0;
-  size_t depths_ = 0;
-  size_t words_per_set_ = 0;
-  uint64_t epoch_ = 0;
-  std::vector<uint64_t> bits_;
-  std::vector<uint64_t> word_epoch_;
-  std::vector<uint64_t> row_epoch_;
-  std::vector<uint32_t> counts_;
-};
+using psm_internal::RightIndexPool;
 
 // An expansion database: an index range of the shared event arena. Events
 // in the range share one item and are sorted by (tid, embedding), i.e. the
@@ -197,22 +124,24 @@ struct NodeDb {
 class PsmRun {
  public:
   PsmRun(const Partition& partition, const Hierarchy& h,
-         const GsmParams& params, ItemId pivot, bool use_index,
+         const GsmParams& params, ItemId pivot, RightIndexPool* index_pool,
          MinerStats* stats)
       : partition_(partition),
         h_(h),
         params_(params),
         pivot_(pivot),
-        use_index_(use_index),
+        index_pool_(index_pool),
         stats_(stats) {}
 
   PatternMap Mine() {
     regrouper_.Prepare(static_cast<size_t>(pivot_) + 1);
-    if (use_index_) {
+    if (index_pool_ != nullptr) {
       // One row per simultaneously-live left node (the left recursion is
       // at most lambda deep), each with one set per right-expansion depth.
-      index_pool_.Prepare(params_.lambda, params_.lambda,
-                          static_cast<size_t>(pivot_) + 1);
+      // The pool belongs to the PsmMiner, so this reuses (and only grows)
+      // the arena the previous partitions already paid for.
+      index_pool_->Prepare(params_.lambda, params_.lambda,
+                           static_cast<size_t>(pivot_) + 1);
     }
     // Seed database: one event per pivot occurrence. The scan order (tid
     // ascending, position ascending) already matches the sorted-unique
@@ -244,9 +173,9 @@ class PsmRun {
   void LeftNode(Sequence& pattern, const NodeDb& db, size_t left_depth,
                 size_t parent_row) {
     size_t my_row = kNoRow;
-    if (use_index_) {
+    if (index_pool_ != nullptr) {
       my_row = left_depth;
-      index_pool_.NewGeneration(my_row);
+      index_pool_->NewGeneration(my_row);
     }
     ExpandRight(pattern, db, /*depth=*/0, parent_row, my_row);
     ExpandLeft(pattern, db, left_depth, my_row);
@@ -257,8 +186,8 @@ class PsmRun {
                    size_t parent_row, size_t my_row) {
     if (pattern.size() >= params_.lambda) return;
     const bool pruned =
-        parent_row != kNoRow && depth < index_pool_.depths();
-    if (pruned && index_pool_.Empty(parent_row, depth)) {
+        parent_row != kNoRow && depth < index_pool_->depths();
+    if (pruned && index_pool_->Empty(parent_row, depth)) {
       return;  // R_S = ∅: skip the scan (Sec. 5.2).
     }
     const size_t mark = events_.size();
@@ -272,7 +201,7 @@ class PsmRun {
         if (!IsItem(t[j])) continue;
         for (ItemId a : h_.AncestorSpan(t[j])) {
           if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
-          if (pruned && !index_pool_.Test(parent_row, depth, a)) {
+          if (pruned && !index_pool_->Test(parent_row, depth, a)) {
             continue;  // Pruned by the parent's right index.
           }
           events_.push_back({a, ev.tid, Embedding{ev.emb.start, j}});
@@ -289,7 +218,7 @@ class PsmRun {
       if (g.weight < params_.sigma) continue;
       pattern.push_back(g.item);
       Output(pattern, g.weight);
-      if (my_row != kNoRow) index_pool_.Set(my_row, depth, g.item);
+      if (my_row != kNoRow) index_pool_->Set(my_row, depth, g.item);
       ExpandRight(pattern, NodeDb{g.begin, g.end}, depth + 1, parent_row,
                   my_row);
       pattern.pop_back();
@@ -344,7 +273,9 @@ class PsmRun {
   const Hierarchy& h_;
   const GsmParams& params_;
   ItemId pivot_;
-  bool use_index_;
+  // PSM+Index right indexes, pooled in the owning PsmMiner so capacity and
+  // epochs span partitions; null for plain PSM (no index pruning).
+  RightIndexPool* index_pool_;
   MinerStats* stats_;
   PatternMap output_;
   // The shared arena backing every expansion database of the run, and the
@@ -353,8 +284,6 @@ class PsmRun {
   // Per-level group directories, stack-disciplined like events_.
   std::vector<psm_internal::EventGroup> groups_;
   EventRegrouper regrouper_;
-  // PSM+Index right indexes, pooled for the whole run (see RightIndexPool).
-  RightIndexPool index_pool_;
 };
 
 }  // namespace
@@ -367,7 +296,8 @@ PsmMiner::PsmMiner(const Hierarchy* hierarchy, const GsmParams& params,
 
 PatternMap PsmMiner::Mine(const Partition& partition, ItemId pivot,
                           MinerStats* stats) {
-  PsmRun run(partition, *hierarchy_, params_, pivot, use_index_, stats);
+  PsmRun run(partition, *hierarchy_, params_, pivot,
+             use_index_ ? &index_pool_ : nullptr, stats);
   return run.Mine();
 }
 

@@ -1,6 +1,7 @@
 #ifndef LASH_MINER_PSM_H_
 #define LASH_MINER_PSM_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -80,6 +81,89 @@ class EventRegrouper {
   std::vector<ExpansionEvent> scratch_;
 };
 
+/// The pooled PSM+Index right index: one arena of bitset words shared by
+/// every left node of a run. Row `r` holds the index of the left node at
+/// left-recursion depth `r` (at most one such node is live at a time — left
+/// expansion recurses depth-first), and within a row, depth `d` is the set
+/// of frequent expansion items seen at right-expansion depth d of that
+/// node's subtree. Acquiring a row bumps its generation counter instead of
+/// zeroing its words, so re-initialization is O(depths) rather than
+/// O(depths * pivot/64) — the per-LeftNode reset cost that dominated when
+/// pivot ids are large. Words are epoch-tagged: a word whose tag is stale
+/// reads as empty.
+///
+/// The pool lives in PsmMiner (not in the per-partition PsmRun), so its
+/// capacity — and, through the never-reset `epoch_`, the validity of its
+/// lazily-reset tags — carries across every partition a miner mines: after
+/// the largest pivot has been seen, later partitions pay no λ²-sized
+/// arena zeroing at all.
+class RightIndexPool {
+ public:
+  /// Sizes the arena for `rows` x `depths` bitsets over items < num_items.
+  /// Idempotent; keeps existing capacity (and its stale-but-safe tags) when
+  /// large enough.
+  void Prepare(size_t rows, size_t depths, size_t num_items) {
+    rows_ = rows;
+    depths_ = depths;
+    words_per_set_ = (num_items >> 6) + 1;
+    const size_t words = rows_ * depths_ * words_per_set_;
+    if (bits_.size() < words) {
+      bits_.assign(words, 0);
+      word_epoch_.assign(words, 0);
+    }
+    row_epoch_.assign(rows_, 0);
+    counts_.assign(rows_ * depths_, 0);
+    // epoch_ is deliberately NOT reset: stale word tags from an earlier
+    // Prepare (same run or an earlier partition of the same miner) stay
+    // strictly below every future generation, so reused capacity can never
+    // revive old bits.
+  }
+
+  /// Claims row `row` for a new left node: all of its sets become empty.
+  void NewGeneration(size_t row) {
+    // 64-bit epoch: cannot wrap within a miner's lifetime and revive stale
+    // words.
+    row_epoch_[row] = ++epoch_;
+    std::fill_n(counts_.begin() + static_cast<ptrdiff_t>(row * depths_),
+                depths_, 0u);
+  }
+
+  void Set(size_t row, size_t depth, ItemId w) {
+    const size_t base = (row * depths_ + depth) * words_per_set_ + (w >> 6);
+    const uint64_t mask = uint64_t{1} << (w & 63);
+    if (word_epoch_[base] != row_epoch_[row]) {
+      word_epoch_[base] = row_epoch_[row];
+      bits_[base] = mask;
+      ++counts_[row * depths_ + depth];
+    } else {
+      counts_[row * depths_ + depth] += (bits_[base] & mask) == 0;
+      bits_[base] |= mask;
+    }
+  }
+
+  bool Test(size_t row, size_t depth, ItemId w) const {
+    const size_t base = (row * depths_ + depth) * words_per_set_ + (w >> 6);
+    return word_epoch_[base] == row_epoch_[row] &&
+           ((bits_[base] >> (w & 63)) & 1);
+  }
+
+  bool Empty(size_t row, size_t depth) const {
+    return counts_[row * depths_ + depth] == 0;
+  }
+
+  size_t depths() const { return depths_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t depths_ = 0;
+  size_t words_per_set_ = 0;
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> bits_;
+  std::vector<uint64_t> word_epoch_;
+  std::vector<uint64_t> row_epoch_;
+  std::vector<uint32_t> counts_;
+};
+
 }  // namespace psm_internal
 
 /// PSM — the pivot sequence miner (Sec. 5.2, Alg. 2).
@@ -124,6 +208,9 @@ class PsmMiner : public LocalMiner {
   const Hierarchy* hierarchy_;
   GsmParams params_;
   bool use_index_;
+  // Owned by the miner (which is reused across partitions), not the
+  // per-partition run, so capacity and epoch survive from pivot to pivot.
+  psm_internal::RightIndexPool index_pool_;
 };
 
 }  // namespace lash

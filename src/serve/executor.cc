@@ -1,0 +1,68 @@
+#include "serve/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lash::serve {
+
+AdmissionExecutor::AdmissionExecutor(size_t num_threads, size_t queue_capacity,
+                                     AdmissionPolicy policy)
+    : capacity_(std::max<size_t>(1, queue_capacity)),
+      policy_(policy),
+      pool_(num_threads) {
+  // One pump per worker: each claims the worker for the executor's
+  // lifetime, so the bounded queue is the only queue with ever more than
+  // a transient depth.
+  for (size_t i = 0; i < pool_.num_threads(); ++i) {
+    pool_.Submit([this] { PumpLoop(); });
+  }
+}
+
+AdmissionExecutor::~AdmissionExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  space_ready_.notify_all();
+  // ~ThreadPool (pool_ is the last member) joins the pumps, which drain the
+  // remaining admitted tasks first — Submit's "true means it will run"
+  // contract holds through destruction.
+}
+
+bool AdmissionExecutor::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy_ == AdmissionPolicy::kBlock) {
+      space_ready_.wait(
+          lock, [this] { return shutdown_ || queue_.size() < capacity_; });
+    }
+    if (shutdown_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return true;
+}
+
+size_t AdmissionExecutor::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void AdmissionExecutor::PumpLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_ready_.notify_one();
+    task();
+  }
+}
+
+}  // namespace lash::serve

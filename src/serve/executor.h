@@ -1,0 +1,81 @@
+#ifndef LASH_SERVE_EXECUTOR_H_
+#define LASH_SERVE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace lash::serve {
+
+/// What a full admission queue does to a new submission.
+enum class AdmissionPolicy {
+  /// Submit returns false immediately — load shedding; the caller turns
+  /// the rejection into a typed error for its client.
+  kReject,
+  /// Submit blocks the submitting thread until a slot frees up —
+  /// backpressure; useful for batch drivers that must not drop work.
+  kBlock,
+};
+
+/// An admission-controlled executor: a bounded task queue in front of the
+/// existing ThreadPool.
+///
+/// ThreadPool's own queue is unbounded by design (MapReduce phases submit a
+/// known, finite task set). A serving layer cannot use that directly — an
+/// unbounded queue under sustained overload grows without limit and every
+/// queued request's latency with it. AdmissionExecutor bounds the queue and
+/// makes the overflow behavior an explicit policy; the pool's workers run
+/// pump loops that drain the bounded queue, so task execution itself (and
+/// ThreadPool::CurrentIndex-based scratch in the mining code below) is
+/// unchanged.
+///
+/// Destruction drains the queue: tasks already admitted are executed, then
+/// the workers exit. Submissions concurrent with destruction are a caller
+/// contract violation (same as ThreadPool).
+class AdmissionExecutor {
+ public:
+  /// `num_threads` as ThreadPool (0 is promoted to 1); `queue_capacity` is
+  /// the maximum number of admitted-but-not-yet-started tasks (at least 1).
+  AdmissionExecutor(size_t num_threads, size_t queue_capacity,
+                    AdmissionPolicy policy);
+  ~AdmissionExecutor();
+
+  AdmissionExecutor(const AdmissionExecutor&) = delete;
+  AdmissionExecutor& operator=(const AdmissionExecutor&) = delete;
+
+  /// Admits `task` for execution. Returns false if the task was not
+  /// admitted: the queue is full under AdmissionPolicy::kReject, or the
+  /// executor is shutting down (under kBlock, waits for a slot instead of
+  /// failing). A false return means `task` will never run.
+  bool Submit(std::function<void()> task);
+
+  /// Tasks admitted but not yet picked up by a worker.
+  size_t QueueDepth() const;
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  void PumpLoop();
+
+  const size_t capacity_;
+  const AdmissionPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable space_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+
+  /// Declared last: destroyed first, which joins the pump loops — they must
+  /// observe `shutdown_` (set in ~AdmissionExecutor before members die) and
+  /// drain `queue_` while both still exist.
+  ThreadPool pool_;
+};
+
+}  // namespace lash::serve
+
+#endif  // LASH_SERVE_EXECUTOR_H_

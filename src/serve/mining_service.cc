@@ -1,0 +1,405 @@
+#include "serve/mining_service.h"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace lash::serve {
+
+namespace internal {
+
+/// Shared state behind a PendingResult. Resolved exactly once, under `mu`,
+/// by the service; `cancel_requested` is the only field a client writes
+/// after submission.
+struct RequestState {
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  bool failed = false;
+  Response response;
+  ServeErrorCode code = ServeErrorCode::kInvalidTask;
+  std::string error;
+
+  std::atomic<bool> cancel_requested{false};
+  /// Set at attach time (under the service mutex, before the worker can see
+  /// this waiter), read only at resolve time.
+  bool coalesced_join = false;
+
+  Clock::time_point submit_time;
+  Clock::time_point deadline = Clock::time_point::max();
+
+  bool DeadlinePassed(Clock::time_point now) const { return now >= deadline; }
+
+  double ElapsedMs(Clock::time_point now) const {
+    return std::chrono::duration<double, std::milli>(now - submit_time)
+        .count();
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::RequestState;
+using Clock = RequestState::Clock;
+
+}  // namespace
+
+const char* ServeErrorCodeName(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kInvalidTask: return "invalid_task";
+    case ServeErrorCode::kQueueFull: return "queue_full";
+    case ServeErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ServeErrorCode::kCancelled: return "cancelled";
+    case ServeErrorCode::kExecutionFailed: return "execution_failed";
+  }
+  return "unknown";
+}
+
+// ---- PendingResult -------------------------------------------------------
+
+void PendingResult::Wait() const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+bool PendingResult::WaitFor(double timeout_ms) const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [&] { return state_->done; });
+}
+
+bool PendingResult::ready() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void PendingResult::Cancel() {
+  state_->cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+const Response& PendingResult::Get() const {
+  Wait();
+  // `done` is monotonic: no lock needed after Wait observes it.
+  if (state_->failed) throw ServeError(state_->code, state_->error);
+  return state_->response;
+}
+
+bool PendingResult::ok() const {
+  Wait();
+  return !state_->failed;
+}
+
+ServeErrorCode PendingResult::error_code() const {
+  Wait();
+  return state_->code;
+}
+
+std::string PendingResult::error_message() const {
+  Wait();
+  return state_->failed ? state_->error : std::string();
+}
+
+// ---- MiningService -------------------------------------------------------
+
+/// One in-flight execution: the canonical key, the spec that will be mined,
+/// and every request waiting on the outcome. `waiters` is guarded by the
+/// service mutex; the key doubles as the in-flight table key.
+struct MiningService::Execution {
+  std::string key;
+  TaskSpec spec;
+  std::vector<std::shared_ptr<RequestState>> waiters;
+};
+
+MiningService::MiningService(const Dataset& dataset, ServiceOptions options)
+    : MiningService(std::vector<const Dataset*>{&dataset},
+                    std::move(options)) {}
+
+MiningService::MiningService(std::vector<const Dataset*> shards,
+                             ServiceOptions options)
+    : shards_(std::move(shards)),
+      options_(std::move(options)),
+      cache_(options_.cache_bytes, options_.cache_shards),
+      // 0 means hardware concurrency here (the documented default);
+      // ThreadPool itself would promote 0 to a single thread.
+      executor_(options_.executor_threads > 0
+                    ? options_.executor_threads
+                    : std::thread::hardware_concurrency(),
+                options_.queue_capacity, options_.admission) {
+  if (shards_.empty()) {
+    throw ApiError("MiningService needs at least one Dataset shard");
+  }
+}
+
+MiningService::~MiningService() = default;
+
+void MiningService::ResolveResponse(
+    const std::shared_ptr<RequestState>& state,
+    std::shared_ptr<const CachedResult> result, bool cache_hit) {
+  const auto now = Clock::now();
+  const double latency = state->ElapsedMs(now);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done) return;
+    // Counters and histograms update before `done` is observable, so a
+    // client reading Stats() right after Get() returns sees this request
+    // accounted for.
+    (cache_hit ? hit_latency_ : mine_latency_).Record(latency);
+    counters_.completed.fetch_add(1, std::memory_order_relaxed);
+    state->response.result = std::move(result);
+    state->response.cache_hit = cache_hit;
+    state->response.coalesced = state->coalesced_join;
+    state->response.latency_ms = latency;
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void MiningService::FailRequest(const std::shared_ptr<RequestState>& state,
+                                ServeErrorCode code,
+                                const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done) return;
+    // Outcome counter before `done`, for the same Stats() visibility
+    // guarantee as ResolveResponse.
+    switch (code) {
+      case ServeErrorCode::kInvalidTask:
+        counters_.invalid.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ServeErrorCode::kQueueFull:
+        counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ServeErrorCode::kDeadlineExceeded:
+        counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ServeErrorCode::kCancelled:
+        counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ServeErrorCode::kExecutionFailed:
+        counters_.failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    state->failed = true;
+    state->code = code;
+    state->error = message;
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+PendingResult MiningService::Submit(const TaskSpec& spec) {
+  auto state = std::make_shared<RequestState>();
+  state->submit_time = Clock::now();
+  if (spec.deadline_ms > 0) {
+    state->deadline =
+        state->submit_time +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(spec.deadline_ms));
+  }
+  PendingResult pending(state);
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  // Stage 1: validate synchronously, so a broken spec fails fast without
+  // consuming queue capacity and a worker never sees an invalid task.
+  if (spec.shard >= shards_.size()) {
+    FailRequest(state, ServeErrorCode::kInvalidTask,
+                "TaskSpec.shard " + std::to_string(spec.shard) +
+                    " out of range (service has " +
+                    std::to_string(shards_.size()) + " shard(s))");
+    return pending;
+  }
+  const Dataset& dataset = *shards_[spec.shard];
+  {
+    std::vector<std::string> problems = MakeTask(dataset, spec).Validate();
+    if (!problems.empty()) {
+      std::string message = "invalid TaskSpec:";
+      for (const std::string& p : problems) message += "\n  - " + p;
+      FailRequest(state, ServeErrorCode::kInvalidTask, message);
+      return pending;
+    }
+  }
+
+  // Stage 2: cache lookup — a hit resolves on the submitting thread.
+  std::string key = EncodeCacheKey(dataset.id(), spec);
+  if (std::shared_ptr<const CachedResult> hit = cache_.Get(key)) {
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    ResolveResponse(state, std::move(hit), /*cache_hit=*/true);
+    return pending;
+  }
+
+  // Stage 3: coalesce or become the leader of a new execution. (A miss
+  // here can race an execution that completes between the cache probe and
+  // this lock; the second execution then recomputes an identical result —
+  // harmless, and far cheaper than holding one lock across both.)
+  std::shared_ptr<Execution> exec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      state->coalesced_join = true;
+      it->second->waiters.push_back(state);
+      counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+      return pending;
+    }
+    exec = std::make_shared<Execution>();
+    exec->key = std::move(key);
+    exec->spec = spec;
+    exec->waiters.push_back(state);
+    inflight_.emplace(exec->key, exec);
+  }
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+
+  // Stage 4: admission. Under kBlock this Submit call is where the
+  // backpressure is felt (the submitting thread waits for queue space).
+  if (!executor_.Submit([this, exec] { Execute(exec); })) {
+    std::vector<std::shared_ptr<RequestState>> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      waiters = std::move(exec->waiters);
+      inflight_.erase(exec->key);
+    }
+    // Coalescers that attached while admission was failing are shed with
+    // the leader — their execution never existed.
+    for (const auto& waiter : waiters) {
+      FailRequest(waiter, ServeErrorCode::kQueueFull,
+                  "admission queue full (capacity " +
+                      std::to_string(options_.queue_capacity) + ")");
+    }
+  }
+  return pending;
+}
+
+std::vector<PendingResult> MiningService::SubmitBatch(
+    const std::vector<TaskSpec>& specs) {
+  std::vector<PendingResult> results;
+  results.reserve(specs.size());
+  for (const TaskSpec& spec : specs) results.push_back(Submit(spec));
+  return results;
+}
+
+void MiningService::Execute(const std::shared_ptr<Execution>& exec) {
+  // Stage 5 (worker, dequeue boundary): drop waiters whose deadline passed
+  // while queued or that cancelled; if nobody is left, the mining is
+  // skipped entirely. Pruning and the empty-check share one critical
+  // section with the in-flight erase, so a new submitter either attaches
+  // before the decision or starts a fresh execution after it.
+  std::vector<std::shared_ptr<RequestState>> pruned;
+  bool abandoned = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = Clock::now();
+    auto& waiters = exec->waiters;
+    for (size_t i = 0; i < waiters.size();) {
+      if (waiters[i]->cancel_requested.load(std::memory_order_relaxed) ||
+          waiters[i]->DeadlinePassed(now)) {
+        pruned.push_back(std::move(waiters[i]));
+        waiters[i] = std::move(waiters.back());
+        waiters.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (waiters.empty()) {
+      inflight_.erase(exec->key);
+      abandoned = true;
+    }
+  }
+  for (const auto& waiter : pruned) {
+    if (waiter->cancel_requested.load(std::memory_order_relaxed)) {
+      FailRequest(waiter, ServeErrorCode::kCancelled,
+                  "request cancelled before execution started");
+    } else {
+      FailRequest(waiter, ServeErrorCode::kDeadlineExceeded,
+                  "deadline expired before execution started");
+    }
+  }
+  if (abandoned) return;  // Every waiter is gone; don't mine for nobody.
+
+  if (options_.pre_execute_hook) options_.pre_execute_hook(exec->spec);
+
+  // Stage 6: mine. The spec was validated at submit, so an exception here
+  // is an execution failure (e.g. resource exhaustion), not user error.
+  counters_.executions.fetch_add(1, std::memory_order_relaxed);
+  auto cached = std::make_shared<CachedResult>();
+  try {
+    const Dataset& dataset = *shards_[exec->spec.shard];
+    MiningTask task = MakeTask(dataset, exec->spec);
+    cached->patterns = task.Mine(&cached->run);
+  } catch (const std::exception& e) {
+    std::vector<std::shared_ptr<RequestState>> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      waiters = std::move(exec->waiters);
+      inflight_.erase(exec->key);
+    }
+    for (const auto& waiter : waiters) {
+      FailRequest(waiter, ServeErrorCode::kExecutionFailed, e.what());
+    }
+    return;
+  }
+  cached->cost_bytes = EstimateResultCost(exec->key, *cached);
+
+  // Stage 7: publish then retire. Cache fill happens *before* the in-flight
+  // erase, so a submitter can never miss both (miss the cache, then find no
+  // execution) for a result that exists.
+  cache_.Put(exec->key, cached);
+  std::vector<std::shared_ptr<RequestState>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    waiters = std::move(exec->waiters);
+    inflight_.erase(exec->key);
+  }
+
+  // Stage 8 (delivery boundary): the final deadline/cancel check.
+  const auto now = Clock::now();
+  for (const auto& waiter : waiters) {
+    if (waiter->cancel_requested.load(std::memory_order_relaxed)) {
+      FailRequest(waiter, ServeErrorCode::kCancelled,
+                  "request cancelled during execution");
+    } else if (waiter->DeadlinePassed(now)) {
+      FailRequest(waiter, ServeErrorCode::kDeadlineExceeded,
+                  "deadline expired during execution");
+    } else {
+      ResolveResponse(waiter, cached, /*cache_hit=*/false);
+    }
+  }
+}
+
+ServiceStats MiningService::Stats() const {
+  ServiceStats stats;
+  stats.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  stats.hits = counters_.hits.load(std::memory_order_relaxed);
+  stats.misses = counters_.misses.load(std::memory_order_relaxed);
+  stats.coalesced = counters_.coalesced.load(std::memory_order_relaxed);
+  stats.invalid = counters_.invalid.load(std::memory_order_relaxed);
+  stats.completed = counters_.completed.load(std::memory_order_relaxed);
+  stats.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  stats.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  stats.deadline_expired =
+      counters_.deadline_expired.load(std::memory_order_relaxed);
+  stats.failed = counters_.failed.load(std::memory_order_relaxed);
+  stats.executions = counters_.executions.load(std::memory_order_relaxed);
+
+  const ResultCache::Stats cache = cache_.GetStats();
+  stats.cache_entries = cache.entries;
+  stats.cache_bytes = cache.bytes;
+  stats.cache_evictions = cache.evictions;
+  stats.cache_oversized_rejects = cache.oversized_rejects;
+  stats.queue_depth = executor_.QueueDepth();
+
+  const LatencyHistogram::Snapshot hit = hit_latency_.TakeSnapshot();
+  stats.hit_p50_ms = hit.PercentileMs(0.50);
+  stats.hit_p95_ms = hit.PercentileMs(0.95);
+  stats.hit_mean_ms = hit.MeanMs();
+  const LatencyHistogram::Snapshot mine = mine_latency_.TakeSnapshot();
+  stats.mine_p50_ms = mine.PercentileMs(0.50);
+  stats.mine_p95_ms = mine.PercentileMs(0.95);
+  stats.mine_mean_ms = mine.MeanMs();
+  return stats;
+}
+
+}  // namespace lash::serve

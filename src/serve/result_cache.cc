@@ -1,0 +1,99 @@
+#include "serve/result_cache.h"
+
+#include <bit>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace lash::serve {
+
+uint64_t EstimateResultCost(const std::string& key,
+                            const CachedResult& result) {
+  // Per-pattern: the items, the frequency, and a flat allowance for the
+  // PatternMap node (bucket slot + node header). Constants are deliberately
+  // round — the budget steers eviction, it is not an allocator audit.
+  constexpr uint64_t kPerPatternOverhead = 48;
+  uint64_t bytes = key.size() + sizeof(CachedResult) +
+                   sizeof(double) * (result.run.job.map_task_ms.size() +
+                                     result.run.job.reduce_task_ms.size());
+  for (const auto& [seq, freq] : result.patterns) {
+    (void)freq;
+    bytes += seq.size() * sizeof(ItemId) + sizeof(Frequency) +
+             kPerPatternOverhead;
+  }
+  return bytes;
+}
+
+ResultCache::ResultCache(uint64_t byte_budget, size_t num_shards) {
+  size_t shards = std::bit_ceil(num_shards == 0 ? size_t{1} : num_shards);
+  // A budget too small to split is concentrated in one shard rather than
+  // rounded down to zero per shard (which would silently disable caching).
+  if (byte_budget > 0 && byte_budget / shards == 0) shards = 1;
+  shard_budget_ = byte_budget / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  const uint64_t h = FnvHashBytes(key.data(), key.size());
+  return *shards_[h & (shards_.size() - 1)];
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Get(const std::string& key) {
+  if (shard_budget_ == 0) return nullptr;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::shared_ptr<const CachedResult> value) {
+  if (shard_budget_ == 0) return;
+  const uint64_t cost = value->cost_bytes;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (cost > shard_budget_) {
+    ++shard.oversized_rejects;
+    return;
+  }
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place (coalescing makes duplicate executions rare but a
+    // lost submit/execute race can produce one); the entry becomes MRU.
+    shard.bytes -= it->second->value->cost_bytes;
+    shard.bytes += cost;
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value)});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += cost;
+  }
+  while (shard.bytes > shard_budget_) {
+    Entry& cold = shard.lru.back();
+    shard.bytes -= cold.value->cost_bytes;
+    shard.index.erase(cold.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  stats.budget_bytes = shard_budget_ * shards_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+    stats.evictions += shard->evictions;
+    stats.oversized_rejects += shard->oversized_rejects;
+  }
+  return stats;
+}
+
+}  // namespace lash::serve

@@ -1,0 +1,63 @@
+#include "serve/task_spec.h"
+
+#include "util/varint.h"
+
+namespace lash::serve {
+
+namespace {
+
+/// Bump when the key layout changes, so entries written by an older layout
+/// can never alias a newer spec (relevant once keys outlive a process).
+constexpr char kCacheKeyVersion = 1;
+
+/// One byte for an optional enum-like knob: 0 = unset, 1 + value otherwise.
+template <typename T>
+char PresenceByte(const std::optional<T>& knob) {
+  return knob.has_value() ? static_cast<char>(1 + static_cast<int>(*knob)) : 0;
+}
+
+}  // namespace
+
+MiningTask MakeTask(const Dataset& dataset, const TaskSpec& spec) {
+  MiningTask task(dataset);
+  task.WithAlgorithm(spec.algorithm)
+      .WithParams(spec.params)
+      .WithThreads(spec.threads)
+      .WithJobConfig(spec.job_config)
+      .WithLimits(spec.limits)
+      .WithFlatHierarchy(spec.flat)
+      .WithFilter(spec.filter)
+      .WithTopK(spec.top_k);
+  if (spec.miner) task.WithMiner(*spec.miner);
+  if (spec.rewrite) task.WithRewrite(*spec.rewrite);
+  if (spec.combiner) task.WithCombiner(*spec.combiner);
+  return task;
+}
+
+std::string EncodeCacheKey(uint64_t dataset_id, const TaskSpec& spec) {
+  std::string key;
+  key.push_back(kCacheKeyVersion);
+  PutVarint64(&key, dataset_id);
+  key.push_back(static_cast<char>(spec.algorithm));
+  PutVarint64(&key, spec.params.sigma);
+  PutVarint32(&key, spec.params.gamma);
+  PutVarint32(&key, spec.params.lambda);
+  // Canonicalized like MiningTask::UsesFlat(): MG-FSM always mines the flat
+  // rank space, so an explicit flat=true must not fragment its key space.
+  key.push_back(spec.flat || spec.algorithm == Algorithm::kMgFsm ? 1 : 0);
+  key.push_back(static_cast<char>(spec.filter));
+  PutVarint64(&key, spec.top_k);
+  key.push_back(PresenceByte(spec.miner));
+  key.push_back(PresenceByte(spec.rewrite));
+  key.push_back(spec.combiner.has_value() ? (*spec.combiner ? 2 : 1) : 0);
+  // The emit cap changes what the (semi-)naive baselines output (the
+  // "aborted" DNF truncation); for every other algorithm it is inert and
+  // must not fragment the key space.
+  if (spec.algorithm == Algorithm::kNaive ||
+      spec.algorithm == Algorithm::kSemiNaive) {
+    PutVarint64(&key, spec.limits.max_emitted_records);
+  }
+  return key;
+}
+
+}  // namespace lash::serve

@@ -8,7 +8,9 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "algo/gsp.h"
 #include "algo/mgfsm.h"
@@ -381,6 +383,53 @@ TEST(ApiDatasetTest, FromStreamsMatchesInMemoryOutputByName) {
   MiningTask reference(in_memory);
   reference.WithSigma(2).WithGamma(1).WithLambda(3);
   EXPECT_EQ(named(dataset, mined), named(in_memory, reference.Mine()));
+}
+
+TEST(ApiDatasetTest, FlatPreprocessingIsThreadSafeUnderConcurrentTasks) {
+  // Serving-layer regression: one shared Dataset must survive a mixed
+  // flat/hierarchical workload where the very first flat queries race to
+  // build the lazy flat preprocessing (guarded by std::call_once).
+  testing::PaperExample ex;
+  Dataset reference = Dataset::FromMemory(ex.raw_db, ex.vocab);
+  GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
+  PatternMap expect_hier = MiningTask(reference).WithParams(params).Mine();
+  PatternMap expect_flat =
+      MiningTask(reference).WithParams(params).WithFlatHierarchy().Mine();
+
+  // A fresh dataset whose flat preprocessing has not been built yet.
+  Dataset dataset = Dataset::FromMemory(ex.raw_db, ex.vocab);
+  constexpr size_t kThreads = 8;
+  std::vector<const PreprocessResult*> flat_ptr(kThreads, nullptr);
+  std::vector<PatternMap> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MiningTask task(dataset);
+      task.WithParams(params);
+      if (t % 2 == 1) task.WithFlatHierarchy();
+      results[t] = task.Mine();
+      flat_ptr[t] = &dataset.flat_preprocessed();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    // Exactly one flat preprocessing was built and everyone shares it.
+    EXPECT_EQ(flat_ptr[t], flat_ptr[0]);
+    EXPECT_EQ(testing::Sorted(results[t]),
+              testing::Sorted(t % 2 == 1 ? expect_flat : expect_hier))
+        << "thread " << t;
+  }
+}
+
+TEST(ApiDatasetTest, DatasetIdsAreUniqueAndStable) {
+  testing::PaperExample ex;
+  Dataset a = Dataset::FromMemory(ex.raw_db, ex.vocab);
+  Dataset b = Dataset::FromMemory(ex.raw_db, ex.vocab);
+  EXPECT_NE(a.id(), 0u);  // 0 is reserved (never assigned).
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_EQ(a.id(), a.id());
 }
 
 TEST(ApiDatasetTest, FromFilesErrorsNameTheMissingFile) {

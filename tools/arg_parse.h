@@ -21,6 +21,22 @@ class ArgError : public std::runtime_error {
       : std::runtime_error(message) {}
 };
 
+/// Strict non-negative integer parse shared by Args::GetInt and the
+/// lash_serve script parser: false on junk, partial parses, signs, leading
+/// whitespace, or overflow (stoull skips whitespace and accepts a sign, so
+/// requiring a leading digit rejects " -3", "+3", and " 3" too). One
+/// definition so flags and script keys can never drift on accepted syntax.
+inline bool ParseStrictUint64(const std::string& text, uint64_t* value) {
+  size_t consumed = 0;
+  try {
+    *value = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  return consumed == text.size() && !text.empty() &&
+         std::isdigit(static_cast<unsigned char>(text[0]));
+}
+
 /// Declaration of one `--flag` a tool understands.
 struct FlagSpec {
   const char* name;        ///< Without the leading "--".
@@ -86,17 +102,8 @@ class Args {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     const std::string& text = it->second;
-    size_t consumed = 0;
     uint64_t value = 0;
-    try {
-      value = std::stoull(text, &consumed);
-    } catch (const std::exception&) {
-      consumed = 0;
-    }
-    // stoull skips leading whitespace and accepts a sign; requiring the
-    // first character to be a digit rejects " -3", "+3", and " 3" too.
-    if (consumed != text.size() || text.empty() ||
-        !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    if (!ParseStrictUint64(text, &value)) {
       throw ArgError("invalid value for --" + key + ": '" + text +
                      "' (expected a non-negative integer)");
     }
