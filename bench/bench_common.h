@@ -10,6 +10,7 @@
 #include "algo/mgfsm.h"
 #include "algo/naive_gsm.h"
 #include "algo/seminaive_gsm.h"
+#include "datagen/corpus_recipes.h"
 #include "datagen/product_gen.h"
 #include "datagen/text_gen.h"
 
@@ -19,11 +20,14 @@ namespace lash::bench {
 /// the NYT corpus (50M sentences) becomes 20k synthetic sentences, the
 /// AMZN dataset (6.6M sessions) becomes 20k synthetic sessions. Support
 /// thresholds in the individual benches are scaled accordingly; every
-/// comparison runs both competitors on identical data.
-inline constexpr size_t kNytSentences = 20000;
-inline constexpr size_t kNytLemmas = 3000;
-inline constexpr size_t kAmznSessions = 20000;
-inline constexpr size_t kAmznProducts = 5000;
+/// comparison runs both competitors on identical data. The corpus *shape*
+/// (lemma/product counts, seeds, hierarchy defaults) is defined once in
+/// datagen/corpus_recipes.h and shared with the gate benches and the
+/// tools' --gen modes.
+inline constexpr size_t kNytSentences = NytRecipe{}.sentences;
+inline constexpr size_t kNytLemmas = NytRecipe{}.lemmas;
+inline constexpr size_t kAmznSessions = AmznRecipe{}.sessions;
+inline constexpr size_t kAmznProducts = AmznRecipe{}.products;
 
 inline JobConfig DefaultJobConfig() {
   JobConfig config;
@@ -40,12 +44,11 @@ inline const GeneratedText& NytData(TextHierarchy kind, size_t sentences =
   auto key = std::make_pair(static_cast<int>(kind), sentences);
   auto it = cache.find(key);
   if (it == cache.end()) {
-    TextGenConfig config;
-    config.num_sentences = sentences;
-    config.num_lemmas = kNytLemmas;
-    config.hierarchy = kind;
+    NytRecipe recipe;
+    recipe.sentences = sentences;
+    recipe.hierarchy = kind;
     it = cache.emplace(key, std::make_unique<GeneratedText>(
-                                GenerateText(config))).first;
+                                MakeNytCorpus(recipe))).first;
   }
   return *it->second;
 }
@@ -58,12 +61,11 @@ inline const GeneratedProducts& AmznData(int levels,
   auto key = std::make_pair(levels, sessions);
   auto it = cache.find(key);
   if (it == cache.end()) {
-    ProductGenConfig config;
-    config.num_sessions = sessions;
-    config.num_products = kAmznProducts;
-    config.levels = levels;
+    AmznRecipe recipe;
+    recipe.sessions = sessions;
+    recipe.levels = levels;
     it = cache.emplace(key, std::make_unique<GeneratedProducts>(
-                                GenerateProducts(config))).first;
+                                MakeAmznCorpus(recipe))).first;
   }
   return *it->second;
 }

@@ -42,7 +42,7 @@ void BM_Match(benchmark::State& state) {
   Sequence pattern = {1, 2, 3};
   size_t i = 0, matched = 0;
   for (auto _ : state) {
-    const Sequence& t = pre.database[i];
+    const SequenceView t = pre.database[i];
     if (++i == pre.database.size()) i = 0;
     matched += Matches(pattern, t, pre.hierarchy, gamma);
   }
@@ -57,7 +57,7 @@ void BM_Rewrite(benchmark::State& state) {
   const ItemId pivot = static_cast<ItemId>(state.range(0));
   size_t i = 0, bytes = 0;
   for (auto _ : state) {
-    const Sequence& t = pre.database[i];
+    const SequenceView t = pre.database[i];
     if (++i == pre.database.size()) i = 0;
     Sequence rewritten = rewriter.Rewrite(t, pivot);
     bytes += rewritten.size();

@@ -26,8 +26,11 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "api/lash_api.h"
-#include "datagen/text_gen.h"
+#include "datagen/corpus_recipes.h"
+#include "io/text_io.h"
 #include "serve/mining_service.h"
 #include "serve/task_spec.h"
 #include "util/hash.h"
@@ -91,12 +94,58 @@ int Main(int argc, char** argv) {
     }
   }
 
-  // The NYT-like corpus of the other two gates, deepest hierarchy.
-  TextGenConfig config;
-  config.num_sentences = smoke ? 1500 : 20000;
-  config.num_lemmas = smoke ? 800 : 3000;
-  config.hierarchy = TextHierarchy::kCLP;
-  GeneratedText data = GenerateText(config);
+  // The NYT-like corpus recipe of the other two gates, deepest hierarchy
+  // (datagen/corpus_recipes.h).
+  NytRecipe recipe;
+  if (smoke) {
+    recipe.sentences = 1500;
+    recipe.lemmas = 800;
+  }
+  GeneratedText data = MakeNytCorpus(recipe);
+
+  // --- Storage-layer gate: text parse + preprocess vs snapshot load. ---
+  // The corpus is round-tripped through the text files a deployment would
+  // start from, then through the one-file snapshot; the snapshot must make
+  // startup >= 5x faster on the full-size corpus (it skips parsing AND the
+  // whole preprocessing phase).
+  const std::string seq_path = "bench_serve.sequences.txt";
+  const std::string hier_path = "bench_serve.hierarchy.tsv";
+  const std::string snap_path = "bench_serve.snapshot.lash";
+  {
+    std::ofstream seq_file(seq_path);
+    std::ofstream hier_file(hier_path);
+    WriteDatabase(seq_file, data.database, data.vocabulary);
+    WriteHierarchy(hier_file, data.vocabulary);
+  }
+  Stopwatch text_clock;
+  Dataset text_loaded = Dataset::FromFiles(seq_path, hier_path);
+  const double text_load_ms = text_clock.ElapsedMs();
+  Stopwatch save_clock;
+  text_loaded.Save(snap_path);
+  const double snapshot_save_ms = save_clock.ElapsedMs();
+  Stopwatch snap_clock;
+  Dataset snap_loaded = Dataset::FromSnapshot(snap_path);
+  const double snapshot_load_ms = snap_clock.ElapsedMs();
+  const double snapshot_speedup =
+      text_load_ms / std::max(snapshot_load_ms, 1e-9);
+  // Restoring a snapshot must reproduce the exact preprocessing it saved.
+  const bool snapshot_parity =
+      snap_loaded.preprocessed().database == text_loaded.preprocessed().database &&
+      snap_loaded.preprocessed().freq == text_loaded.preprocessed().freq &&
+      snap_loaded.stats() == text_loaded.stats() &&
+      snap_loaded.load_times().preprocess_ms == 0;
+  if (!snapshot_parity) {
+    std::fprintf(stderr, "SNAPSHOT PARITY FAILURE: FromSnapshot(Save(d)) "
+                         "disagrees with the text-loaded dataset\n");
+  }
+  std::printf("storage    : text load %.1fms, snapshot save %.1fms, "
+              "snapshot load %.1fms (%.1fx), parity %s\n",
+              text_load_ms, snapshot_save_ms, snapshot_load_ms,
+              snapshot_speedup, snapshot_parity ? "ok" : "FAILED");
+  std::remove(seq_path.c_str());
+  std::remove(hier_path.c_str());
+  std::remove(snap_path.c_str());
+
   Dataset dataset = Dataset::FromMemory(std::move(data.database),
                                         std::move(data.vocabulary),
                                         std::move(data.hierarchy));
@@ -206,16 +255,21 @@ int Main(int argc, char** argv) {
       "  \"hit_p95_ms\": %.5f,\n  \"hit_speedup\": %.1f,\n"
       "  \"hits\": %" PRIu64 ",\n  \"misses\": %" PRIu64 ",\n"
       "  \"coalesced\": %" PRIu64 ",\n  \"executions\": %" PRIu64 ",\n"
+      "  \"text_load_ms\": %.3f,\n  \"snapshot_save_ms\": %.3f,\n"
+      "  \"snapshot_load_ms\": %.3f,\n  \"snapshot_speedup\": %.2f,\n"
+      "  \"snapshot_parity\": %s,\n"
       "  \"wave2_all_hits\": %s,\n  \"parity\": %s\n}\n",
       smoke ? "true" : "false", stream.size(), num_distinct,
       dataset.NumSequences(), naive_total_ms, service_total_ms,
       wave2_total_ms, speedup_total, cold_avg_ms, hit_avg_ms, stats.hit_p95_ms,
       hit_speedup, stats.hits, stats.misses, stats.coalesced, stats.executions,
+      text_load_ms, snapshot_save_ms, snapshot_load_ms, snapshot_speedup,
+      snapshot_parity ? "true" : "false",
       all_hits ? "true" : "false", parity ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
 
-  bool ok = parity && all_hits;
+  bool ok = parity && all_hits && snapshot_parity;
   // Full-size only: the acceptance economics. Smoke runs on loaded CI
   // machines still assert correctness above, never wall-clock ratios.
   if (!smoke && hit_speedup < 5.0) {
@@ -223,6 +277,13 @@ int Main(int argc, char** argv) {
                  "HIT ECONOMICS FAILURE: cache hits only %.1fx faster than "
                  "cold runs (gate: 5x)\n",
                  hit_speedup);
+    ok = false;
+  }
+  if (!smoke && snapshot_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "SNAPSHOT ECONOMICS FAILURE: snapshot load only %.1fx "
+                 "faster than text parse + preprocess (gate: 5x)\n",
+                 snapshot_speedup);
     ok = false;
   }
   if (!ok) {

@@ -29,8 +29,7 @@
 
 #include "algo/lash.h"
 #include "algo/sequential.h"
-#include "datagen/product_gen.h"
-#include "datagen/text_gen.h"
+#include "datagen/corpus_recipes.h"
 #include "util/timer.h"
 
 namespace lash {
@@ -221,22 +220,24 @@ int Main(int argc, char** argv) {
   }
   if (reps <= 0) reps = smoke ? 1 : 3;
 
-  // The full-size NYT-like corpus of bench_common.h over the deepest
-  // hierarchy; gamma = 0 matches the paper's NYT n-gram experiments
-  // (Sec. 6.2) and every bench_fig4* NYT series.
-  TextGenConfig text_config;
-  text_config.num_sentences = smoke ? 1500 : 20000;
-  text_config.num_lemmas = smoke ? 800 : 3000;
-  text_config.hierarchy = TextHierarchy::kCLP;
-  GeneratedText text = GenerateText(text_config);
+  // The full-size NYT-like corpus recipe (datagen/corpus_recipes.h) over
+  // the deepest hierarchy; gamma = 0 matches the paper's NYT n-gram
+  // experiments (Sec. 6.2) and every bench_fig4* NYT series.
+  NytRecipe nyt_recipe;
+  if (smoke) {
+    nyt_recipe.sentences = 1500;
+    nyt_recipe.lemmas = 800;
+  }
+  GeneratedText text = MakeNytCorpus(nyt_recipe);
   PreprocessResult nyt = Preprocess(text.database, text.hierarchy);
 
   // AMZN-like sessions with a deep category tree.
-  ProductGenConfig prod_config;
-  prod_config.num_sessions = smoke ? 3000 : 20000;
-  prod_config.num_products = smoke ? 1500 : 5000;
-  prod_config.levels = 8;
-  GeneratedProducts products = GenerateProducts(prod_config);
+  AmznRecipe amzn_recipe;
+  if (smoke) {
+    amzn_recipe.sessions = 3000;
+    amzn_recipe.products = 1500;
+  }
+  GeneratedProducts products = MakeAmznCorpus(amzn_recipe);
   PreprocessResult amzn = Preprocess(products.database, products.hierarchy);
 
   GsmParams nyt_params{.sigma = smoke ? Frequency{8} : Frequency{40},

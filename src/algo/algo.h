@@ -57,10 +57,19 @@ struct BaselineLimits {
 /// the generalized f-list over `raw_db`, derives the total order, and recodes
 /// database and hierarchy into rank space. `job_out`, if non-null, receives
 /// the f-list job's timings/counters.
-PreprocessResult PreprocessWithJob(const Database& raw_db,
+PreprocessResult PreprocessWithJob(const FlatDatabase& raw_db,
                                    const Hierarchy& raw_h,
                                    const JobConfig& config,
                                    JobResult* job_out = nullptr);
+
+/// Legacy-form convenience overload.
+inline PreprocessResult PreprocessWithJob(const Database& raw_db,
+                                          const Hierarchy& raw_h,
+                                          const JobConfig& config,
+                                          JobResult* job_out = nullptr) {
+  return PreprocessWithJob(FlatDatabase::FromDatabase(raw_db), raw_h, config,
+                           job_out);
+}
 
 }  // namespace lash
 

@@ -60,7 +60,7 @@ PatternMap RunGspExtended(const PreprocessResult& pre, const GsmParams& params,
   // delta + junk.)
   std::vector<ExtendedSequence> extended;
   extended.reserve(pre.database.size());
-  for (const Sequence& t : pre.database) {
+  for (SequenceView t : pre.database) {
     ExtendedSequence e;
     e.reserve(t.size());
     for (ItemId w : t) {

@@ -15,7 +15,7 @@ namespace {
 
 // Collects G1(T) restricted to frequent items into `*pivots` (cleared):
 // walk each item's ancestor chain, dedup via sort (chains are short).
-void CollectFrequentPivots(const Sequence& t, const Hierarchy& h,
+void CollectFrequentPivots(SequenceView t, const Hierarchy& h,
                            ItemId num_frequent, Sequence* pivots) {
   pivots->clear();
   for (ItemId w : t) {
@@ -67,11 +67,13 @@ AlgoResult RunLashPacked(const PreprocessResult& pre, const GsmParams& params,
 
   AlgoResult result;
   // Intermediate key: [pivot, rewritten sequence...]. The partitioner routes
-  // by pivot so that a reduce task sees every sequence of its pivots.
-  using Job = MapReduceJob<Sequence, Sequence, Frequency, SequenceHash>;
+  // by pivot so that a reduce task sees every sequence of its pivots. The
+  // input is the flat corpus: map tasks stream SequenceViews out of one
+  // contiguous arena.
+  using Job = MapReduceJob<SequenceView, Sequence, Frequency, SequenceHash>;
   Job job(
       // Map = partitioning phase (Alg. 1 lines 1-5).
-      [&](const Sequence& t, const Job::EmitFn& emit) {
+      [&](SequenceView t, const Job::EmitFn& emit) {
         MapScratch& scratch = map_scratch[ThreadPool::CurrentIndex()];
         if (!scratch.rewriter) {
           scratch.rewriter = std::make_unique<ScratchRewriter>(
@@ -85,7 +87,9 @@ AlgoResult RunLashPacked(const PreprocessResult& pre, const GsmParams& params,
         }
         CollectFrequentPivots(t, h, num_frequent, &scratch.pivots);
         // P_w(T) = T is pivot-independent; copy once, not per pivot.
-        if (options.rewrite == RewriteLevel::kNone) scratch.rewritten = t;
+        if (options.rewrite == RewriteLevel::kNone) {
+          scratch.rewritten.assign(t.begin(), t.end());
+        }
         for (ItemId w : scratch.pivots) {
           switch (options.rewrite) {
             case RewriteLevel::kNone:
@@ -121,8 +125,8 @@ AlgoResult RunLashPacked(const PreprocessResult& pre, const GsmParams& params,
           state.pivots.push_back(pivot);
           state.partitions.emplace_back();
         }
-        state.partitions[it->second].Add(Sequence(key.begin() + 1, key.end()),
-                                         total);
+        state.partitions[it->second].Add(
+            SequenceView(key.data() + 1, key.size() - 1), total);
       },
       // Legacy-path byte accounting; unused when the packed spill is active
       // (real buffer bytes are counted instead) but kept in sync with the
@@ -219,8 +223,16 @@ AlgoResult RunLashPacked(const PreprocessResult& pre, const GsmParams& params,
 // MAP_OUTPUT_BYTES, std::map partitions, serial mining per reduce task.
 // It is the before-baseline of bench_shuffle (selected via
 // JobConfig::shuffle == ShuffleMode::kLegacyHash); do not optimize it.
-AlgoResult RunLashLegacy(const PreprocessResult& pre, const GsmParams& params,
-                         const JobConfig& config, const LashOptions& options) {
+// `db` is the rank-space corpus materialized back into the owning
+// vector-of-vectors form the seed driver ran on (one heap vector per
+// transaction), so the map phase measures exactly its original costs.
+// Reduce-side partition storage and the local miners are deliberately the
+// *shared production* CSR code on both paths (identical on the packed side
+// too), so the packed-vs-legacy comparison isolates the shuffle machinery
+// itself rather than mixing in partition-storage differences.
+AlgoResult RunLashLegacy(const Database& db, const PreprocessResult& pre,
+                         const GsmParams& params, const JobConfig& config,
+                         const LashOptions& options) {
   const Hierarchy& h = pre.hierarchy;
   const ItemId num_frequent = static_cast<ItemId>(pre.NumFrequent(params.sigma));
   const size_t num_red = std::max<size_t>(1, config.num_reduce_tasks);
@@ -269,8 +281,8 @@ AlgoResult RunLashLegacy(const PreprocessResult& pre, const GsmParams& params,
       [&](size_t rtask, const Sequence& key, std::vector<Frequency>& values) {
         Frequency total = 0;
         for (Frequency v : values) total += v;
-        Sequence sequence(key.begin() + 1, key.end());
-        partitions[rtask][key[0]].Add(std::move(sequence), total);
+        partitions[rtask][key[0]].Add(
+            SequenceView(key.data() + 1, key.size() - 1), total);
       },
       // MAP_OUTPUT_BYTES: pivot + blank-run-compressed sequence + weight.
       [](const Sequence& key, const Frequency& value) {
@@ -299,7 +311,7 @@ AlgoResult RunLashLegacy(const PreprocessResult& pre, const GsmParams& params,
     partitions[rtask].clear();
   });
 
-  result.job = job.Run(pre.database, config);
+  result.job = job.Run(db, config);
   for (PatternMap& part : outputs) result.patterns.merge(part);
   for (const MinerStats& s : stats) result.miner_stats.Merge(s);
   for (const PartitionShape& s : shapes) result.partition_shape.Merge(s);
@@ -312,7 +324,11 @@ AlgoResult RunLash(const PreprocessResult& pre, const GsmParams& params,
                    const JobConfig& config, const LashOptions& options) {
   params.Validate();
   if (config.shuffle == ShuffleMode::kLegacyHash) {
-    return RunLashLegacy(pre, params, config, options);
+    // Materialize the owning-vectors corpus the seed driver ran on. This
+    // happens before the job starts, so the reported phase times measure
+    // the legacy path itself, not the conversion.
+    Database legacy_db = pre.database.Materialize();
+    return RunLashLegacy(legacy_db, pre, params, config, options);
   }
   return RunLashPacked(pre, params, config, options);
 }

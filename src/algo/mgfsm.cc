@@ -18,8 +18,9 @@ AlgoResult RunMgFsm(const PreprocessResult& pre, const GsmParams& params,
   return RunLash(pre, params, config, options);
 }
 
-PreprocessResult PreprocessFlat(const Database& raw_db, size_t num_raw_items,
-                                const JobConfig& config, JobResult* job_out) {
+PreprocessResult PreprocessFlat(const FlatDatabase& raw_db,
+                                size_t num_raw_items, const JobConfig& config,
+                                JobResult* job_out) {
   return PreprocessWithJob(raw_db, Hierarchy::Flat(num_raw_items), config,
                            job_out);
 }

@@ -21,9 +21,18 @@ AlgoResult RunMgFsm(const PreprocessResult& pre, const GsmParams& params,
 /// Strips hierarchy information from a database: re-runs preprocessing with
 /// a flat hierarchy over the same raw items. Used by the "no hierarchy"
 /// experiments (Fig. 4(e)).
-PreprocessResult PreprocessFlat(const Database& raw_db, size_t num_raw_items,
-                                const JobConfig& config,
+PreprocessResult PreprocessFlat(const FlatDatabase& raw_db,
+                                size_t num_raw_items, const JobConfig& config,
                                 JobResult* job_out = nullptr);
+
+/// Legacy-form convenience overload.
+inline PreprocessResult PreprocessFlat(const Database& raw_db,
+                                       size_t num_raw_items,
+                                       const JobConfig& config,
+                                       JobResult* job_out = nullptr) {
+  return PreprocessFlat(FlatDatabase::FromDatabase(raw_db), num_raw_items,
+                        config, job_out);
+}
 
 }  // namespace lash
 

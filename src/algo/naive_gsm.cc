@@ -18,10 +18,10 @@ AlgoResult RunNaiveGsm(const PreprocessResult& pre, const GsmParams& params,
 
   std::vector<PatternMap> outputs(std::max<size_t>(1, config.num_reduce_tasks));
 
-  using Job = MapReduceJob<Sequence, Sequence, Frequency, SequenceHash>;
+  using Job = MapReduceJob<SequenceView, Sequence, Frequency, SequenceHash>;
   Job job(
       // Map: enumerate G_λ(T), deduplicated per transaction.
-      [&](const Sequence& t, const Job::EmitFn& emit) {
+      [&](SequenceView t, const Job::EmitFn& emit) {
         if (aborted.load(std::memory_order_relaxed)) return;
         SequenceSet subsequences;
         EnumerateGeneralizedSubsequences(t, h, params.gamma, params.lambda,

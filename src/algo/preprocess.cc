@@ -8,7 +8,7 @@
 
 namespace lash {
 
-PreprocessResult PreprocessWithJob(const Database& raw_db,
+PreprocessResult PreprocessWithJob(const FlatDatabase& raw_db,
                                    const Hierarchy& raw_h,
                                    const JobConfig& config,
                                    JobResult* job_out) {
@@ -19,9 +19,9 @@ PreprocessResult PreprocessWithJob(const Database& raw_db,
 
   // The f-list job of Sec. 3.3: map emits each item of G1(T) with count 1;
   // combine/reduce sum to generalized document frequencies.
-  using Job = MapReduceJob<Sequence, ItemId, Frequency>;
+  using Job = MapReduceJob<SequenceView, ItemId, Frequency>;
   Job job(
-      [&](const Sequence& t, const Job::EmitFn& emit) {
+      [&](SequenceView t, const Job::EmitFn& emit) {
         // Dedup G1(T) via a small sort (ancestor chains are short).
         Sequence items;
         for (ItemId w : t) {
@@ -84,12 +84,12 @@ PreprocessResult PreprocessWithJob(const Database& raw_db,
   if (!result.hierarchy.IsRankMonotone()) {
     throw std::logic_error("PreprocessWithJob: order is not hierarchy-monotone");
   }
-  result.database.reserve(raw_db.size());
-  for (const Sequence& t : raw_db) {
-    Sequence recoded;
-    recoded.reserve(t.size());
-    for (ItemId w : t) recoded.push_back(result.rank_of_raw[w]);
-    result.database.push_back(std::move(recoded));
+  result.database.Reserve(raw_db.size(), raw_db.TotalItems());
+  for (SequenceView t : raw_db) {
+    ItemId* recoded = result.database.AppendSlot(t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      recoded[i] = result.rank_of_raw[t[i]];
+    }
   }
   return result;
 }

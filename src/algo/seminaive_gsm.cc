@@ -20,9 +20,9 @@ AlgoResult RunSemiNaiveGsm(const PreprocessResult& pre, const GsmParams& params,
   std::atomic<bool> aborted{false};
   std::vector<PatternMap> outputs(std::max<size_t>(1, config.num_reduce_tasks));
 
-  using Job = MapReduceJob<Sequence, Sequence, Frequency, SequenceHash>;
+  using Job = MapReduceJob<SequenceView, Sequence, Frequency, SequenceHash>;
   Job job(
-      [&](const Sequence& t, const Job::EmitFn& emit) {
+      [&](SequenceView t, const Job::EmitFn& emit) {
         if (aborted.load(std::memory_order_relaxed)) return;
         // Generalize every item to its closest frequent ancestor; blank out
         // items without one. Ancestor ranks strictly decrease walking up,

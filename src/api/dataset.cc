@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <mutex>
@@ -6,6 +7,7 @@
 
 #include "api/lash_api.h"
 #include "core/flist.h"
+#include "io/snapshot.h"
 #include "io/text_io.h"
 #include "stats/output_stats.h"
 #include "util/timer.h"
@@ -21,7 +23,7 @@ uint64_t NextDatasetId() {
 
 }  // namespace
 
-Dataset::Dataset(Database raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
+Dataset::Dataset(FlatDatabase raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
                  double read_ms)
     : id_(NextDatasetId()),
       raw_db_(std::move(raw_db)),
@@ -32,6 +34,78 @@ Dataset::Dataset(Database raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
   pre_ = Preprocess(raw_db_, raw_hierarchy_);
   load_times_.preprocess_ms = timer.ElapsedMs();
   stats_ = ComputeStats(raw_db_);
+}
+
+Dataset::Dataset(SnapshotTag, const std::string& path)
+    : id_(NextDatasetId()), raw_hierarchy_(Hierarchy::Flat(0)) {
+  Stopwatch timer;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw ApiError("cannot open snapshot file: " + path);
+  }
+  DatasetSnapshot snap = ReadDatasetSnapshot(file);
+
+  // Vocabulary: names intern in stored order, so ids 1..n are reproduced
+  // exactly; parent edges are replayed by id (no per-edge name hashing).
+  const size_t n = snap.names.size() - 1;
+  vocab_.Reserve(n);
+  for (size_t id = 1; id <= n; ++id) {
+    if (vocab_.AddItem(snap.names[id]) != static_cast<ItemId>(id)) {
+      throw ApiError("snapshot vocabulary contains duplicate names: " +
+                     snap.names[id]);
+    }
+  }
+  for (size_t id = 1; id <= n; ++id) {
+    if (snap.raw_parent[id] != kInvalidItem) {
+      vocab_.SetParent(static_cast<ItemId>(id), snap.raw_parent[id]);
+    }
+  }
+  try {
+    raw_hierarchy_ = Hierarchy(std::move(snap.raw_parent));
+  } catch (const std::invalid_argument& e) {
+    // E.g. a parent cycle: checksums pass but the structure is invalid.
+    throw ApiError("snapshot hierarchy is invalid: " + std::string(e.what()));
+  }
+
+  // The preprocessing phase is *restored*, not re-run: the ranked corpus,
+  // f-list and rank order come straight from the file; the inverse order
+  // and the rank-space hierarchy are cheap O(n) derivations.
+  pre_.freq = std::move(snap.freq);
+  pre_.rank_of_raw = std::move(snap.rank_of_raw);
+  pre_.raw_of_rank.assign(n + 1, kInvalidItem);
+  for (size_t raw = 1; raw <= n; ++raw) {
+    pre_.raw_of_rank[pre_.rank_of_raw[raw]] = static_cast<ItemId>(raw);
+  }
+  std::vector<ItemId> rank_parent(n + 1, kInvalidItem);
+  for (size_t r = 1; r <= n; ++r) {
+    ItemId raw_parent = raw_hierarchy_.Parent(pre_.raw_of_rank[r]);
+    if (raw_parent != kInvalidItem) {
+      rank_parent[r] = pre_.rank_of_raw[raw_parent];
+    }
+  }
+  try {
+    pre_.hierarchy = Hierarchy(std::move(rank_parent));
+  } catch (const std::invalid_argument& e) {
+    throw ApiError("snapshot rank hierarchy is invalid: " +
+                   std::string(e.what()));
+  }
+  if (!pre_.hierarchy.IsRankMonotone()) {
+    throw ApiError("snapshot rank order is not hierarchy-monotone: " + path);
+  }
+  pre_.database = std::move(snap.ranked_corpus);
+
+  // Recoding is a bijection per item, so the raw corpus is one arena pass
+  // over the ranked one — no parsing, no f-list job.
+  raw_db_.Reserve(pre_.database.size(), pre_.database.TotalItems());
+  for (SequenceView t : pre_.database) {
+    ItemId* raw = raw_db_.AppendSlot(t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      raw[i] = pre_.raw_of_rank[t[i]];
+    }
+  }
+  stats_ = snap.stats;
+  load_times_.read_ms = timer.ElapsedMs();
+  load_times_.preprocess_ms = 0;
 }
 
 Dataset Dataset::FromFiles(const std::string& sequences_path,
@@ -49,8 +123,8 @@ Dataset Dataset::FromFiles(const std::string& sequences_path,
   }
   Database db = ReadDatabase(dbf, &vocab);
   Hierarchy hierarchy = vocab.BuildHierarchy();
-  return Dataset(std::move(db), std::move(vocab), std::move(hierarchy),
-                 timer.ElapsedMs());
+  return Dataset(FlatDatabase::FromDatabase(db), std::move(vocab),
+                 std::move(hierarchy), timer.ElapsedMs());
 }
 
 Dataset Dataset::FromStreams(std::istream& sequences, std::istream& hierarchy) {
@@ -59,19 +133,59 @@ Dataset Dataset::FromStreams(std::istream& sequences, std::istream& hierarchy) {
   ReadHierarchy(hierarchy, &vocab);
   Database db = ReadDatabase(sequences, &vocab);
   Hierarchy h = vocab.BuildHierarchy();
-  return Dataset(std::move(db), std::move(vocab), std::move(h),
+  return Dataset(FlatDatabase::FromDatabase(db), std::move(vocab), std::move(h),
                  timer.ElapsedMs());
 }
 
 Dataset Dataset::FromMemory(Database raw_db, Vocabulary vocab) {
   Hierarchy hierarchy = vocab.BuildHierarchy();
-  return Dataset(std::move(raw_db), std::move(vocab), std::move(hierarchy), 0);
+  return Dataset(FlatDatabase::FromDatabase(raw_db), std::move(vocab),
+                 std::move(hierarchy), 0);
 }
 
 Dataset Dataset::FromMemory(Database raw_db, Vocabulary vocab,
                             Hierarchy raw_hierarchy) {
-  return Dataset(std::move(raw_db), std::move(vocab), std::move(raw_hierarchy),
-                 0);
+  return Dataset(FlatDatabase::FromDatabase(raw_db), std::move(vocab),
+                 std::move(raw_hierarchy), 0);
+}
+
+Dataset Dataset::FromSnapshot(const std::string& path) {
+  return Dataset(SnapshotTag{}, path);
+}
+
+void Dataset::Save(const std::string& path) const {
+  // Only the (small) name/parent tables are assembled; the corpus, f-list
+  // and rank order are encoded in place via WriteDatasetSnapshotParts, so
+  // a save never duplicates the multi-MB buffers.
+  const size_t n = vocab_.NumItems();
+  std::vector<std::string> names(1);
+  names.reserve(n + 1);
+  std::vector<ItemId> raw_parent(n + 1, kInvalidItem);
+  for (size_t id = 1; id <= n; ++id) {
+    names.push_back(vocab_.Name(static_cast<ItemId>(id)));
+    raw_parent[id] = vocab_.Parent(static_cast<ItemId>(id));
+  }
+
+  // Write to a temp file renamed into place, so a failed save never
+  // truncates an existing snapshot.
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw ApiError("cannot open snapshot file for writing: " + tmp_path);
+  }
+  try {
+    WriteDatasetSnapshotParts(file, names, raw_parent, pre_.database,
+                              pre_.freq, pre_.rank_of_raw, stats_);
+  } catch (...) {
+    file.close();
+    std::remove(tmp_path.c_str());  // Never leave a stale half-written .tmp.
+    throw;
+  }
+  file.close();
+  if (!file || std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    throw ApiError("cannot write snapshot file: " + path);
+  }
 }
 
 const PreprocessResult& Dataset::flat_preprocessed() const {

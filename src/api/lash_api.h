@@ -243,6 +243,23 @@ class Dataset {
   static Dataset FromMemory(Database raw_db, Vocabulary vocab,
                             Hierarchy raw_hierarchy);
 
+  /// Loads a one-file dataset snapshot previously written by Save(): the
+  /// vocabulary, hierarchy, *preprocessed* flat corpus, f-list and stats
+  /// are read back directly, so neither text parsing nor the preprocessing
+  /// phase runs — `load_times().preprocess_ms` is 0 by construction. This
+  /// is how serving shards and tools should start on large corpora.
+  ///
+  /// Throws ApiError if the file cannot be opened or the snapshot is
+  /// semantically inconsistent; corrupt containers (bad magic, truncation,
+  /// future version, checksum mismatch) surface as the typed IoError of
+  /// io/io_error.h.
+  static Dataset FromSnapshot(const std::string& path);
+
+  /// Writes the one-file snapshot (io/snapshot.h) for FromSnapshot. The
+  /// flat (hierarchy-stripped) preprocessing is not stored; it is rebuilt
+  /// lazily on first use like any other Dataset.
+  void Save(const std::string& path) const;
+
   Dataset(const Dataset&) = delete;
   Dataset& operator=(const Dataset&) = delete;
 
@@ -253,7 +270,8 @@ class Dataset {
   uint64_t id() const { return id_; }
 
   const Vocabulary& vocabulary() const { return vocab_; }
-  const Database& raw_database() const { return raw_db_; }
+  /// The raw (pre-recoding) corpus in flat CSR form.
+  const FlatDatabase& raw_database() const { return raw_db_; }
   const Hierarchy& raw_hierarchy() const { return raw_hierarchy_; }
 
   /// The hierarchical preprocessing every query reuses.
@@ -284,17 +302,21 @@ class Dataset {
   PatternMap FlatToHierarchicalRanks(const PatternMap& flat_patterns) const;
 
   struct LoadTimes {
-    double read_ms = 0;        ///< Parsing/adopting the raw input.
-    double preprocess_ms = 0;  ///< f-list + rank recoding.
+    double read_ms = 0;        ///< Parsing/adopting or snapshot decoding.
+    double preprocess_ms = 0;  ///< f-list + rank recoding (0 for snapshots).
   };
   const LoadTimes& load_times() const { return load_times_; }
 
  private:
-  Dataset(Database raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
+  struct SnapshotTag {};
+
+  Dataset(FlatDatabase raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
           double read_ms);
+  /// Snapshot-restore constructor: adopts precomputed preprocessing.
+  Dataset(SnapshotTag, const std::string& path);
 
   uint64_t id_;
-  Database raw_db_;
+  FlatDatabase raw_db_;
   Vocabulary vocab_;
   Hierarchy raw_hierarchy_;
   PreprocessResult pre_;

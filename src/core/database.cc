@@ -5,6 +5,21 @@
 
 namespace lash {
 
+DatasetStats ComputeStats(const FlatDatabase& db) {
+  DatasetStats stats;
+  stats.num_sequences = db.size();
+  stats.total_items = db.TotalItems();
+  std::unordered_set<ItemId> unique(db.items().begin(), db.items().end());
+  for (size_t i = 0; i < db.size(); ++i) {
+    stats.max_length = std::max(stats.max_length, db[i].size());
+  }
+  stats.unique_items = unique.size();
+  stats.avg_length = db.empty() ? 0.0
+                                : static_cast<double>(stats.total_items) /
+                                      static_cast<double>(db.size());
+  return stats;
+}
+
 DatasetStats ComputeStats(const Database& db) {
   DatasetStats stats;
   stats.num_sequences = db.size();

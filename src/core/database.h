@@ -2,26 +2,30 @@
 #define LASH_CORE_DATABASE_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "core/flat_database.h"
 #include "util/types.h"
 
 namespace lash {
 
-/// A sequence database D = {T1, ..., T|D|} (Sec. 2). A plain vector keeps
-/// the mining code allocation-friendly; metadata lives in DatasetStats.
-using Database = std::vector<Sequence>;
+// The legacy `Database` alias lives in core/flat_database.h next to the
+// flat form and its converters.
 
 /// A mined partition P_w: rewritten sequences with aggregation weights
 /// (Sec. 4.4). Identical rewrites are merged; `weights[i]` counts how many
-/// input sequences produced `sequences[i]`.
+/// input sequences produced `sequences[i]`. Sequences live in one CSR arena
+/// (`sequences[i]` is a SequenceView), so a partition is three flat buffers
+/// no matter how many rewrites it aggregates.
 struct Partition {
-  std::vector<Sequence> sequences;
+  FlatDatabase sequences;
   std::vector<Frequency> weights;
 
-  size_t size() const { return sequences.size(); }
-  void Add(Sequence seq, Frequency weight) {
-    sequences.push_back(std::move(seq));
+  size_t size() const { return weights.size(); }
+  SequenceView operator[](size_t tid) const { return sequences[tid]; }
+  void Add(SequenceView seq, Frequency weight) {
+    sequences.Add(seq);
     weights.push_back(weight);
   }
 };
@@ -33,9 +37,14 @@ struct DatasetStats {
   size_t max_length = 0;
   size_t total_items = 0;
   size_t unique_items = 0;
+
+  friend bool operator==(const DatasetStats&, const DatasetStats&) = default;
 };
 
 /// Computes Table-1 style statistics for `db`.
+DatasetStats ComputeStats(const FlatDatabase& db);
+
+/// Legacy-form overload (boundary code and tests).
 DatasetStats ComputeStats(const Database& db);
 
 }  // namespace lash

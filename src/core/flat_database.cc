@@ -1,0 +1,32 @@
+#include "core/flat_database.h"
+
+#include <ostream>
+
+namespace lash {
+
+std::ostream& operator<<(std::ostream& out, SequenceView view) {
+  out << '[';
+  for (size_t i = 0; i < view.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << view[i];
+  }
+  return out << ']';
+}
+
+FlatDatabase FlatDatabase::FromDatabase(const Database& db) {
+  FlatDatabase flat;
+  size_t total = 0;
+  for (const Sequence& t : db) total += t.size();
+  flat.Reserve(db.size(), total);
+  for (const Sequence& t : db) flat.Add(t);
+  return flat;
+}
+
+Database FlatDatabase::Materialize() const {
+  Database db;
+  db.reserve(size());
+  for (SequenceView t : *this) db.push_back(t.ToSequence());
+  return db;
+}
+
+}  // namespace lash

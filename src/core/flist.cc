@@ -6,7 +6,7 @@
 
 namespace lash {
 
-void CollectGeneralizedItems(const Sequence& t, const Hierarchy& h,
+void CollectGeneralizedItems(SequenceView t, const Hierarchy& h,
                              std::vector<uint32_t>* scratch, uint32_t epoch,
                              std::vector<ItemId>* out) {
   for (ItemId w : t) {
@@ -19,14 +19,14 @@ void CollectGeneralizedItems(const Sequence& t, const Hierarchy& h,
   }
 }
 
-std::vector<Frequency> GeneralizedItemFrequencies(const Database& db,
+std::vector<Frequency> GeneralizedItemFrequencies(const FlatDatabase& db,
                                                   const Hierarchy& h) {
   const size_t n = h.NumItems();
   std::vector<Frequency> freq(n + 1, 0);
   std::vector<uint32_t> visited(n + 1, 0);
   std::vector<ItemId> items;
   uint32_t epoch = 0;
-  for (const Sequence& t : db) {
+  for (SequenceView t : db) {
     ++epoch;
     items.clear();
     CollectGeneralizedItems(t, h, &visited, epoch, &items);
@@ -49,7 +49,8 @@ size_t PreprocessResult::NumFrequent(Frequency sigma) const {
   return lo - 1;
 }
 
-PreprocessResult Preprocess(const Database& raw_db, const Hierarchy& raw_h) {
+PreprocessResult Preprocess(const FlatDatabase& raw_db,
+                            const Hierarchy& raw_h) {
   const size_t n = raw_h.NumItems();
   std::vector<Frequency> raw_freq = GeneralizedItemFrequencies(raw_db, raw_h);
 
@@ -90,12 +91,14 @@ PreprocessResult Preprocess(const Database& raw_db, const Hierarchy& raw_h) {
     throw std::logic_error("Preprocess: rank order is not hierarchy-monotone");
   }
 
-  result.database.reserve(raw_db.size());
-  for (const Sequence& t : raw_db) {
-    Sequence recoded;
-    recoded.reserve(t.size());
-    for (ItemId w : t) recoded.push_back(result.rank_of_raw[w]);
-    result.database.push_back(std::move(recoded));
+  // Recode straight into the flat form: same offsets, items mapped in one
+  // pass over the arena.
+  result.database.Reserve(raw_db.size(), raw_db.TotalItems());
+  for (SequenceView t : raw_db) {
+    ItemId* recoded = result.database.AppendSlot(t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      recoded[i] = result.rank_of_raw[t[i]];
+    }
   }
   return result;
 }

@@ -22,8 +22,11 @@ namespace lash {
 struct PreprocessResult {
   /// Hierarchy over rank ids; IsRankMonotone() holds.
   Hierarchy hierarchy;
-  /// Input database with every item replaced by its rank.
-  Database database;
+  /// Input database with every item replaced by its rank, stored flat (CSR
+  /// arena + offsets): `database[tid]` is a SequenceView. This is the form
+  /// every mining layer iterates and the form the dataset snapshot
+  /// (io/snapshot.h) serializes verbatim.
+  FlatDatabase database;
   /// Generalized document frequency per rank; `freq[0] == 0`, non-increasing
   /// for ranks `1..n`. This is the generalized f-list of Sec. 3.3.
   std::vector<Frequency> freq;
@@ -41,17 +44,30 @@ struct PreprocessResult {
 
 /// Computes the generalized document frequency of every raw item: the number
 /// of input sequences containing the item or any descendant (Sec. 3.3).
-std::vector<Frequency> GeneralizedItemFrequencies(const Database& db,
+std::vector<Frequency> GeneralizedItemFrequencies(const FlatDatabase& db,
                                                   const Hierarchy& h);
 
+/// Legacy-form convenience overload.
+inline std::vector<Frequency> GeneralizedItemFrequencies(const Database& db,
+                                                         const Hierarchy& h) {
+  return GeneralizedItemFrequencies(FlatDatabase::FromDatabase(db), h);
+}
+
 /// Runs the full preprocessing phase on a raw database + hierarchy.
-PreprocessResult Preprocess(const Database& raw_db, const Hierarchy& raw_h);
+PreprocessResult Preprocess(const FlatDatabase& raw_db, const Hierarchy& raw_h);
+
+/// Legacy-form convenience overload (tests and generators that assemble a
+/// vector-of-vectors Database).
+inline PreprocessResult Preprocess(const Database& raw_db,
+                                   const Hierarchy& raw_h) {
+  return Preprocess(FlatDatabase::FromDatabase(raw_db), raw_h);
+}
 
 /// Appends the distinct items of G1(T) — every item of T together with all
 /// its generalizations (Sec. 3.3) — to `out` in unspecified order. `scratch`
 /// is a caller-provided visited marker of size >= NumItems()+1, zeroed or
 /// reusable across calls via the `epoch` trick.
-void CollectGeneralizedItems(const Sequence& t, const Hierarchy& h,
+void CollectGeneralizedItems(SequenceView t, const Hierarchy& h,
                              std::vector<uint32_t>* scratch, uint32_t epoch,
                              std::vector<ItemId>* out);
 

@@ -12,7 +12,7 @@ namespace {
 //
 // Transition: position i is reachable at level j iff t[i] →* s[j] and some
 // position i' with i-gamma-1 <= i' <= i-1 is reachable at level j-1.
-bool ComputeReachable(const Sequence& s, const Sequence& t, const Hierarchy& h,
+bool ComputeReachable(const Sequence& s, SequenceView t, const Hierarchy& h,
                       uint32_t gamma, std::vector<char>* reach) {
   const size_t m = t.size();
   reach->assign(m, 0);
@@ -47,14 +47,14 @@ bool ComputeReachable(const Sequence& s, const Sequence& t, const Hierarchy& h,
 
 }  // namespace
 
-bool Matches(const Sequence& s, const Sequence& t, const Hierarchy& h,
+bool Matches(const Sequence& s, SequenceView t, const Hierarchy& h,
              uint32_t gamma) {
   if (s.empty() || s.size() > t.size()) return false;
   std::vector<char> reach;
   return ComputeReachable(s, t, h, gamma, &reach);
 }
 
-std::vector<uint32_t> MatchEndPositions(const Sequence& s, const Sequence& t,
+std::vector<uint32_t> MatchEndPositions(const Sequence& s, SequenceView t,
                                         const Hierarchy& h, uint32_t gamma) {
   std::vector<uint32_t> out;
   if (s.empty() || s.size() > t.size()) return out;
@@ -66,7 +66,7 @@ std::vector<uint32_t> MatchEndPositions(const Sequence& s, const Sequence& t,
   return out;
 }
 
-std::vector<Embedding> MatchEmbeddings(const Sequence& s, const Sequence& t,
+std::vector<Embedding> MatchEmbeddings(const Sequence& s, SequenceView t,
                                        const Hierarchy& h, uint32_t gamma) {
   std::vector<Embedding> out;
   if (s.empty() || s.size() > t.size()) return out;

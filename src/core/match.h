@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/flat_database.h"
 #include "core/hierarchy.h"
 #include "util/types.h"
 
@@ -14,13 +15,13 @@ namespace lash {
 /// matches. Blanks in T never match. Implemented as a dynamic program over
 /// end positions — greedy leftmost matching is incorrect under gap
 /// constraints (e.g. S=ab, γ=0, T=acab).
-bool Matches(const Sequence& s, const Sequence& t, const Hierarchy& h,
+bool Matches(const Sequence& s, SequenceView t, const Hierarchy& h,
              uint32_t gamma);
 
 /// Returns the sorted 0-based positions `e` of T such that some embedding of
 /// `S` in `T` ends at `e`. Empty iff `S` does not match. Used by the DFS
 /// miner to seed projected databases.
-std::vector<uint32_t> MatchEndPositions(const Sequence& s, const Sequence& t,
+std::vector<uint32_t> MatchEndPositions(const Sequence& s, SequenceView t,
                                         const Hierarchy& h, uint32_t gamma);
 
 /// An embedding's first and last matched positions in a transaction; PSM
@@ -36,7 +37,7 @@ struct Embedding {
 /// Returns all distinct (start, end) pairs over embeddings of `S` in `T`,
 /// sorted. Note: distinct embeddings sharing (start, end) are collapsed,
 /// which is sufficient for expansion bookkeeping.
-std::vector<Embedding> MatchEmbeddings(const Sequence& s, const Sequence& t,
+std::vector<Embedding> MatchEmbeddings(const Sequence& s, SequenceView t,
                                        const Hierarchy& h, uint32_t gamma);
 
 }  // namespace lash

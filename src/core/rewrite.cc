@@ -12,7 +12,7 @@ Rewriter::Rewriter(const Hierarchy* hierarchy, uint32_t gamma, uint32_t lambda)
   }
 }
 
-Sequence Rewriter::Generalize(const Sequence& t, ItemId pivot) const {
+Sequence Rewriter::Generalize(SequenceView t, ItemId pivot) const {
   Sequence out;
   out.reserve(t.size());
   for (ItemId w : t) {
@@ -39,7 +39,7 @@ Sequence Rewriter::Generalize(const Sequence& t, ItemId pivot) const {
   return out;
 }
 
-std::vector<uint32_t> Rewriter::MinPivotDistances(const Sequence& t,
+std::vector<uint32_t> Rewriter::MinPivotDistances(SequenceView t,
                                                   ItemId pivot) const {
   const size_t m = t.size();
   const size_t window = static_cast<size_t>(gamma_) + 1;
@@ -69,7 +69,7 @@ std::vector<uint32_t> Rewriter::MinPivotDistances(const Sequence& t,
   return dist;
 }
 
-Sequence Rewriter::Rewrite(const Sequence& t, ItemId pivot) const {
+Sequence Rewriter::Rewrite(SequenceView t, ItemId pivot) const {
   Sequence gen = Generalize(t, pivot);
 
   // Unreachability reduction: blank out indexes farther than lambda from
@@ -136,7 +136,7 @@ ScratchRewriter::ScratchRewriter(const Hierarchy* hierarchy, uint32_t gamma,
   }
 }
 
-void ScratchRewriter::Generalize(const Sequence& t, ItemId pivot,
+void ScratchRewriter::Generalize(SequenceView t, ItemId pivot,
                                  Sequence* out) const {
   out->clear();
   out->reserve(t.size());
@@ -170,7 +170,7 @@ void ScratchRewriter::Generalize(const Sequence& t, ItemId pivot,
 // neighbor (lambda >= 2). Blank compression becomes "join surviving
 // positions, one blank between non-adjacent ones". Equivalence with the
 // generic pipeline is differential-tested in tests/rewrite_test.cc.
-bool ScratchRewriter::RewriteGammaZero(const Sequence& t, ItemId pivot,
+bool ScratchRewriter::RewriteGammaZero(SequenceView t, ItemId pivot,
                                        Sequence* out) {
   Generalize(t, pivot, &gen_);
   const size_t m = gen_.size();
@@ -214,7 +214,7 @@ bool ScratchRewriter::RewriteGammaZero(const Sequence& t, ItemId pivot,
   return true;
 }
 
-bool ScratchRewriter::Rewrite(const Sequence& t, ItemId pivot, Sequence* out) {
+bool ScratchRewriter::Rewrite(SequenceView t, ItemId pivot, Sequence* out) {
   out->clear();
   if (gamma_ == 0) return RewriteGammaZero(t, pivot, out);
   Generalize(t, pivot, &gen_);

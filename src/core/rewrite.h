@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/flat_database.h"
 #include "core/hierarchy.h"
 #include "util/types.h"
 
@@ -44,15 +45,16 @@ class Rewriter {
   /// Computes P_w(T). Returns an empty sequence when the rewrite proves that
   /// T contributes no pivot sequence for pivot `w` (no pivot index survives
   /// or fewer than 2 items remain).
-  Sequence Rewrite(const Sequence& t, ItemId pivot) const;
+  Sequence Rewrite(SequenceView t, ItemId pivot) const;
 
   /// Step 1 alone; exposed for tests.
-  Sequence Generalize(const Sequence& t, ItemId pivot) const;
+  Sequence Generalize(SequenceView t, ItemId pivot) const;
 
   /// Computes the minimum pivot distances of every index of a
   /// w-generalized sequence; "infinite" is represented by kUnreachable.
   /// Exposed for tests (reproduces the distance table of Sec. 4.3).
-  std::vector<uint32_t> MinPivotDistances(const Sequence& t, ItemId pivot) const;
+  std::vector<uint32_t> MinPivotDistances(SequenceView t,
+                                          ItemId pivot) const;
 
   static constexpr uint32_t kUnreachable = 0xffffffffu;
 
@@ -83,10 +85,10 @@ class ScratchRewriter {
 
   /// Computes P_w(T) into *out (clobbered). Returns false — with *out left
   /// empty — exactly when Rewriter::Rewrite would return an empty sequence.
-  bool Rewrite(const Sequence& t, ItemId pivot, Sequence* out);
+  bool Rewrite(SequenceView t, ItemId pivot, Sequence* out);
 
   /// Step 1 (w-generalization) alone, into *out (clobbered).
-  void Generalize(const Sequence& t, ItemId pivot, Sequence* out) const;
+  void Generalize(SequenceView t, ItemId pivot, Sequence* out) const;
 
   /// The gamma == 0 LASH partitioning loop, fused: computes [w | P_w(T)]
   /// for *every* frequent pivot w of G1(T) and calls `emit_key(key)` for
@@ -100,7 +102,7 @@ class ScratchRewriter {
   /// iff rank(root(T[j])) > w, so the interval walks never generalize
   /// positions they do not keep. Requires gamma == 0 (callers dispatch).
   template <typename EmitKey>
-  void RewriteAllPivotsGammaZero(const Sequence& t, ItemId num_frequent,
+  void RewriteAllPivotsGammaZero(SequenceView t, ItemId num_frequent,
                                  EmitKey&& emit_key) {
     const size_t m = t.size();
     const size_t reach = static_cast<size_t>(lambda_) - 1;
@@ -177,7 +179,7 @@ class ScratchRewriter {
   }
 
  private:
-  bool RewriteGammaZero(const Sequence& t, ItemId pivot, Sequence* out);
+  bool RewriteGammaZero(SequenceView t, ItemId pivot, Sequence* out);
 
   const Hierarchy* hierarchy_;
   uint32_t gamma_;

@@ -29,6 +29,27 @@ ItemId Vocabulary::AddItemWithParent(const std::string& child,
   return c;
 }
 
+void Vocabulary::SetParent(ItemId child, ItemId parent) {
+  if (child == parent) {
+    throw std::invalid_argument("Vocabulary: item cannot be its own parent");
+  }
+  if (child == kInvalidItem || child >= names_.size() ||
+      parent == kInvalidItem || parent >= names_.size()) {
+    throw std::invalid_argument("Vocabulary: SetParent id out of range");
+  }
+  if (parent_[child] != kInvalidItem && parent_[child] != parent) {
+    throw std::invalid_argument("Vocabulary: item '" + names_[child] +
+                                "' already has a different parent");
+  }
+  parent_[child] = parent;
+}
+
+void Vocabulary::Reserve(size_t num_items) {
+  names_.reserve(num_items + 1);
+  parent_.reserve(num_items + 1);
+  index_.reserve(num_items);
+}
+
 ItemId Vocabulary::Lookup(const std::string& name) const {
   auto it = index_.find(name);
   return it == index_.end() ? kInvalidItem : it->second;

@@ -29,6 +29,14 @@ class Vocabulary {
   /// child == parent.
   ItemId AddItemWithParent(const std::string& child, const std::string& parent);
 
+  /// Records `child → parent` for two already-interned items (the snapshot
+  /// restore fast path: no name hashing). Same validation as
+  /// AddItemWithParent; both ids must be valid.
+  void SetParent(ItemId child, ItemId parent);
+
+  /// Pre-sizes the name/parent/index storage for `num_items` items.
+  void Reserve(size_t num_items);
+
   /// Returns the id of `name` or kInvalidItem if unknown.
   ItemId Lookup(const std::string& name) const;
 

@@ -104,7 +104,7 @@ class DagPsmRun {
   PatternMap Mine() {
     DagDb db;
     for (uint32_t tid = 0; tid < partition_.size(); ++tid) {
-      const Sequence& t = partition_.sequences[tid];
+      const SequenceView t = partition_.sequences[tid];
       DagPosting posting{tid, {}};
       for (uint32_t pos = 0; pos < t.size(); ++pos) {
         if (IsItem(t[pos]) && dag_.GeneralizesTo(t[pos], pivot_)) {
@@ -134,7 +134,7 @@ class DagPsmRun {
     if (pattern.size() >= params_.lambda) return;
     std::map<ItemId, DagDb> expansions;
     for (const DagPosting& posting : db) {
-      const Sequence& t = partition_.sequences[posting.tid];
+      const SequenceView t = partition_.sequences[posting.tid];
       for (const Embedding& emb : posting.embeddings) {
         uint64_t hi = std::min<uint64_t>(
             t.size(), static_cast<uint64_t>(emb.end) + params_.gamma + 2);
@@ -162,7 +162,7 @@ class DagPsmRun {
     if (pattern.size() >= params_.lambda) return;
     std::map<ItemId, DagDb> expansions;
     for (const DagPosting& posting : db) {
-      const Sequence& t = partition_.sequences[posting.tid];
+      const SequenceView t = partition_.sequences[posting.tid];
       for (const Embedding& emb : posting.embeddings) {
         uint32_t window = params_.gamma + 1;
         uint32_t lo = emb.start >= window ? emb.start - window : 0;

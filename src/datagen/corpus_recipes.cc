@@ -1,0 +1,31 @@
+#include "datagen/corpus_recipes.h"
+
+namespace lash {
+
+TextGenConfig NytConfig(const NytRecipe& recipe) {
+  TextGenConfig config;
+  config.num_sentences = recipe.sentences;
+  config.num_lemmas = recipe.lemmas;
+  config.hierarchy = recipe.hierarchy;
+  config.seed = recipe.seed;
+  return config;
+}
+
+ProductGenConfig AmznConfig(const AmznRecipe& recipe) {
+  ProductGenConfig config;
+  config.num_sessions = recipe.sessions;
+  config.num_products = recipe.products;
+  config.levels = recipe.levels;
+  config.seed = recipe.seed;
+  return config;
+}
+
+GeneratedText MakeNytCorpus(const NytRecipe& recipe) {
+  return GenerateText(NytConfig(recipe));
+}
+
+GeneratedProducts MakeAmznCorpus(const AmznRecipe& recipe) {
+  return GenerateProducts(AmznConfig(recipe));
+}
+
+}  // namespace lash

@@ -1,0 +1,51 @@
+#ifndef LASH_DATAGEN_CORPUS_RECIPES_H_
+#define LASH_DATAGEN_CORPUS_RECIPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "datagen/product_gen.h"
+#include "datagen/text_gen.h"
+
+namespace lash {
+
+/// The canonical self-generated stand-in corpora (DESIGN/README: the NYT
+/// corpus becomes a synthetic 20k-sentence corpus, the AMZN sessions a
+/// synthetic 20k-session one). Every consumer — the perf gates
+/// (bench_common.h, bench_hotpath, bench_shuffle, bench_serve), the figure
+/// benches, and the tools' self-generation modes (`lash_serve --gen`) —
+/// builds its corpus through these recipes, so the *shape* knobs (lemma /
+/// product counts, hierarchy variant, tree depth, seeds) are defined once
+/// and gate corpora cannot drift from tool corpora. Callers override only
+/// the scale fields they mean to change (e.g. smoke sizes).
+
+/// NYT-like corpus recipe; defaults are the full-size gate corpus.
+struct NytRecipe {
+  size_t sentences = 20000;
+  size_t lemmas = 3000;
+  TextHierarchy hierarchy = TextHierarchy::kCLP;
+  uint64_t seed = 42;
+};
+
+/// AMZN-like session recipe; defaults are the full-size gate corpus.
+struct AmznRecipe {
+  size_t sessions = 20000;
+  size_t products = 5000;
+  int levels = 8;
+  uint64_t seed = 7;
+};
+
+/// The TextGenConfig a recipe stands for (every non-recipe knob stays at
+/// the generator's default).
+TextGenConfig NytConfig(const NytRecipe& recipe);
+
+/// The ProductGenConfig a recipe stands for.
+ProductGenConfig AmznConfig(const AmznRecipe& recipe);
+
+/// Generates the corpus of a recipe.
+GeneratedText MakeNytCorpus(const NytRecipe& recipe = {});
+GeneratedProducts MakeAmznCorpus(const AmznRecipe& recipe = {});
+
+}  // namespace lash
+
+#endif  // LASH_DATAGEN_CORPUS_RECIPES_H_

@@ -1,9 +1,10 @@
 #include "io/binary_io.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 
+#include "io/io_error.h"
 #include "util/varint.h"
 
 namespace lash {
@@ -16,20 +17,34 @@ constexpr uint32_t kPatternsMagic = 0x4c415054;   // "LAPT"
 
 void WriteAll(std::ostream& out, const std::string& buffer) {
   out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-  if (!out) throw std::runtime_error("binary_io: write failed");
-}
-
-std::string ReadAll(std::istream& in) {
-  return std::string(std::istreambuf_iterator<char>(in),
-                     std::istreambuf_iterator<char>());
-}
-
-void CheckMagic(const std::string& data, size_t* pos, uint32_t expected,
-                const char* what) {
-  uint32_t magic = 0;
-  if (!GetVarint32(data, pos, &magic) || magic != expected) {
-    throw std::runtime_error(std::string("binary_io: bad magic for ") + what);
+  if (!out) {
+    throw IoError(IoErrorKind::kWriteFailed, 0, "binary_io: write failed");
   }
+}
+
+// An unrecognized or truncated prefix is kBadMagic — "this is not a <what>
+// container at all" — rather than a truncation inside a known format.
+void CheckMagic(ByteReader* reader, uint32_t expected, const char* what) {
+  try {
+    if (reader->ReadVarint32("magic") == expected) return;
+  } catch (const IoError&) {
+  }
+  throw IoError(IoErrorKind::kBadMagic, 0,
+                std::string("binary_io: bad magic for ") + what);
+}
+
+// Validates a decoded element count against the bytes actually left in the
+// buffer (every element costs >= 1 byte): the input ends before the
+// promised elements can exist, which is a typed kTruncated — and never an
+// escaping std::length_error/bad_alloc from a huge reserve/resize.
+uint64_t CheckCount(const ByteReader& reader, const std::string& data,
+                    uint64_t count, const char* what) {
+  if (count > data.size() - std::min(reader.pos(), data.size())) {
+    throw IoError(IoErrorKind::kTruncated, reader.pos(),
+                  std::string("binary_io: input too short for the declared ") +
+                      what + " count");
+  }
+  return count;
 }
 
 }  // namespace
@@ -42,22 +57,37 @@ void WriteDatabaseBinary(std::ostream& out, const Database& db) {
   WriteAll(out, buffer);
 }
 
-Database ReadDatabaseBinary(std::istream& in) {
-  std::string data = ReadAll(in);
-  size_t pos = 0;
-  CheckMagic(data, &pos, kDatabaseMagic, "database");
-  uint64_t count = 0;
-  if (!GetVarint64(data, &pos, &count)) {
-    throw std::runtime_error("binary_io: truncated database header");
+void WriteDatabaseBinary(std::ostream& out, const FlatDatabase& db) {
+  std::string buffer;
+  PutVarint32(&buffer, kDatabaseMagic);
+  PutVarint64(&buffer, db.size());
+  for (SequenceView t : db) {
+    PutVarint64(&buffer, t.size());
+    for (ItemId w : t) PutVarint32(&buffer, w);
   }
-  Database db;
-  db.reserve(count);
+  WriteAll(out, buffer);
+}
+
+Database ReadDatabaseBinary(std::istream& in) {
+  // One decode loop for both forms: decode flat, then materialize (the
+  // same per-sequence vectors this function used to build directly).
+  return ReadFlatDatabaseBinary(in).Materialize();
+}
+
+FlatDatabase ReadFlatDatabaseBinary(std::istream& in) {
+  std::string data = ReadAllBytes(in);
+  ByteReader reader(data, "database");
+  CheckMagic(&reader, kDatabaseMagic, "database");
+  const uint64_t count = CheckCount(
+      reader, data, reader.ReadVarint64("sequence count"), "sequence");
+  FlatDatabase db;
   for (uint64_t i = 0; i < count; ++i) {
-    Sequence seq;
-    if (!DecodeSequence(data, &pos, &seq)) {
-      throw std::runtime_error("binary_io: truncated database body");
+    const uint64_t len = CheckCount(
+        reader, data, reader.ReadVarint64("sequence length"), "item");
+    ItemId* items = db.AppendSlot(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      items[j] = reader.ReadVarint32("sequence item");
     }
-    db.push_back(std::move(seq));
   }
   return db;
 }
@@ -74,19 +104,14 @@ void WriteHierarchyBinary(std::ostream& out, const Hierarchy& h) {
 }
 
 Hierarchy ReadHierarchyBinary(std::istream& in) {
-  std::string data = ReadAll(in);
-  size_t pos = 0;
-  CheckMagic(data, &pos, kHierarchyMagic, "hierarchy");
-  uint64_t count = 0;
-  if (!GetVarint64(data, &pos, &count)) {
-    throw std::runtime_error("binary_io: truncated hierarchy header");
-  }
+  std::string data = ReadAllBytes(in);
+  ByteReader reader(data, "hierarchy");
+  CheckMagic(&reader, kHierarchyMagic, "hierarchy");
+  const uint64_t count = CheckCount(
+      reader, data, reader.ReadVarint64("item count"), "item");
   std::vector<ItemId> parent(count + 1, kInvalidItem);
   for (uint64_t w = 1; w <= count; ++w) {
-    uint32_t p = 0;
-    if (!GetVarint32(data, &pos, &p)) {
-      throw std::runtime_error("binary_io: truncated hierarchy body");
-    }
+    const uint32_t p = reader.ReadVarint32("parent id");
     parent[w] = p == 0 ? kInvalidItem : p;
   }
   return Hierarchy(std::move(parent));
@@ -104,21 +129,22 @@ void WritePatternsBinary(std::ostream& out, const PatternMap& patterns) {
 }
 
 PatternMap ReadPatternsBinary(std::istream& in) {
-  std::string data = ReadAll(in);
-  size_t pos = 0;
-  CheckMagic(data, &pos, kPatternsMagic, "patterns");
-  uint64_t count = 0;
-  if (!GetVarint64(data, &pos, &count)) {
-    throw std::runtime_error("binary_io: truncated patterns header");
-  }
+  std::string data = ReadAllBytes(in);
+  ByteReader reader(data, "patterns");
+  CheckMagic(&reader, kPatternsMagic, "patterns");
+  const uint64_t count = CheckCount(
+      reader, data, reader.ReadVarint64("pattern count"), "pattern");
   PatternMap patterns;
   patterns.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t len = CheckCount(
+        reader, data, reader.ReadVarint64("pattern length"), "item");
     Sequence seq;
-    uint64_t freq = 0;
-    if (!DecodeSequence(data, &pos, &seq) || !GetVarint64(data, &pos, &freq)) {
-      throw std::runtime_error("binary_io: truncated patterns body");
+    seq.reserve(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      seq.push_back(reader.ReadVarint32("pattern item"));
     }
+    const uint64_t freq = reader.ReadVarint64("pattern frequency");
     patterns.emplace(std::move(seq), freq);
   }
   return patterns;

@@ -15,17 +15,28 @@ namespace lash {
 /// deployment would use for large inputs — the text formats of
 /// io/text_io.h are for interchange and debugging.
 ///
-/// All readers validate magic/version and throw std::runtime_error on
-/// corrupt input. Item ids are stored verbatim: writer and reader must
-/// agree on the id space (raw or rank), typically by storing the
-/// vocabulary alongside (text format) or re-running preprocessing.
+/// All readers validate the magic and throw a typed IoError (io/io_error.h)
+/// on corrupt input — bad magic, truncation, and malformed fields are
+/// distinguished and carry the byte offset of the failure; the snapshot
+/// reader (io/snapshot.h) shares the same failure taxonomy. Item ids are
+/// stored verbatim: writer and reader must agree on the id space (raw or
+/// rank), typically by storing the vocabulary alongside (text format), by
+/// re-running preprocessing — or by using a self-contained dataset
+/// snapshot instead.
 
 /// Writes `db` as: magic, sequence count, then each sequence via
 /// EncodeSequence.
 void WriteDatabaseBinary(std::ostream& out, const Database& db);
 
+/// Flat-form writer; byte-identical output to the Database overload.
+void WriteDatabaseBinary(std::ostream& out, const FlatDatabase& db);
+
 /// Inverse of WriteDatabaseBinary.
 Database ReadDatabaseBinary(std::istream& in);
+
+/// Inverse of WriteDatabaseBinary, decoded straight into the flat form (no
+/// per-sequence heap vectors).
+FlatDatabase ReadFlatDatabaseBinary(std::istream& in);
 
 /// Writes a parent array as: magic, item count, parent per item (0 = root).
 void WriteHierarchyBinary(std::ostream& out, const Hierarchy& h);

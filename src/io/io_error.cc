@@ -1,0 +1,18 @@
+#include "io/io_error.h"
+
+namespace lash {
+
+const char* IoErrorKindName(IoErrorKind kind) {
+  switch (kind) {
+    case IoErrorKind::kOpenFailed: return "open-failed";
+    case IoErrorKind::kTruncated: return "truncated";
+    case IoErrorKind::kBadMagic: return "bad-magic";
+    case IoErrorKind::kBadVersion: return "bad-version";
+    case IoErrorKind::kChecksumMismatch: return "checksum-mismatch";
+    case IoErrorKind::kMalformed: return "malformed";
+    case IoErrorKind::kWriteFailed: return "write-failed";
+  }
+  return "unknown";
+}
+
+}  // namespace lash

@@ -1,0 +1,340 @@
+#include "io/snapshot.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "io/io_error.h"
+#include "util/hash.h"
+#include "util/varint.h"
+
+namespace lash {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'A', 'S', 'H', 'S', 'N', 'A', 'P'};
+
+// Section ids. New sections may be added freely (readers skip unknown
+// ids); changing the encoding of an existing section requires a version
+// bump.
+enum SectionId : uint32_t {
+  kVocabulary = 1,  // varint n; per item: varint name length + raw bytes.
+  kHierarchy = 2,   // varint n; per item: varint parent (0 = root).
+  kCorpus = 3,      // varint sequences + varint total items; per sequence:
+                    // varint len + items (total lets the reader size the
+                    // CSR arena once).
+  kFlist = 4,       // varint n; per rank: varint64 freq, varint rank_of_raw.
+  kStats = 5,       // num_sequences, total, max_length, unique as varints.
+};
+
+void PutFixed64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetFixed64(const char* data) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(data[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::string EncodeVocabulary(const std::vector<std::string>& names) {
+  std::string out;
+  PutVarint64(&out, names.size() - 1);
+  for (size_t id = 1; id < names.size(); ++id) {
+    PutVarint64(&out, names[id].size());
+    out.append(names[id]);
+  }
+  return out;
+}
+
+std::string EncodeHierarchy(const std::vector<ItemId>& raw_parent) {
+  std::string out;
+  PutVarint64(&out, raw_parent.size() - 1);
+  for (size_t id = 1; id < raw_parent.size(); ++id) {
+    ItemId parent = raw_parent[id];
+    PutVarint32(&out, parent == kInvalidItem ? 0 : parent);
+  }
+  return out;
+}
+
+std::string EncodeCorpus(const FlatDatabase& db) {
+  std::string out;
+  PutVarint64(&out, db.size());
+  PutVarint64(&out, db.TotalItems());
+  for (SequenceView t : db) {
+    PutVarint64(&out, t.size());
+    for (ItemId w : t) PutVarint32(&out, w);
+  }
+  return out;
+}
+
+std::string EncodeFlist(const std::vector<Frequency>& freq,
+                        const std::vector<ItemId>& rank_of_raw) {
+  std::string out;
+  PutVarint64(&out, freq.size() - 1);
+  for (size_t r = 1; r < freq.size(); ++r) {
+    PutVarint64(&out, freq[r]);
+  }
+  for (size_t raw = 1; raw < rank_of_raw.size(); ++raw) {
+    PutVarint32(&out, rank_of_raw[raw]);
+  }
+  return out;
+}
+
+std::string EncodeStats(const DatasetStats& stats) {
+  std::string out;
+  PutVarint64(&out, stats.num_sequences);
+  PutVarint64(&out, stats.total_items);
+  PutVarint64(&out, stats.max_length);
+  PutVarint64(&out, stats.unique_items);
+  return out;
+}
+
+struct Section {
+  uint32_t id;
+  std::string payload;
+};
+
+}  // namespace
+
+void WriteDatasetSnapshot(std::ostream& out, const DatasetSnapshot& snapshot) {
+  WriteDatasetSnapshotParts(out, snapshot.names, snapshot.raw_parent,
+                            snapshot.ranked_corpus, snapshot.freq,
+                            snapshot.rank_of_raw, snapshot.stats);
+}
+
+void WriteDatasetSnapshotParts(std::ostream& out,
+                               const std::vector<std::string>& names,
+                               const std::vector<ItemId>& raw_parent,
+                               const FlatDatabase& ranked_corpus,
+                               const std::vector<Frequency>& freq,
+                               const std::vector<ItemId>& rank_of_raw,
+                               const DatasetStats& stats) {
+  if (names.size() != raw_parent.size() ||
+      names.size() != rank_of_raw.size() || names.size() != freq.size()) {
+    throw IoError(IoErrorKind::kMalformed, 0,
+                  "snapshot: inconsistent vocabulary/hierarchy/f-list sizes");
+  }
+  std::vector<Section> sections;
+  sections.push_back({kVocabulary, EncodeVocabulary(names)});
+  sections.push_back({kHierarchy, EncodeHierarchy(raw_parent)});
+  sections.push_back({kCorpus, EncodeCorpus(ranked_corpus)});
+  sections.push_back({kFlist, EncodeFlist(freq, rank_of_raw)});
+  sections.push_back({kStats, EncodeStats(stats)});
+
+  // The table encodes file-absolute payload offsets, which depend on the
+  // table's own size — varint lengths make that circular, so the header is
+  // built twice: once with zero offsets to learn its size, then for real.
+  auto build_header = [&](uint64_t payload_base) {
+    std::string header(kMagic, sizeof(kMagic));
+    PutVarint32(&header, kSnapshotVersion);
+    PutVarint32(&header, static_cast<uint32_t>(sections.size()));
+    uint64_t offset = payload_base;
+    for (const Section& s : sections) {
+      PutVarint32(&header, s.id);
+      PutVarint64(&header, offset);
+      PutVarint64(&header, s.payload.size());
+      PutFixed64(&header, FnvHashBytes(s.payload.data(), s.payload.size()));
+      offset += s.payload.size();
+    }
+    return header;
+  };
+  // Varints only grow with larger offsets, so the header size is
+  // nondecreasing across rounds and must reach a fixed point (two rounds
+  // in practice); converging is asserted, never assumed, because a
+  // non-converged header would shift every payload offset.
+  std::string header = build_header(0);
+  bool converged = false;
+  for (int round = 0; round < 8 && !converged; ++round) {
+    std::string next = build_header(header.size());
+    converged = next.size() == header.size();
+    header = std::move(next);
+  }
+  if (!converged) {
+    throw IoError(IoErrorKind::kWriteFailed, 0,
+                  "snapshot: header offset encoding did not converge");
+  }
+
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (const Section& s : sections) {
+    out.write(s.payload.data(), static_cast<std::streamsize>(s.payload.size()));
+  }
+  if (!out) {
+    throw IoError(IoErrorKind::kWriteFailed, 0, "snapshot: write failed");
+  }
+}
+
+DatasetSnapshot ReadDatasetSnapshot(std::istream& in) {
+  std::string data = ReadAllBytes(in);
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw IoError(IoErrorKind::kBadMagic, 0,
+                  "snapshot: not a LASHSNAP container");
+  }
+  ByteReader header(data, "snapshot header");
+  (void)header.ReadBytes(sizeof(kMagic), "magic");
+  const uint32_t version = header.ReadVarint32("version");
+  if (version > kSnapshotVersion) {
+    throw IoError(IoErrorKind::kBadVersion, header.pos(),
+                  "snapshot: version " + std::to_string(version) +
+                      " is newer than supported version " +
+                      std::to_string(kSnapshotVersion));
+  }
+  const uint32_t num_sections = header.ReadVarint32("section count");
+
+  struct TableEntry {
+    uint32_t id;
+    uint64_t offset;
+    uint64_t length;
+    uint64_t checksum;
+  };
+  std::vector<TableEntry> table;
+  table.reserve(num_sections);
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    TableEntry e;
+    e.id = header.ReadVarint32("section id");
+    e.offset = header.ReadVarint64("section offset");
+    e.length = header.ReadVarint64("section length");
+    e.checksum = GetFixed64(header.ReadBytes(8, "section checksum").data());
+    if (e.offset > data.size() || e.length > data.size() - e.offset) {
+      throw IoError(IoErrorKind::kTruncated, header.pos(),
+                    "snapshot: section " + std::to_string(e.id) +
+                        " extends past end of file");
+    }
+    table.push_back(e);
+  }
+
+  // Extract + checksum-verify the sections this version understands;
+  // unknown ids are skipped (forward-compatible additions).
+  auto find = [&](uint32_t id) -> const TableEntry* {
+    for (const TableEntry& e : table) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  };
+  // Sections are checksummed and parsed *in place* over `data` (a bounded
+  // string_view window) — no multi-MB substring copy of the corpus section
+  // on the startup path this file exists to make fast.
+  auto load = [&](uint32_t id, const char* what) {
+    const TableEntry* e = find(id);
+    if (e == nullptr) {
+      throw IoError(IoErrorKind::kMalformed, 0,
+                    std::string("snapshot: missing required section ") + what);
+    }
+    std::string_view payload(data.data() + e->offset,
+                             static_cast<size_t>(e->length));
+    const uint64_t actual = FnvHashBytes(payload.data(), payload.size());
+    if (actual != e->checksum) {
+      throw IoError(IoErrorKind::kChecksumMismatch, e->offset,
+                    std::string("snapshot: section ") + what +
+                        " failed checksum verification");
+    }
+    return payload;
+  };
+
+  DatasetSnapshot snap;
+
+  {
+    const std::string_view payload = load(kVocabulary, "vocabulary");
+    ByteReader r(payload, "snapshot vocabulary section",
+                 find(kVocabulary)->offset);
+    const uint64_t n = r.ReadVarint64("item count");
+    if (n > payload.size()) r.Malformed("item count exceeds section size");
+    snap.names.resize(1);
+    snap.names.reserve(n + 1);
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t len = r.ReadVarint64("name length");
+      snap.names.push_back(r.ReadBytes(len, "name bytes"));
+    }
+  }
+  const size_t n = snap.names.size() - 1;
+
+  {
+    const std::string_view payload = load(kHierarchy, "hierarchy");
+    ByteReader r(payload, "snapshot hierarchy section",
+                 find(kHierarchy)->offset);
+    const uint64_t count = r.ReadVarint64("item count");
+    if (count != n) {
+      r.Malformed("hierarchy item count disagrees with vocabulary");
+    }
+    snap.raw_parent.assign(n + 1, kInvalidItem);
+    for (uint64_t id = 1; id <= count; ++id) {
+      const uint32_t p = r.ReadVarint32("parent id");
+      if (p > n || p == id) r.Malformed("parent id out of range or self");
+      snap.raw_parent[id] = p == 0 ? kInvalidItem : p;
+    }
+  }
+
+  {
+    const std::string_view payload = load(kCorpus, "corpus");
+    ByteReader r(payload, "snapshot corpus section", find(kCorpus)->offset);
+    const uint64_t count = r.ReadVarint64("sequence count");
+    const uint64_t total_items = r.ReadVarint64("total item count");
+    if (count > payload.size() || total_items > payload.size()) {
+      r.Malformed("corpus counts exceed section size");
+    }
+    snap.ranked_corpus.Reserve(count, total_items);
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t len = r.ReadVarint64("sequence length");
+      if (len > payload.size()) r.Malformed("sequence length out of range");
+      ItemId* items = snap.ranked_corpus.AppendSlot(len);
+      for (uint64_t j = 0; j < len; ++j) {
+        const uint32_t rank = r.ReadVarint32("item rank");
+        if (rank == kInvalidItem || rank > n) {
+          r.Malformed("item rank out of range");
+        }
+        items[j] = rank;
+      }
+    }
+  }
+
+  {
+    const std::string_view payload = load(kFlist, "f-list");
+    ByteReader r(payload, "snapshot f-list section", find(kFlist)->offset);
+    const uint64_t count = r.ReadVarint64("rank count");
+    if (count != n) r.Malformed("f-list rank count disagrees with vocabulary");
+    snap.freq.assign(n + 1, 0);
+    for (uint64_t rank = 1; rank <= count; ++rank) {
+      snap.freq[rank] = r.ReadVarint64("frequency");
+      // NumFrequent binary-searches the f-list assuming non-increasing
+      // frequencies over ranks; a violation would silently mis-mine.
+      if (rank > 1 && snap.freq[rank] > snap.freq[rank - 1]) {
+        r.Malformed("f-list is not non-increasing over ranks");
+      }
+    }
+    snap.rank_of_raw.assign(n + 1, kInvalidItem);
+    std::vector<char> seen(n + 1, 0);
+    for (uint64_t raw = 1; raw <= count; ++raw) {
+      const uint32_t rank = r.ReadVarint32("rank of raw id");
+      if (rank == kInvalidItem || rank > n || seen[rank]) {
+        r.Malformed("rank order is not a permutation of 1..n");
+      }
+      seen[rank] = 1;
+      snap.rank_of_raw[raw] = rank;
+    }
+  }
+
+  {
+    const std::string_view payload = load(kStats, "stats");
+    ByteReader r(payload, "snapshot stats section", find(kStats)->offset);
+    snap.stats.num_sequences = r.ReadVarint64("num sequences");
+    snap.stats.total_items = r.ReadVarint64("total items");
+    snap.stats.max_length = r.ReadVarint64("max length");
+    snap.stats.unique_items = r.ReadVarint64("unique items");
+    snap.stats.avg_length =
+        snap.stats.num_sequences == 0
+            ? 0.0
+            : static_cast<double>(snap.stats.total_items) /
+                  static_cast<double>(snap.stats.num_sequences);
+  }
+
+  return snap;
+}
+
+}  // namespace lash

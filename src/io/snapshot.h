@@ -1,0 +1,77 @@
+#ifndef LASH_IO_SNAPSHOT_H_
+#define LASH_IO_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/flat_database.h"
+#include "util/types.h"
+
+namespace lash {
+
+/// One-file dataset snapshot: everything a `lash::Dataset` computes at load
+/// time — vocabulary, raw hierarchy, the *rank-recoded flat corpus*, the
+/// generalized f-list, the rank order, and the Table-1 stats — serialized
+/// so that serving shards and tools can skip text parsing *and* the whole
+/// preprocessing phase (Sec. 3.3/3.4) on startup. The raw corpus is not
+/// stored: recoding is a per-item bijection, so the loader reconstructs it
+/// from the ranked corpus in one arena pass.
+///
+/// Container layout (all integers LEB128 varints unless noted):
+///
+///   8 raw bytes   magic "LASHSNAP"
+///   varint32      format version (kSnapshotVersion)
+///   varint32      section count
+///   per section:  varint32 id, varint64 payload offset (file-absolute),
+///                 varint64 payload length, 8 raw bytes FNV-1a64 checksum
+///                 (little-endian) of the payload bytes
+///   payloads      back to back
+///
+/// Readers reject unknown magic (IoErrorKind::kBadMagic), versions newer
+/// than kSnapshotVersion (kBadVersion), out-of-bounds section tables
+/// (kTruncated/kMalformed), and payloads whose checksum does not match
+/// (kChecksumMismatch). Unknown section ids are ignored, so a future
+/// version can *add* sections without a version bump; any change to an
+/// existing section's encoding must bump kSnapshotVersion (see ROADMAP
+/// "Storage layer").
+struct DatasetSnapshot {
+  /// Item names, ids 1..n in raw (interning) order; index 0 unused.
+  std::vector<std::string> names;
+  /// Raw-space parent array; parent[0] unused, kInvalidItem marks roots.
+  std::vector<ItemId> raw_parent;
+  /// The rank-recoded corpus in CSR form (PreprocessResult::database).
+  FlatDatabase ranked_corpus;
+  /// Generalized document frequency per rank (the f-list); index 0 unused.
+  std::vector<Frequency> freq;
+  /// Raw id -> rank (index 0 unused). The inverse is derived on load.
+  std::vector<ItemId> rank_of_raw;
+  /// Table-1 statistics of the raw database.
+  DatasetStats stats;
+};
+
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Serializes `snapshot`. Throws IoError(kWriteFailed) if the stream
+/// rejects a write.
+void WriteDatasetSnapshot(std::ostream& out, const DatasetSnapshot& snapshot);
+
+/// Zero-copy writer over borrowed components (what Dataset::Save uses, so
+/// a save never duplicates the multi-MB corpus/f-list buffers into a
+/// DatasetSnapshot first). Semantics identical to WriteDatasetSnapshot.
+void WriteDatasetSnapshotParts(std::ostream& out,
+                               const std::vector<std::string>& names,
+                               const std::vector<ItemId>& raw_parent,
+                               const FlatDatabase& ranked_corpus,
+                               const std::vector<Frequency>& freq,
+                               const std::vector<ItemId>& rank_of_raw,
+                               const DatasetStats& stats);
+
+/// Parses and validates a snapshot (magic, version, section table bounds,
+/// per-section checksums, cross-section size consistency). Throws IoError.
+DatasetSnapshot ReadDatasetSnapshot(std::istream& in);
+
+}  // namespace lash
+
+#endif  // LASH_IO_SNAPSHOT_H_

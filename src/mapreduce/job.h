@@ -200,8 +200,13 @@ class MapReduceJob {
   /// Installs the spill codec, enabling the packed-spill shuffle.
   void set_spill_codec(SpillCodec codec) { codec_ = std::move(codec); }
 
-  /// Runs the job over `inputs`.
-  JobResult Run(const std::vector<Input>& inputs, const JobConfig& config) {
+  /// Runs the job over `inputs`: any corpus with `size()` and `operator[]`
+  /// yielding something the map function accepts — a `std::vector<Input>`,
+  /// or a FlatDatabase when `Input` is SequenceView (the flat read path:
+  /// map tasks then scan one contiguous arena instead of chasing one heap
+  /// vector per record).
+  template <typename Corpus>
+  JobResult Run(const Corpus& inputs, const JobConfig& config) {
     const size_t num_map = std::max<size_t>(1, config.num_map_tasks);
     const size_t num_red = std::max<size_t>(1, config.num_reduce_tasks);
     JobResult result;
@@ -294,8 +299,9 @@ class MapReduceJob {
     }
   };
 
-  void RunPacked(const std::vector<Input>& inputs, size_t num_map,
-                 size_t num_red, ThreadPool* pool, JobResult* result) {
+  template <typename Corpus>
+  void RunPacked(const Corpus& inputs, size_t num_map, size_t num_red,
+                 ThreadPool* pool, JobResult* result) {
     // spill[m][r] = varint buffer of the records map task m emitted for
     // reduce partition r.
     std::vector<std::vector<std::string>> spill(
@@ -480,8 +486,9 @@ class MapReduceJob {
 
   // ---- Legacy path (before-baseline of bench_shuffle; do not optimize) ---
 
-  void RunLegacy(const std::vector<Input>& inputs, size_t num_map,
-                 size_t num_red, ThreadPool* pool, JobResult* result) {
+  template <typename Corpus>
+  void RunLegacy(const Corpus& inputs, size_t num_map, size_t num_red,
+                 ThreadPool* pool, JobResult* result) {
     // spill[m][r] = pairs emitted by map task m for reduce partition r.
     std::vector<std::vector<std::vector<std::pair<K, V>>>> spill(
         num_map, std::vector<std::vector<std::pair<K, V>>>(num_red));

@@ -42,7 +42,7 @@ PatternMap BfsMiner::Mine(const Partition& partition, ItemId pivot,
     Sequence pair(2);
     for (uint32_t tid = 0; tid < partition.size(); ++tid) {
       codes.clear();
-      const Sequence& t = partition.sequences[tid];
+      const SequenceView t = partition.sequences[tid];
       for (size_t i = 0; i < t.size(); ++i) {
         if (!IsItem(t[i])) continue;
         size_t hi = std::min(t.size(), i + static_cast<size_t>(params_.gamma) + 2);

@@ -31,7 +31,7 @@ class DfsRun {
     // Level 1: occurrences of every item and its generalizations.
     std::map<ItemId, ProjectedDb> by_item;
     for (uint32_t tid = 0; tid < partition_.size(); ++tid) {
-      const Sequence& t = partition_.sequences[tid];
+      const SequenceView t = partition_.sequences[tid];
       for (uint32_t pos = 0; pos < t.size(); ++pos) {
         if (!IsItem(t[pos])) continue;
         for (ItemId a : h_.AncestorSpan(t[pos])) {
@@ -71,7 +71,7 @@ class DfsRun {
     // new end positions in one pass.
     std::map<ItemId, ProjectedDb> expansions;
     for (const Posting& posting : db) {
-      const Sequence& t = partition_.sequences[posting.tid];
+      const SequenceView t = partition_.sequences[posting.tid];
       // Distinct new end positions reachable from any current end.
       std::vector<uint32_t> windows;
       for (uint32_t e : posting.ends) {

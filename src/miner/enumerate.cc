@@ -11,7 +11,7 @@ namespace {
 // pivot (max item == pivot given the rank cap).
 class Enumerator {
  public:
-  Enumerator(const Sequence& t, const Hierarchy& h, uint32_t gamma,
+  Enumerator(SequenceView t, const Hierarchy& h, uint32_t gamma,
              uint32_t lambda, ItemId pivot, SequenceSet* out)
       : t_(t), h_(h), gamma_(gamma), lambda_(lambda), pivot_(pivot), out_(out) {}
 
@@ -41,7 +41,7 @@ class Enumerator {
     }
   }
 
-  const Sequence& t_;
+  const SequenceView t_;
   const Hierarchy& h_;
   uint32_t gamma_;
   uint32_t lambda_;
@@ -52,24 +52,24 @@ class Enumerator {
 
 }  // namespace
 
-void EnumerateGeneralizedSubsequences(const Sequence& t, const Hierarchy& h,
+void EnumerateGeneralizedSubsequences(SequenceView t, const Hierarchy& h,
                                       uint32_t gamma, uint32_t lambda,
                                       SequenceSet* out) {
   Enumerator(t, h, gamma, lambda, kInvalidItem, out).Run();
 }
 
-void EnumeratePivotSequences(const Sequence& t, const Hierarchy& h,
+void EnumeratePivotSequences(SequenceView t, const Hierarchy& h,
                              uint32_t gamma, uint32_t lambda, ItemId pivot,
                              SequenceSet* out) {
   Enumerator(t, h, gamma, lambda, pivot, out).Run();
 }
 
-PatternMap MineByEnumeration(const Database& db, const Hierarchy& h,
+PatternMap MineByEnumeration(const FlatDatabase& db, const Hierarchy& h,
                              const GsmParams& params) {
   params.Validate();
   PatternMap counts;
   SequenceSet per_transaction;
-  for (const Sequence& t : db) {
+  for (SequenceView t : db) {
     per_transaction.clear();
     EnumerateGeneralizedSubsequences(t, h, params.gamma, params.lambda,
                                      &per_transaction);

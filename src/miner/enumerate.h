@@ -15,22 +15,28 @@ namespace lash {
 /// `2 <= |S| <= lambda` under gap constraint `gamma`, deduplicated into
 /// `out`. Blank positions in T are skipped (they match nothing). Worst-case
 /// exponential — this is the point of the naive baseline.
-void EnumerateGeneralizedSubsequences(const Sequence& t, const Hierarchy& h,
+void EnumerateGeneralizedSubsequences(SequenceView t, const Hierarchy& h,
                                       uint32_t gamma, uint32_t lambda,
                                       SequenceSet* out);
 
 /// Enumerates G_{w,λ}(T) (Sec. 4.1, Eq. 2): like above but restricted to
 /// pivot sequences — every item has rank <= `pivot` and the maximum item
 /// equals `pivot`. Requires a rank-monotone hierarchy.
-void EnumeratePivotSequences(const Sequence& t, const Hierarchy& h,
+void EnumeratePivotSequences(SequenceView t, const Hierarchy& h,
                              uint32_t gamma, uint32_t lambda, ItemId pivot,
                              SequenceSet* out);
 
 /// Reference GSM solver: counts every generalized subsequence by brute-force
 /// enumeration and keeps those with frequency >= sigma. Ground truth for
 /// correctness tests of every other algorithm in this repository.
-PatternMap MineByEnumeration(const Database& db, const Hierarchy& h,
+PatternMap MineByEnumeration(const FlatDatabase& db, const Hierarchy& h,
                              const GsmParams& params);
+
+/// Legacy-form convenience overload.
+inline PatternMap MineByEnumeration(const Database& db, const Hierarchy& h,
+                                    const GsmParams& params) {
+  return MineByEnumeration(FlatDatabase::FromDatabase(db), h, params);
+}
 
 /// Reference local miner for a weighted partition: enumerates pivot
 /// sequences per transaction and accumulates weights. Ground truth for the

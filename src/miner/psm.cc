@@ -147,7 +147,7 @@ class PsmRun {
     // ascending, position ascending) already matches the sorted-unique
     // event invariant, so no sort is needed.
     for (uint32_t tid = 0; tid < partition_.size(); ++tid) {
-      const Sequence& t = partition_.sequences[tid];
+      const SequenceView t = partition_.sequences[tid];
       for (uint32_t pos = 0; pos < t.size(); ++pos) {
         // On w-generalized partitions only the literal pivot matches, but
         // PSM stays correct on raw partitions (descendants of the pivot
@@ -194,7 +194,7 @@ class PsmRun {
     for (size_t i = db.begin; i < db.end; ++i) {
       // Copy: push_back below may reallocate the arena.
       const ExpansionEvent ev = events_[i];
-      const Sequence& t = partition_.sequences[ev.tid];
+      const SequenceView t = partition_.sequences[ev.tid];
       uint64_t hi = std::min<uint64_t>(
           t.size(), static_cast<uint64_t>(ev.emb.end) + params_.gamma + 2);
       for (uint32_t j = ev.emb.end + 1; j < hi; ++j) {
@@ -236,7 +236,7 @@ class PsmRun {
     const size_t mark = events_.size();
     for (size_t i = db.begin; i < db.end; ++i) {
       const ExpansionEvent ev = events_[i];
-      const Sequence& t = partition_.sequences[ev.tid];
+      const SequenceView t = partition_.sequences[ev.tid];
       uint32_t window = params_.gamma + 1;
       uint32_t lo = ev.emb.start >= window ? ev.emb.start - window : 0;
       for (uint32_t j = lo; j < ev.emb.start; ++j) {

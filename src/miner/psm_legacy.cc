@@ -39,7 +39,7 @@ bool WalkGeneralizesTo(const Hierarchy& h, ItemId w, ItemId anc) {
 
 class LegacyPsmRun {
  public:
-  LegacyPsmRun(const Partition& partition, const Hierarchy& h,
+  LegacyPsmRun(const LegacyPartition& partition, const Hierarchy& h,
                const GsmParams& params, ItemId pivot, bool use_index,
                MinerStats* stats)
       : partition_(partition),
@@ -183,7 +183,7 @@ class LegacyPsmRun {
     if (stats_ != nullptr) ++stats_->outputs;
   }
 
-  const Partition& partition_;
+  const LegacyPartition& partition_;
   const Hierarchy& h_;
   const GsmParams& params_;
   ItemId pivot_;
@@ -194,13 +194,20 @@ class LegacyPsmRun {
 
 }  // namespace
 
+LegacyPartition MaterializeLegacyPartition(const Partition& partition) {
+  LegacyPartition legacy;
+  legacy.sequences = partition.sequences.Materialize();
+  legacy.weights = partition.weights;
+  return legacy;
+}
+
 LegacyPsmMiner::LegacyPsmMiner(const Hierarchy* hierarchy,
                                const GsmParams& params, bool use_index)
     : hierarchy_(hierarchy), params_(params), use_index_(use_index) {
   params_.Validate();
 }
 
-PatternMap LegacyPsmMiner::Mine(const Partition& partition, ItemId pivot,
+PatternMap LegacyPsmMiner::Mine(const LegacyPartition& partition, ItemId pivot,
                                 MinerStats* stats) {
   LegacyPsmRun run(partition, *hierarchy_, params_, pivot, use_index_, stats);
   return run.Mine();

@@ -1,26 +1,46 @@
 #ifndef LASH_MINER_PSM_LEGACY_H_
 #define LASH_MINER_PSM_LEGACY_H_
 
+#include <string>
+#include <vector>
+
 #include "miner/miner.h"
 
 namespace lash {
+
+/// A partition in the seed's owning vector-of-vectors form: one heap
+/// allocation per rewritten sequence. Production code moved to the
+/// CSR-backed Partition (core/database.h); this form exists only so the
+/// preserved baseline below keeps measuring exactly the seed's costs —
+/// including its per-transaction pointer chases.
+struct LegacyPartition {
+  std::vector<Sequence> sequences;
+  std::vector<Frequency> weights;
+
+  size_t size() const { return sequences.size(); }
+};
+
+/// Copies a CSR partition into the owning legacy form (bench/test harness
+/// code only; do this outside any timed region).
+LegacyPartition MaterializeLegacyPartition(const Partition& partition);
 
 /// The original (pre-optimization) PSM implementation, kept verbatim as the
 /// "before" baseline for bench_hotpath and as an extra differential-testing
 /// oracle. It pointer-chases parent links one step at a time, allocates a
 /// node-based std::map<ItemId, PsmDb> per expansion step, backs the
-/// PSM+Index right index with unordered_sets, and deduplicates embeddings
-/// with a linear std::find — exactly the costs the optimized PsmMiner
-/// removes. Semantics are identical to PsmMiner.
-class LegacyPsmMiner : public LocalMiner {
+/// PSM+Index right index with unordered_sets, deduplicates embeddings
+/// with a linear std::find, and reads owning per-sequence vectors — exactly
+/// the costs the optimized PsmMiner (and the CSR storage layer) removes.
+/// Semantics are identical to PsmMiner.
+class LegacyPsmMiner {
  public:
   LegacyPsmMiner(const Hierarchy* hierarchy, const GsmParams& params,
                  bool use_index);
 
-  PatternMap Mine(const Partition& partition, ItemId pivot,
-                  MinerStats* stats) override;
+  PatternMap Mine(const LegacyPartition& partition, ItemId pivot,
+                  MinerStats* stats);
 
-  std::string name() const override {
+  std::string name() const {
     return use_index_ ? "PSM+Index-legacy" : "PSM-legacy";
   }
 

@@ -18,7 +18,7 @@ void PutVarint64(std::string* out, uint64_t value) {
   out->push_back(static_cast<char>(value));
 }
 
-bool GetVarint32(const std::string& data, size_t* pos, uint32_t* value) {
+bool GetVarint32(std::string_view data, size_t* pos, uint32_t* value) {
   uint32_t result = 0;
   for (int shift = 0; shift <= 28; shift += 7) {
     if (*pos >= data.size()) return false;
@@ -33,7 +33,7 @@ bool GetVarint32(const std::string& data, size_t* pos, uint32_t* value) {
   return false;
 }
 
-bool GetVarint64(const std::string& data, size_t* pos, uint64_t* value) {
+bool GetVarint64(std::string_view data, size_t* pos, uint64_t* value) {
   uint64_t result = 0;
   for (int shift = 0; shift <= 63; shift += 7) {
     if (*pos >= data.size()) return false;

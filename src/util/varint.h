@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.h"
@@ -21,11 +22,13 @@ void PutVarint32(std::string* out, uint32_t value);
 void PutVarint64(std::string* out, uint64_t value);
 
 /// Decodes a varint32 from `data` at `*pos`, advancing `*pos` past it.
-/// Returns false on truncated or malformed input.
-bool GetVarint32(const std::string& data, size_t* pos, uint32_t* value);
+/// Returns false on truncated or malformed input. Takes a string_view so
+/// bounded windows (e.g. one snapshot section of a larger buffer) decode
+/// in place without a substring copy; std::string converts implicitly.
+bool GetVarint32(std::string_view data, size_t* pos, uint32_t* value);
 
 /// 64-bit variant of GetVarint32.
-bool GetVarint64(const std::string& data, size_t* pos, uint64_t* value);
+bool GetVarint64(std::string_view data, size_t* pos, uint64_t* value);
 
 /// Returns the number of bytes PutVarint32 would write for `value`.
 size_t Varint32Size(uint32_t value);

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "io/io_error.h"
 #include "test_util.h"
 
 namespace lash {
@@ -14,12 +15,24 @@ TEST(BinaryIoTest, DatabaseRoundTrip) {
   std::stringstream buffer;
   WriteDatabaseBinary(buffer, ex.pre.database);
   Database decoded = ReadDatabaseBinary(buffer);
-  EXPECT_EQ(decoded, ex.pre.database);
+  EXPECT_EQ(FlatDatabase::FromDatabase(decoded), ex.pre.database);
+}
+
+TEST(BinaryIoTest, FlatDatabaseRoundTrip) {
+  // The flat writer emits byte-identical output to the owning writer, and
+  // the flat reader decodes straight into the CSR form.
+  testing::PaperExample ex;
+  std::stringstream flat_buffer;
+  WriteDatabaseBinary(flat_buffer, ex.pre.database);
+  std::stringstream legacy_buffer;
+  WriteDatabaseBinary(legacy_buffer, ex.pre.database.Materialize());
+  EXPECT_EQ(flat_buffer.str(), legacy_buffer.str());
+  EXPECT_EQ(ReadFlatDatabaseBinary(flat_buffer), ex.pre.database);
 }
 
 TEST(BinaryIoTest, EmptyDatabaseRoundTrip) {
   std::stringstream buffer;
-  WriteDatabaseBinary(buffer, {});
+  WriteDatabaseBinary(buffer, Database{});
   EXPECT_TRUE(ReadDatabaseBinary(buffer).empty());
 }
 
@@ -45,19 +58,35 @@ TEST(BinaryIoTest, PatternsRoundTrip) {
 
 TEST(BinaryIoTest, RejectsWrongMagic) {
   std::stringstream buffer;
-  WriteDatabaseBinary(buffer, {{1, 2}});
-  EXPECT_THROW(ReadHierarchyBinary(buffer), std::runtime_error);
+  WriteDatabaseBinary(buffer, Database{{1, 2}});
+  // Typed error: the reader identifies "not this container" as kBadMagic
+  // (and still derives from std::runtime_error for old catch sites).
+  try {
+    ReadHierarchyBinary(buffer);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kBadMagic);
+    EXPECT_EQ(e.byte_offset(), 0u);
+  }
 }
 
 TEST(BinaryIoTest, RejectsTruncation) {
   std::stringstream buffer;
-  WriteDatabaseBinary(buffer, {{1, 2, 3}, {4, 5}});
+  WriteDatabaseBinary(buffer, Database{{1, 2, 3}, {4, 5}});
   std::string data = buffer.str();
-  for (size_t cut : {data.size() - 1, data.size() / 2, size_t{1}}) {
+  for (size_t cut : {data.size() - 1, data.size() / 2}) {
     std::stringstream truncated(data.substr(0, cut));
-    EXPECT_THROW(ReadDatabaseBinary(truncated), std::runtime_error)
-        << "cut at " << cut;
+    try {
+      ReadDatabaseBinary(truncated);
+      FAIL() << "expected IoError, cut at " << cut;
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kTruncated) << "cut at " << cut;
+      EXPECT_GT(e.byte_offset(), 0u) << "cut at " << cut;
+    }
   }
+  // Cutting inside the magic itself is a bad-magic failure, not truncation.
+  std::stringstream stub(data.substr(0, 1));
+  EXPECT_THROW(ReadDatabaseBinary(stub), IoError);
 }
 
 TEST(BinaryIoTest, RandomRoundTrips) {

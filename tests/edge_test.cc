@@ -24,7 +24,7 @@ JobConfig OddConfig(size_t maps, size_t reds) {
 
 TEST(EdgeTest, EmptyDatabase) {
   Hierarchy h = Hierarchy::Flat(3);
-  PreprocessResult pre = Preprocess({}, h);
+  PreprocessResult pre = Preprocess(Database{}, h);
   GsmParams params{.sigma = 1, .gamma = 0, .lambda = 2};
   EXPECT_TRUE(RunLash(pre, params, OddConfig(4, 4)).patterns.empty());
   EXPECT_TRUE(MineSequential(pre, params).empty());
@@ -141,7 +141,7 @@ TEST(EdgeTest, RewriterOnAllIrrelevantSequence) {
   Hierarchy h = Hierarchy::Flat(5);
   Rewriter rewriter(&h, 1, 3);
   // Pivot 1 does not occur: rewrite proves emptiness.
-  EXPECT_TRUE(rewriter.Rewrite({4, 5, 3}, 1).empty());
+  EXPECT_TRUE(rewriter.Rewrite(Sequence{4, 5, 3}, 1).empty());
 }
 
 TEST(EdgeTest, RewriterPivotIsLargestItem) {

@@ -26,7 +26,7 @@ TEST(GspTest, ExtendedDatabaseInflatesWithDepth) {
   GspStats stats;
   RunGspExtended(ex.pre, params, &stats);
   size_t raw_items = 0;
-  for (const Sequence& t : ex.pre.database) raw_items += t.size();
+  for (SequenceView t : ex.pre.database) raw_items += t.size();
   EXPECT_GT(stats.extended_items, raw_items);
 }
 

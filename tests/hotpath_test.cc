@@ -82,9 +82,11 @@ TEST(HotPathTest, AllPartitionMinersAgreeWithNaive) {
               << miner->name() << " shape=" << shape << " gamma=" << gamma
               << " lambda=" << lambda << " pivot=" << pivot;
         }
+        const LegacyPartition legacy_partition =
+            MaterializeLegacyPartition(partition);
         for (bool use_index : {false, true}) {
           LegacyPsmMiner legacy(&h, params, use_index);
-          PatternMap mined = legacy.Mine(partition, pivot, nullptr);
+          PatternMap mined = legacy.Mine(legacy_partition, pivot, nullptr);
           ASSERT_EQ(testing::Sorted(mined), testing::Sorted(expected))
               << legacy.name() << " shape=" << shape;
         }

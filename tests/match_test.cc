@@ -39,7 +39,7 @@ TEST_F(MatchPaperTest, SupportExamples) {
   // Sup_0(aBc) = {T2}, Sup_1(aBc) = {T2, T5} (Sec. 2).
   Sequence abc = ex_.RankSeq({"a", "B", "c"});
   int sup0 = 0, sup1 = 0;
-  for (const Sequence& t : ex_.pre.database) {
+  for (SequenceView t : ex_.pre.database) {
     sup0 += Matches(abc, t, h, 0);
     sup1 += Matches(abc, t, h, 1);
   }

@@ -11,11 +11,11 @@ namespace {
 
 // Builds the aggregated partition P_w from a database exactly as LASH's map
 // + combine phases would (rewrite, drop empties, merge duplicates).
-Partition BuildPartition(const Database& db, const Hierarchy& h,
+Partition BuildPartition(const FlatDatabase& db, const Hierarchy& h,
                          const GsmParams& params, ItemId pivot) {
   Rewriter rewriter(&h, params.gamma, params.lambda);
   PatternMap aggregated;
-  for (const Sequence& t : db) {
+  for (SequenceView t : db) {
     Sequence rewritten = rewriter.Rewrite(t, pivot);
     if (!rewritten.empty()) ++aggregated[rewritten];
   }
@@ -113,7 +113,8 @@ TEST_P(MinerAgreementTest, AgreesWithEnumerationOnRandomPartitions) {
   for (int trial = 0; trial < 40; ++trial) {
     const size_t num_items = 3 + rng.Uniform(7);
     Hierarchy h = testing::RandomRankHierarchy(num_items, 0.4, &rng);
-    Database db = testing::RandomDatabase(12, 9, num_items, &rng);
+    FlatDatabase db = FlatDatabase::FromDatabase(
+        testing::RandomDatabase(12, 9, num_items, &rng));
     auto miner = MakeLocalMiner(param.kind, &h, params);
     for (ItemId pivot = 1; pivot <= num_items; ++pivot) {
       Partition partition = BuildPartition(db, h, params, pivot);

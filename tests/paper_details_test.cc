@@ -21,7 +21,7 @@ TEST(PaperDetailsTest, SemiNaivePruningOfT4) {
   const ItemId num_frequent = static_cast<ItemId>(ex.pre.NumFrequent(2));
   ASSERT_EQ(num_frequent, 5u);
 
-  Sequence t4 = ex.pre.database[3];
+  Sequence t4 = ex.pre.database[3].ToSequence();
   Sequence pruned;
   for (ItemId w : t4) {
     ItemId replacement = kBlank;
@@ -78,7 +78,7 @@ TEST(PaperDetailsTest, FrequencyOfBInPartitionDiffers) {
   testing::PaperExample ex;
   Rewriter rewriter(&ex.pre.hierarchy, 1, 3);
   size_t containing_b = 0;
-  for (const Sequence& t : ex.pre.database) {
+  for (SequenceView t : ex.pre.database) {
     Sequence rewritten = rewriter.Rewrite(t, ex.Rank("B"));
     for (ItemId w : rewritten) {
       if (w == ex.Rank("B")) {

@@ -69,10 +69,12 @@ TEST(DatabaseStatsTest, ComputesTable1Fields) {
   EXPECT_EQ(stats.max_length, 4u);
   EXPECT_EQ(stats.unique_items, 3u);
   EXPECT_NEAR(stats.avg_length, 8.0 / 3, 1e-9);
+  // The flat-form overload agrees field for field.
+  EXPECT_EQ(ComputeStats(FlatDatabase::FromDatabase(db)), stats);
 }
 
 TEST(DatabaseStatsTest, EmptyDatabase) {
-  DatasetStats stats = ComputeStats({});
+  DatasetStats stats = ComputeStats(Database{});
   EXPECT_EQ(stats.num_sequences, 0u);
   EXPECT_DOUBLE_EQ(stats.avg_length, 0.0);
 }

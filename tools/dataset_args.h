@@ -1,0 +1,89 @@
+#ifndef LASH_TOOLS_DATASET_ARGS_H_
+#define LASH_TOOLS_DATASET_ARGS_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "api/lash_api.h"
+#include "datagen/corpus_recipes.h"
+#include "tools/arg_parse.h"
+
+namespace lash::tools {
+
+/// The flags every dataset-consuming tool shares; splice into the tool's
+/// Args spec: text input (--sequences + --hierarchy), snapshot input
+/// (--snapshot), and --save-snapshot. Tools that also self-generate add
+/// the --gen flags separately.
+inline constexpr struct {
+  const char* sequences = "sequences";
+  const char* hierarchy = "hierarchy";
+  const char* snapshot = "snapshot";
+  const char* save_snapshot = "save-snapshot";
+} kDatasetFlags;
+
+/// Loads the one dataset a tool invocation names: text files
+/// (--sequences/--hierarchy), a snapshot (--snapshot), or — when
+/// `allow_gen` — a self-generated corpus (--gen nyt|amzn with the shared
+/// recipes of datagen/corpus_recipes.h). Exactly one source must be
+/// given (ArgError otherwise: a typo'd mix must error, not silently load
+/// the wrong data). Follow with MaybeSaveSnapshot (Dataset is pinned in
+/// place — no copies/moves — so the save step cannot live in here).
+inline Dataset LoadDatasetFromArgs(const Args& args, bool allow_gen = false) {
+  const int sources =
+      ((args.Has(kDatasetFlags.sequences) || args.Has(kDatasetFlags.hierarchy))
+           ? 1
+           : 0) +
+      (args.Has(kDatasetFlags.snapshot) ? 1 : 0) +
+      ((allow_gen && args.Has("gen")) ? 1 : 0);
+  if (sources != 1) {
+    throw ArgError(
+        std::string("pass exactly one of --sequences FILE --hierarchy FILE") +
+        " or --snapshot FILE" + (allow_gen ? " or --gen nyt|amzn" : ""));
+  }
+
+  return [&]() -> Dataset {
+    if (allow_gen && args.Has("gen")) {
+      const std::string kind = args.Get("gen", "nyt");
+      if (kind == "nyt") {
+        NytRecipe recipe;
+        recipe.sentences = args.GetInt("sentences", 2000);
+        recipe.lemmas = args.GetInt("lemmas", 800);
+        recipe.seed = args.GetInt("seed", recipe.seed);
+        GeneratedText data = MakeNytCorpus(recipe);
+        return Dataset::FromMemory(std::move(data.database),
+                                   std::move(data.vocabulary),
+                                   std::move(data.hierarchy));
+      }
+      if (kind == "amzn") {
+        AmznRecipe recipe;
+        recipe.sessions = args.GetInt("sessions", 2000);
+        recipe.products = args.GetInt("products", 1000);
+        recipe.levels = static_cast<int>(args.GetInt("levels", 8, 8));
+        recipe.seed = args.GetInt("seed", recipe.seed);
+        GeneratedProducts data = MakeAmznCorpus(recipe);
+        return Dataset::FromMemory(std::move(data.database),
+                                   std::move(data.vocabulary),
+                                   std::move(data.hierarchy));
+      }
+      throw ArgError("unknown --gen kind (use nyt|amzn)");
+    }
+    if (args.Has(kDatasetFlags.snapshot)) {
+      return Dataset::FromSnapshot(args.Require(kDatasetFlags.snapshot));
+    }
+    return Dataset::FromFiles(args.Require(kDatasetFlags.sequences),
+                              args.Require(kDatasetFlags.hierarchy));
+  }();
+}
+
+/// Honors --save-snapshot for a freshly loaded dataset (no-op otherwise).
+inline void MaybeSaveSnapshot(const Args& args, const Dataset& dataset) {
+  if (!args.Has(kDatasetFlags.save_snapshot)) return;
+  const std::string path = args.Require(kDatasetFlags.save_snapshot);
+  dataset.Save(path);
+  std::fprintf(stderr, "saved snapshot to %s\n", path.c_str());
+}
+
+}  // namespace lash::tools
+
+#endif  // LASH_TOOLS_DATASET_ARGS_H_

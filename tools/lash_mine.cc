@@ -2,11 +2,16 @@
 // the lash::Dataset / lash::MiningTask facade (api/lash_api.h).
 //
 // Usage:
-//   lash_mine --sequences data.txt --hierarchy hier.tsv \
+//   lash_mine (--sequences data.txt --hierarchy hier.tsv | --snapshot FILE) \
 //             [--sigma 100] [--gamma 0] [--lambda 5] \
 //             [--algo sequential|lash|mgfsm|gsp|naive|seminaive] \
 //             [--miner psm+index|psm|dfs|bfs] [--distributed] [--threads N] \
-//             [--filter none|closed|maximal] [--top K] [--output out.txt]
+//             [--filter none|closed|maximal] [--top K] [--output out.txt] \
+//             [--save-snapshot FILE]
+//
+// --snapshot loads a one-file dataset snapshot (written by --save-snapshot
+// or Dataset::Save), which skips text parsing and the whole preprocessing
+// phase; --save-snapshot writes one after loading so the next run can.
 //
 // Input formats (io/text_io.h): one sequence per line of item names;
 // hierarchy as child<TAB>parent lines. Output: frequency<TAB>pattern lines.
@@ -18,6 +23,7 @@
 
 #include "api/lash_api.h"
 #include "tools/arg_parse.h"
+#include "tools/dataset_args.h"
 
 namespace {
 
@@ -26,8 +32,6 @@ int RealMain(const lash::tools::Args& args) {
 
   // Parse every flag before touching the (potentially huge) input files, so
   // a bad invocation fails immediately.
-  std::string sequences_path = args.Require("sequences");
-  std::string hierarchy_path = args.Require("hierarchy");
   // --distributed is kept as a shorthand for --algo lash.
   std::string algo_name =
       args.Get("algo", args.Has("distributed") ? "lash" : "sequential");
@@ -62,9 +66,12 @@ int RealMain(const lash::tools::Args& args) {
     }
   }
 
-  Dataset dataset = Dataset::FromFiles(sequences_path, hierarchy_path);
+  Dataset dataset = lash::tools::LoadDatasetFromArgs(args);
   std::cerr << "read " << dataset.NumSequences() << " sequences, "
-            << dataset.NumItems() << " items\n";
+            << dataset.NumItems() << " items (read "
+            << dataset.load_times().read_ms << " ms, preprocess "
+            << dataset.load_times().preprocess_ms << " ms)\n";
+  lash::tools::MaybeSaveSnapshot(args, dataset);
 
   MiningTask task(dataset);
   task.WithAlgorithm(algorithm)
@@ -142,6 +149,8 @@ int main(int argc, char** argv) {
     Args args(argc, argv,
               {{"sequences"},
                {"hierarchy"},
+               {"snapshot"},
+               {"save-snapshot"},
                {"sigma"},
                {"gamma"},
                {"lambda"},
@@ -153,11 +162,13 @@ int main(int argc, char** argv) {
                {"top"},
                {"output"}});
     if (args.Has("help")) {
-      std::cout << "lash_mine --sequences FILE --hierarchy FILE [--sigma N] "
+      std::cout << "lash_mine (--sequences FILE --hierarchy FILE | "
+                   "--snapshot FILE) [--sigma N] "
                    "[--gamma N] [--lambda N] "
                    "[--algo sequential|lash|mgfsm|gsp|naive|seminaive] "
                    "[--miner NAME] [--distributed] [--threads N] "
-                   "[--filter none|closed|maximal] [--top K] [--output FILE]\n";
+                   "[--filter none|closed|maximal] [--top K] [--output FILE] "
+                   "[--save-snapshot FILE]\n";
       return 0;
     }
     return RealMain(args);

@@ -2,13 +2,17 @@
 // interactive REPL: the serving layer's command-line front end.
 //
 // Usage:
-//   lash_serve (--sequences FILE --hierarchy FILE | --gen nyt|amzn ...)
+//   lash_serve (--sequences FILE --hierarchy FILE | --snapshot FILE |
+//               --gen nyt|amzn ...)
 //              (--script FILE | --repl)
 //              [--threads N] [--queue N] [--block] [--cache-mb N]
-//              [--print K] [--seed N]
-//   data generation (self-contained smoke runs, no input files needed):
+//              [--print K] [--seed N] [--save-snapshot FILE]
+//   data generation (self-contained smoke runs, no input files needed;
+//   recipes shared with the perf gates via datagen/corpus_recipes.h):
 //              --gen nyt  [--sentences N] [--lemmas N]
 //              --gen amzn [--sessions N] [--products N] [--levels 2..8]
+//   --snapshot loads a one-file dataset snapshot (skips parsing and
+//   preprocessing); --save-snapshot writes one after loading/generating.
 //
 // Script format (newline-delimited; '#' starts a comment):
 //   mine key=value...   submit a query asynchronously
@@ -32,11 +36,10 @@
 #include <vector>
 
 #include "api/lash_api.h"
-#include "datagen/product_gen.h"
-#include "datagen/text_gen.h"
 #include "serve/mining_service.h"
 #include "stats/filters.h"
 #include "tools/arg_parse.h"
+#include "tools/dataset_args.h"
 
 namespace {
 
@@ -235,40 +238,16 @@ int RealMain(const lash::tools::Args& args) {
   }
 
   // Load or generate the dataset before opening the script, so data errors
-  // are reported first.
-  Dataset dataset = [&]() -> Dataset {
-    if (args.Has("gen")) {
-      const std::string kind = args.Get("gen", "nyt");
-      const uint64_t seed = args.GetInt("seed", 42);
-      if (kind == "nyt") {
-        TextGenConfig config;
-        config.num_sentences = args.GetInt("sentences", 2000);
-        config.num_lemmas = args.GetInt("lemmas", 800);
-        config.seed = seed;
-        GeneratedText data = GenerateText(config);
-        return Dataset::FromMemory(std::move(data.database),
-                                   std::move(data.vocabulary),
-                                   std::move(data.hierarchy));
-      }
-      if (kind == "amzn") {
-        ProductGenConfig config;
-        config.num_sessions = args.GetInt("sessions", 2000);
-        config.num_products = args.GetInt("products", 1000);
-        config.levels = static_cast<int>(args.GetInt("levels", 8, 8));
-        config.seed = seed;
-        GeneratedProducts data = GenerateProducts(config);
-        return Dataset::FromMemory(std::move(data.database),
-                                   std::move(data.vocabulary),
-                                   std::move(data.hierarchy));
-      }
-      throw tools::ArgError("unknown --gen kind (use nyt|amzn)");
-    }
-    return Dataset::FromFiles(args.Require("sequences"),
-                              args.Require("hierarchy"));
-  }();
-  std::fprintf(stderr, "serving dataset %llu: %zu sequences, %zu items\n",
+  // are reported first; exactly one source (text | snapshot | --gen, the
+  // shared recipes of datagen/corpus_recipes.h) like every dataset tool.
+  Dataset dataset = tools::LoadDatasetFromArgs(args, /*allow_gen=*/true);
+  tools::MaybeSaveSnapshot(args, dataset);
+  std::fprintf(stderr,
+               "serving dataset %llu: %zu sequences, %zu items "
+               "(read %.1f ms, preprocess %.1f ms)\n",
                (unsigned long long)dataset.id(), dataset.NumSequences(),
-               dataset.NumItems());
+               dataset.NumItems(), dataset.load_times().read_ms,
+               dataset.load_times().preprocess_ms);
 
   MiningService service(dataset, options);
   if (repl) {
@@ -290,6 +269,8 @@ int main(int argc, char** argv) {
   try {
     Args args(argc, argv, {{"sequences"},
                            {"hierarchy"},
+                           {"snapshot"},
+                           {"save-snapshot"},
                            {"gen"},
                            {"sentences"},
                            {"lemmas"},
@@ -306,9 +287,10 @@ int main(int argc, char** argv) {
                            {"print"}});
     if (args.Has("help")) {
       std::cout
-          << "lash_serve (--sequences FILE --hierarchy FILE | --gen nyt|amzn)"
-             " (--script FILE | --repl) [--threads N] [--queue N] [--block]"
-             " [--cache-mb N] [--print K]\n"
+          << "lash_serve (--sequences FILE --hierarchy FILE | --snapshot FILE"
+             " | --gen nyt|amzn) (--script FILE | --repl) [--threads N]"
+             " [--queue N] [--block] [--cache-mb N] [--print K]"
+             " [--save-snapshot FILE]\n"
              "script commands: mine key=value... | wait | stats\n";
       return 0;
     }

@@ -4,22 +4,23 @@
 // sequences.
 //
 // Usage:
-//   lash_stats --sequences data.txt --hierarchy hier.tsv \
-//              [--sigma 100] [--gamma 0] [--lambda 5]
+//   lash_stats (--sequences data.txt --hierarchy hier.tsv | --snapshot F) \
+//              [--sigma 100] [--gamma 0] [--lambda 5] [--save-snapshot FILE]
 
 #include <iostream>
 
 #include "api/lash_api.h"
 #include "stats/output_stats.h"
 #include "tools/arg_parse.h"
+#include "tools/dataset_args.h"
 
 namespace {
 
 int RealMain(const lash::tools::Args& args) {
   using namespace lash;
 
-  Dataset dataset =
-      Dataset::FromFiles(args.Require("sequences"), args.Require("hierarchy"));
+  Dataset dataset = lash::tools::LoadDatasetFromArgs(args);
+  lash::tools::MaybeSaveSnapshot(args, dataset);
 
   MiningTask task(dataset);
   task.WithSigma(args.GetInt("sigma", 100))
@@ -50,10 +51,17 @@ int main(int argc, char** argv) {
   using lash::tools::Args;
   try {
     Args args(argc, argv,
-              {{"sequences"}, {"hierarchy"}, {"sigma"}, {"gamma"}, {"lambda"}});
+              {{"sequences"},
+               {"hierarchy"},
+               {"snapshot"},
+               {"save-snapshot"},
+               {"sigma"},
+               {"gamma"},
+               {"lambda"}});
     if (args.Has("help")) {
-      std::cout << "lash_stats --sequences FILE --hierarchy FILE [--sigma N] "
-                   "[--gamma N] [--lambda N]\n";
+      std::cout << "lash_stats (--sequences FILE --hierarchy FILE | "
+                   "--snapshot FILE) [--sigma N] "
+                   "[--gamma N] [--lambda N] [--save-snapshot FILE]\n";
       return 0;
     }
     return RealMain(args);
