@@ -79,9 +79,12 @@ AlgoResult RunLashPacked(const PreprocessResult& pre, const GsmParams& params,
           scratch.rewriter = std::make_unique<ScratchRewriter>(
               &h, params.gamma, params.lambda);
         }
-        if (options.rewrite == RewriteLevel::kFull && params.gamma == 0) {
-          // Occurrence-driven fused loop: every pivot's key in one pass.
-          scratch.rewriter->RewriteAllPivotsGammaZero(
+        if (options.rewrite == RewriteLevel::kFull) {
+          // Occurrence-driven fused loop: every pivot's key in one chain
+          // walk, each pivot rewriting only the bounded neighborhood of
+          // its occurrences (run walk for gamma == 0, merged
+          // (lambda-1)*(gamma+1) windows with the interval DP otherwise).
+          scratch.rewriter->RewriteAllPivots(
               t, num_frequent, [&](const Sequence& key) { emit(key, 1); });
           return;
         }

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -17,6 +18,7 @@
 
 #include "mapreduce/cluster.h"
 #include "util/hash.h"
+#include "util/readiness.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -63,13 +65,19 @@ struct PhaseTimes {
 
 /// Which shuffle implementation a job run uses.
 enum class ShuffleMode {
-  /// Byte-packed spill: map output is varint-encoded into one flat buffer
-  /// per (map task, reduce partition) via the job's SpillCodec, and the
-  /// shuffle groups records by sorting (hash of the encoded key bytes,
-  /// then the bytes themselves) — equal keys have equal canonical
-  /// encodings, so a run of equal slices is one reduce group. No per-pair
-  /// heap allocation, no hash table, and MAP_OUTPUT_BYTES is measured,
-  /// not simulated. Jobs without a SpillCodec fall back to kLegacyHash.
+  /// Byte-packed spill, pipelined: map output is varint-encoded into one
+  /// flat buffer per (map task, reduce partition) via the job's
+  /// SpillCodec, with the record directory (key-slice bounds + key hash)
+  /// built at spill time — there is no shuffle-side decode scan. There
+  /// are no global phase barriers either: per-partition readiness
+  /// counters enqueue a partition's grouping + reduce task the moment the
+  /// last map task seals its buffers for that partition. Grouping is an
+  /// MSD radix sort on the key hash (comparison sort only within
+  /// same-hash runs) that makes equal keys adjacent — equal keys have
+  /// equal canonical encodings, so a run of equal slices is one reduce
+  /// group. No per-pair heap allocation, no hash table, and
+  /// MAP_OUTPUT_BYTES is measured, not simulated. Jobs without a
+  /// SpillCodec fall back to kLegacyHash.
   kPackedSpill,
   /// The pre-PR2 path: one heap std::pair<K, V> per spilled record and an
   /// unordered_map<K, vector<V>> per reduce partition. Kept as the
@@ -89,6 +97,21 @@ struct JobConfig {
   ShuffleMode shuffle = ShuffleMode::kPackedSpill;
 };
 
+/// Timeline of one reduce partition on the pipelined packed path, all in
+/// wall-clock milliseconds since the job started.
+struct PartitionTimeline {
+  /// The last map task sealed this partition's spill buffers (its
+  /// readiness counter hit zero and the grouping task was enqueued).
+  double ready_ms = 0;
+  /// The grouping task began executing on a worker (ready -> start is
+  /// queue wait, not work).
+  double start_ms = 0;
+  /// Radix grouping finished; reduce streaming begins.
+  double grouped_ms = 0;
+  /// Reduce + reduce_finish done.
+  double reduced_ms = 0;
+};
+
 /// Result of a job run: phase timings, counters, and the recorded per-task
 /// durations that feed the simulated-cluster makespan model (Fig. 6).
 struct JobResult {
@@ -97,18 +120,93 @@ struct JobResult {
   std::vector<double> map_task_ms;
   std::vector<double> reduce_task_ms;
 
-  /// Simulated per-phase times on an `m`-machine cluster (Sec. 6.6).
+  /// True when the run used the pipelined packed-spill path (no global
+  /// phase barriers; `partition_timeline` is populated and
+  /// `reduce_task_ms` includes each partition's grouping work).
+  bool pipelined = false;
+  /// Per-reduce-partition ready -> start -> grouped -> reduced timeline
+  /// (pipelined packed path only, else empty).
+  std::vector<PartitionTimeline> partition_timeline;
+  /// When the last map task finished, i.e. where the map -> shuffle
+  /// barrier *would* have been (pipelined packed path only).
+  double map_barrier_ms = 0;
+  /// Wall-clock during which at least two phases (map; grouping; reduce)
+  /// had tasks executing simultaneously — the pipelining win made
+  /// attributable. 0 on a single-thread pool, where tasks can interleave
+  /// but never overlap.
+  double phase_overlap_ms = 0;
+
+  /// Simulated per-phase times on an `m`-machine cluster (Sec. 6.6). The
+  /// model follows the schedule the job actually ran:
+  ///  * strict-barrier runs (legacy shuffle, or jobs without a codec):
+  ///    map makespan, then the measured shuffle scaled by 1/machines, then
+  ///    reduce makespan — phases never overlap, matching the three global
+  ///    pool fences of that path.
+  ///  * pipelined packed runs: a partition's grouping is part of its
+  ///    reduce task (`reduce_task_ms` includes it), and partitions group
+  ///    and reduce concurrently with no barrier between them — exactly
+  ///    what the task-level makespan models. There is no separate shuffle
+  ///    term; adding the measured post-map grouping tail (times.shuffle_ms)
+  ///    again would double-count it.
   PhaseTimes SimulatedTimes(size_t machines, size_t slots_per_machine = 8,
                             double per_task_overhead_ms = 20.0) const {
     PhaseTimes sim;
     sim.map_ms = SimulateMakespan(map_task_ms, machines, slots_per_machine,
                                   per_task_overhead_ms);
-    sim.shuffle_ms = times.shuffle_ms / static_cast<double>(machines);
+    sim.shuffle_ms =
+        pipelined ? 0.0 : times.shuffle_ms / static_cast<double>(machines);
     sim.reduce_ms = SimulateMakespan(reduce_task_ms, machines,
                                      slots_per_machine, per_task_overhead_ms);
     return sim;
   }
 };
+
+/// Wall-clock milliseconds during which tasks of at least two different
+/// phases were executing simultaneously: map tasks ([start, end]),
+/// partition grouping ([start_ms, grouped_ms]) and partition reduce
+/// ([grouped_ms, reduced_ms]). Event sweep over the recorded activity
+/// intervals; queue wait (ready -> start) is not activity.
+inline double PhaseOverlapMs(const std::vector<double>& map_start,
+                             const std::vector<double>& map_end,
+                             const std::vector<PartitionTimeline>& partitions) {
+  struct Event {
+    double t;
+    int phase;
+    int delta;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * (map_start.size() + 2 * partitions.size()));
+  for (size_t m = 0; m < map_start.size(); ++m) {
+    if (map_end[m] > map_start[m]) {
+      events.push_back({map_start[m], 0, +1});
+      events.push_back({map_end[m], 0, -1});
+    }
+  }
+  for (const PartitionTimeline& p : partitions) {
+    if (p.grouped_ms > p.start_ms) {
+      events.push_back({p.start_ms, 1, +1});
+      events.push_back({p.grouped_ms, 1, -1});
+    }
+    if (p.reduced_ms > p.grouped_ms) {
+      events.push_back({p.grouped_ms, 2, +1});
+      events.push_back({p.reduced_ms, 2, -1});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // Close before open at equal timestamps.
+  });
+  int active[3] = {0, 0, 0};
+  double overlap = 0;
+  double prev = 0;
+  for (const Event& e : events) {
+    const int phases = (active[0] > 0) + (active[1] > 0) + (active[2] > 0);
+    if (phases >= 2) overlap += e.t - prev;
+    prev = e.t;
+    active[e.phase] += e.delta;
+  }
+  return overlap;
+}
 
 /// A minimal in-process MapReduce runtime (Sec. 3.1).
 ///
@@ -121,7 +219,10 @@ struct JobResult {
 ///
 /// Jobs that install a SpillCodec run the packed-spill shuffle by default
 /// (ShuffleMode::kPackedSpill): map output lives in flat varint buffers,
-/// grouping is sort-based, and MAP_OUTPUT_BYTES is the real buffer size.
+/// grouping is radix-sort-based, MAP_OUTPUT_BYTES is the real buffer
+/// size, and execution is pipelined — per-partition readiness counters
+/// replace the global map -> shuffle -> reduce fences, so a partition
+/// groups and reduces as soon as its inputs are sealed.
 /// Reduce-side code must not assume anything about key arrival order — the
 /// legacy path streams keys in hash-table order, the packed path in
 /// (key-hash, key-bytes) order. Within one key group both paths deliver
@@ -174,9 +275,10 @@ class MapReduceJob {
     std::function<bool(const std::string& data, size_t* pos, V* value)>
         decode_value;
     /// Optional: advances *pos past one encoded key without materializing
-    /// it. The shuffle scan only needs key slice boundaries (grouping
-    /// hashes the raw bytes); without this hook it falls back to
-    /// decode_key into a scratch key.
+    /// it. The runtime no longer needs it (the record directory — key
+    /// slice bounds and hashes — is built at spill time, so no shuffle
+    /// scan exists); it is kept so codecs stay round-trip-testable and
+    /// self-describing.
     std::function<bool(const std::string& data, size_t* pos)> skip_key;
   };
 
@@ -299,29 +401,117 @@ class MapReduceJob {
     }
   };
 
+  // The pipelined dataflow. There are no global phase barriers: every map
+  // task seals its spill buffers partition by partition, and the Seal call
+  // that completes a partition's inputs (ReadinessCounters) enqueues that
+  // partition's grouping + reduce as one pool task right there, from
+  // inside the map task's body — so a partition can be grouping on one
+  // worker while the map task that sealed it is still flushing the next
+  // partition, and partitions group/reduce concurrently with each other
+  // instead of in two global waves. One pool->Wait() at the end covers
+  // everything: partition tasks are submitted from still-in-flight map
+  // tasks, so the pool's in-flight count can never reach zero early.
+  // Nested ParallelFor in reduce_finish stays safe (caller-drives).
   template <typename Corpus>
   void RunPacked(const Corpus& inputs, size_t num_map, size_t num_red,
                  ThreadPool* pool, JobResult* result) {
     // spill[m][r] = varint buffer of the records map task m emitted for
-    // reduce partition r.
+    // reduce partition r; refs[m][r] = that buffer's record directory
+    // (key hash, key-slice bounds, decoded value), built at spill time —
+    // the former shuffle-side decode/skip scan does not exist anymore.
     std::vector<std::vector<std::string>> spill(
         num_map, std::vector<std::string>(num_red));
+    std::vector<std::vector<std::vector<RecordRef>>> refs(
+        num_map, std::vector<std::vector<RecordRef>>(num_red));
     std::vector<JobCounters> task_counters(num_map);
-    Stopwatch phase;
+    std::vector<double> map_start(num_map, 0.0);
+    std::vector<double> map_end(num_map, 0.0);
+    std::vector<PartitionTimeline> timeline(num_red);
+    std::vector<uint64_t> group_counts(num_red, 0);
+    ReadinessCounters ready(num_red, static_cast<uint32_t>(num_map));
+    Stopwatch job_clock;
 
-    // ---- Map phase ----
+    // Grouping + reduce + reduce_finish of one complete partition.
+    auto run_partition = [&](size_t r) {
+      timeline[r].start_ms = job_clock.ElapsedMs();
+      size_t total = 0;
+      for (size_t m = 0; m < num_map; ++m) total += refs[m][r].size();
+      std::vector<RecordRef> recs;
+      recs.reserve(total);
+      for (size_t m = 0; m < num_map; ++m) {
+        recs.insert(recs.end(),
+                    std::make_move_iterator(refs[m][r].begin()),
+                    std::make_move_iterator(refs[m][r].end()));
+        std::vector<RecordRef>().swap(refs[m][r]);
+      }
+      {
+        std::vector<RecordRef> scratch(recs.size());
+        RadixSortRefs(recs.data(), scratch.data(), recs.size(), 56, spill, r);
+      }
+      timeline[r].grouped_ms = job_clock.ElapsedMs();
+
+      // Stream run-length key groups.
+      K key;
+      std::vector<V> values;  // Reused across groups, never per key.
+      size_t i = 0;
+      while (i < recs.size()) {
+        size_t j = i + 1;
+        while (j < recs.size() && recs[j].hash == recs[i].hash &&
+               SliceEqual(spill, r, recs[i], recs[j])) {
+          ++j;
+        }
+        const std::string& buffer = spill[recs[i].map_task][r];
+        size_t pos = recs[i].begin;
+        // A failure means the codec is not the inverse of its encoder —
+        // fail loudly rather than deliver a corrupt group (same fate as a
+        // failed Hadoop attempt).
+        if (!codec_.decode_key(buffer, &pos, &key)) DieOnCorruptSpill();
+        values.clear();
+        for (size_t k = i; k < j; ++k) {
+          values.push_back(std::move(recs[k].value));
+        }
+        reduce_(r, key, values);
+        ++group_counts[r];
+        i = j;
+      }
+      if (reduce_finish_) reduce_finish_(r, pool);
+      // Release this partition's directory and buffers.
+      std::vector<RecordRef>().swap(recs);
+      for (size_t m = 0; m < num_map; ++m) {
+        std::string().swap(spill[m][r]);
+      }
+      timeline[r].reduced_ms = job_clock.ElapsedMs();
+      result->reduce_task_ms[r] =
+          timeline[r].reduced_ms - timeline[r].start_ms;
+    };
+
+    // ---- Map tasks (each seals its partitions and may kick off their
+    // grouping tasks as the counters drain) ----
     for (size_t m = 0; m < num_map; ++m) {
       pool->Submit([&, m] {
-        Stopwatch task_clock;
+        map_start[m] = job_clock.ElapsedMs();
         const size_t lo = inputs.size() * m / num_map;
         const size_t hi = inputs.size() * (m + 1) / num_map;
         std::vector<std::string>& buffers = spill[m];
+        std::vector<std::vector<RecordRef>>& dir = refs[m];
         uint64_t records = 0;
+        // Seals partition r for this map task: its buffer and directory
+        // will not change again. The last sealer enqueues the grouping.
+        auto seal = [&](size_t r) {
+          task_counters[m].map_output_bytes += buffers[r].size();
+          if (ready.Seal(r)) {
+            timeline[r].ready_ms = job_clock.ElapsedMs();
+            pool->Submit([&run_partition, r] { run_partition(r); });
+          }
+        };
         if (combine_) {
           // Combine inside the map task directly on encoded key bytes,
           // then interleave the surviving pairs into the spill buffers;
           // only what the combiner keeps is counted, mirroring what Hadoop
-          // actually transfers.
+          // actually transfers. The accumulator entry order is insertion
+          // order, so the spill content is deterministic for a fixed
+          // input split, and the entry's hash is the FNV of exactly the
+          // key bytes being appended — no rehash on flush.
           std::vector<ByteCombiner> acc(num_red);
           EmitFn emit = [&](const K& key, const V& value) {
             size_t r = partition_(key) % num_red;
@@ -329,125 +519,128 @@ class MapReduceJob {
           };
           for (size_t i = lo; i < hi; ++i) map_(inputs[i], emit);
           for (size_t r = 0; r < num_red; ++r) {
-            for (const auto& entry : acc[r].entries) {
+            dir[r].reserve(acc[r].entries.size());
+            for (auto& entry : acc[r].entries) {
+              const size_t begin = buffers[r].size();
               buffers[r].append(acc[r].arena, entry.begin,
                                 entry.end - entry.begin);
+              const size_t end = buffers[r].size();
               codec_.encode_value(&buffers[r], entry.value);
+              if (buffers[r].size() > UINT32_MAX) DieOnOversizedSpill();
+              dir[r].push_back(RecordRef{entry.hash,
+                                         static_cast<uint32_t>(m),
+                                         static_cast<uint32_t>(begin),
+                                         static_cast<uint32_t>(end),
+                                         std::move(entry.value)});
               ++records;
             }
+            acc[r] = ByteCombiner();  // Flushed; release before sealing.
+            seal(r);
           }
         } else {
           EmitFn emit = [&](const K& key, const V& value) {
             size_t r = partition_(key) % num_red;
+            const size_t begin = buffers[r].size();
             codec_.encode_key(&buffers[r], key);
+            const size_t end = buffers[r].size();
             codec_.encode_value(&buffers[r], value);
+            if (buffers[r].size() > UINT32_MAX) DieOnOversizedSpill();
+            dir[r].push_back(RecordRef{
+                FnvHashBytes(buffers[r].data() + begin, end - begin),
+                static_cast<uint32_t>(m), static_cast<uint32_t>(begin),
+                static_cast<uint32_t>(end), value});
             ++records;
           };
           for (size_t i = lo; i < hi; ++i) map_(inputs[i], emit);
+          for (size_t r = 0; r < num_red; ++r) seal(r);
         }
         task_counters[m].map_output_records = records;
-        for (const std::string& buffer : buffers) {
-          task_counters[m].map_output_bytes += buffer.size();
-        }
-        result->map_task_ms[m] = task_clock.ElapsedMs();
+        map_end[m] = job_clock.ElapsedMs();
+        result->map_task_ms[m] = map_end[m] - map_start[m];
       });
     }
     pool->Wait();
-    result->times.map_ms = phase.ElapsedMs();
+    const double total_ms = job_clock.ElapsedMs();
     for (const JobCounters& c : task_counters) result->counters.Merge(c);
-
-    // ---- Shuffle phase: decode record frames, sort by key bytes. ----
-    phase.Restart();
-    std::vector<std::vector<RecordRef>> records(num_red);
-    for (size_t r = 0; r < num_red; ++r) {
-      pool->Submit([&, r] {
-        std::vector<RecordRef>& refs = records[r];
-        K key_scratch;
-        for (size_t m = 0; m < num_map; ++m) {
-          const std::string& buffer = spill[m][r];
-          if (buffer.size() > UINT32_MAX) DieOnOversizedSpill();
-          size_t pos = 0;
-          while (pos < buffer.size()) {
-            RecordRef ref;
-            ref.map_task = static_cast<uint32_t>(m);
-            ref.begin = static_cast<uint32_t>(pos);
-            // The key is parsed only to find the end of its slice
-            // (skip_key when provided, else a decode into the reused
-            // scratch — either way no allocation once warm). A failure
-            // means the codec is not the inverse of its encoder — fail
-            // loudly rather than silently dropping the rest of the
-            // buffer (same fate as a failed Hadoop attempt).
-            const bool key_ok =
-                codec_.skip_key ? codec_.skip_key(buffer, &pos)
-                                : codec_.decode_key(buffer, &pos, &key_scratch);
-            if (!key_ok) DieOnCorruptSpill();
-            ref.end = static_cast<uint32_t>(pos);
-            if (!codec_.decode_value(buffer, &pos, &ref.value)) {
-              DieOnCorruptSpill();
-            }
-            ref.hash = FnvHashBytes(buffer.data() + ref.begin,
-                                    ref.end - ref.begin);
-            refs.push_back(std::move(ref));
-          }
-        }
-        std::sort(refs.begin(), refs.end(),
-                  [&](const RecordRef& a, const RecordRef& b) {
-                    if (a.hash != b.hash) return a.hash < b.hash;
-                    const int cmp = SliceCompare(spill, r, a, b);
-                    if (cmp != 0) return cmp < 0;
-                    // Equal keys: (map task, spill offset) tie-break so the
-                    // values of a group stream in the legacy path's
-                    // ascending-map-task order despite the unstable sort.
-                    if (a.map_task != b.map_task) {
-                      return a.map_task < b.map_task;
-                    }
-                    return a.begin < b.begin;
-                  });
-      });
-    }
-    pool->Wait();
-    result->times.shuffle_ms = phase.ElapsedMs();
-
-    // ---- Reduce phase: stream run-length key groups. ----
-    phase.Restart();
-    std::vector<uint64_t> group_counts(num_red, 0);
-    for (size_t r = 0; r < num_red; ++r) {
-      pool->Submit([&, r] {
-        Stopwatch task_clock;
-        std::vector<RecordRef>& refs = records[r];
-        K key;
-        std::vector<V> values;  // Reused across groups, never per key.
-        size_t i = 0;
-        while (i < refs.size()) {
-          size_t j = i + 1;
-          while (j < refs.size() && refs[j].hash == refs[i].hash &&
-                 SliceEqual(spill, r, refs[i], refs[j])) {
-            ++j;
-          }
-          const std::string& buffer = spill[refs[i].map_task][r];
-          size_t pos = refs[i].begin;
-          // Cannot fail: this slice already decoded during the scan.
-          if (!codec_.decode_key(buffer, &pos, &key)) DieOnCorruptSpill();
-          values.clear();
-          for (size_t k = i; k < j; ++k) {
-            values.push_back(std::move(refs[k].value));
-          }
-          reduce_(r, key, values);
-          ++group_counts[r];
-          i = j;
-        }
-        if (reduce_finish_) reduce_finish_(r, pool);
-        // Release this partition's slices and buffers.
-        std::vector<RecordRef>().swap(refs);
-        for (size_t m = 0; m < num_map; ++m) {
-          std::string().swap(spill[m][r]);
-        }
-        result->reduce_task_ms[r] = task_clock.ElapsedMs();
-      });
-    }
-    pool->Wait();
-    result->times.reduce_ms = phase.ElapsedMs();
     for (uint64_t c : group_counts) result->counters.reduce_input_groups += c;
+
+    // Phase attribution without barriers — the three numbers still sum to
+    // the job's true wall clock: map = the map barrier (last map task
+    // end), shuffle = how far past that barrier the last partition
+    // finished grouping (0 when all grouping overlapped the map tail),
+    // reduce = everything after. The per-partition timeline plus
+    // phase_overlap_ms carry the detail a single number cannot.
+    double barrier = 0;
+    for (double e : map_end) barrier = std::max(barrier, e);
+    double last_grouped = barrier;
+    for (const PartitionTimeline& p : timeline) {
+      last_grouped = std::max(last_grouped, p.grouped_ms);
+    }
+    result->times.map_ms = barrier;
+    result->times.shuffle_ms = last_grouped - barrier;
+    result->times.reduce_ms = total_ms - last_grouped;
+    result->pipelined = true;
+    result->map_barrier_ms = barrier;
+    result->phase_overlap_ms = PhaseOverlapMs(map_start, map_end, timeline);
+    result->partition_timeline = std::move(timeline);
+  }
+
+  // MSD radix sort of `n` RecordRefs on the 64-bit key hash, one
+  // big-endian byte per level (`shift` starts at 56): stable counting
+  // scatter into `scratch`, recursing per bucket, with a comparison sort
+  // on ranges below the cutoff or once all hash bytes are consumed. The
+  // fallback comparator is the full (hash, key bytes, map task, spill
+  // offset) order and the scatter is stable, so the result is the exact
+  // total order the former whole-range std::sort produced: equal keys
+  // adjacent (all grouping needs) and a group's values still streaming in
+  // ascending (map task, offset) order. What drops is the work — O(n)
+  // byte-scatter passes over well-distributed hash prefixes instead of
+  // O(n log n) comparisons that re-touch the key bytes.
+  static void RadixSortRefs(RecordRef* recs, RecordRef* scratch, size_t n,
+                            int shift,
+                            const std::vector<std::vector<std::string>>& spill,
+                            size_t r) {
+    constexpr size_t kCutoff = 48;
+    if (n < 2) return;
+    if (n <= kCutoff || shift < 0) {
+      std::sort(recs, recs + n, [&](const RecordRef& a, const RecordRef& b) {
+        if (a.hash != b.hash) return a.hash < b.hash;
+        const int cmp = SliceCompare(spill, r, a, b);
+        if (cmp != 0) return cmp < 0;
+        // Equal keys: (map task, spill offset) tie-break so the values of
+        // a group stream in the legacy path's ascending-map-task order
+        // despite the unstable sort.
+        if (a.map_task != b.map_task) return a.map_task < b.map_task;
+        return a.begin < b.begin;
+      });
+      return;
+    }
+    size_t counts[256] = {0};
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[(recs[i].hash >> shift) & 0xff];
+    }
+    const size_t first_bucket = (recs[0].hash >> shift) & 0xff;
+    if (counts[first_bucket] == n) {  // One bucket: nothing to scatter.
+      RadixSortRefs(recs, scratch, n, shift - 8, spill, r);
+      return;
+    }
+    size_t offsets[256];
+    size_t sum = 0;
+    for (size_t b = 0; b < 256; ++b) {
+      offsets[b] = sum;
+      sum += counts[b];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      scratch[offsets[(recs[i].hash >> shift) & 0xff]++] =
+          std::move(recs[i]);
+    }
+    for (size_t i = 0; i < n; ++i) recs[i] = std::move(scratch[i]);
+    size_t begin = 0;
+    for (size_t b = 0; b < 256; ++b) {
+      RadixSortRefs(recs + begin, scratch + begin, counts[b], shift - 8,
+                    spill, r);
+      begin += counts[b];
+    }
   }
 
   [[noreturn]] static void DieOnCorruptSpill() {

@@ -102,6 +102,75 @@ size_t EventRegrouper::Regroup(std::vector<ExpansionEvent>* events,
   return write;
 }
 
+void EventRegrouper::RegroupPacked(const std::vector<ExpansionEvent>& events,
+                                   size_t from,
+                                   const std::vector<Frequency>& weights,
+                                   std::string* packed,
+                                   std::vector<EventGroup>* groups) {
+  const size_t end = events.size();
+  if (from == end) return;
+  const ExpansionEvent* ev = events.data();
+
+  // Identical counting scatter to Regroup (see there for the invariants);
+  // only the output side differs: survivors are delta-encoded onto the
+  // packed arena instead of compacted in place.
+  ++epoch_;
+  touched_.clear();
+  for (size_t i = from; i < end; ++i) {
+    ItemId a = ev[i].item;
+    if (item_epoch_[a] != epoch_) {
+      item_epoch_[a] = epoch_;
+      item_count_[a] = 0;
+      touched_.push_back(a);
+    }
+    ++item_count_[a];
+  }
+  std::sort(touched_.begin(), touched_.end());
+  uint32_t offset = 0;
+  for (ItemId a : touched_) {
+    item_cursor_[a] = offset;
+    offset += item_count_[a];
+  }
+  if (scratch_.size() < end - from) scratch_.resize(end - from);
+  for (size_t i = from; i < end; ++i) {
+    scratch_[item_cursor_[ev[i].item]++] = ev[i];
+  }
+
+  size_t pos = 0;
+  for (ItemId a : touched_) {
+    const size_t bucket_end = pos + item_count_[a];
+    EventGroup group{a, packed->size(), packed->size(), 0};
+    PostingEncoder enc;
+    while (pos < bucket_end) {
+      size_t run_end = pos + 1;
+      const uint32_t tid = scratch_[pos].tid;
+      while (run_end < bucket_end && scratch_[run_end].tid == tid) ++run_end;
+      group.weight += weights[tid];
+      if (run_end - pos == 1) {
+        enc.Append(packed, tid, scratch_[pos].emb);
+      } else {
+        if (run_end - pos > 2) {
+          std::sort(scratch_.begin() + static_cast<ptrdiff_t>(pos),
+                    scratch_.begin() + static_cast<ptrdiff_t>(run_end),
+                    [](const ExpansionEvent& x, const ExpansionEvent& y) {
+                      return x.emb < y.emb;
+                    });
+        } else if (scratch_[pos + 1].emb < scratch_[pos].emb) {
+          std::swap(scratch_[pos], scratch_[pos + 1]);
+        }
+        for (size_t k = pos; k < run_end; ++k) {
+          if (k == pos || scratch_[k].emb != scratch_[k - 1].emb) {
+            enc.Append(packed, tid, scratch_[k].emb);
+          }
+        }
+      }
+      pos = run_end;
+    }
+    group.end = packed->size();
+    groups->push_back(group);
+  }
+}
+
 }  // namespace psm_internal
 
 namespace {
@@ -109,13 +178,15 @@ namespace {
 using psm_internal::EventGroup;
 using psm_internal::EventRegrouper;
 using psm_internal::ExpansionEvent;
+using psm_internal::PostingCursor;
+using psm_internal::PostingEncoder;
 using psm_internal::RightIndexPool;
 
-// An expansion database: an index range of the shared event arena. Events
-// in the range share one item and are sorted by (tid, embedding), i.e. the
-// postings of the database are the maximal tid-runs of the range. Index
-// (not iterator/pointer) ranges stay valid while children are appended
-// above them.
+// An expansion database: a byte range of the shared packed postings
+// arena. Postings in the range share one item and are sorted by (tid,
+// embedding), i.e. the databases' postings are the maximal tid-runs of
+// the range. Offset (not iterator/pointer) ranges stay valid while
+// children are appended above them.
 struct NodeDb {
   size_t begin;
   size_t end;
@@ -143,9 +214,11 @@ class PsmRun {
       index_pool_->Prepare(params_.lambda, params_.lambda,
                            static_cast<size_t>(pivot_) + 1);
     }
-    // Seed database: one event per pivot occurrence. The scan order (tid
-    // ascending, position ascending) already matches the sorted-unique
-    // event invariant, so no sort is needed.
+    // Seed database: one posting per pivot occurrence, encoded straight
+    // onto the packed arena. The scan order (tid ascending, position
+    // ascending) already matches the sorted-unique posting invariant, so
+    // no sort is needed.
+    PostingEncoder seed;
     for (uint32_t tid = 0; tid < partition_.size(); ++tid) {
       const SequenceView t = partition_.sequences[tid];
       for (uint32_t pos = 0; pos < t.size(); ++pos) {
@@ -153,12 +226,12 @@ class PsmRun {
         // PSM stays correct on raw partitions (descendants of the pivot
         // may still occur, e.g. under RewriteLevel::kNone).
         if (IsItem(t[pos]) && h_.GeneralizesTo(t[pos], pivot_)) {
-          events_.push_back({pivot_, tid, Embedding{pos, pos}});
+          seed.Append(&packed_, tid, Embedding{pos, pos});
         }
       }
     }
     Sequence pattern{pivot_};
-    LeftNode(pattern, NodeDb{0, events_.size()}, /*left_depth=*/0,
+    LeftNode(pattern, NodeDb{0, packed_.size()}, /*left_depth=*/0,
              /*parent_row=*/kNoRow);
     return std::move(output_);
   }
@@ -190,26 +263,28 @@ class PsmRun {
     if (pruned && index_pool_->Empty(parent_row, depth)) {
       return;  // R_S = ∅: skip the scan (Sec. 5.2).
     }
-    const size_t mark = events_.size();
-    for (size_t i = db.begin; i < db.end; ++i) {
-      // Copy: push_back below may reallocate the arena.
-      const ExpansionEvent ev = events_[i];
-      const SequenceView t = partition_.sequences[ev.tid];
+    const size_t mark = packed_.size();
+    gen_.clear();
+    PostingCursor cursor(db.begin);
+    uint32_t tid = 0;
+    Embedding emb{0, 0};
+    while (cursor.Next(packed_, db.end, &tid, &emb)) {
+      const SequenceView t = partition_.sequences[tid];
       uint64_t hi = std::min<uint64_t>(
-          t.size(), static_cast<uint64_t>(ev.emb.end) + params_.gamma + 2);
-      for (uint32_t j = ev.emb.end + 1; j < hi; ++j) {
+          t.size(), static_cast<uint64_t>(emb.end) + params_.gamma + 2);
+      for (uint32_t j = emb.end + 1; j < hi; ++j) {
         if (!IsItem(t[j])) continue;
         for (ItemId a : h_.AncestorSpan(t[j])) {
           if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
           if (pruned && !index_pool_->Test(parent_row, depth, a)) {
             continue;  // Pruned by the parent's right index.
           }
-          events_.push_back({a, ev.tid, Embedding{ev.emb.start, j}});
+          gen_.push_back({a, tid, Embedding{emb.start, j}});
         }
       }
     }
     const size_t gmark = groups_.size();
-    regrouper_.Regroup(&events_, mark, partition_.weights, &groups_);
+    regrouper_.RegroupPacked(gen_, 0, partition_.weights, &packed_, &groups_);
     const size_t gend = groups_.size();
     for (size_t gi = gmark; gi < gend; ++gi) {
       const EventGroup g = groups_[gi];  // Copy: recursion appends above.
@@ -225,7 +300,7 @@ class PsmRun {
     }
     // Backtrack: release this level's expansions.
     groups_.resize(gmark);
-    events_.resize(mark);
+    packed_.resize(mark);
   }
 
   // One left-expansion step: pattern -> a + pattern (pivot allowed); each
@@ -233,22 +308,25 @@ class PsmRun {
   void ExpandLeft(Sequence& pattern, const NodeDb& db, size_t left_depth,
                   size_t my_row) {
     if (pattern.size() >= params_.lambda) return;
-    const size_t mark = events_.size();
-    for (size_t i = db.begin; i < db.end; ++i) {
-      const ExpansionEvent ev = events_[i];
-      const SequenceView t = partition_.sequences[ev.tid];
+    const size_t mark = packed_.size();
+    gen_.clear();
+    PostingCursor cursor(db.begin);
+    uint32_t tid = 0;
+    Embedding emb{0, 0};
+    while (cursor.Next(packed_, db.end, &tid, &emb)) {
+      const SequenceView t = partition_.sequences[tid];
       uint32_t window = params_.gamma + 1;
-      uint32_t lo = ev.emb.start >= window ? ev.emb.start - window : 0;
-      for (uint32_t j = lo; j < ev.emb.start; ++j) {
+      uint32_t lo = emb.start >= window ? emb.start - window : 0;
+      for (uint32_t j = lo; j < emb.start; ++j) {
         if (!IsItem(t[j])) continue;
         for (ItemId a : h_.AncestorSpan(t[j])) {
           if (a > pivot_) continue;  // Not pivot-relevant (raw partitions).
-          events_.push_back({a, ev.tid, Embedding{j, ev.emb.end}});
+          gen_.push_back({a, tid, Embedding{j, emb.end}});
         }
       }
     }
     const size_t gmark = groups_.size();
-    regrouper_.Regroup(&events_, mark, partition_.weights, &groups_);
+    regrouper_.RegroupPacked(gen_, 0, partition_.weights, &packed_, &groups_);
     const size_t gend = groups_.size();
     for (size_t gi = gmark; gi < gend; ++gi) {
       const EventGroup g = groups_[gi];  // Copy: recursion appends above.
@@ -261,7 +339,7 @@ class PsmRun {
     }
     // Backtrack: release this level's expansions.
     groups_.resize(gmark);
-    events_.resize(mark);
+    packed_.resize(mark);
   }
 
   void Output(const Sequence& pattern, Frequency freq) {
@@ -278,10 +356,14 @@ class PsmRun {
   RightIndexPool* index_pool_;
   MinerStats* stats_;
   PatternMap output_;
-  // The shared arena backing every expansion database of the run, and the
-  // scatter-based grouper that keeps it sorted without full-buffer sorts.
-  std::vector<ExpansionEvent> events_;
-  // Per-level group directories, stack-disciplined like events_.
+  // The shared packed-postings arena backing every expansion database of
+  // the run (stack-disciplined: children append above, backtrack
+  // truncates), the per-step generation buffer the regrouper consumes,
+  // and the scatter-based grouper that keeps the arena sorted without
+  // full-buffer sorts.
+  std::string packed_;
+  std::vector<ExpansionEvent> gen_;
+  // Per-level group directories, stack-disciplined like packed_.
   std::vector<psm_internal::EventGroup> groups_;
   EventRegrouper regrouper_;
 };

@@ -4,10 +4,12 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/match.h"
 #include "miner/miner.h"
+#include "util/varint.h"
 
 namespace lash {
 
@@ -37,15 +39,74 @@ struct ExpansionEvent {
 /// AddEmbedding std::find loop.
 void SortUniqueEvents(std::vector<ExpansionEvent>* events, size_t from);
 
-/// One expansion database produced by EventRegrouper::Regroup: the events
-/// of one candidate item as an index range of the shared arena, plus its
-/// weighted document frequency (accumulated during the same pass, so the
-/// support test costs no extra scan).
+/// One expansion database produced by the regrouper: the events of one
+/// candidate item as a range of the shared arena — an event-index range
+/// from Regroup, a byte range of the packed postings arena from
+/// RegroupPacked — plus its weighted document frequency (accumulated
+/// during the same pass, so the support test costs no extra scan).
 struct EventGroup {
   ItemId item;
   size_t begin;
   size_t end;
   Frequency weight;
+};
+
+/// Varint delta codec for one group's packed postings (util/varint.h
+/// primitives). Events arrive sorted by (tid, embedding); each posting is
+/// three varints: (tid delta, start delta, end - start). The tid delta is
+/// relative to the previous posting (0 = same transaction); start is
+/// delta-coded within a transaction run (embeddings of a run are sorted
+/// by (start, end), so the delta is non-negative) and resets to absolute
+/// on a new transaction. Typically 3 bytes per posting instead of the 16
+/// of a raw ExpansionEvent — the group's item is implicit, carried by its
+/// EventGroup.
+struct PostingEncoder {
+  uint32_t prev_tid = 0;
+  uint32_t prev_start = 0;
+
+  void Append(std::string* out, uint32_t tid, Embedding emb) {
+    const uint32_t dtid = tid - prev_tid;
+    PutVarint32(out, dtid);
+    if (dtid != 0) {
+      prev_tid = tid;
+      prev_start = 0;
+    }
+    PutVarint32(out, emb.start - prev_start);
+    prev_start = emb.start;
+    PutVarint32(out, emb.end - emb.start);
+  }
+};
+
+/// Streaming decoder matching PostingEncoder: iterates the postings of
+/// one group's [begin, end) byte range.
+struct PostingCursor {
+  size_t pos;
+  uint32_t tid = 0;
+  uint32_t prev_start = 0;
+
+  explicit PostingCursor(size_t begin) : pos(begin) {}
+
+  /// Decodes the next posting; false once `end` is reached. The varint
+  /// reads cannot fail on encoder-produced bytes (the arena is written
+  /// and read by the same run).
+  bool Next(const std::string& packed, size_t end, uint32_t* out_tid,
+            Embedding* emb) {
+    if (pos >= end) return false;
+    uint32_t dtid = 0;
+    uint32_t dstart = 0;
+    uint32_t len = 0;
+    GetVarint32(packed, &pos, &dtid);
+    GetVarint32(packed, &pos, &dstart);
+    GetVarint32(packed, &pos, &len);
+    if (dtid != 0) {
+      tid += dtid;
+      prev_start = 0;
+    }
+    prev_start += dstart;
+    *out_tid = tid;
+    *emb = Embedding{prev_start, prev_start + len};
+    return true;
+  }
 };
 
 /// Groups the tail of a shared event arena by (item, tid, embedding) with
@@ -67,9 +128,21 @@ class EventRegrouper {
   /// item, in ascending item order, to `groups`. `weights[tid]` is the
   /// aggregation weight a transaction contributes to a group's support.
   /// Requires tids nondecreasing per item in generation order.
+  /// Reference implementation of the grouping contract; production PSM
+  /// uses RegroupPacked.
   size_t Regroup(std::vector<ExpansionEvent>* events, size_t from,
                  const std::vector<Frequency>& weights,
                  std::vector<EventGroup>* groups);
+
+  /// Same grouping/dedup/weighting contract as Regroup, but the surviving
+  /// events are varint-delta-encoded onto the packed postings arena
+  /// (`packed`, via PostingEncoder) instead of compacted back into the
+  /// event buffer: each appended EventGroup's [begin, end) is a byte range
+  /// of `packed`. `events` is the generation buffer of one expansion step;
+  /// it is only read (the caller clears it for the next step).
+  void RegroupPacked(const std::vector<ExpansionEvent>& events, size_t from,
+                     const std::vector<Frequency>& weights,
+                     std::string* packed, std::vector<EventGroup>* groups);
 
  private:
   // 64-bit so the epoch cannot wrap within a run and revive stale counters.
@@ -180,11 +253,16 @@ class RightIndexPool {
 /// transaction so that both expansion directions are cheap.
 ///
 /// Implementation: all expansion databases live in one stack-disciplined
-/// arena of ExpansionEvents — a node's database is an index range into it,
-/// child databases are appended above and truncated on backtrack — so a
-/// whole PsmRun performs O(1) amortized heap allocations per search-tree
-/// node instead of O(postings). Ancestor chains are scanned contiguously
-/// via Hierarchy::AncestorSpan.
+/// packed byte arena — a node's database is a byte range of varint-delta
+/// postings (PostingEncoder/PostingCursor, ~3 bytes per posting instead
+/// of a 16-byte ExpansionEvent), child databases are appended above and
+/// truncated on backtrack — so a whole PsmRun performs O(1) amortized
+/// heap allocations per search-tree node instead of O(postings), and the
+/// working set a node's expansion scans is several times smaller than
+/// with raw structs. Generation still uses fixed-size ExpansionEvents in
+/// a per-step buffer that the regrouper consumes (the counting scatter
+/// needs random access). Ancestor chains are scanned contiguously via
+/// Hierarchy::AncestorSpan.
 ///
 /// With `use_index = true` (PSM+Index), each left-node Sl·w memoizes, per
 /// right-expansion depth d, the union R of frequent expansion items observed

@@ -1,0 +1,55 @@
+#ifndef LASH_UTIL_READINESS_H_
+#define LASH_UTIL_READINESS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace lash {
+
+/// Per-slot countdown latches for pipelined producer/consumer handoff: the
+/// packed shuffle gives every reduce partition one slot initialized to the
+/// number of map tasks, and each map task calls Seal(r) after it has
+/// finished writing partition r's spill buffer. The call that brings a
+/// slot to zero returns true exactly once — that caller owns enqueueing
+/// the partition's grouping + reduce task.
+///
+/// Memory ordering: Seal is an acq_rel fetch_sub, so everything the other
+/// sealing threads wrote before their Seal calls happens-before the final
+/// Seal returns true (the RMW release sequence on the counter chains
+/// them). Handing the slot's data to another thread after that (e.g. via
+/// ThreadPool::Submit, itself mutex-synchronized) is therefore race-free.
+class ReadinessCounters {
+ public:
+  /// `slots` independent counters, each starting at `count`.
+  ReadinessCounters(size_t slots, uint32_t count)
+      : slots_(std::make_unique<std::atomic<uint32_t>[]>(slots)),
+        size_(slots) {
+    for (size_t i = 0; i < slots; ++i) {
+      slots_[i].store(count, std::memory_order_relaxed);
+    }
+  }
+
+  /// Records one producer as done with `slot`. Returns true iff this call
+  /// was the last outstanding producer (exactly one caller sees true).
+  bool Seal(size_t slot) {
+    return slots_[slot].fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+
+  /// Producers still outstanding for `slot`. Exact only once no Seal calls
+  /// are in flight (e.g. in tests after a pool Wait).
+  uint32_t Remaining(size_t slot) const {
+    return slots_[slot].load(std::memory_order_acquire);
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  std::unique_ptr<std::atomic<uint32_t>[]> slots_;
+  size_t size_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_UTIL_READINESS_H_

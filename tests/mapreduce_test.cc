@@ -5,6 +5,7 @@
 #include <string>
 
 #include "mapreduce/cluster.h"
+#include "util/varint.h"
 
 namespace lash {
 namespace {
@@ -150,6 +151,135 @@ TEST(MapReduceTest, PhaseTimesPopulated) {
   EXPECT_GE(result.times.TotalMs(), result.times.map_ms);
   EXPECT_EQ(result.map_task_ms.size(), 3u);
   EXPECT_EQ(result.reduce_task_ms.size(), 4u);
+}
+
+// A job with a SpillCodec installed, so that kPackedSpill actually takes
+// the pipelined packed path (jobs without a codec fall back to legacy).
+struct VarintSumJob {
+  using Job = MapReduceJob<int, uint32_t, uint64_t>;
+  std::unordered_map<uint32_t, uint64_t> sums;
+  std::mutex mu;
+  Job job;
+
+  VarintSumJob()
+      : job([](const int& x,
+               const Job::EmitFn& emit) { emit(static_cast<uint32_t>(x) % 7,
+                                               1); },
+            [this](size_t, const uint32_t& key, std::vector<uint64_t>& values) {
+              uint64_t total = 0;
+              for (uint64_t v : values) total += v;
+              std::lock_guard<std::mutex> lock(mu);
+              sums[key] += total;
+            },
+            [](const uint32_t& key, const uint64_t& value) {
+              return Varint32Size(key) + Varint64Size(value);
+            }) {
+    Job::SpillCodec codec;
+    codec.encode_key = [](std::string* out, const uint32_t& key) {
+      PutVarint32(out, key);
+    };
+    codec.decode_key = [](const std::string& data, size_t* pos,
+                          uint32_t* key) { return GetVarint32(data, pos, key); };
+    codec.encode_value = [](std::string* out, const uint64_t& value) {
+      PutVarint64(out, value);
+    };
+    codec.decode_value = [](const std::string& data, size_t* pos,
+                            uint64_t* value) {
+      return GetVarint64(data, pos, value);
+    };
+    job.set_spill_codec(std::move(codec));
+  }
+};
+
+TEST(MapReduceTest, PipelinedTimelinePopulatedAndOrdered) {
+  std::vector<int> inputs(200, 1);
+  for (int i = 0; i < 200; ++i) inputs[static_cast<size_t>(i)] = i;
+
+  VarintSumJob packed;
+  JobConfig config = SmallConfig();
+  JobResult result = packed.job.Run(inputs, config);
+  EXPECT_TRUE(result.pipelined);
+  EXPECT_GE(result.map_barrier_ms, 0.0);
+  EXPECT_GE(result.phase_overlap_ms, 0.0);
+  ASSERT_EQ(result.partition_timeline.size(), config.num_reduce_tasks);
+  for (const PartitionTimeline& t : result.partition_timeline) {
+    // ready (last seal) -> start (worker pickup) -> grouped -> reduced
+    // must be causally ordered, and every stamp lies within the job.
+    EXPECT_GE(t.ready_ms, 0.0);
+    EXPECT_LE(t.ready_ms, t.start_ms);
+    EXPECT_LE(t.start_ms, t.grouped_ms);
+    EXPECT_LE(t.grouped_ms, t.reduced_ms);
+    EXPECT_LE(t.reduced_ms, result.times.TotalMs() + 1.0);
+  }
+  // The three attributed phase times still sum to the wall clock.
+  EXPECT_NEAR(result.times.map_ms, result.map_barrier_ms, 1e-9);
+
+  // The legacy path keeps its strict barriers and reports no timeline.
+  VarintSumJob legacy;
+  JobConfig legacy_config = SmallConfig();
+  legacy_config.shuffle = ShuffleMode::kLegacyHash;
+  JobResult legacy_result = legacy.job.Run(inputs, legacy_config);
+  EXPECT_FALSE(legacy_result.pipelined);
+  EXPECT_TRUE(legacy_result.partition_timeline.empty());
+  EXPECT_EQ(packed.sums, legacy.sums);
+}
+
+TEST(MapReduceTest, SingleThreadPoolReportsZeroOverlap) {
+  // One worker can interleave phases but never run two at once; the
+  // event sweep must attribute exactly zero overlap.
+  std::vector<int> inputs(100, 3);
+  VarintSumJob wc;
+  JobConfig config = SmallConfig();
+  config.num_threads = 1;
+  JobResult result = wc.job.Run(inputs, config);
+  EXPECT_TRUE(result.pipelined);
+  EXPECT_DOUBLE_EQ(result.phase_overlap_ms, 0.0);
+}
+
+TEST(MapReduceTest, SimulatedTimesPipelinedHasNoShuffleTerm) {
+  std::vector<int> inputs(50, 2);
+  VarintSumJob packed;
+  JobConfig config = SmallConfig();
+  JobResult r_packed = packed.job.Run(inputs, config);
+  ASSERT_TRUE(r_packed.pipelined);
+  // Grouping time is inside reduce_task_ms on the pipelined path; a
+  // separate shuffle term would double-count it.
+  EXPECT_DOUBLE_EQ(r_packed.SimulatedTimes(4).shuffle_ms, 0.0);
+
+  VarintSumJob legacy;
+  JobConfig legacy_config = SmallConfig();
+  legacy_config.shuffle = ShuffleMode::kLegacyHash;
+  JobResult r_legacy = legacy.job.Run(inputs, legacy_config);
+  ASSERT_FALSE(r_legacy.pipelined);
+  EXPECT_DOUBLE_EQ(r_legacy.SimulatedTimes(4).shuffle_ms,
+                   r_legacy.times.shuffle_ms / 4.0);
+}
+
+TEST(PhaseOverlapTest, CountsOnlyDistinctPhaseOverlap) {
+  // Map runs [0, 10]. The partition is sealed at 5 but waits in the queue
+  // until 6 (queue wait is not activity), groups over [6, 8] and reduces
+  // over [8, 12]. Overlap with the map task: grouping contributes 2ms,
+  // reduce contributes 10 - 8 = 2ms.
+  std::vector<double> map_start = {0.0};
+  std::vector<double> map_end = {10.0};
+  std::vector<PartitionTimeline> parts = {{5.0, 6.0, 8.0, 12.0}};
+  EXPECT_DOUBLE_EQ(PhaseOverlapMs(map_start, map_end, parts), 4.0);
+
+  // Strictly sequential schedule: no overlap at all.
+  parts = {{10.0, 10.0, 12.0, 14.0}};
+  EXPECT_DOUBLE_EQ(PhaseOverlapMs(map_start, map_end, parts), 0.0);
+
+  // Two partitions grouping at the same time are the SAME phase — only
+  // the window where partition 1 reduces while partition 2 still groups
+  // ([8, 9]) counts.
+  map_end = {5.0};
+  parts = {{5.0, 5.0, 8.0, 11.0}, {5.0, 6.0, 9.0, 9.0}};
+  EXPECT_DOUBLE_EQ(PhaseOverlapMs(map_start, map_end, parts), 1.0);
+
+  // ...and with reduce intervals collapsed to zero width, two concurrent
+  // grouping passes alone attribute nothing.
+  parts = {{5.0, 5.0, 8.0, 8.0}, {5.0, 6.0, 9.0, 9.0}};
+  EXPECT_DOUBLE_EQ(PhaseOverlapMs(map_start, map_end, parts), 0.0);
 }
 
 TEST(ClusterTest, MakespanPerfectlyParallelWork) {

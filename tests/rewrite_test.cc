@@ -204,18 +204,26 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0u, 1u, 2u),
                        ::testing::Values(2u, 3u, 5u)));
 
-TEST(ScratchRewriterTest, FusedPivotLoopMatchesPerPivotRewrites) {
-  // RewriteAllPivotsGammaZero must emit exactly the non-empty [w | P_w(T)]
-  // keys, pivots ascending, that per-pivot rewriting would produce.
-  Rng rng(5150);
-  for (int trial = 0; trial < 200; ++trial) {
+// RewriteAllPivots must emit exactly the non-empty [w | P_w(T)] keys,
+// pivots ascending, that per-pivot Rewriter rewriting would produce. One
+// shared differential driver covers both dispatch targets: the gamma == 0
+// run-walk specialization and the gamma > 0 merged occurrence-window DP.
+// The sigma axis of the grid is the `num_frequent` rank cut (a random
+// prefix of the item ranks counts as frequent), drawn per trial.
+void CheckFusedPivotLoop(uint32_t gamma, uint32_t lambda, uint64_t seed,
+                         int trials) {
+  Rng rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
     const size_t num_items = 2 + rng.Uniform(9);
-    const uint32_t lambda = 2 + rng.Uniform(4);
     Hierarchy h = testing::RandomRankHierarchy(num_items, 0.4, &rng);
-    Rewriter reference(&h, /*gamma=*/0, lambda);
-    ScratchRewriter scratch(&h, /*gamma=*/0, lambda);
+    Rewriter reference(&h, gamma, lambda);
+    ScratchRewriter scratch(&h, gamma, lambda);
     Sequence t;
-    size_t len = 1 + rng.Uniform(14);
+    // Long enough relative to the (lambda-1)*(gamma+1) window radius that
+    // trials exercise disjoint occurrence intervals, merged intervals, and
+    // cross-interval isolated-pivot visibility, not just whole-sequence
+    // windows.
+    size_t len = 1 + rng.Uniform(13 + 8 * gamma * lambda);
     for (size_t i = 0; i < len; ++i) {
       // ~1 in 8 positions blank: the fused loop must treat them as
       // impassable (root_rank_ = kBlank) exactly like the reference.
@@ -223,7 +231,6 @@ TEST(ScratchRewriterTest, FusedPivotLoopMatchesPerPivotRewrites) {
                       ? kBlank
                       : static_cast<ItemId>(1 + rng.Uniform(num_items)));
     }
-    // Frequency cut: a random prefix of the item ranks counts as frequent.
     const ItemId num_frequent =
         static_cast<ItemId>(rng.Uniform(num_items + 1));
 
@@ -236,10 +243,25 @@ TEST(ScratchRewriterTest, FusedPivotLoopMatchesPerPivotRewrites) {
       expected.push_back(std::move(key));
     }
     std::vector<Sequence> got;
-    scratch.RewriteAllPivotsGammaZero(
+    scratch.RewriteAllPivots(
         t, num_frequent, [&](const Sequence& key) { got.push_back(key); });
-    ASSERT_EQ(got, expected) << "trial=" << trial << " lambda=" << lambda
-                             << " num_frequent=" << num_frequent;
+    ASSERT_EQ(got, expected) << "trial=" << trial << " gamma=" << gamma
+                             << " lambda=" << lambda
+                             << " num_frequent=" << num_frequent
+                             << " t=" << ::testing::PrintToString(t);
+  }
+}
+
+TEST(ScratchRewriterTest, FusedPivotLoopMatchesPerPivotRewrites) {
+  CheckFusedPivotLoop(/*gamma=*/0, /*lambda=*/2, 5150, 100);
+  CheckFusedPivotLoop(/*gamma=*/0, /*lambda=*/5, 5151, 100);
+}
+
+TEST(ScratchRewriterTest, FusedPivotLoopMatchesPerPivotRewritesGammaPositive) {
+  for (uint32_t gamma : {1u, 2u, 3u}) {
+    for (uint32_t lambda : {2u, 3u, 5u}) {
+      CheckFusedPivotLoop(gamma, lambda, 6200 + 10 * gamma + lambda, 60);
+    }
   }
 }
 

@@ -7,10 +7,14 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "algo/lash.h"
 #include "mapreduce/job.h"
 #include "test_util.h"
+#include "util/hash.h"
+#include "util/readiness.h"
 #include "util/varint.h"
 
 namespace lash {
@@ -149,6 +153,201 @@ TEST(PackedShuffleTest, ReduceFinishReceivesThePool) {
   JobConfig config = TestConfig(ShuffleMode::kLegacyHash);
   job.Run(inputs, config);
   EXPECT_EQ(sum.load(), 28 * static_cast<int>(config.num_reduce_tasks));
+}
+
+// ---- Pipelined shuffle: radix grouping and readiness counters ------------
+
+// Differential check of the MSD radix grouping against an independently
+// computed comparison order. The packed path promises that, within a
+// partition, reduce sees groups in (key-hash, encoded-key-bytes) order and
+// a group's values in ascending (map task, emission) order; this test
+// rebuilds both expectations from scratch (own FNV calls, own sort) over
+// random binary keys with heavy duplication — enough same-hash records to
+// push the radix sort through several byte levels and into its comparison
+// fallback on equal-hash runs.
+TEST(PackedShuffleTest, RadixGroupingMatchesComparisonOrder) {
+  using Input = std::pair<std::string, uint64_t>;
+  using Job = MapReduceJob<Input, std::string, uint64_t>;
+  Rng rng(424242);
+
+  // Random binary keys (arbitrary bytes, lengths 0..24), then a skewed
+  // input stream: a third of the records hit 4 hot keys so single keys
+  // contribute runs far above the radix sort's comparison cutoff.
+  std::vector<std::string> pool;
+  for (size_t k = 0; k < 120; ++k) {
+    std::string key(rng.Uniform(25), '\0');
+    for (char& c : key) c = static_cast<char>(rng.Uniform(256));
+    pool.push_back(std::move(key));
+  }
+  std::vector<Input> inputs;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    const size_t k =
+        rng.Uniform(3) == 0 ? rng.Uniform(4) : rng.Uniform(pool.size());
+    inputs.push_back({pool[k], i});
+  }
+
+  struct Group {
+    std::string key;
+    std::vector<uint64_t> values;
+  };
+  std::vector<std::vector<Group>> arrived;  // Per reduce partition.
+  std::mutex mu;
+  Job job(
+      [](const Input& in, const Job::EmitFn& emit) {
+        emit(in.first, in.second);
+      },
+      [&](size_t r, const std::string& key, std::vector<uint64_t>& values) {
+        std::lock_guard<std::mutex> lock(mu);
+        arrived[r].push_back({key, values});
+      },
+      [](const std::string& key, const uint64_t&) {
+        return Varint32Size(static_cast<uint32_t>(key.size())) + key.size() +
+               8;
+      });
+  Job::SpillCodec codec;
+  codec.encode_key = [](std::string* out, const std::string& key) {
+    PutVarint32(out, static_cast<uint32_t>(key.size()));
+    out->append(key);
+  };
+  codec.decode_key = [](const std::string& data, size_t* pos,
+                        std::string* key) {
+    uint32_t len = 0;
+    if (!GetVarint32(data, pos, &len)) return false;
+    if (*pos + len > data.size()) return false;
+    key->assign(data, *pos, len);
+    *pos += len;
+    return true;
+  };
+  codec.encode_value = [](std::string* out, const uint64_t& value) {
+    PutVarint64(out, value);
+  };
+  codec.decode_value = [](const std::string& data, size_t* pos,
+                          uint64_t* value) {
+    return GetVarint64(data, pos, value);
+  };
+  job.set_spill_codec(std::move(codec));
+  // A partitioner the test can replicate exactly (the default is
+  // std::hash, whose value is implementation-defined).
+  job.set_partitioner([](const std::string& key) {
+    return static_cast<size_t>(FnvHashBytes(key.data(), key.size()));
+  });
+
+  JobConfig config;
+  config.num_threads = 3;
+  config.num_map_tasks = 7;
+  config.num_reduce_tasks = 5;
+  config.shuffle = ShuffleMode::kPackedSpill;
+  arrived.assign(config.num_reduce_tasks, {});
+  job.Run(inputs, config);
+
+  // Independent expectation: per partition, distinct keys ordered by
+  // (FNV hash of the encoded key, encoded key bytes); per key, values in
+  // ascending input order (map tasks are ascending contiguous input
+  // ranges, so emission order across tasks is ascending input index).
+  std::map<std::string, std::vector<uint64_t>> by_key;
+  for (const Input& in : inputs) by_key[in.first].push_back(in.second);
+  std::vector<std::vector<Group>> expected(config.num_reduce_tasks);
+  {
+    struct Ranked {
+      uint64_t hash;
+      std::string enc;
+      const std::string* key;
+    };
+    std::vector<std::vector<Ranked>> ranked(config.num_reduce_tasks);
+    for (const auto& [key, values] : by_key) {
+      std::string enc;
+      PutVarint32(&enc, static_cast<uint32_t>(key.size()));
+      enc.append(key);
+      const size_t r = static_cast<size_t>(
+                           FnvHashBytes(key.data(), key.size())) %
+                       config.num_reduce_tasks;
+      ranked[r].push_back(
+          {FnvHashBytes(enc.data(), enc.size()), std::move(enc), &key});
+    }
+    for (size_t r = 0; r < ranked.size(); ++r) {
+      std::sort(ranked[r].begin(), ranked[r].end(),
+                [](const Ranked& a, const Ranked& b) {
+                  if (a.hash != b.hash) return a.hash < b.hash;
+                  return a.enc < b.enc;
+                });
+      for (const Ranked& rk : ranked[r]) {
+        expected[r].push_back({*rk.key, by_key.at(*rk.key)});
+      }
+    }
+  }
+
+  for (size_t r = 0; r < config.num_reduce_tasks; ++r) {
+    ASSERT_EQ(arrived[r].size(), expected[r].size()) << "partition " << r;
+    for (size_t g = 0; g < expected[r].size(); ++g) {
+      EXPECT_EQ(arrived[r][g].key, expected[r][g].key)
+          << "partition " << r << " group " << g;
+      EXPECT_EQ(arrived[r][g].values, expected[r][g].values)
+          << "partition " << r << " group " << g;
+    }
+  }
+}
+
+// Exactly-once handoff: with every producer sealing every slot from its
+// own thread, precisely one Seal call per slot may return true, and all
+// counters must read zero afterwards.
+TEST(ReadinessCountersTest, ExactlyOneOwnerPerSlot) {
+  const size_t kSlots = 64;
+  const uint32_t kProducers = 8;
+  for (int round = 0; round < 20; ++round) {
+    ReadinessCounters ready(kSlots, kProducers);
+    std::vector<std::atomic<uint32_t>> wins(kSlots);
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < kProducers; ++t) {
+      threads.emplace_back([&ready, &wins, t] {
+        // Each producer walks the slots at a different starting offset so
+        // final Seals land on different threads across slots.
+        for (size_t i = 0; i < kSlots; ++i) {
+          const size_t slot = (i + t * 11) % kSlots;
+          if (ready.Seal(slot)) wins[slot].fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (size_t s = 0; s < kSlots; ++s) {
+      ASSERT_EQ(wins[s].load(), 1u) << "slot " << s << " round " << round;
+      ASSERT_EQ(ready.Remaining(s), 0u) << "slot " << s;
+    }
+  }
+}
+
+// Readiness-counter stress through the whole job: many map tasks (some of
+// them empty) against few partitions, on single- and multi-thread pools.
+// Every configuration must produce the same counts.
+TEST(PackedShuffleTest, ManyMapTasksPipelinedDeterminism) {
+  Rng rng(987654);
+  std::vector<std::string> docs;
+  std::map<std::string, uint64_t> expected;
+  for (int d = 0; d < 300; ++d) {
+    std::string doc;
+    const size_t words = rng.Uniform(21);
+    for (size_t w = 0; w < words; ++w) {
+      std::string word = "w" + std::to_string(rng.Uniform(30));
+      ++expected[word];
+      if (!doc.empty()) doc += ' ';
+      doc += word;
+    }
+    docs.push_back(std::move(doc));
+  }
+  for (size_t threads : {1u, 4u, 8u}) {
+    for (size_t map_tasks : {1u, 7u, 64u}) {
+      WordCountJob wc;
+      JobConfig config;
+      config.num_threads = threads;
+      config.num_map_tasks = map_tasks;
+      config.num_reduce_tasks = 6;
+      config.shuffle = ShuffleMode::kPackedSpill;
+      JobResult result = wc.job.Run(docs, config);
+      ASSERT_EQ(wc.counts, expected)
+          << "threads=" << threads << " map=" << map_tasks;
+      EXPECT_TRUE(result.pipelined);
+      EXPECT_EQ(result.partition_timeline.size(), config.num_reduce_tasks);
+    }
+  }
 }
 
 // ---- LASH-level parity and determinism -----------------------------------
