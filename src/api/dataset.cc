@@ -7,6 +7,7 @@
 
 #include "api/lash_api.h"
 #include "core/flist.h"
+#include "io/io_error.h"
 #include "io/snapshot.h"
 #include "io/text_io.h"
 #include "stats/output_stats.h"
@@ -26,42 +27,50 @@ uint64_t NextDatasetId() {
 Dataset::Dataset(FlatDatabase raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
                  double read_ms)
     : id_(NextDatasetId()),
-      raw_db_(std::move(raw_db)),
       vocab_(std::move(vocab)),
-      raw_hierarchy_(std::move(raw_hierarchy)) {
+      raw_hierarchy_(std::move(raw_hierarchy)),
+      raw_db_(std::move(raw_db)) {
   load_times_.read_ms = read_ms;
   Stopwatch timer;
   pre_ = Preprocess(raw_db_, raw_hierarchy_);
   load_times_.preprocess_ms = timer.ElapsedMs();
   stats_ = ComputeStats(raw_db_);
+  std::call_once(raw_once_, [] {});  // The raw corpus is already built.
 }
 
-Dataset::Dataset(SnapshotTag, const std::string& path)
+Dataset::Dataset(SnapshotTag, const std::string& path, LoadMode mode)
     : id_(NextDatasetId()), raw_hierarchy_(Hierarchy::Flat(0)) {
   Stopwatch timer;
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    throw ApiError("cannot open snapshot file: " + path);
+  DatasetSnapshot snap;
+  if (mode == LoadMode::kMmap) {
+    try {
+      map_ = MmapFile::Open(path);
+    } catch (const IoError& e) {
+      // Match the copy path's contract: a missing/unreadable file is an
+      // ApiError; everything past open stays a typed IoError.
+      throw ApiError("cannot open snapshot file: " + path + " (" + e.what() +
+                     ")");
+    }
+    snap = ReadDatasetSnapshotMapped(map_.data(), map_.size());
+    if (!snap.ranked_corpus.borrowed()) {
+      // Nothing borrows the mapping (v1 container, or a big-endian host
+      // where the mapped reader copies): drop it rather than keep the
+      // whole file resident for no benefit.
+      map_ = MmapFile();
+    }
+  } else {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      throw ApiError("cannot open snapshot file: " + path);
+    }
+    snap = ReadDatasetSnapshot(file);
   }
-  DatasetSnapshot snap = ReadDatasetSnapshot(file);
 
-  // Vocabulary: names intern in stored order, so ids 1..n are reproduced
-  // exactly; parent edges are replayed by id (no per-edge name hashing).
-  const size_t n = snap.names.size() - 1;
-  vocab_.Reserve(n);
-  for (size_t id = 1; id <= n; ++id) {
-    if (vocab_.AddItem(snap.names[id]) != static_cast<ItemId>(id)) {
-      throw ApiError("snapshot vocabulary contains duplicate names: " +
-                     snap.names[id]);
-    }
-  }
-  for (size_t id = 1; id <= n; ++id) {
-    if (snap.raw_parent[id] != kInvalidItem) {
-      vocab_.SetParent(static_cast<ItemId>(id), snap.raw_parent[id]);
-    }
-  }
+  // Vocabulary and raw hierarchy come back whole (after a mapped load the
+  // name bytes are views into map_, which this Dataset owns and outlives).
+  vocab_ = std::move(snap.vocabulary);
   try {
-    raw_hierarchy_ = Hierarchy(std::move(snap.raw_parent));
+    raw_hierarchy_ = vocab_.BuildHierarchy();
   } catch (const std::invalid_argument& e) {
     // E.g. a parent cycle: checksums pass but the structure is invalid.
     throw ApiError("snapshot hierarchy is invalid: " + std::string(e.what()));
@@ -70,17 +79,21 @@ Dataset::Dataset(SnapshotTag, const std::string& path)
   // The preprocessing phase is *restored*, not re-run: the ranked corpus,
   // f-list and rank order come straight from the file; the inverse order
   // and the rank-space hierarchy are cheap O(n) derivations.
+  const size_t n = vocab_.NumItems();
   pre_.freq = std::move(snap.freq);
   pre_.rank_of_raw = std::move(snap.rank_of_raw);
+  // Const ref: rank_of_raw may borrow the mapping, and only ArrayRef's
+  // const operator[] is valid on a borrowed array.
+  const ArrayRef<ItemId>& rank_of_raw = pre_.rank_of_raw;
   pre_.raw_of_rank.assign(n + 1, kInvalidItem);
   for (size_t raw = 1; raw <= n; ++raw) {
-    pre_.raw_of_rank[pre_.rank_of_raw[raw]] = static_cast<ItemId>(raw);
+    pre_.raw_of_rank[rank_of_raw[raw]] = static_cast<ItemId>(raw);
   }
   std::vector<ItemId> rank_parent(n + 1, kInvalidItem);
   for (size_t r = 1; r <= n; ++r) {
     ItemId raw_parent = raw_hierarchy_.Parent(pre_.raw_of_rank[r]);
     if (raw_parent != kInvalidItem) {
-      rank_parent[r] = pre_.rank_of_raw[raw_parent];
+      rank_parent[r] = rank_of_raw[raw_parent];
     }
   }
   try {
@@ -93,7 +106,21 @@ Dataset::Dataset(SnapshotTag, const std::string& path)
     throw ApiError("snapshot rank order is not hierarchy-monotone: " + path);
   }
   pre_.database = std::move(snap.ranked_corpus);
+  deferred_ = std::move(snap.deferred);
+  stats_ = snap.stats;
 
+  if (mode == LoadMode::kCopy) {
+    // Copy mode keeps the v1 contract: everything fully materialized at
+    // load. Mmap mode defers this O(corpus) pass until something actually
+    // asks for the raw corpus (most mining paths never do).
+    BuildRawCorpus();
+    std::call_once(raw_once_, [] {});
+  }
+  load_times_.read_ms = timer.ElapsedMs();
+  load_times_.preprocess_ms = 0;
+}
+
+void Dataset::BuildRawCorpus() const {
   // Recoding is a bijection per item, so the raw corpus is one arena pass
   // over the ranked one — no parsing, no f-list job.
   raw_db_.Reserve(pre_.database.size(), pre_.database.TotalItems());
@@ -103,9 +130,40 @@ Dataset::Dataset(SnapshotTag, const std::string& path)
       raw[i] = pre_.raw_of_rank[t[i]];
     }
   }
-  stats_ = snap.stats;
-  load_times_.read_ms = timer.ElapsedMs();
-  load_times_.preprocess_ms = 0;
+}
+
+const FlatDatabase& Dataset::raw_database() const {
+  std::call_once(raw_once_, [this] { BuildRawCorpus(); });
+  return raw_db_;
+}
+
+void Dataset::VerifyCorpus() const {
+  for (const SnapshotDeferredCheck& check : deferred_) {
+    if (FnvHashBytes(check.data, check.length) != check.checksum) {
+      throw IoError(IoErrorKind::kChecksumMismatch, check.file_offset,
+                    std::string("snapshot: section ") + check.what +
+                        " failed checksum verification");
+    }
+  }
+  if (!map_.valid()) return;
+  // The structural corpus checks a mapped load skipped (a copying load ran
+  // them in ReadDatasetSnapshot).
+  const FlatDatabase& db = pre_.database;
+  const uint64_t* offsets = db.offset_table();
+  for (size_t i = 1; i <= db.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw IoError(IoErrorKind::kMalformed, 0,
+                    "snapshot: corpus offset table is not monotone");
+    }
+  }
+  const ItemId* arena = db.arena();
+  const size_t n = vocab_.NumItems();
+  for (size_t i = 0; i < db.TotalItems(); ++i) {
+    if (arena[i] == kInvalidItem || arena[i] > n) {
+      throw IoError(IoErrorKind::kMalformed, 0,
+                    "snapshot: corpus item rank out of range");
+    }
+  }
 }
 
 Dataset Dataset::FromFiles(const std::string& sequences_path,
@@ -149,23 +207,11 @@ Dataset Dataset::FromMemory(Database raw_db, Vocabulary vocab,
                  std::move(raw_hierarchy), 0);
 }
 
-Dataset Dataset::FromSnapshot(const std::string& path) {
-  return Dataset(SnapshotTag{}, path);
+Dataset Dataset::FromSnapshot(const std::string& path, LoadMode mode) {
+  return Dataset(SnapshotTag{}, path, mode);
 }
 
 void Dataset::Save(const std::string& path) const {
-  // Only the (small) name/parent tables are assembled; the corpus, f-list
-  // and rank order are encoded in place via WriteDatasetSnapshotParts, so
-  // a save never duplicates the multi-MB buffers.
-  const size_t n = vocab_.NumItems();
-  std::vector<std::string> names(1);
-  names.reserve(n + 1);
-  std::vector<ItemId> raw_parent(n + 1, kInvalidItem);
-  for (size_t id = 1; id <= n; ++id) {
-    names.push_back(vocab_.Name(static_cast<ItemId>(id)));
-    raw_parent[id] = vocab_.Parent(static_cast<ItemId>(id));
-  }
-
   // Write to a temp file renamed into place, so a failed save never
   // truncates an existing snapshot.
   const std::string tmp_path = path + ".tmp";
@@ -174,8 +220,11 @@ void Dataset::Save(const std::string& path) const {
     throw ApiError("cannot open snapshot file for writing: " + tmp_path);
   }
   try {
-    WriteDatasetSnapshotParts(file, names, raw_parent, pre_.database,
-                              pre_.freq, pre_.rank_of_raw, stats_);
+    // The writer encodes the corpus, f-list and rank order in place from
+    // these borrowed components — a save never duplicates the multi-MB
+    // buffers.
+    WriteDatasetSnapshotParts(file, vocab_, pre_.database, pre_.freq,
+                              pre_.rank_of_raw, stats_);
   } catch (...) {
     file.close();
     std::remove(tmp_path.c_str());  // Never leave a stale half-written .tmp.
@@ -195,7 +244,7 @@ const PreprocessResult& Dataset::flat_preprocessed() const {
   // all the ordering readers need.
   std::call_once(flat_once_, [this] {
     flat_pre_ = std::make_unique<PreprocessResult>(
-        Preprocess(raw_db_, Hierarchy::Flat(vocab_.NumItems())));
+        Preprocess(raw_database(), Hierarchy::Flat(vocab_.NumItems())));
   });
   return *flat_pre_;
 }
@@ -207,7 +256,7 @@ std::string Dataset::NameOfRank(ItemId rank, bool flat) const {
                    " is not a valid rank id (did RankOfName return "
                    "kInvalidItem for an unknown name?)");
   }
-  return vocab_.Name(pre.raw_of_rank[rank]);
+  return std::string(vocab_.Name(pre.raw_of_rank[rank]));
 }
 
 ItemId Dataset::RankOfName(const std::string& name, bool flat) const {

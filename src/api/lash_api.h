@@ -17,6 +17,8 @@
 #include "core/hierarchy.h"
 #include "core/params.h"
 #include "core/vocabulary.h"
+#include "io/mmap_file.h"
+#include "io/snapshot.h"
 #include "mapreduce/job.h"
 #include "miner/miner.h"
 #include "util/hash.h"
@@ -243,6 +245,26 @@ class Dataset {
   static Dataset FromMemory(Database raw_db, Vocabulary vocab,
                             Hierarchy raw_hierarchy);
 
+  /// How FromSnapshot brings the file into memory.
+  enum class LoadMode {
+    /// Stream the file into owned arenas, verifying every checksum and the
+    /// full corpus structure eagerly; the raw corpus is reconstructed up
+    /// front. Always available; the only mode that decodes v1 containers
+    /// without an mmap.
+    kCopy,
+    /// mmap the file read-only and *borrow* the big arrays in place (v2
+    /// containers on little-endian hosts): cold start is O(page faults) in
+    /// the corpus, not O(corpus bytes). The header and every small section
+    /// are checksum-verified eagerly; the two corpus sections' checksums
+    /// (and their O(corpus) structural checks) are deferred — call
+    /// VerifyCorpus() to run them on demand. The raw corpus is rebuilt
+    /// lazily on first raw_database()/flat_preprocessed() use. The Dataset
+    /// owns the mapping, so every borrowed view stays valid for its
+    /// lifetime. v1 containers and big-endian hosts silently degrade to a
+    /// full copy with nothing deferred.
+    kMmap,
+  };
+
   /// Loads a one-file dataset snapshot previously written by Save(): the
   /// vocabulary, hierarchy, *preprocessed* flat corpus, f-list and stats
   /// are read back directly, so neither text parsing nor the preprocessing
@@ -253,7 +275,8 @@ class Dataset {
   /// semantically inconsistent; corrupt containers (bad magic, truncation,
   /// future version, checksum mismatch) surface as the typed IoError of
   /// io/io_error.h.
-  static Dataset FromSnapshot(const std::string& path);
+  static Dataset FromSnapshot(const std::string& path,
+                              LoadMode mode = LoadMode::kCopy);
 
   /// Writes the one-file snapshot (io/snapshot.h) for FromSnapshot. The
   /// flat (hierarchy-stripped) preprocessing is not stored; it is rebuilt
@@ -270,8 +293,11 @@ class Dataset {
   uint64_t id() const { return id_; }
 
   const Vocabulary& vocabulary() const { return vocab_; }
-  /// The raw (pre-recoding) corpus in flat CSR form.
-  const FlatDatabase& raw_database() const { return raw_db_; }
+  /// The raw (pre-recoding) corpus in flat CSR form. After a
+  /// LoadMode::kMmap snapshot load it is reconstructed lazily on first use
+  /// (thread-safe, like flat_preprocessed()); every other load path builds
+  /// it eagerly.
+  const FlatDatabase& raw_database() const;
   const Hierarchy& raw_hierarchy() const { return raw_hierarchy_; }
 
   /// The hierarchical preprocessing every query reuses.
@@ -286,8 +312,19 @@ class Dataset {
 
   /// Table-1 style statistics of the raw database.
   const DatasetStats& stats() const { return stats_; }
-  size_t NumSequences() const { return raw_db_.size(); }
+  size_t NumSequences() const { return pre_.database.size(); }
   size_t NumItems() const { return vocab_.NumItems(); }
+
+  /// True iff this Dataset borrows a live snapshot mapping (a
+  /// LoadMode::kMmap load of a v2 container on a little-endian host).
+  bool mmap_backed() const { return map_.valid(); }
+
+  /// Runs every integrity check a mapped load deferred: the corpus
+  /// sections' FNV checksums, offset-table monotonicity, and item-rank
+  /// ranges. O(corpus bytes); throws the same typed IoError an eager load
+  /// would have. A no-op for copying loads (they verified everything up
+  /// front).
+  void VerifyCorpus() const;
 
   /// Name of a rank id of `preprocessed()` (or of `flat_preprocessed()`
   /// when `flat`). Throws ApiError on an out-of-range rank (in particular
@@ -313,15 +350,27 @@ class Dataset {
   Dataset(FlatDatabase raw_db, Vocabulary vocab, Hierarchy raw_hierarchy,
           double read_ms);
   /// Snapshot-restore constructor: adopts precomputed preprocessing.
-  Dataset(SnapshotTag, const std::string& path);
+  Dataset(SnapshotTag, const std::string& path, LoadMode mode);
+
+  /// Rebuilds the raw corpus from the ranked one (a per-item bijection).
+  void BuildRawCorpus() const;
 
   uint64_t id_;
-  FlatDatabase raw_db_;
+  /// Declared first so it is destroyed *last*: vocab_ and pre_ may borrow
+  /// the mapped bytes and must die before the mapping is unmapped.
+  MmapFile map_;
   Vocabulary vocab_;
   Hierarchy raw_hierarchy_;
   PreprocessResult pre_;
   DatasetStats stats_;
   LoadTimes load_times_;
+  /// Corpus checksums a mapped load deferred (see VerifyCorpus).
+  std::vector<SnapshotDeferredCheck> deferred_;
+
+  /// Lazily reconstructed after a mapped snapshot load; eager otherwise
+  /// (the constructor consumes raw_once_).
+  mutable FlatDatabase raw_db_;
+  mutable std::once_flag raw_once_;
 
   mutable std::once_flag flat_once_;
   mutable std::unique_ptr<PreprocessResult> flat_pre_;

@@ -18,7 +18,7 @@ std::vector<std::string> PatternView::names() const {
   std::vector<std::string> names;
   names.reserve(ranks_->size());
   for (ItemId rank : *ranks_) {
-    names.push_back(vocab_->Name(pre_->raw_of_rank[rank]));
+    names.emplace_back(vocab_->Name(pre_->raw_of_rank[rank]));
   }
   return names;
 }

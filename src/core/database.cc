@@ -9,7 +9,7 @@ DatasetStats ComputeStats(const FlatDatabase& db) {
   DatasetStats stats;
   stats.num_sequences = db.size();
   stats.total_items = db.TotalItems();
-  std::unordered_set<ItemId> unique(db.items().begin(), db.items().end());
+  std::unordered_set<ItemId> unique(db.arena(), db.arena() + db.TotalItems());
   for (size_t i = 0; i < db.size(); ++i) {
     stats.max_length = std::max(stats.max_length, db[i].size());
   }

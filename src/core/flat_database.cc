@@ -1,8 +1,105 @@
 #include "core/flat_database.h"
 
 #include <ostream>
+#include <stdexcept>
+#include <utility>
 
 namespace lash {
+
+FlatDatabase& FlatDatabase::operator=(const FlatDatabase& other) {
+  if (this == &other) return *this;
+  if (other.borrowed_) {
+    // Copies of a borrowed database share the borrow (same contract as
+    // ArrayRef): the backing mapping must outlive them.
+    items_.clear();
+    offsets_.clear();
+    arena_ = other.arena_;
+    offset_table_ = other.offset_table_;
+    num_sequences_ = other.num_sequences_;
+    total_items_ = other.total_items_;
+    borrowed_ = true;
+  } else {
+    items_.assign(other.arena_, other.arena_ + other.total_items_);
+    offsets_.assign(other.offset_table_,
+                    other.offset_table_ + other.num_sequences_ + 1);
+    borrowed_ = false;
+    Sync();
+  }
+  return *this;
+}
+
+FlatDatabase& FlatDatabase::operator=(FlatDatabase&& other) noexcept {
+  if (this == &other) return *this;
+  items_ = std::move(other.items_);
+  offsets_ = std::move(other.offsets_);
+  borrowed_ = other.borrowed_;
+  if (borrowed_) {
+    arena_ = other.arena_;
+    offset_table_ = other.offset_table_;
+    num_sequences_ = other.num_sequences_;
+    total_items_ = other.total_items_;
+  } else {
+    Sync();  // Vector buffers survive the move; repoint at them.
+  }
+  // Leave the source as a valid empty owned database.
+  other.items_.clear();
+  other.offsets_.assign(1, 0);
+  other.borrowed_ = false;
+  other.Sync();
+  return *this;
+}
+
+void FlatDatabase::RequireOwned(const char* op) const {
+  if (borrowed_) {
+    throw std::logic_error(std::string("FlatDatabase::") + op +
+                           ": database borrows a read-only mapping");
+  }
+}
+
+FlatDatabase FlatDatabase::Borrowed(const ItemId* arena, size_t total_items,
+                                    const uint64_t* offsets,
+                                    size_t num_sequences) {
+  if (offsets[0] != 0 || offsets[num_sequences] != total_items) {
+    throw std::invalid_argument(
+        "FlatDatabase::Borrowed: offset table boundaries disagree with arena");
+  }
+  FlatDatabase db;
+  db.items_.clear();
+  db.offsets_.clear();
+  db.arena_ = arena;
+  db.offset_table_ = offsets;
+  db.num_sequences_ = num_sequences;
+  db.total_items_ = total_items;
+  db.borrowed_ = true;
+  return db;
+}
+
+FlatDatabase FlatDatabase::FromBuffers(std::vector<ItemId> arena,
+                                       std::vector<uint64_t> offsets) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != arena.size()) {
+    throw std::invalid_argument(
+        "FlatDatabase::FromBuffers: offset table boundaries disagree with "
+        "arena");
+  }
+  FlatDatabase db;
+  db.items_ = std::move(arena);
+  db.offsets_ = std::move(offsets);
+  db.Sync();
+  return db;
+}
+
+bool operator==(const FlatDatabase& a, const FlatDatabase& b) {
+  if (a.num_sequences_ != b.num_sequences_ || a.total_items_ != b.total_items_)
+    return false;
+  for (size_t i = 0; i <= a.num_sequences_; ++i) {
+    if (a.offset_table_[i] != b.offset_table_[i]) return false;
+  }
+  for (size_t i = 0; i < a.total_items_; ++i) {
+    if (a.arena_[i] != b.arena_[i]) return false;
+  }
+  return true;
+}
 
 std::ostream& operator<<(std::ostream& out, SequenceView view) {
   out << '[';

@@ -84,28 +84,43 @@ std::ostream& operator<<(std::ostream& out, SequenceView view);
 /// wants under the partitioned miners (Sec. 2/4): iteration is a linear
 /// scan of one array, `operator[]` is two loads, and the whole corpus is
 /// two buffers — which is also exactly what the one-file dataset snapshot
-/// (io/snapshot.h) serializes and what a future sharding layer mmaps.
+/// (io/snapshot.h) serializes, and what its v2 mmap load path borrows
+/// *in place*.
 ///
-/// Sequences are immutable once appended; `Add`/`AppendSequence` build the
-/// database front to back.
+/// Ownership: a FlatDatabase either owns its two buffers (the default —
+/// `Add`/`AppendSlot` build it front to back, sequences immutable once
+/// appended) or *borrows* them (`Borrowed`) from memory someone else keeps
+/// alive, e.g. a snapshot mapping owned by the `Dataset`. Every read runs
+/// through the same two pointers, so the mining layers cannot tell the
+/// difference; mutating a borrowed database throws std::logic_error.
+/// Copying always deep-copies into an owned database; borrowed moves/copies
+/// share the borrow and require the backing memory to outlive them.
 class FlatDatabase {
  public:
-  FlatDatabase() : offsets_{0} {}
+  FlatDatabase() : offsets_{0} { Sync(); }
 
-  size_t size() const { return offsets_.size() - 1; }
-  bool empty() const { return offsets_.size() == 1; }
+  FlatDatabase(const FlatDatabase& other) { *this = other; }
+  FlatDatabase& operator=(const FlatDatabase& other);
+  FlatDatabase(FlatDatabase&& other) noexcept { *this = std::move(other); }
+  FlatDatabase& operator=(FlatDatabase&& other) noexcept;
+
+  size_t size() const { return num_sequences_; }
+  bool empty() const { return num_sequences_ == 0; }
   /// Total items over all sequences (the arena length).
-  size_t TotalItems() const { return items_.size(); }
+  size_t TotalItems() const { return total_items_; }
 
   SequenceView operator[](size_t i) const {
-    return SequenceView(items_.data() + offsets_[i],
-                        static_cast<size_t>(offsets_[i + 1] - offsets_[i]));
+    return SequenceView(arena_ + offset_table_[i],
+                        static_cast<size_t>(offset_table_[i + 1] -
+                                            offset_table_[i]));
   }
 
   /// Appends one sequence (copies its items into the arena).
   void Add(SequenceView t) {
+    RequireOwned("Add");
     items_.insert(items_.end(), t.begin(), t.end());
     offsets_.push_back(items_.size());
+    Sync();
   }
 
   /// Starts a new sequence of `n` zero-initialized items and returns the
@@ -113,19 +128,42 @@ class FlatDatabase {
   /// recoding/decoding loops (one vector grow, no intermediate Sequence;
   /// the zero fill from resize() is the only redundant pass).
   ItemId* AppendSlot(size_t n) {
+    RequireOwned("AppendSlot");
     items_.resize(items_.size() + n);
     offsets_.push_back(items_.size());
+    Sync();
     return items_.data() + (items_.size() - n);
   }
 
   void Reserve(size_t num_sequences, size_t num_items) {
+    RequireOwned("Reserve");
     offsets_.reserve(num_sequences + 1);
     items_.reserve(num_items);
+    Sync();
   }
 
-  /// The raw CSR buffers (serialization and tests).
-  const std::vector<ItemId>& items() const { return items_; }
-  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  /// The raw CSR buffers (serialization, stats, tests). `offset_table()`
+  /// has size() + 1 entries with offset_table()[0] == 0; the arena has
+  /// TotalItems() entries.
+  const ItemId* arena() const { return arena_; }
+  const uint64_t* offset_table() const { return offset_table_; }
+  bool borrowed() const { return borrowed_; }
+
+  /// A non-owning database over CSR buffers someone else keeps alive (the
+  /// snapshot mmap path): `offsets` must have `num_sequences + 1` entries.
+  /// Validates only the two boundary entries (offsets[0] == 0 and
+  /// offsets[num_sequences] == total_items — two page touches); interior
+  /// monotonicity is the mapping owner's deferred-verification problem
+  /// (Dataset::VerifyCorpus). Throws std::invalid_argument on a boundary
+  /// mismatch.
+  static FlatDatabase Borrowed(const ItemId* arena, size_t total_items,
+                               const uint64_t* offsets, size_t num_sequences);
+
+  /// Adopts already-built CSR buffers (the streaming snapshot reader fills
+  /// the vectors directly — no intermediate copy). Same boundary
+  /// validation as Borrowed.
+  static FlatDatabase FromBuffers(std::vector<ItemId> arena,
+                                  std::vector<uint64_t> offsets);
 
   /// Converts from / to the legacy vector-of-vectors form. Materialize is
   /// for the preserved bench baselines (LegacyPsmMiner / RunLashLegacy) and
@@ -163,13 +201,30 @@ class FlatDatabase {
   const_iterator begin() const { return const_iterator(this, 0); }
   const_iterator end() const { return const_iterator(this, size()); }
 
-  friend bool operator==(const FlatDatabase& a, const FlatDatabase& b) {
-    return a.offsets_ == b.offsets_ && a.items_ == b.items_;
-  }
+  /// Content equality (ownership-independent): same offsets, same arena.
+  friend bool operator==(const FlatDatabase& a, const FlatDatabase& b);
 
  private:
+  /// Repoints the read pointers at the owned vectors (call after any
+  /// owned-buffer mutation or move).
+  void Sync() {
+    arena_ = items_.data();
+    offset_table_ = offsets_.data();
+    num_sequences_ = offsets_.size() - 1;
+    total_items_ = items_.size();
+  }
+  void RequireOwned(const char* op) const;
+
+  // Owned storage (unused when borrowed_).
   std::vector<ItemId> items_;
   std::vector<uint64_t> offsets_;  // size() + 1 entries; offsets_[0] == 0.
+  // The read surface: into the vectors above (owned) or into a caller's
+  // buffers (borrowed).
+  const ItemId* arena_ = nullptr;
+  const uint64_t* offset_table_ = nullptr;
+  size_t num_sequences_ = 0;
+  size_t total_items_ = 0;
+  bool borrowed_ = false;
 };
 
 }  // namespace lash

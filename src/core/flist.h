@@ -6,6 +6,7 @@
 
 #include "core/database.h"
 #include "core/hierarchy.h"
+#include "util/array_ref.h"
 #include "util/types.h"
 
 namespace lash {
@@ -29,10 +30,12 @@ struct PreprocessResult {
   FlatDatabase database;
   /// Generalized document frequency per rank; `freq[0] == 0`, non-increasing
   /// for ranks `1..n`. This is the generalized f-list of Sec. 3.3.
-  std::vector<Frequency> freq;
+  /// ArrayRef (not vector): a snapshot-mmap'd Dataset borrows these three
+  /// arrays straight from the mapping; Preprocess() builds them owned.
+  ArrayRef<Frequency> freq;
   /// Raw id -> rank (index 0 unused).
-  std::vector<ItemId> rank_of_raw;
-  /// Rank -> raw id (index 0 unused).
+  ArrayRef<ItemId> rank_of_raw;
+  /// Rank -> raw id (index 0 unused; always owned — derived on load).
   std::vector<ItemId> raw_of_rank;
 
   PreprocessResult() : hierarchy(Hierarchy::Flat(0)) {}

@@ -1,16 +1,52 @@
 #include "core/vocabulary.h"
 
+#include <cstring>
 #include <stdexcept>
+#include <utility>
 
 namespace lash {
 
+Vocabulary& Vocabulary::operator=(const Vocabulary& other) {
+  if (this == &other) return *this;
+  Vocabulary copy;
+  const size_t n = other.NumItems();
+  copy.Reserve(n);
+  if (other.blob_ == nullptr && other.dynamic_.size() == n) {
+    // Pure-AddItem vocabulary: re-intern (one string copy per name).
+    for (size_t id = 1; id <= n; ++id) {
+      copy.AddItem(std::string(other.names_[id]));
+    }
+  } else {
+    // Restored (owned blob and/or borrowed mapping): rebuild one owned
+    // blob; views into a *borrowed* source would otherwise be shared,
+    // which is fine, but one code path covering both is simpler and a
+    // copy that owns its bytes is never lifetime-surprising.
+    size_t total = 0;
+    for (size_t id = 1; id <= n; ++id) total += other.names_[id].size();
+    copy.blob_ = std::make_unique<char[]>(total ? total : 1);
+    char* cursor = copy.blob_.get();
+    for (size_t id = 1; id <= n; ++id) {
+      const std::string_view name = other.names_[id];
+      std::memcpy(cursor, name.data(), name.size());
+      copy.names_.emplace_back(cursor, name.size());
+      copy.index_.emplace(copy.names_.back(), static_cast<ItemId>(id));
+      cursor += name.size();
+    }
+    copy.parent_.resize(n + 1, kInvalidItem);
+  }
+  for (size_t id = 1; id <= n; ++id) copy.parent_[id] = other.parent_[id];
+  *this = std::move(copy);
+  return *this;
+}
+
 ItemId Vocabulary::AddItem(const std::string& name) {
-  auto it = index_.find(name);
+  auto it = index_.find(std::string_view(name));
   if (it != index_.end()) return it->second;
   ItemId id = static_cast<ItemId>(names_.size());
-  names_.push_back(name);
+  dynamic_.push_back(name);  // Deque: the string's address is stable.
+  names_.emplace_back(dynamic_.back());
   parent_.push_back(kInvalidItem);
-  index_.emplace(name, id);
+  index_.emplace(names_.back(), id);
   return id;
 }
 
@@ -38,7 +74,8 @@ void Vocabulary::SetParent(ItemId child, ItemId parent) {
     throw std::invalid_argument("Vocabulary: SetParent id out of range");
   }
   if (parent_[child] != kInvalidItem && parent_[child] != parent) {
-    throw std::invalid_argument("Vocabulary: item '" + names_[child] +
+    throw std::invalid_argument("Vocabulary: item '" +
+                                std::string(names_[child]) +
                                 "' already has a different parent");
   }
   parent_[child] = parent;
@@ -50,11 +87,49 @@ void Vocabulary::Reserve(size_t num_items) {
   index_.reserve(num_items);
 }
 
-ItemId Vocabulary::Lookup(const std::string& name) const {
+ItemId Vocabulary::Lookup(std::string_view name) const {
   auto it = index_.find(name);
   return it == index_.end() ? kInvalidItem : it->second;
 }
 
 Hierarchy Vocabulary::BuildHierarchy() const { return Hierarchy(parent_); }
+
+Vocabulary Vocabulary::Restore(const char* blob, size_t blob_size,
+                               const uint32_t* ends, size_t n,
+                               bool copy_blob) {
+  const size_t total = n == 0 ? 0 : ends[n - 1];
+  if (total > blob_size) {
+    throw std::invalid_argument(
+        "Vocabulary::Restore: name offsets exceed blob size");
+  }
+  Vocabulary vocab;
+  vocab.Reserve(n);
+  const char* base = blob;
+  if (copy_blob) {
+    vocab.blob_ = std::make_unique<char[]>(total ? total : 1);
+    std::memcpy(vocab.blob_.get(), blob, total);
+    base = vocab.blob_.get();
+  }
+  uint32_t start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t end = ends[i];
+    if (end < start || end > total) {
+      throw std::invalid_argument(
+          "Vocabulary::Restore: name offsets are not monotone");
+    }
+    const std::string_view name(base + start, end - start);
+    vocab.names_.push_back(name);
+    vocab.parent_.push_back(kInvalidItem);
+    // Built eagerly (even for borrowed restores): Lookup must be safely
+    // concurrent on a shared Dataset, and eager insertion doubles as the
+    // duplicate-name check; the cost is O(vocabulary), not O(corpus).
+    if (!vocab.index_.emplace(name, static_cast<ItemId>(i + 1)).second) {
+      throw std::invalid_argument(
+          "Vocabulary::Restore: duplicate name '" + std::string(name) + "'");
+    }
+    start = end;
+  }
+  return vocab;
+}
 
 }  // namespace lash

@@ -1,7 +1,11 @@
 #ifndef LASH_CORE_VOCABULARY_H_
 #define LASH_CORE_VOCABULARY_H_
 
+#include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -10,16 +14,33 @@
 
 namespace lash {
 
-/// A mutable string dictionary with parent links, used to assemble a raw
-/// vocabulary and hierarchy from application data before preprocessing.
+/// A string dictionary with parent links, used to assemble a raw vocabulary
+/// and hierarchy from application data before preprocessing.
 ///
 /// Items receive raw ids `1, 2, ...` in insertion order; preprocessing
 /// (core/flist.h) later recodes them to frequency ranks. Parents may be
 /// declared before or after their children, and an item's parent may be set
 /// exactly once.
+///
+/// Name storage is view-based so the snapshot mmap path (io/snapshot.h v2)
+/// can restore a vocabulary with *zero* string copies: `names_[id]` is a
+/// std::string_view into either (a) per-item strings interned by AddItem
+/// (a deque — element addresses are stable), (b) one owned blob restored
+/// in bulk from a copying snapshot load, or (c) the caller's mapped bytes
+/// (`Restore(..., copy_blob=false)`), which must then outlive the
+/// Vocabulary and every copy of it. Mixing is fine: items can be AddItem'd
+/// on top of a restored vocabulary.
+///
+/// Copying deep-copies the names it owns but *shares* borrowed mapped
+/// bytes; moves never invalidate views.
 class Vocabulary {
  public:
   Vocabulary() = default;
+
+  Vocabulary(const Vocabulary& other) { *this = other; }
+  Vocabulary& operator=(const Vocabulary& other);
+  Vocabulary(Vocabulary&&) noexcept = default;
+  Vocabulary& operator=(Vocabulary&&) noexcept = default;
 
   /// Returns the id of `name`, inserting it as a new root item if unseen.
   ItemId AddItem(const std::string& name);
@@ -38,10 +59,11 @@ class Vocabulary {
   void Reserve(size_t num_items);
 
   /// Returns the id of `name` or kInvalidItem if unknown.
-  ItemId Lookup(const std::string& name) const;
+  ItemId Lookup(std::string_view name) const;
 
-  /// Name of item `id`; `id` must be valid.
-  const std::string& Name(ItemId id) const { return names_[id]; }
+  /// Name of item `id`; `id` must be valid. The view is stable for the
+  /// Vocabulary's lifetime (and, for borrowed restores, the mapping's).
+  std::string_view Name(ItemId id) const { return names_[id]; }
 
   /// Parent of item `id`, or kInvalidItem if it is a root.
   ItemId Parent(ItemId id) const { return parent_[id]; }
@@ -51,11 +73,27 @@ class Vocabulary {
   /// Freezes the vocabulary into a validated raw-space Hierarchy.
   Hierarchy BuildHierarchy() const;
 
+  /// Bulk restore for snapshot loads: `n` names concatenated in `blob`
+  /// (ids 1..n in order), `ends[i]` the cumulative end offset of name
+  /// `i + 1` (so name `id` is `blob[ends[id-2] .. ends[id-1])` with an
+  /// implicit leading 0). With `copy_blob`, the bytes are copied into owned
+  /// storage; otherwise the views borrow `blob` directly (the zero-copy
+  /// mmap path) and `blob` must outlive the result. Parents start as roots;
+  /// replay them with SetParent. Throws std::invalid_argument on
+  /// non-monotone `ends`, an end past `blob_size`, or duplicate names (the
+  /// lookup index is built eagerly and detects them).
+  static Vocabulary Restore(const char* blob, size_t blob_size,
+                            const uint32_t* ends, size_t n, bool copy_blob);
+
  private:
   // Index 0 reserved; names_[id] / parent_[id] for id >= 1.
-  std::vector<std::string> names_{""};
+  std::vector<std::string_view> names_{std::string_view()};
   std::vector<ItemId> parent_{kInvalidItem};
-  std::unordered_map<std::string, ItemId> index_;
+  /// AddItem storage: deque element addresses are stable under growth.
+  std::deque<std::string> dynamic_;
+  /// Restore(copy_blob=true) storage: one flat allocation, bulk-copied.
+  std::unique_ptr<char[]> blob_;
+  std::unordered_map<std::string_view, ItemId> index_;
 };
 
 }  // namespace lash

@@ -1,0 +1,63 @@
+#ifndef LASH_IO_MMAP_FILE_H_
+#define LASH_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace lash {
+
+/// A read-only memory mapping of a whole file (RAII: the mapping lives
+/// exactly as long as the MmapFile). This is the substrate of the zero-copy
+/// snapshot load path (io/snapshot.h "v2"): `Dataset` keeps the MmapFile
+/// alive for its own lifetime, so every borrowed SequenceView / ArrayRef /
+/// name view handed to miners stays valid without any copy.
+///
+/// On POSIX, `Open` is open(O_RDONLY) → fstat → mmap(PROT_READ,
+/// MAP_PRIVATE) → madvise(MADV_SEQUENTIAL) (snapshot loads scan the small
+/// sections front to back; the corpus pages fault in on first access). The
+/// fd is closed immediately after mapping — the mapping keeps the file
+/// alive. Mapping multiple processes onto one snapshot shares a single
+/// page-cache copy, which is the point: an N-worker fan-out pays the corpus
+/// RSS once per machine, not once per process.
+///
+/// Every failure throws IoError(kOpenFailed) naming the path. On platforms
+/// without mmap the file is read into a heap buffer instead — same
+/// interface, same lifetime rules, no sharing.
+///
+/// Move-only. `data()` is stable across moves (the mapping itself never
+/// relocates), so borrowed pointers taken before a move remain valid.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Throws IoError(IoErrorKind::kOpenFailed) if the
+  /// file cannot be opened, stat'ed, or mapped. An empty file yields a
+  /// valid mapping with size() == 0.
+  static MmapFile Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True once Open succeeded (even for an empty file).
+  bool valid() const { return valid_; }
+
+ private:
+  void Reset();
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool valid_ = false;
+  /// Non-null only for the non-mmap fallback (heap-buffer ownership).
+  std::unique_ptr<char[]> fallback_;
+};
+
+}  // namespace lash
+
+#endif  // LASH_IO_MMAP_FILE_H_

@@ -7,6 +7,8 @@
 
 #include "core/database.h"
 #include "core/flat_database.h"
+#include "core/vocabulary.h"
+#include "util/array_ref.h"
 #include "util/types.h"
 
 namespace lash {
@@ -19,58 +21,122 @@ namespace lash {
 /// stored: recoding is a per-item bijection, so the loader reconstructs it
 /// from the ranked corpus in one arena pass.
 ///
-/// Container layout (all integers LEB128 varints unless noted):
+/// ## Container layout, version 2 (fixed-width little-endian throughout)
 ///
-///   8 raw bytes   magic "LASHSNAP"
-///   varint32      format version (kSnapshotVersion)
-///   varint32      section count
-///   per section:  varint32 id, varint64 payload offset (file-absolute),
-///                 varint64 payload length, 8 raw bytes FNV-1a64 checksum
-///                 (little-endian) of the payload bytes
-///   payloads      back to back
+///   offset 0   8 raw bytes   magic "LASHSNAP"
+///   offset 8   1 byte        format version (kSnapshotVersion; also a
+///                            valid varint, so v1 readers reject it as a
+///                            future version)
+///   offset 9   u32           section count
+///   offset 13  32 bytes/sec  section table: u32 id, u32 flags, u64 payload
+///                            offset (file-absolute), u64 payload length,
+///                            u64 FNV-1a64 checksum of the payload bytes
+///   ...        zero padding
+///   payloads   every payload starts at a 64-byte-aligned file offset
+///              (zero padding between), so a page-aligned mmap of the file
+///              gives naturally aligned u32/u64 arrays that are usable
+///              *in place* — the zero-copy load path of Dataset::
+///              FromSnapshot(LoadMode::kMmap).
+///
+/// Section payloads (ids fixed; `n` = number of vocabulary items):
+///
+///   1 kVocabulary     u32 n; u32 ends[n] (cumulative name-end offsets);
+///                     name bytes back to back
+///   2 kHierarchy      u32 n; u32 parent[n] for ids 1..n (0 = root)
+///   3 kCorpusOffsets  u64 num_sequences; u64 offsets[num_sequences + 1]
+///   4 kFlist          u32 n; u32 zero pad; u64 freq[n + 1] (slot 0 == 0)
+///   5 kStats          u64 num_sequences, total_items, max_length,
+///                     unique_items
+///   6 kRankOrder      u32 n; u32 rank_of_raw[n + 1] (slot 0 == 0)
+///   7 kCorpusArena    u64 total_items; u32 items[total_items]
+///
+/// Section flag bit 0 (kSectionFlagLazyVerify) marks a section whose
+/// checksum a mapped reader may defer (set by the writer on the two corpus
+/// sections — the O(corpus bytes) ones). The mapped load verifies the
+/// header and every small section eagerly and returns the deferred checks
+/// in DatasetSnapshot::deferred for Dataset::VerifyCorpus; the copying
+/// reader always verifies everything at load.
 ///
 /// Readers reject unknown magic (IoErrorKind::kBadMagic), versions newer
-/// than kSnapshotVersion (kBadVersion), out-of-bounds section tables
-/// (kTruncated/kMalformed), and payloads whose checksum does not match
-/// (kChecksumMismatch). Unknown section ids are ignored, so a future
+/// than kSnapshotVersion (kBadVersion), out-of-bounds or misaligned section
+/// tables (kTruncated/kMalformed), and payloads whose checksum does not
+/// match (kChecksumMismatch). Unknown section ids are ignored, so a future
 /// version can *add* sections without a version bump; any change to an
 /// existing section's encoding must bump kSnapshotVersion (see ROADMAP
-/// "Storage layer").
-struct DatasetSnapshot {
-  /// Item names, ids 1..n in raw (interning) order; index 0 unused.
-  std::vector<std::string> names;
-  /// Raw-space parent array; parent[0] unused, kInvalidItem marks roots.
-  std::vector<ItemId> raw_parent;
-  /// The rank-recoded corpus in CSR form (PreprocessResult::database).
-  FlatDatabase ranked_corpus;
-  /// Generalized document frequency per rank (the f-list); index 0 unused.
-  std::vector<Frequency> freq;
-  /// Raw id -> rank (index 0 unused). The inverse is derived on load.
-  std::vector<ItemId> rank_of_raw;
-  /// Table-1 statistics of the raw database.
-  DatasetStats stats;
+/// "Storage layer"). Version-1 containers (varint sections) remain fully
+/// readable: both readers fall back to the v1 decoder, which always copies.
+struct SnapshotDeferredCheck {
+  const char* what;    ///< Section name for error messages.
+  const char* data;    ///< Payload bytes inside the caller's mapping.
+  uint64_t length;     ///< Payload length in bytes.
+  uint64_t checksum;   ///< Expected FNV-1a64 of the payload.
+  uint64_t file_offset;  ///< Payload position (error reporting).
 };
 
-inline constexpr uint32_t kSnapshotVersion = 1;
+struct DatasetSnapshot {
+  /// Item names (ids 1..n in raw interning order) and parent edges. After
+  /// a mapped load the name bytes are views into the mapping.
+  Vocabulary vocabulary;
+  /// The rank-recoded corpus in CSR form (PreprocessResult::database);
+  /// borrowed from the mapping after a mapped load.
+  FlatDatabase ranked_corpus;
+  /// Generalized document frequency per rank; index 0 unused (== 0).
+  ArrayRef<Frequency> freq;
+  /// Raw id -> rank (index 0 unused). The inverse is derived on load.
+  ArrayRef<ItemId> rank_of_raw;
+  /// Table-1 statistics of the raw database.
+  DatasetStats stats;
+  /// Checksums the mapped reader deferred (corpus sections only; empty
+  /// after a copying load). The mapping owner re-verifies on demand.
+  std::vector<SnapshotDeferredCheck> deferred;
+};
 
-/// Serializes `snapshot`. Throws IoError(kWriteFailed) if the stream
-/// rejects a write.
+inline constexpr uint32_t kSnapshotVersion = 2;
+
+/// Section-table flag bit 0: the checksum may be verified lazily by a
+/// mapped reader (set on the corpus sections).
+inline constexpr uint32_t kSectionFlagLazyVerify = 1;
+
+/// Serializes `snapshot` in the v2 format. Throws IoError(kWriteFailed) if
+/// the stream rejects a write.
 void WriteDatasetSnapshot(std::ostream& out, const DatasetSnapshot& snapshot);
 
 /// Zero-copy writer over borrowed components (what Dataset::Save uses, so
 /// a save never duplicates the multi-MB corpus/f-list buffers into a
 /// DatasetSnapshot first). Semantics identical to WriteDatasetSnapshot.
-void WriteDatasetSnapshotParts(std::ostream& out,
-                               const std::vector<std::string>& names,
-                               const std::vector<ItemId>& raw_parent,
+void WriteDatasetSnapshotParts(std::ostream& out, const Vocabulary& vocab,
                                const FlatDatabase& ranked_corpus,
-                               const std::vector<Frequency>& freq,
-                               const std::vector<ItemId>& rank_of_raw,
+                               const ArrayRef<Frequency>& freq,
+                               const ArrayRef<ItemId>& rank_of_raw,
                                const DatasetStats& stats);
 
-/// Parses and validates a snapshot (magic, version, section table bounds,
-/// per-section checksums, cross-section size consistency). Throws IoError.
+/// Writes the *legacy v1* container (varint sections, version byte 1).
+/// Kept so the v1-through-current-reader compatibility path stays testable
+/// without fixture files; new code always writes v2.
+void WriteDatasetSnapshotV1(std::ostream& out, const Vocabulary& vocab,
+                            const FlatDatabase& ranked_corpus,
+                            const ArrayRef<Frequency>& freq,
+                            const ArrayRef<ItemId>& rank_of_raw,
+                            const DatasetStats& stats);
+
+/// Parses and validates a snapshot by copying (magic, version, section
+/// table bounds and alignment, every checksum, cross-section size
+/// consistency, corpus item ranges). v2 sections are streamed straight
+/// into their destination arenas — the file is never slurped whole; v1
+/// containers take the legacy in-memory decode path. The stream must be
+/// seekable for v2 (files and stringstreams are). Throws IoError.
 DatasetSnapshot ReadDatasetSnapshot(std::istream& in);
+
+/// Parses a snapshot over `[data, data + size)` — for v2 containers on a
+/// little-endian host, *zero-copy*: names, corpus, f-list and rank order
+/// borrow the buffer, which must then outlive the returned snapshot and
+/// everything moved out of it (the Dataset owns the MmapFile for exactly
+/// this reason). Header and small sections are checksum-verified eagerly;
+/// the two corpus sections' checksums are returned in `deferred` instead
+/// of being verified (their O(corpus) page faults are the cost this path
+/// exists to avoid). v1 containers and big-endian hosts decode by copying
+/// with nothing deferred. Throws IoError.
+DatasetSnapshot ReadDatasetSnapshotMapped(const char* data, size_t size);
 
 }  // namespace lash
 

@@ -1,0 +1,140 @@
+#ifndef LASH_UTIL_ARRAY_REF_H_
+#define LASH_UTIL_ARRAY_REF_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lash {
+
+/// A contiguous array that either owns its elements (vector semantics) or
+/// borrows them from memory someone else keeps alive — for this codebase,
+/// a snapshot mapping owned by the `Dataset` (io/snapshot.h "v2" sections).
+///
+/// The read surface is the vector subset the mining layers actually use
+/// (size/data/operator[]/iteration), so `PreprocessResult` fields can hold
+/// an ArrayRef and every consumer keeps compiling whether the bytes came
+/// from Preprocess() (owned) or a mapped snapshot (borrowed). Mutation
+/// (assign / non-const operator[]) is only legal on owned arrays; the
+/// preprocessing builders own what they build, and borrowed snapshot
+/// sections are immutable by construction (PROT_READ).
+///
+/// Copying an owned ArrayRef deep-copies; copying a borrowed one shares the
+/// borrow (it is a reference — the owner must outlive every copy). Moves
+/// never invalidate `data()`: vector buffers survive moves, and borrowed
+/// pointers are just copied.
+template <typename T>
+class ArrayRef {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  ArrayRef() = default;
+
+  /// Implicit adopt-a-vector, so `result.freq = std::move(v)` and brace
+  /// initialization from builders keep working unchanged.
+  ArrayRef(std::vector<T> values)
+      : storage_(std::move(values)),
+        data_(storage_.data()),
+        size_(storage_.size()) {}
+
+  /// A non-owning view of `[data, data + size)`; the memory must outlive
+  /// the ArrayRef and every copy of it.
+  static ArrayRef Borrowed(const T* data, size_t size) {
+    ArrayRef ref;
+    ref.data_ = data;
+    ref.size_ = size;
+    ref.borrowed_ = true;
+    return ref;
+  }
+
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this == &other) return *this;
+    if (other.borrowed_) {
+      storage_.clear();
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      storage_.assign(other.data_, other.data_ + other.size_);
+      data_ = storage_.data();
+      size_ = storage_.size();
+    }
+    borrowed_ = other.borrowed_;
+    return *this;
+  }
+
+  ArrayRef(ArrayRef&& other) noexcept
+      : storage_(std::move(other.storage_)),
+        data_(other.data_),
+        size_(other.size_),
+        borrowed_(other.borrowed_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.borrowed_ = false;
+  }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    storage_ = std::move(other.storage_);
+    data_ = other.data_;
+    size_ = other.size_;
+    borrowed_ = other.borrowed_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.borrowed_ = false;
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool borrowed() const { return borrowed_; }
+  const T* data() const { return data_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// Mutable element access — owned arrays only (the builders in
+  /// core/flist.cc / algo/preprocess.cc write ranks in place).
+  T& operator[](size_t i) {
+    assert(!borrowed_ && "ArrayRef: cannot mutate a borrowed array");
+    return storage_[i];
+  }
+
+  /// vector::assign semantics; the result is owned.
+  void assign(size_t n, const T& value) {
+    storage_.assign(n, value);
+    data_ = storage_.data();
+    size_ = n;
+    borrowed_ = false;
+  }
+
+  /// Element-wise equality, independent of ownership.
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const ArrayRef& a, const std::vector<T>& b) {
+    if (a.size_ != b.size()) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const std::vector<T>& a, const ArrayRef& b) {
+    return b == a;
+  }
+
+ private:
+  std::vector<T> storage_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool borrowed_ = false;
+};
+
+}  // namespace lash
+
+#endif  // LASH_UTIL_ARRAY_REF_H_

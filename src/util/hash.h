@@ -25,6 +25,25 @@ inline uint64_t FnvHashBytes(const char* data, size_t n) {
   return h;
 }
 
+/// Incremental FNV-1a64 (same constants as FnvHashBytes: feeding one buffer
+/// in pieces yields FnvHashBytes of the concatenation). The snapshot writer
+/// uses it to checksum a section assembled from several arrays without
+/// materializing the concatenated payload.
+class FnvStream {
+ public:
+  FnvStream& Update(const char* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h_ ^= static_cast<unsigned char>(data[i]);
+      h_ *= 1099511628211ULL;
+    }
+    return *this;
+  }
+  uint64_t Digest() const { return h_; }
+
+ private:
+  uint64_t h_ = 1469598103934665603ULL;
+};
+
 /// FNV-1a hash over the items of a sequence; used for pattern hash maps.
 struct SequenceHash {
   size_t operator()(const Sequence& seq) const {

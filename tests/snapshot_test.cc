@@ -1,8 +1,10 @@
 // Tests for the one-file dataset snapshot (io/snapshot.h + Dataset::Save /
-// Dataset::FromSnapshot): round-trip equality of every restored component,
-// the corruption matrix (truncation, flipped magic, future version, flipped
-// payload byte -> checksum), and facade parity — FromSnapshot(Save(d)) must
-// answer every algorithm exactly like the text-loaded dataset.
+// Dataset::FromSnapshot): round-trip equality of every restored component in
+// both load modes (copy and mmap), the v2 corruption matrix (truncation,
+// flipped magic, future version, misaligned section, eager vs deferred
+// checksums), v1-container compatibility through the current readers, and
+// facade parity — FromSnapshot(Save(d)) must answer every algorithm exactly
+// like the text-loaded dataset, in either load mode.
 
 #include "io/snapshot.h"
 
@@ -42,22 +44,78 @@ std::string SnapshotBytes(const Dataset& dataset) {
   return bytes;
 }
 
-Dataset FromBytes(const std::string& bytes) {
+Dataset FromBytes(const std::string& bytes,
+                  Dataset::LoadMode mode = Dataset::LoadMode::kCopy) {
   const std::string path = ::testing::TempDir() + "snapshot_test_load.lash";
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   file.close();
   struct Cleanup {
     std::string path;
+    // Unlinking a file a Dataset has mapped is fine: the mapping keeps the
+    // inode alive until the Dataset dies.
     ~Cleanup() { std::remove(path.c_str()); }
   } cleanup{path};
-  return Dataset::FromSnapshot(path);
+  return Dataset::FromSnapshot(path, mode);
 }
 
-TEST(SnapshotTest, RoundTripRestoresEveryComponent) {
-  Dataset original = PaperDataset();
-  Dataset restored = FromBytes(SnapshotBytes(original));
+constexpr Dataset::LoadMode kBothModes[] = {Dataset::LoadMode::kCopy,
+                                            Dataset::LoadMode::kMmap};
 
+// ---- v2 container surgery helpers (see the layout in io/snapshot.h) ------
+
+uint32_t LeU32At(const std::string& bytes, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LeU64At(const std::string& bytes, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void StoreLeU64At(std::string* bytes, size_t pos, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+struct SectionInfo {
+  uint32_t id = 0;
+  uint32_t flags = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  size_t table_pos = 0;  ///< File offset of this section's table entry.
+};
+
+SectionInfo FindSection(const std::string& bytes, uint32_t id) {
+  const uint32_t count = LeU32At(bytes, 9);
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t p = 13 + 32 * i;
+    if (LeU32At(bytes, p) == id) {
+      return {id, LeU32At(bytes, p + 4), LeU64At(bytes, p + 8),
+              LeU64At(bytes, p + 16), p};
+    }
+  }
+  ADD_FAILURE() << "section " << id << " not found in v2 table";
+  return {};
+}
+
+constexpr uint32_t kVocabularySectionId = 1;
+constexpr uint32_t kCorpusArenaSectionId = 7;
+
+// ---- Round trips ---------------------------------------------------------
+
+void ExpectRestoredEqualsOriginal(const Dataset& restored,
+                                  const Dataset& original) {
   // Vocabulary: same ids, names, and parent edges.
   ASSERT_EQ(restored.NumItems(), original.NumItems());
   for (ItemId id = 1; id <= original.NumItems(); ++id) {
@@ -82,12 +140,52 @@ TEST(SnapshotTest, RoundTripRestoresEveryComponent) {
   }
   EXPECT_EQ(restored.load_times().preprocess_ms, 0.0);
 
-  // The raw corpus is reconstructed through the rank bijection.
+  // The raw corpus is reconstructed through the rank bijection (lazily for
+  // a mapped load — this call is what triggers it).
   EXPECT_EQ(restored.raw_database(), original.raw_database());
   EXPECT_EQ(restored.stats(), original.stats());
+}
+
+TEST(SnapshotTest, RoundTripRestoresEveryComponent) {
+  Dataset original = PaperDataset();
+  Dataset restored = FromBytes(SnapshotBytes(original));
+  EXPECT_FALSE(restored.mmap_backed());
+  ExpectRestoredEqualsOriginal(restored, original);
+  // A copying load verified everything eagerly; VerifyCorpus is a no-op.
+  EXPECT_NO_THROW(restored.VerifyCorpus());
 
   // Snapshots of one dataset are deterministic.
   EXPECT_EQ(SnapshotBytes(original), SnapshotBytes(restored));
+}
+
+TEST(SnapshotTest, MmapRoundTripRestoresEveryComponent) {
+  Dataset original = PaperDataset();
+  Dataset restored =
+      FromBytes(SnapshotBytes(original), Dataset::LoadMode::kMmap);
+  ExpectRestoredEqualsOriginal(restored, original);
+  // The deferred corpus checksums + structural checks must pass on demand.
+  EXPECT_NO_THROW(restored.VerifyCorpus());
+  // Re-saving the mapped dataset writes identical bytes: the writer reads
+  // the same (borrowed) arrays the copy loader materialized.
+  EXPECT_EQ(SnapshotBytes(original), SnapshotBytes(restored));
+}
+
+TEST(SnapshotTest, SectionPayloadsAre64ByteAligned) {
+  const std::string bytes = SnapshotBytes(PaperDataset());
+  ASSERT_GE(bytes.size(), size_t{13});
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), kSnapshotVersion);
+  const uint32_t count = LeU32At(bytes, 9);
+  ASSERT_EQ(count, 7u);  // The seven v2 sections.
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t p = 13 + 32 * i;
+    EXPECT_EQ(LeU64At(bytes, p + 8) % 64, 0u)
+        << "section " << LeU32At(bytes, p) << " payload is misaligned";
+  }
+  // The writer marks exactly the two corpus sections lazily verifiable.
+  EXPECT_EQ(FindSection(bytes, kCorpusArenaSectionId).flags &
+                kSectionFlagLazyVerify,
+            kSectionFlagLazyVerify);
+  EXPECT_EQ(FindSection(bytes, kVocabularySectionId).flags, 0u);
 }
 
 TEST(SnapshotTest, SaveLoadMineSmoke) {
@@ -95,30 +193,34 @@ TEST(SnapshotTest, SaveLoadMineSmoke) {
   // paper's Fig. 2 output from the restored dataset. Compared in name
   // space: the text round-trip re-interns raw ids, so rank ids can differ
   // from the in-memory PaperExample even though the patterns are the same.
-  Dataset restored = FromBytes(SnapshotBytes(PaperDataset()));
-  PatternMap mined = MiningTask(restored)
-                         .WithSigma(2)
-                         .WithGamma(1)
-                         .WithLambda(3)
-                         .Mine();
-  std::map<std::string, Frequency> named;
-  for (const auto& [seq, freq] : mined) {
-    std::string names;
-    for (ItemId rank : seq) {
-      if (!names.empty()) names += ' ';
-      names += restored.NameOfRank(rank);
+  for (Dataset::LoadMode mode : kBothModes) {
+    Dataset restored = FromBytes(SnapshotBytes(PaperDataset()), mode);
+    PatternMap mined = MiningTask(restored)
+                           .WithSigma(2)
+                           .WithGamma(1)
+                           .WithLambda(3)
+                           .Mine();
+    std::map<std::string, Frequency> named;
+    for (const auto& [seq, freq] : mined) {
+      std::string names;
+      for (ItemId rank : seq) {
+        if (!names.empty()) names += ' ';
+        names += restored.NameOfRank(rank);
+      }
+      named[names] = freq;
     }
-    named[names] = freq;
+    const std::map<std::string, Frequency> expected = {
+        {"a a", 2}, {"a b1", 2}, {"b1 a", 2},  {"a B", 3}, {"B a", 2},
+        {"a B c", 2}, {"B c", 2}, {"a c", 2}, {"b1 D", 2}, {"B D", 2}};
+    EXPECT_EQ(named, expected);
   }
-  const std::map<std::string, Frequency> expected = {
-      {"a a", 2}, {"a b1", 2}, {"b1 a", 2},  {"a B", 3}, {"B a", 2},
-      {"a B c", 2}, {"B c", 2}, {"a c", 2}, {"b1 D", 2}, {"B D", 2}};
-  EXPECT_EQ(named, expected);
 }
 
 TEST(SnapshotTest, FacadeParityAcrossAllSixAlgorithms) {
   Dataset text_loaded = PaperDataset();
-  Dataset restored = FromBytes(SnapshotBytes(text_loaded));
+  const std::string bytes = SnapshotBytes(text_loaded);
+  Dataset restored = FromBytes(bytes);
+  Dataset mapped = FromBytes(bytes, Dataset::LoadMode::kMmap);
   GsmParams params{.sigma = 2, .gamma = 1, .lambda = 3};
   JobConfig config;
   config.num_map_tasks = 3;
@@ -136,6 +238,8 @@ TEST(SnapshotTest, FacadeParityAcrossAllSixAlgorithms) {
     };
     EXPECT_EQ(testing::Sorted(mine(restored)), testing::Sorted(mine(text_loaded)))
         << AlgorithmName(algorithm);
+    EXPECT_EQ(testing::Sorted(mine(mapped)), testing::Sorted(mine(text_loaded)))
+        << AlgorithmName(algorithm) << " (mmap)";
   }
 }
 
@@ -143,57 +247,80 @@ TEST(SnapshotTest, FacadeParityAcrossAllSixAlgorithms) {
 
 TEST(SnapshotTest, RejectsTruncation) {
   const std::string bytes = SnapshotBytes(PaperDataset());
-  // Cuts inside the header/table and inside the payloads.
-  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{12}}) {
-    try {
-      FromBytes(bytes.substr(0, cut));
-      FAIL() << "expected IoError, cut at " << cut;
-    } catch (const IoError& e) {
-      EXPECT_TRUE(e.kind() == IoErrorKind::kTruncated ||
-                  e.kind() == IoErrorKind::kMalformed ||
-                  e.kind() == IoErrorKind::kChecksumMismatch)
-          << "cut at " << cut << ": " << e.what();
+  for (Dataset::LoadMode mode : kBothModes) {
+    // Cuts inside the header/table and inside the payloads.
+    for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{12}}) {
+      try {
+        FromBytes(bytes.substr(0, cut), mode);
+        FAIL() << "expected IoError, cut at " << cut;
+      } catch (const IoError& e) {
+        EXPECT_TRUE(e.kind() == IoErrorKind::kTruncated ||
+                    e.kind() == IoErrorKind::kMalformed ||
+                    e.kind() == IoErrorKind::kChecksumMismatch)
+            << "cut at " << cut << ": " << e.what();
+      }
     }
-  }
-  // Cutting inside the magic itself cannot be identified as a snapshot.
-  try {
-    FromBytes(bytes.substr(0, 4));
-    FAIL() << "expected IoError";
-  } catch (const IoError& e) {
-    EXPECT_EQ(e.kind(), IoErrorKind::kBadMagic);
+    // Cutting inside the magic itself cannot be identified as a snapshot.
+    try {
+      FromBytes(bytes.substr(0, 4), mode);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kBadMagic);
+    }
   }
 }
 
 TEST(SnapshotTest, RejectsFlippedMagic) {
   std::string bytes = SnapshotBytes(PaperDataset());
   bytes[0] ^= 0x01;
-  try {
-    FromBytes(bytes);
-    FAIL() << "expected IoError";
-  } catch (const IoError& e) {
-    EXPECT_EQ(e.kind(), IoErrorKind::kBadMagic);
-    EXPECT_EQ(e.byte_offset(), 0u);
+  for (Dataset::LoadMode mode : kBothModes) {
+    try {
+      FromBytes(bytes, mode);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kBadMagic);
+      EXPECT_EQ(e.byte_offset(), 0u);
+    }
   }
 }
 
 TEST(SnapshotTest, RejectsFutureVersion) {
   std::string bytes = SnapshotBytes(PaperDataset());
-  // The version varint follows the 8-byte magic; kSnapshotVersion is small,
-  // so it is a single byte.
+  // The version byte follows the 8-byte magic (it is also a valid varint,
+  // so a v1 reader rejects v2+ containers the same way).
   ASSERT_EQ(static_cast<unsigned char>(bytes[8]), kSnapshotVersion);
   bytes[8] = 0x7f;  // Version 127: far future.
-  try {
-    FromBytes(bytes);
-    FAIL() << "expected IoError";
-  } catch (const IoError& e) {
-    EXPECT_EQ(e.kind(), IoErrorKind::kBadVersion);
+  for (Dataset::LoadMode mode : kBothModes) {
+    try {
+      FromBytes(bytes, mode);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kBadVersion);
+    }
+  }
+}
+
+TEST(SnapshotTest, RejectsMisalignedSectionStart) {
+  // Nudging a table entry's payload offset off the 64-byte grid must be
+  // caught *before* any payload is read, in both modes.
+  std::string bytes = SnapshotBytes(PaperDataset());
+  const SectionInfo vocab = FindSection(bytes, kVocabularySectionId);
+  StoreLeU64At(&bytes, vocab.table_pos + 8, vocab.offset + 4);
+  for (Dataset::LoadMode mode : kBothModes) {
+    try {
+      FromBytes(bytes, mode);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kMalformed) << e.what();
+    }
   }
 }
 
 TEST(SnapshotTest, RejectsCorruptPayloadByChecksum) {
   const std::string pristine = SnapshotBytes(PaperDataset());
   // Flip one byte in the last quarter of the file (payload area; the
-  // section table with its checksums sits at the front).
+  // section table with its checksums sits at the front). The copying load
+  // verifies every section eagerly.
   for (size_t offset : {pristine.size() - 3, pristine.size() * 3 / 4}) {
     std::string bytes = pristine;
     bytes[offset] ^= 0x40;
@@ -207,39 +334,135 @@ TEST(SnapshotTest, RejectsCorruptPayloadByChecksum) {
   }
 }
 
+TEST(SnapshotTest, SmallSectionChecksumIsAlwaysEager) {
+  // A flipped byte inside the vocabulary payload fails *both* load modes
+  // at load time: only the corpus sections are lazily verifiable.
+  std::string bytes = SnapshotBytes(PaperDataset());
+  const SectionInfo vocab = FindSection(bytes, kVocabularySectionId);
+  ASSERT_GT(vocab.length, 8u);
+  bytes[vocab.offset + vocab.length - 1] ^= 0x40;
+  for (Dataset::LoadMode mode : kBothModes) {
+    try {
+      FromBytes(bytes, mode);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kChecksumMismatch) << e.what();
+    }
+  }
+}
+
+TEST(SnapshotTest, CorpusChecksumIsDeferredUnderMmap) {
+  // A flipped byte inside the corpus arena: the copying load rejects it at
+  // load; the mapped load succeeds (that laziness is the point) and
+  // VerifyCorpus catches it on demand.
+  std::string bytes = SnapshotBytes(PaperDataset());
+  const SectionInfo arena = FindSection(bytes, kCorpusArenaSectionId);
+  ASSERT_GT(arena.length, 12u);
+  bytes[arena.offset + arena.length - 1] ^= 0x40;
+
+  try {
+    FromBytes(bytes);
+    FAIL() << "expected IoError from the copying load";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kChecksumMismatch) << e.what();
+  }
+
+  Dataset mapped = FromBytes(bytes, Dataset::LoadMode::kMmap);
+  if (mapped.mmap_backed()) {
+    try {
+      mapped.VerifyCorpus();
+      FAIL() << "expected IoError from VerifyCorpus";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kChecksumMismatch) << e.what();
+    }
+  }
+}
+
 TEST(SnapshotTest, RejectsMissingFile) {
   EXPECT_THROW(Dataset::FromSnapshot("/nonexistent/path/snapshot.lash"),
                ApiError);
+  EXPECT_THROW(Dataset::FromSnapshot("/nonexistent/path/snapshot.lash",
+                                     Dataset::LoadMode::kMmap),
+               ApiError);
 }
 
-TEST(SnapshotTest, LowLevelRoundTrip) {
-  // io-level round trip without the facade: DatasetSnapshot in, equal
-  // DatasetSnapshot out.
-  testing::PaperExample ex;
-  DatasetSnapshot snap;
-  const size_t n = ex.vocab.NumItems();
-  snap.names.resize(1);
-  for (size_t id = 1; id <= n; ++id) {
-    snap.names.push_back(ex.vocab.Name(static_cast<ItemId>(id)));
-  }
-  snap.raw_parent.assign(n + 1, kInvalidItem);
-  for (size_t id = 1; id <= n; ++id) {
-    snap.raw_parent[id] = ex.vocab.Parent(static_cast<ItemId>(id));
-  }
-  snap.ranked_corpus = ex.pre.database;
-  snap.freq = ex.pre.freq;
-  snap.rank_of_raw = ex.pre.rank_of_raw;
-  snap.stats = ComputeStats(ex.pre.database);
+// ---- io-level round trips ------------------------------------------------
 
-  std::stringstream buffer;
-  WriteDatasetSnapshot(buffer, snap);
-  DatasetSnapshot decoded = ReadDatasetSnapshot(buffer);
-  EXPECT_EQ(decoded.names, snap.names);
-  EXPECT_EQ(decoded.raw_parent, snap.raw_parent);
+void ExpectSnapshotsEqual(const DatasetSnapshot& decoded,
+                          const DatasetSnapshot& snap) {
+  const size_t n = snap.vocabulary.NumItems();
+  ASSERT_EQ(decoded.vocabulary.NumItems(), n);
+  for (ItemId id = 1; id <= n; ++id) {
+    EXPECT_EQ(decoded.vocabulary.Name(id), snap.vocabulary.Name(id));
+    EXPECT_EQ(decoded.vocabulary.Parent(id), snap.vocabulary.Parent(id));
+  }
   EXPECT_EQ(decoded.ranked_corpus, snap.ranked_corpus);
   EXPECT_EQ(decoded.freq, snap.freq);
   EXPECT_EQ(decoded.rank_of_raw, snap.rank_of_raw);
   EXPECT_EQ(decoded.stats, snap.stats);
+}
+
+DatasetSnapshot PaperSnapshot(const testing::PaperExample& ex) {
+  DatasetSnapshot snap;
+  snap.vocabulary = ex.vocab;
+  snap.ranked_corpus = ex.pre.database;
+  snap.freq = ex.pre.freq;
+  snap.rank_of_raw = ex.pre.rank_of_raw;
+  snap.stats = ComputeStats(ex.pre.database);
+  return snap;
+}
+
+TEST(SnapshotTest, LowLevelRoundTrip) {
+  // io-level round trip without the facade: DatasetSnapshot in, equal
+  // DatasetSnapshot out — through the streaming reader and the mapped one.
+  testing::PaperExample ex;
+  DatasetSnapshot snap = PaperSnapshot(ex);
+
+  std::stringstream buffer;
+  WriteDatasetSnapshot(buffer, snap);
+  DatasetSnapshot decoded = ReadDatasetSnapshot(buffer);
+  ExpectSnapshotsEqual(decoded, snap);
+  EXPECT_TRUE(decoded.deferred.empty());  // Copy loads defer nothing.
+
+  const std::string bytes = buffer.str();
+  DatasetSnapshot mapped = ReadDatasetSnapshotMapped(bytes.data(),
+                                                     bytes.size());
+  ExpectSnapshotsEqual(mapped, snap);
+  // Whatever the mapped reader deferred must verify against the bytes.
+  for (const SnapshotDeferredCheck& check : mapped.deferred) {
+    EXPECT_EQ(FnvHashBytes(check.data, check.length), check.checksum)
+        << check.what;
+  }
+}
+
+TEST(SnapshotTest, V1ContainerLoadsThroughCurrentReaders) {
+  // Compatibility: a legacy v1 container (varint sections) must decode
+  // through both current readers and through the facade in both modes.
+  testing::PaperExample ex;
+  DatasetSnapshot snap = PaperSnapshot(ex);
+
+  std::stringstream buffer;
+  WriteDatasetSnapshotV1(buffer, snap.vocabulary, snap.ranked_corpus,
+                         snap.freq, snap.rank_of_raw, snap.stats);
+  const std::string bytes = buffer.str();
+  ASSERT_EQ(static_cast<unsigned char>(bytes[8]), 1u);  // v1 version byte.
+
+  DatasetSnapshot decoded = ReadDatasetSnapshot(buffer);
+  ExpectSnapshotsEqual(decoded, snap);
+
+  DatasetSnapshot mapped = ReadDatasetSnapshotMapped(bytes.data(),
+                                                     bytes.size());
+  ExpectSnapshotsEqual(mapped, snap);
+  EXPECT_TRUE(mapped.deferred.empty());  // v1 always copies, defers nothing.
+
+  for (Dataset::LoadMode mode : kBothModes) {
+    Dataset ds = FromBytes(bytes, mode);
+    EXPECT_FALSE(ds.mmap_backed());  // v1 degrades to a copy either way.
+    EXPECT_EQ(ds.NumItems(), snap.vocabulary.NumItems());
+    EXPECT_EQ(ds.preprocessed().database, snap.ranked_corpus);
+    EXPECT_EQ(ds.preprocessed().freq, snap.freq);
+    EXPECT_NO_THROW(ds.VerifyCorpus());
+  }
 }
 
 }  // namespace

@@ -13,13 +13,14 @@ namespace lash::tools {
 
 /// The flags every dataset-consuming tool shares; splice into the tool's
 /// Args spec: text input (--sequences + --hierarchy), snapshot input
-/// (--snapshot), and --save-snapshot. Tools that also self-generate add
-/// the --gen flags separately.
+/// (--snapshot, optionally --mmap), and --save-snapshot. Tools that also
+/// self-generate add the --gen flags separately.
 inline constexpr struct {
   const char* sequences = "sequences";
   const char* hierarchy = "hierarchy";
   const char* snapshot = "snapshot";
   const char* save_snapshot = "save-snapshot";
+  const char* mmap = "mmap";  ///< Boolean: snapshot LoadMode::kMmap.
 } kDatasetFlags;
 
 /// Loads the one dataset a tool invocation names: text files
@@ -40,6 +41,9 @@ inline Dataset LoadDatasetFromArgs(const Args& args, bool allow_gen = false) {
     throw ArgError(
         std::string("pass exactly one of --sequences FILE --hierarchy FILE") +
         " or --snapshot FILE" + (allow_gen ? " or --gen nyt|amzn" : ""));
+  }
+  if (args.Has(kDatasetFlags.mmap) && !args.Has(kDatasetFlags.snapshot)) {
+    throw ArgError("--mmap only applies to --snapshot loads");
   }
 
   return [&]() -> Dataset {
@@ -69,11 +73,25 @@ inline Dataset LoadDatasetFromArgs(const Args& args, bool allow_gen = false) {
       throw ArgError("unknown --gen kind (use nyt|amzn)");
     }
     if (args.Has(kDatasetFlags.snapshot)) {
-      return Dataset::FromSnapshot(args.Require(kDatasetFlags.snapshot));
+      return Dataset::FromSnapshot(args.Require(kDatasetFlags.snapshot),
+                                   args.Has(kDatasetFlags.mmap)
+                                       ? Dataset::LoadMode::kMmap
+                                       : Dataset::LoadMode::kCopy);
     }
     return Dataset::FromFiles(args.Require(kDatasetFlags.sequences),
                               args.Require(kDatasetFlags.hierarchy));
   }();
+}
+
+/// Pays the deferred corpus checks of a mapped snapshot load up front
+/// (no-op for copy/text loads, which verified everything already). The
+/// tools call this right after LoadDatasetFromArgs: a CLI run must reject
+/// a corrupted file with a typed IoError instead of mining garbage, and
+/// still skips the parse, the preprocessing, and the copy. Long-lived API
+/// users that want the pure O(page faults) cold start call VerifyCorpus()
+/// on their own schedule (or accept the risk for files they just wrote).
+inline void VerifyIfMapped(const Dataset& dataset) {
+  if (dataset.mmap_backed()) dataset.VerifyCorpus();
 }
 
 /// Honors --save-snapshot for a freshly loaded dataset (no-op otherwise).

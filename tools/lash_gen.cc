@@ -1,16 +1,21 @@
 // lash_gen — generate the synthetic benchmark datasets to files.
 //
 // Usage:
-//   lash_gen --kind nyt  --out PREFIX [--sentences N] [--hierarchy L|P|LP|CLP]
-//            [--seed N]
-//   lash_gen --kind amzn --out PREFIX [--sessions N] [--levels 2..8] [--seed N]
+//   lash_gen --kind nyt  [--out PREFIX] [--save-snapshot FILE]
+//            [--sentences N] [--hierarchy L|P|LP|CLP] [--seed N]
+//   lash_gen --kind amzn [--out PREFIX] [--save-snapshot FILE]
+//            [--sessions N] [--levels 2..8] [--seed N]
 //
-// Writes PREFIX.sequences.txt and PREFIX.hierarchy.tsv in the io/text_io.h
-// formats, ready for lash_mine.
+// --out writes PREFIX.sequences.txt and PREFIX.hierarchy.tsv in the
+// io/text_io.h formats, ready for lash_mine. --save-snapshot preprocesses
+// the generated corpus and writes a one-file dataset snapshot
+// (io/snapshot.h) directly — no text round trip. At least one of the two
+// outputs is required.
 
 #include <fstream>
 #include <iostream>
 
+#include "api/lash_api.h"
 #include "datagen/product_gen.h"
 #include "datagen/text_gen.h"
 #include "io/text_io.h"
@@ -21,7 +26,9 @@ namespace {
 int RealMain(const lash::tools::Args& args) {
   using namespace lash;
   std::string kind = args.Require("kind");
-  std::string prefix = args.Require("out");
+  if (!args.Has("out") && !args.Has("save-snapshot")) {
+    throw tools::ArgError("pass --out PREFIX and/or --save-snapshot FILE");
+  }
 
   Database db;
   Vocabulary vocab;
@@ -59,16 +66,27 @@ int RealMain(const lash::tools::Args& args) {
     return 2;
   }
 
-  std::ofstream dbf(prefix + ".sequences.txt");
-  std::ofstream hf(prefix + ".hierarchy.tsv");
-  if (!dbf || !hf) {
-    std::cerr << "cannot open output files\n";
-    return 2;
+  if (args.Has("out")) {
+    const std::string prefix = args.Require("out");
+    std::ofstream dbf(prefix + ".sequences.txt");
+    std::ofstream hf(prefix + ".hierarchy.tsv");
+    if (!dbf || !hf) {
+      std::cerr << "cannot open output files\n";
+      return 2;
+    }
+    WriteDatabase(dbf, db, vocab);
+    WriteHierarchy(hf, vocab);
+    std::cerr << "wrote " << db.size() << " sequences and " << vocab.NumItems()
+              << " items to " << prefix << ".{sequences.txt,hierarchy.tsv}\n";
   }
-  WriteDatabase(dbf, db, vocab);
-  WriteHierarchy(hf, vocab);
-  std::cerr << "wrote " << db.size() << " sequences and " << vocab.NumItems()
-            << " items to " << prefix << ".{sequences.txt,hierarchy.tsv}\n";
+  if (args.Has("save-snapshot")) {
+    const std::string path = args.Require("save-snapshot");
+    Dataset dataset = Dataset::FromMemory(std::move(db), std::move(vocab));
+    dataset.Save(path);
+    std::cerr << "saved snapshot (" << dataset.NumSequences()
+              << " sequences, " << dataset.NumItems() << " items) to " << path
+              << "\n";
+  }
   return 0;
 }
 
@@ -80,15 +98,16 @@ int main(int argc, char** argv) {
     Args args(argc, argv,
               {{"kind"},
                {"out"},
+               {"save-snapshot"},
                {"sentences"},
                {"sessions"},
                {"hierarchy"},
                {"levels"},
                {"seed"}});
     if (args.Has("help")) {
-      std::cout << "lash_gen --kind nyt|amzn --out PREFIX [--sentences N] "
-                   "[--sessions N] [--hierarchy L|P|LP|CLP] [--levels N] "
-                   "[--seed N]\n";
+      std::cout << "lash_gen --kind nyt|amzn [--out PREFIX] "
+                   "[--save-snapshot FILE] [--sentences N] [--sessions N] "
+                   "[--hierarchy L|P|LP|CLP] [--levels N] [--seed N]\n";
       return 0;
     }
     return RealMain(args);

@@ -7,7 +7,7 @@
 //             [--algo sequential|lash|mgfsm|gsp|naive|seminaive] \
 //             [--miner psm+index|psm|dfs|bfs] [--distributed] [--threads N] \
 //             [--filter none|closed|maximal] [--top K] [--output out.txt] \
-//             [--save-snapshot FILE]
+//             [--save-snapshot FILE] [--mmap]
 //
 // --snapshot loads a one-file dataset snapshot (written by --save-snapshot
 // or Dataset::Save), which skips text parsing and the whole preprocessing
@@ -67,6 +67,7 @@ int RealMain(const lash::tools::Args& args) {
   }
 
   Dataset dataset = lash::tools::LoadDatasetFromArgs(args);
+  lash::tools::VerifyIfMapped(dataset);
   std::cerr << "read " << dataset.NumSequences() << " sequences, "
             << dataset.NumItems() << " items (read "
             << dataset.load_times().read_ms << " ms, preprocess "
@@ -151,6 +152,7 @@ int main(int argc, char** argv) {
                {"hierarchy"},
                {"snapshot"},
                {"save-snapshot"},
+               {"mmap", false},
                {"sigma"},
                {"gamma"},
                {"lambda"},
@@ -168,7 +170,7 @@ int main(int argc, char** argv) {
                    "[--algo sequential|lash|mgfsm|gsp|naive|seminaive] "
                    "[--miner NAME] [--distributed] [--threads N] "
                    "[--filter none|closed|maximal] [--top K] [--output FILE] "
-                   "[--save-snapshot FILE]\n";
+                   "[--save-snapshot FILE] [--mmap]\n";
       return 0;
     }
     return RealMain(args);

@@ -6,7 +6,7 @@
 //               --gen nyt|amzn ...)
 //              (--script FILE | --repl)
 //              [--threads N] [--queue N] [--block] [--cache-mb N]
-//              [--print K] [--seed N] [--save-snapshot FILE]
+//              [--print K] [--seed N] [--save-snapshot FILE] [--mmap]
 //   data generation (self-contained smoke runs, no input files needed;
 //   recipes shared with the perf gates via datagen/corpus_recipes.h):
 //              --gen nyt  [--sentences N] [--lemmas N]
@@ -241,6 +241,7 @@ int RealMain(const lash::tools::Args& args) {
   // are reported first; exactly one source (text | snapshot | --gen, the
   // shared recipes of datagen/corpus_recipes.h) like every dataset tool.
   Dataset dataset = tools::LoadDatasetFromArgs(args, /*allow_gen=*/true);
+  tools::VerifyIfMapped(dataset);
   tools::MaybeSaveSnapshot(args, dataset);
   std::fprintf(stderr,
                "serving dataset %llu: %zu sequences, %zu items "
@@ -271,6 +272,7 @@ int main(int argc, char** argv) {
                            {"hierarchy"},
                            {"snapshot"},
                            {"save-snapshot"},
+                           {"mmap", false},
                            {"gen"},
                            {"sentences"},
                            {"lemmas"},
@@ -290,7 +292,7 @@ int main(int argc, char** argv) {
           << "lash_serve (--sequences FILE --hierarchy FILE | --snapshot FILE"
              " | --gen nyt|amzn) (--script FILE | --repl) [--threads N]"
              " [--queue N] [--block] [--cache-mb N] [--print K]"
-             " [--save-snapshot FILE]\n"
+             " [--save-snapshot FILE] [--mmap]\n"
              "script commands: mine key=value... | wait | stats\n";
       return 0;
     }

@@ -6,6 +6,7 @@
 // Usage:
 //   lash_stats (--sequences data.txt --hierarchy hier.tsv | --snapshot F) \
 //              [--sigma 100] [--gamma 0] [--lambda 5] [--save-snapshot FILE]
+//              [--mmap]
 
 #include <iostream>
 
@@ -20,6 +21,7 @@ int RealMain(const lash::tools::Args& args) {
   using namespace lash;
 
   Dataset dataset = lash::tools::LoadDatasetFromArgs(args);
+  lash::tools::VerifyIfMapped(dataset);
   lash::tools::MaybeSaveSnapshot(args, dataset);
 
   MiningTask task(dataset);
@@ -55,13 +57,14 @@ int main(int argc, char** argv) {
                {"hierarchy"},
                {"snapshot"},
                {"save-snapshot"},
+               {"mmap", false},
                {"sigma"},
                {"gamma"},
                {"lambda"}});
     if (args.Has("help")) {
       std::cout << "lash_stats (--sequences FILE --hierarchy FILE | "
                    "--snapshot FILE) [--sigma N] "
-                   "[--gamma N] [--lambda N] [--save-snapshot FILE]\n";
+                   "[--gamma N] [--lambda N] [--save-snapshot FILE] [--mmap]\n";
       return 0;
     }
     return RealMain(args);
