@@ -1,0 +1,296 @@
+// bench_net — the perf gate for the network tier (net/).
+//
+// Stands up the real distributed serving stack on loopback — a full-corpus
+// worker, two shard workers, and a cross-shard router — and measures what
+// the network front door costs relative to calling MiningService in
+// process:
+//   * in-process: Submit/Get against a MiningService in this process (the
+//     bench_serve baseline), cold then cache-hit;
+//   * loopback: the same query stream through lash_served's stack — framed
+//     wire protocol, epoll event loop, blocking NetClient — cold then hit;
+//     net_hit_overhead_ms is the per-request tax of the network hop on a
+//     cache hit (framing + syscalls + loopback RTT, no mining);
+//   * router: the stream scattered across two shard workers and merged by
+//     the associative cross-shard reducer.
+// Asserts byte-identical canonical pattern streams (EncodeNamedPatterns
+// bytes) between the in-process run and both network paths — the loopback
+// worker AND the 2-shard router (including a top-k re-cut query) — plus a
+// working stats RPC, and writes BENCH_net.json.
+//
+// The epoll server is Linux-only; elsewhere the bench reports "skipped"
+// and exits 0 so the gate stays portable.
+//
+// Usage: bench_net [--smoke] [--out FILE]
+//   --smoke  small corpus (CI gate).
+//   --out    output JSON path (default BENCH_net.json).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/lash_api.h"
+#include "datagen/corpus_recipes.h"
+#include "io/result_io.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "net/service_backend.h"
+#include "serve/mining_service.h"
+#include "serve/task_spec.h"
+#include "util/timer.h"
+
+namespace lash {
+namespace {
+
+#ifdef __linux__
+
+using serve::MiningService;
+using serve::PendingResult;
+using serve::ServiceOptions;
+using serve::TaskSpec;
+
+/// A worker (or router) server running on its own thread, bound to an
+/// ephemeral loopback port.
+struct Server {
+  explicit Server(net::Backend* backend) {
+    net::ServerOptions options;  // 127.0.0.1, port 0.
+    server = std::make_unique<net::NetServer>(std::move(options), backend);
+    thread = std::thread([this] { server->Run(); });
+  }
+  ~Server() {
+    server->Shutdown();
+    thread.join();
+  }
+  uint16_t port() const { return server->port(); }
+
+  std::unique_ptr<net::NetServer> server;
+  std::thread thread;
+};
+
+std::vector<TaskSpec> Workload(bool smoke) {
+  const Frequency sigma = smoke ? 8 : 12;
+  std::vector<TaskSpec> stream;
+  auto add = [&](Algorithm algorithm, Frequency s, uint32_t gamma,
+                 uint32_t lambda, size_t top_k) {
+    TaskSpec spec;
+    spec.algorithm = algorithm;
+    spec.params = {.sigma = s, .gamma = gamma, .lambda = lambda};
+    spec.top_k = top_k;
+    stream.push_back(spec);
+  };
+  // λ capped at 4: every query also runs through the router, whose exact
+  // scatter re-mines each shard at σ'=1, and the σ=1 pattern count explodes
+  // in λ (see the corpus-size comment in Main).
+  add(Algorithm::kSequential, sigma, 0, 4, 0);   // The hot query.
+  add(Algorithm::kSequential, sigma, 1, 3, 0);   // Gappy variant.
+  add(Algorithm::kSequential, sigma, 0, 4, 10);  // Top-k re-cut path.
+  add(Algorithm::kLash, sigma, 0, 4, 0);         // Distributed engine.
+  add(Algorithm::kMgFsm, sigma, 0, 4, 0);        // Flat rank space.
+  return stream;
+}
+
+/// Canonical bytes of one in-process answer — the parity baseline.
+std::string CanonicalBytes(const Dataset& dataset,
+                           const serve::Response& response) {
+  NamedPatternList named = NamePatterns(dataset, response.patterns(),
+                                        response.run().used_flat_hierarchy);
+  std::string bytes;
+  EncodeNamedPatterns(&bytes, named);
+  return bytes;
+}
+
+std::string CanonicalBytes(const NamedPatternList& patterns) {
+  std::string bytes;
+  EncodeNamedPatterns(&bytes, patterns);
+  return bytes;
+}
+
+double Avg(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Deliberately small in both modes: the router scatters at σ'=1 (the
+  // exact cross-shard merge needs every shard's count of every pattern, see
+  // net/router.h), so each query over-mines each shard at support 1 and
+  // ships the full named-pattern stream back. That cost grows super-linearly
+  // with corpus size — the quantity this gate measures (fixed per-request
+  // network overhead + merge correctness) does not.
+  NytRecipe recipe;
+  recipe.sentences = smoke ? 400 : 1200;
+  recipe.lemmas = smoke ? 300 : 800;
+  GeneratedText data = MakeNytCorpus(recipe);
+
+  // Round-robin transaction split: the two shards partition the corpus
+  // exactly (same split lash_gen --shards writes), sharing the vocabulary.
+  Database shard_dbs[2];
+  for (size_t i = 0; i < data.database.size(); ++i) {
+    shard_dbs[i % 2].push_back(data.database[i]);
+  }
+  std::unique_ptr<Dataset> shard0(new Dataset(
+      Dataset::FromMemory(std::move(shard_dbs[0]), data.vocabulary)));
+  std::unique_ptr<Dataset> shard1(new Dataset(
+      Dataset::FromMemory(std::move(shard_dbs[1]), data.vocabulary)));
+  Dataset dataset = Dataset::FromMemory(std::move(data.database),
+                                        std::move(data.vocabulary),
+                                        std::move(data.hierarchy));
+  std::printf("corpus: %zu sequences, %zu items (shards %zu + %zu)\n",
+              dataset.NumSequences(), dataset.NumItems(),
+              shard0->NumSequences(), shard1->NumSequences());
+
+  const std::vector<TaskSpec> stream = Workload(smoke);
+
+  // --- In-process baseline: cold wave, then all-hits wave. ---
+  MiningService local(dataset);
+  std::vector<std::string> baseline_bytes;
+  std::vector<double> local_cold_ms, local_hit_ms;
+  for (const TaskSpec& spec : stream) {
+    Stopwatch clock;
+    PendingResult result = local.Submit(spec);
+    const serve::Response& response = result.Get();
+    local_cold_ms.push_back(clock.ElapsedMs());
+    baseline_bytes.push_back(CanonicalBytes(dataset, response));
+  }
+  for (const TaskSpec& spec : stream) {
+    Stopwatch clock;
+    PendingResult result = local.Submit(spec);
+    result.Get();
+    local_hit_ms.push_back(clock.ElapsedMs());
+  }
+
+  // --- Loopback single worker: the same waves through the wire. ---
+  net::ServiceBackend worker_backend({&dataset}, ServiceOptions{});
+  Server worker(&worker_backend);
+  net::NetClient client("127.0.0.1", worker.port());
+  bool single_worker_parity = true;
+  std::vector<double> net_cold_ms, net_hit_ms;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    Stopwatch clock;
+    net::MineReply reply = client.Mine(stream[i]);
+    net_cold_ms.push_back(clock.ElapsedMs());
+    if (CanonicalBytes(reply.patterns) != baseline_bytes[i]) {
+      std::fprintf(stderr, "WORKER PARITY FAILURE at query %zu\n", i);
+      single_worker_parity = false;
+    }
+  }
+  bool net_all_hits = true;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    Stopwatch clock;
+    net::MineReply reply = client.Mine(stream[i]);
+    net_hit_ms.push_back(clock.ElapsedMs());
+    net_all_hits = net_all_hits && reply.cache_hit;
+    if (CanonicalBytes(reply.patterns) != baseline_bytes[i]) {
+      std::fprintf(stderr, "WORKER HIT PARITY FAILURE at query %zu\n", i);
+      single_worker_parity = false;
+    }
+  }
+  const serve::ServiceStats worker_stats = client.Stats();
+  const bool stats_ok = worker_stats.submitted >= 2 * stream.size() &&
+                        worker_stats.hits >= stream.size();
+
+  // --- Router over two shard workers. ---
+  net::ServiceBackend shard_backend0({shard0.get()}, ServiceOptions{});
+  net::ServiceBackend shard_backend1({shard1.get()}, ServiceOptions{});
+  Server worker0(&shard_backend0);
+  Server worker1(&shard_backend1);
+  net::RouterBackend router({{"127.0.0.1", worker0.port()},
+                             {"127.0.0.1", worker1.port()}},
+                            net::RouterOptions{});
+  bool router_parity = true;
+  std::vector<double> router_ms;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    Stopwatch clock;
+    net::MineResponse merged = router.Scatter(stream[i]);
+    router_ms.push_back(clock.ElapsedMs());
+    if (CanonicalBytes(merged.patterns) != baseline_bytes[i]) {
+      std::fprintf(stderr, "ROUTER PARITY FAILURE at query %zu\n", i);
+      router_parity = false;
+    }
+  }
+
+  const double local_hit_avg = Avg(local_hit_ms);
+  const double net_hit_avg = Avg(net_hit_ms);
+  const double net_hit_overhead_ms = net_hit_avg - local_hit_avg;
+  std::printf("in-process : cold avg %.2fms, hit avg %.4fms\n",
+              Avg(local_cold_ms), local_hit_avg);
+  std::printf("loopback   : cold avg %.2fms, hit avg %.4fms "
+              "(net hit overhead %.4fms), all hits %s\n",
+              Avg(net_cold_ms), net_hit_avg, net_hit_overhead_ms,
+              net_all_hits ? "yes" : "NO");
+  std::printf("router     : scatter avg %.2fms over 2 shard workers\n",
+              Avg(router_ms));
+  std::printf("parity     : worker %s, router %s, stats rpc %s\n",
+              single_worker_parity ? "ok" : "FAILED",
+              router_parity ? "ok" : "FAILED", stats_ok ? "ok" : "FAILED");
+  std::fflush(stdout);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"bench\": \"net\",\n  \"smoke\": %s,\n  \"skipped\": false,\n"
+      "  \"sequences\": %zu,\n  \"queries\": %zu,\n  \"shard_workers\": 2,\n"
+      "  \"local_cold_avg_ms\": %.4f,\n  \"local_hit_avg_ms\": %.5f,\n"
+      "  \"net_cold_avg_ms\": %.4f,\n  \"net_hit_avg_ms\": %.5f,\n"
+      "  \"net_hit_overhead_ms\": %.5f,\n  \"router_scatter_avg_ms\": %.4f,\n"
+      "  \"net_all_hits\": %s,\n  \"stats_rpc_ok\": %s,\n"
+      "  \"single_worker_parity\": %s,\n  \"router_parity\": %s\n}\n",
+      smoke ? "true" : "false", dataset.NumSequences(), stream.size(),
+      Avg(local_cold_ms), local_hit_avg, Avg(net_cold_ms), net_hit_avg,
+      net_hit_overhead_ms, Avg(router_ms), net_all_hits ? "true" : "false",
+      stats_ok ? "true" : "false", single_worker_parity ? "true" : "false",
+      router_parity ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (!single_worker_parity || !router_parity || !net_all_hits || !stats_ok) {
+    std::fprintf(stderr, "bench_net: CHECKS FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
+#else  // !__linux__
+
+int Main(int argc, char** argv) {
+  std::string out = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"net\",\n  \"skipped\": true\n}\n");
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "bench_net: epoll server is Linux-only; skipped\n");
+  return 0;
+}
+
+#endif
+
+}  // namespace
+}  // namespace lash
+
+int main(int argc, char** argv) { return lash::Main(argc, argv); }

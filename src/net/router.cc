@@ -1,0 +1,257 @@
+#include "net/router.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "io/io_error.h"
+#include "io/result_io.h"
+
+namespace lash::net {
+
+using serve::ServeError;
+using serve::ServeErrorCode;
+
+RouterBackend::RouterBackend(std::vector<WorkerAddress> workers,
+                             RouterOptions options)
+    : options_(std::move(options)) {
+  for (WorkerAddress& address : workers) {
+    auto slot = std::make_unique<WorkerSlot>();
+    slot->address = std::move(address);
+    workers_.push_back(std::move(slot));
+  }
+  const size_t threads = options_.scatter_threads > 0
+                             ? options_.scatter_threads
+                             : std::max<size_t>(1, workers_.size());
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+RouterBackend::~RouterBackend() { pool_->Wait(); }
+
+void RouterBackend::Handle(std::string_view payload, Reply reply) {
+  const MessageType type = PeekMessageType(payload);
+  if (type == MessageType::kStatsRequest) {
+    // Stats fan out to every worker — too slow for the event loop.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++inflight_;
+    }
+    pool_->Submit([this, reply] {
+      std::string answer;
+      try {
+        answer = EncodeStatsResponse(AggregateStats());
+      } catch (const ServeError& e) {
+        answer = EncodeErrorResponse(e.code(), e.what());
+      }
+      reply.Send(std::move(answer));
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+    });
+    return;
+  }
+  if (type != MessageType::kMineRequest) {
+    throw IoError(IoErrorKind::kMalformed, 0,
+                  "router received a non-request message");
+  }
+  const MineRequest request = DecodeMineRequest(payload);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++inflight_;
+  }
+  pool_->Submit([this, spec = request.spec, reply] {
+    std::string answer;
+    try {
+      answer = EncodeMineResponse(Scatter(spec));
+    } catch (const ServeError& e) {
+      answer = EncodeErrorResponse(e.code(), e.what());
+    } catch (const std::exception& e) {
+      answer = EncodeErrorResponse(ServeErrorCode::kExecutionFailed,
+                                   e.what());
+    }
+    reply.Send(std::move(answer));
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  });
+}
+
+size_t RouterBackend::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+MineResponse RouterBackend::Scatter(const serve::TaskSpec& spec) {
+  if (workers_.empty()) {
+    throw ServeError(ServeErrorCode::kExecutionFailed,
+                     "router has no workers");
+  }
+  if (spec.shard != 0) {
+    throw ServeError(ServeErrorCode::kInvalidTask,
+                     "the router serves one logical shard; "
+                     "shard routing happens behind it");
+  }
+  if (spec.filter != PatternFilter::kNone) {
+    throw ServeError(
+        ServeErrorCode::kInvalidTask,
+        "closed/maximal filters do not distribute over the cross-shard "
+        "merge; filter on the client or mine a single worker");
+  }
+
+  // Scatter at shard_sigma (σ' = 1 by default: a union-frequent pattern can
+  // be below σ on every shard) and un-truncated (top-k re-cut after the
+  // merge). The worker's answer stays cacheable under its own canonical key.
+  serve::TaskSpec shard_spec = spec;
+  shard_spec.params.sigma = std::min<Frequency>(options_.shard_sigma,
+                                                spec.params.sigma);
+  shard_spec.top_k = 0;
+
+  std::vector<MineReply> replies(workers_.size());
+  std::vector<std::string> errors(workers_.size());
+  std::vector<ServeErrorCode> codes(workers_.size(),
+                                    ServeErrorCode::kExecutionFailed);
+  // ParallelFor participates from the calling thread, so scatter works even
+  // when every pool worker is busy with other router requests. Exceptions
+  // must not escape the body (pool contract: they would kill the process).
+  pool_->ParallelFor(workers_.size(), [&](size_t w) {
+    WorkerSlot& slot = *workers_[w];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    try {
+      if (!slot.client) {
+        slot.client = std::make_unique<NetClient>(
+            slot.address.host, slot.address.port, options_.client);
+      }
+      replies[w] = slot.client->Mine(shard_spec);
+      errors[w].clear();
+    } catch (const ServeError& e) {
+      codes[w] = e.code();
+      errors[w] = e.what();
+    } catch (const std::exception& e) {
+      errors[w] = e.what();
+    }
+  });
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (!errors[w].empty()) {
+      // One shard missing means the sum is wrong for every pattern it
+      // held; a partial answer would be silently incorrect.
+      throw ServeError(codes[w], "worker " + workers_[w]->address.host + ":" +
+                                     std::to_string(workers_[w]->address.port) +
+                                     ": " + errors[w]);
+    }
+  }
+
+  // Associative cross-shard reduction: sum supports keyed on the canonical
+  // item-name bytes (the same encoded-key-bytes identity the shuffle's
+  // ByteCombiner merges on), then re-apply the caller's σ and top-k.
+  struct Merged {
+    std::vector<std::string> items;
+    Frequency frequency = 0;
+  };
+  std::unordered_map<std::string, Merged> merged;
+  for (MineReply& reply : replies) {
+    for (NamedPattern& pattern : reply.patterns) {
+      Merged& slot = merged[NamedPatternKey(pattern)];
+      if (slot.items.empty()) slot.items = std::move(pattern.items);
+      slot.frequency += pattern.frequency;
+    }
+  }
+
+  MineResponse response;
+  response.patterns.reserve(merged.size());
+  for (auto& [key, entry] : merged) {
+    if (entry.frequency < spec.params.sigma) continue;
+    response.patterns.push_back(
+        NamedPattern{std::move(entry.items), entry.frequency});
+  }
+  SortNamedPatterns(&response.patterns);
+  if (spec.top_k > 0 && response.patterns.size() > spec.top_k) {
+    response.patterns.resize(spec.top_k);
+  }
+
+  // The merged RunResult: accounting sums across workers, wall-clock fields
+  // take the max (the scatter ran them concurrently), aborted ORs.
+  bool first = true;
+  RunResult& run = response.run;
+  double server_ms = 0;
+  for (const MineReply& reply : replies) {
+    server_ms = std::max(server_ms, reply.server_ms);
+    response.cache_hit = response.cache_hit || reply.cache_hit;
+    response.coalesced = response.coalesced || reply.coalesced;
+    if (first) {
+      run = reply.run;
+      first = false;
+      continue;
+    }
+    run.aborted = run.aborted || reply.run.aborted;
+    run.miner_stats.Merge(reply.run.miner_stats);
+    run.gsp_stats.extended_items += reply.run.gsp_stats.extended_items;
+    run.gsp_stats.candidates += reply.run.gsp_stats.candidates;
+    run.gsp_stats.database_scans =
+        std::max(run.gsp_stats.database_scans,
+                 reply.run.gsp_stats.database_scans);
+    run.partition_shape.Merge(reply.run.partition_shape);
+    run.job.times.map_ms = std::max(run.job.times.map_ms,
+                                    reply.run.job.times.map_ms);
+    run.job.times.shuffle_ms = std::max(run.job.times.shuffle_ms,
+                                        reply.run.job.times.shuffle_ms);
+    run.job.times.reduce_ms = std::max(run.job.times.reduce_ms,
+                                       reply.run.job.times.reduce_ms);
+    run.job.counters.Merge(reply.run.job.counters);
+    run.mine_ms = std::max(run.mine_ms, reply.run.mine_ms);
+    run.filter_ms = std::max(run.filter_ms, reply.run.filter_ms);
+    run.total_ms = std::max(run.total_ms, reply.run.total_ms);
+    run.patterns_mined += reply.run.patterns_mined;
+  }
+  // Pattern accounting of the *merged* answer, not the scatter's σ'=1
+  // over-mining: what this response actually contains.
+  run.patterns_emitted = response.patterns.size();
+  response.server_ms = server_ms;
+  return response;
+}
+
+serve::ServiceStats RouterBackend::AggregateStats() {
+  serve::ServiceStats total;
+  bool first = true;
+  for (auto& slot : workers_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (!slot->client) {
+      slot->client = std::make_unique<NetClient>(
+          slot->address.host, slot->address.port, options_.client);
+    }
+    const serve::ServiceStats stats = slot->client->Stats();
+    total.submitted += stats.submitted;
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.coalesced += stats.coalesced;
+    total.invalid += stats.invalid;
+    total.completed += stats.completed;
+    total.rejected += stats.rejected;
+    total.cancelled += stats.cancelled;
+    total.deadline_expired += stats.deadline_expired;
+    total.failed += stats.failed;
+    total.executions += stats.executions;
+    total.cache_entries += stats.cache_entries;
+    total.cache_bytes += stats.cache_bytes;
+    total.cache_evictions += stats.cache_evictions;
+    total.cache_oversized_rejects += stats.cache_oversized_rejects;
+    total.queue_depth += stats.queue_depth;
+    if (first) {
+      total.hit_p50_ms = stats.hit_p50_ms;
+      total.hit_p95_ms = stats.hit_p95_ms;
+      total.hit_mean_ms = stats.hit_mean_ms;
+      total.mine_p50_ms = stats.mine_p50_ms;
+      total.mine_p95_ms = stats.mine_p95_ms;
+      total.mine_mean_ms = stats.mine_mean_ms;
+      first = false;
+    } else {
+      total.hit_p50_ms = std::max(total.hit_p50_ms, stats.hit_p50_ms);
+      total.hit_p95_ms = std::max(total.hit_p95_ms, stats.hit_p95_ms);
+      total.hit_mean_ms = std::max(total.hit_mean_ms, stats.hit_mean_ms);
+      total.mine_p50_ms = std::max(total.mine_p50_ms, stats.mine_p50_ms);
+      total.mine_p95_ms = std::max(total.mine_p95_ms, stats.mine_p95_ms);
+      total.mine_mean_ms = std::max(total.mine_mean_ms, stats.mine_mean_ms);
+    }
+  }
+  return total;
+}
+
+}  // namespace lash::net

@@ -1,0 +1,82 @@
+#ifndef LASH_NET_ROUTER_H_
+#define LASH_NET_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "util/thread_pool.h"
+
+namespace lash::net {
+
+struct RouterOptions {
+  /// The support threshold scattered to each shard. 1 (the default) makes
+  /// the router *exact* — see the merge contract on RouterBackend. Raising
+  /// it trades completeness for shard-side work: a pattern whose union
+  /// support is ≥ σ but whose per-shard support is everywhere below
+  /// `shard_sigma` is lost.
+  Frequency shard_sigma = 1;
+  /// Per-worker client knobs (timeouts, retries).
+  ClientOptions client;
+  /// Threads answering concurrent router requests (0 = worker count).
+  size_t scatter_threads = 0;
+};
+
+/// The router backend: serves the same wire protocol as a worker, but
+/// answers each mine request by scattering it across the shard workers and
+/// merging their pattern streams.
+///
+/// Merge contract (ROADMAP "Network tier"): shards partition the corpus by
+/// *transactions*, so a pattern's union support is the plain sum of its
+/// per-shard supports — summation keyed on the canonical item-name bytes is
+/// an associative, commutative reduction, and merging workers in any
+/// grouping or order yields the same multiset (router trees compose).
+/// Exactness needs every contributing pattern visible: a union-frequent
+/// pattern can sit below σ on every individual shard, so the scatter runs
+/// at `shard_sigma` (default 1) and the caller's σ is re-applied to the
+/// summed supports. Top-k is likewise deferred: workers mine un-truncated,
+/// the router re-sorts the merged stream (canonical wire order) and re-cuts.
+/// Closed/maximal filters do not distribute over this merge (they need the
+/// union corpus's pattern lattice) and are rejected as invalid_task.
+class RouterBackend : public Backend {
+ public:
+  RouterBackend(std::vector<WorkerAddress> workers, RouterOptions options);
+  ~RouterBackend() override;
+
+  void Handle(std::string_view payload, Reply reply) override;
+  size_t InFlight() const override;
+
+  /// Scatters one spec across all workers and merges (the Handle body,
+  /// callable in-process; bench_net uses this directly).
+  MineResponse Scatter(const serve::TaskSpec& spec);
+
+  /// Sums the workers' counters (latency percentiles take the max — a
+  /// cross-worker percentile cannot be reconstructed from percentiles).
+  serve::ServiceStats AggregateStats();
+
+ private:
+  struct WorkerSlot {
+    WorkerAddress address;
+    std::mutex mu;  ///< One outstanding request per pooled connection.
+    std::unique_ptr<NetClient> client;
+  };
+
+  std::vector<std::unique_ptr<WorkerSlot>> workers_;
+  RouterOptions options_;
+
+  mutable std::mutex mu_;
+  size_t inflight_ = 0;
+
+  /// Runs Handle bodies off the event loop; declared last so it drains
+  /// before the worker slots die.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace lash::net
+
+#endif  // LASH_NET_ROUTER_H_

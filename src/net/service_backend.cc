@@ -1,0 +1,87 @@
+#include "net/service_backend.h"
+
+#include <utility>
+
+#include "io/io_error.h"
+
+namespace lash::net {
+
+ServiceBackend::ServiceBackend(std::vector<const Dataset*> shards,
+                               serve::ServiceOptions options)
+    : shards_(std::move(shards)) {
+  options.post_resolve_hook = [this] { DrainReady(); };
+  service_ = std::make_unique<serve::MiningService>(shards_,
+                                                    std::move(options));
+}
+
+void ServiceBackend::Handle(std::string_view payload, Reply reply) {
+  const MessageType type = PeekMessageType(payload);
+  if (type == MessageType::kStatsRequest) {
+    reply.Send(EncodeStatsResponse(service_->Stats()));
+    return;
+  }
+  if (type != MessageType::kMineRequest) {
+    // Responses (or anything else) arriving at a server are a protocol
+    // violation; throwing makes the event loop close the connection.
+    throw IoError(IoErrorKind::kMalformed, 0,
+                  "server received a non-request message");
+  }
+  const MineRequest request = DecodeMineRequest(payload);
+  Pending pending{service_->Submit(request.spec), request.spec,
+                  std::move(reply)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.push_back(std::move(pending));
+  }
+  // Submit resolves synchronously for cache hits and validation failures,
+  // firing the hook *before* the push above — this drain covers that race.
+  DrainReady();
+}
+
+size_t ServiceBackend::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
+}
+
+void ServiceBackend::DrainReady() {
+  std::list<Pending> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (it->result.ready()) {
+        done.splice(done.end(), inflight_, it++);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (Pending& pending : done) {
+    pending.reply.Send(BuildReplyPayload(pending));
+  }
+}
+
+std::string ServiceBackend::BuildReplyPayload(const Pending& pending) {
+  if (!pending.result.ok()) {
+    return EncodeErrorResponse(pending.result.error_code(),
+                               pending.result.error_message());
+  }
+  try {
+    const serve::Response& response = pending.result.Get();
+    MineResponse out;
+    out.run = response.run();
+    out.cache_hit = response.cache_hit;
+    out.coalesced = response.coalesced;
+    out.server_ms = response.latency_ms;
+    out.patterns = NamePatterns(*shards_[pending.spec.shard],
+                                response.patterns(),
+                                out.run.used_flat_hierarchy);
+    return EncodeMineResponse(out);
+  } catch (const std::exception& e) {
+    // Serialization failures (e.g. a rank that no longer names) must not
+    // escape into the resolving thread; they become a typed wire error.
+    return EncodeErrorResponse(serve::ServeErrorCode::kExecutionFailed,
+                               e.what());
+  }
+}
+
+}  // namespace lash::net

@@ -1,0 +1,67 @@
+#ifndef LASH_NET_SERVICE_BACKEND_H_
+#define LASH_NET_SERVICE_BACKEND_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "api/lash_api.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serve/mining_service.h"
+
+namespace lash::net {
+
+/// The worker backend: serves the framed wire protocol over a MiningService
+/// on one or more snapshot-loaded shards. This is `lash_served`'s default
+/// personality.
+///
+/// Handle() never blocks the event loop: a mine request is Submitted to the
+/// service (whose executor owns the long work) and parked on an in-flight
+/// list; the service's post_resolve_hook fires DrainReady(), which moves
+/// every resolved request off the list, serializes its answer — patterns
+/// decoded to item names in canonical wire order — and fires the Reply,
+/// which wakes the epoll loop. Stats requests answer synchronously.
+class ServiceBackend : public Backend {
+ public:
+  /// Borrows the shards (which must outlive the backend). `options` are
+  /// forwarded to the MiningService; its post_resolve_hook is overwritten —
+  /// it is this backend's delivery mechanism.
+  ServiceBackend(std::vector<const Dataset*> shards,
+                 serve::ServiceOptions options = {});
+
+  void Handle(std::string_view payload, Reply reply) override;
+  size_t InFlight() const override;
+
+  serve::MiningService& service() { return *service_; }
+
+ private:
+  struct Pending {
+    serve::PendingResult result;
+    serve::TaskSpec spec;
+    Reply reply;
+  };
+
+  /// Moves every resolved in-flight request off the list and replies.
+  void DrainReady();
+
+  /// Serializes one resolved request into its reply payload.
+  std::string BuildReplyPayload(const Pending& pending);
+
+  std::vector<const Dataset*> shards_;
+
+  mutable std::mutex mu_;
+  std::list<Pending> inflight_;
+
+  /// Declared last: destroyed first, so the executor drains (resolving
+  /// every pending request, each firing the hook into DrainReady) while
+  /// the in-flight list and shards are still alive.
+  std::unique_ptr<serve::MiningService> service_;
+};
+
+}  // namespace lash::net
+
+#endif  // LASH_NET_SERVICE_BACKEND_H_

@@ -1,0 +1,91 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace lash::net {
+
+#ifdef __unix__
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ListenSocket ListenTcp(const std::string& address, uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("invalid bind address: " + address);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ThrowErrno("bind " + address + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), 128) != 0) ThrowErrno("listen");
+  SetNonBlocking(fd.get());
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ThrowErrno("getsockname");
+  }
+  ListenSocket result;
+  result.fd = std::move(fd);
+  result.bound_port = ntohs(bound.sin_port);
+  return result;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ThrowErrno("fcntl O_NONBLOCK");
+  }
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+#else  // !__unix__
+
+void UniqueFd::Reset() { fd_ = -1; }
+
+ListenSocket ListenTcp(const std::string&, uint16_t) {
+  throw SocketError("lash::net requires a POSIX platform");
+}
+
+void SetNonBlocking(int) {
+  throw SocketError("lash::net requires a POSIX platform");
+}
+
+void SetNoDelay(int) {}
+
+#endif  // __unix__
+
+}  // namespace lash::net

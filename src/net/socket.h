@@ -1,0 +1,68 @@
+#ifndef LASH_NET_SOCKET_H_
+#define LASH_NET_SOCKET_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace lash::net {
+
+/// RAII file descriptor (socket, epoll, eventfd). Movable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Thrown for socket-layer failures (bind, listen, connect plumbing). The
+/// client library converts these into typed ServeErrors before they reach
+/// callers; the server surfaces them at startup.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// A bound, listening TCP socket.
+struct ListenSocket {
+  UniqueFd fd;
+  uint16_t bound_port = 0;  ///< The actual port (resolves port 0 requests).
+};
+
+/// Binds and listens on `address:port` (IPv4 dotted quad; port 0 asks the
+/// kernel for an ephemeral port). SO_REUSEADDR is set; the socket is
+/// non-blocking. Throws SocketError.
+ListenSocket ListenTcp(const std::string& address, uint16_t port);
+
+/// Sets O_NONBLOCK on `fd`. Throws SocketError.
+void SetNonBlocking(int fd);
+
+/// Disables Nagle (TCP_NODELAY) — request/response framing wants the frame
+/// on the wire now, not batched. Best-effort (ignored for non-TCP fds).
+void SetNoDelay(int fd);
+
+}  // namespace lash::net
+
+#endif  // LASH_NET_SOCKET_H_

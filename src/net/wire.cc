@@ -1,0 +1,247 @@
+#include "net/wire.h"
+
+#include "io/io_error.h"
+#include "util/varint.h"
+
+namespace lash::net {
+
+namespace {
+
+/// Starts every payload: version byte + message type.
+void AppendPayloadHeader(std::string* out, MessageType type) {
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(type));
+}
+
+/// Consumes and validates the payload header, returning a reader positioned
+/// at the body. `expected` rejects a payload of the wrong type (a stats
+/// reply arriving where a mine reply was awaited is a protocol error, not
+/// something to reinterpret).
+ByteReader OpenPayload(std::string_view payload, MessageType expected,
+                       const char* what) {
+  ByteReader reader(payload, what);
+  const uint8_t version =
+      static_cast<uint8_t>(reader.ReadBytes(1, "wire version")[0]);
+  if (version != kWireVersion) {
+    throw IoError(IoErrorKind::kBadVersion, 0,
+                  std::string(what) + ": wire version " +
+                      std::to_string(version) + " (this peer understands " +
+                      std::to_string(kWireVersion) + ")");
+  }
+  const uint8_t type =
+      static_cast<uint8_t>(reader.ReadBytes(1, "message type")[0]);
+  if (type != static_cast<uint8_t>(expected)) {
+    reader.Malformed("unexpected message type " + std::to_string(type));
+  }
+  return reader;
+}
+
+void EncodeServiceStats(std::string* out, const serve::ServiceStats& stats) {
+  PutVarint64(out, stats.submitted);
+  PutVarint64(out, stats.hits);
+  PutVarint64(out, stats.misses);
+  PutVarint64(out, stats.coalesced);
+  PutVarint64(out, stats.invalid);
+  PutVarint64(out, stats.completed);
+  PutVarint64(out, stats.rejected);
+  PutVarint64(out, stats.cancelled);
+  PutVarint64(out, stats.deadline_expired);
+  PutVarint64(out, stats.failed);
+  PutVarint64(out, stats.executions);
+  PutVarint64(out, stats.cache_entries);
+  PutVarint64(out, stats.cache_bytes);
+  PutVarint64(out, stats.cache_evictions);
+  PutVarint64(out, stats.cache_oversized_rejects);
+  PutVarint64(out, stats.queue_depth);
+  PutDoubleBits(out, stats.hit_p50_ms);
+  PutDoubleBits(out, stats.hit_p95_ms);
+  PutDoubleBits(out, stats.hit_mean_ms);
+  PutDoubleBits(out, stats.mine_p50_ms);
+  PutDoubleBits(out, stats.mine_p95_ms);
+  PutDoubleBits(out, stats.mine_mean_ms);
+}
+
+serve::ServiceStats DecodeServiceStats(ByteReader& reader) {
+  serve::ServiceStats stats;
+  stats.submitted = reader.ReadVarint64("submitted");
+  stats.hits = reader.ReadVarint64("hits");
+  stats.misses = reader.ReadVarint64("misses");
+  stats.coalesced = reader.ReadVarint64("coalesced");
+  stats.invalid = reader.ReadVarint64("invalid");
+  stats.completed = reader.ReadVarint64("completed");
+  stats.rejected = reader.ReadVarint64("rejected");
+  stats.cancelled = reader.ReadVarint64("cancelled");
+  stats.deadline_expired = reader.ReadVarint64("deadline expired");
+  stats.failed = reader.ReadVarint64("failed");
+  stats.executions = reader.ReadVarint64("executions");
+  stats.cache_entries = reader.ReadVarint64("cache entries");
+  stats.cache_bytes = reader.ReadVarint64("cache bytes");
+  stats.cache_evictions = reader.ReadVarint64("cache evictions");
+  stats.cache_oversized_rejects =
+      reader.ReadVarint64("cache oversized rejects");
+  stats.queue_depth = reader.ReadVarint64("queue depth");
+  stats.hit_p50_ms = ReadDoubleBits(reader, "hit p50");
+  stats.hit_p95_ms = ReadDoubleBits(reader, "hit p95");
+  stats.hit_mean_ms = ReadDoubleBits(reader, "hit mean");
+  stats.mine_p50_ms = ReadDoubleBits(reader, "mine p50");
+  stats.mine_p95_ms = ReadDoubleBits(reader, "mine p95");
+  stats.mine_mean_ms = ReadDoubleBits(reader, "mine mean");
+  return stats;
+}
+
+[[noreturn]] void ThrowOversized(uint64_t size) {
+  throw IoError(IoErrorKind::kMalformed, 0,
+                "wire frame: payload of " + std::to_string(size) +
+                    " bytes exceeds the " +
+                    std::to_string(kMaxFramePayloadBytes) + "-byte cap");
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  if (payload.size() > kMaxFramePayloadBytes) ThrowOversized(payload.size());
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+  }
+  out->append(payload);
+}
+
+FrameStatus TryExtractFrame(std::string* buffer, std::string* payload) {
+  if (buffer->size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>((*buffer)[i]))
+              << (8 * i);
+  }
+  if (length > kMaxFramePayloadBytes) ThrowOversized(length);
+  if (buffer->size() < kFrameHeaderBytes + length) return FrameStatus::kNeedMore;
+  payload->assign(*buffer, kFrameHeaderBytes, length);
+  buffer->erase(0, kFrameHeaderBytes + length);
+  return FrameStatus::kFrame;
+}
+
+MessageType PeekMessageType(std::string_view payload) {
+  ByteReader reader(payload, "wire payload");
+  const uint8_t version =
+      static_cast<uint8_t>(reader.ReadBytes(1, "wire version")[0]);
+  if (version != kWireVersion) {
+    throw IoError(IoErrorKind::kBadVersion, 0,
+                  "wire payload: wire version " + std::to_string(version) +
+                      " (this peer understands " +
+                      std::to_string(kWireVersion) + ")");
+  }
+  const uint8_t type =
+      static_cast<uint8_t>(reader.ReadBytes(1, "message type")[0]);
+  if (type < static_cast<uint8_t>(MessageType::kMineRequest) ||
+      type > static_cast<uint8_t>(MessageType::kStatsResponse)) {
+    reader.Malformed("unknown message type " + std::to_string(type));
+  }
+  return static_cast<MessageType>(type);
+}
+
+std::string EncodeMineRequest(const serve::TaskSpec& spec) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kMineRequest);
+  PutVarint64(&payload, spec.shard);
+  PutDoubleBits(&payload, spec.deadline_ms);
+  // Dataset id 0 on the wire: the client cannot know the server's
+  // process-unique dataset id, and the server re-keys against its own
+  // shard ids anyway.
+  payload.append(serve::EncodeCacheKey(0, spec));
+  return payload;
+}
+
+MineRequest DecodeMineRequest(std::string_view payload) {
+  ByteReader reader = OpenPayload(payload, MessageType::kMineRequest,
+                                  "mine request");
+  const uint64_t shard = reader.ReadVarint64("shard");
+  const double deadline_ms = ReadDoubleBits(reader, "deadline");
+  MineRequest request;
+  request.spec = serve::DecodeTaskSpec(payload.substr(reader.pos()));
+  request.spec.shard = shard;
+  request.spec.deadline_ms = deadline_ms;
+  return request;
+}
+
+std::string EncodeMineResponse(const MineResponse& response) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kMineResponse);
+  payload.push_back((response.cache_hit ? 1 : 0) |
+                    (response.coalesced ? 2 : 0));
+  PutDoubleBits(&payload, response.server_ms);
+  EncodeRunResult(&payload, response.run);
+  EncodeNamedPatterns(&payload, response.patterns);
+  return payload;
+}
+
+MineResponse DecodeMineResponse(std::string_view payload) {
+  ByteReader reader = OpenPayload(payload, MessageType::kMineResponse,
+                                  "mine response");
+  const uint8_t flags =
+      static_cast<uint8_t>(reader.ReadBytes(1, "response flags")[0]);
+  if (flags > 3) reader.Malformed("response flag byte out of range");
+  MineResponse response;
+  response.cache_hit = (flags & 1) != 0;
+  response.coalesced = (flags & 2) != 0;
+  response.server_ms = ReadDoubleBits(reader, "server ms");
+  response.run = DecodeRunResult(reader);
+  response.patterns = DecodeNamedPatterns(reader);
+  if (!reader.AtEnd()) {
+    reader.Malformed("trailing bytes after mine response");
+  }
+  return response;
+}
+
+std::string EncodeErrorResponse(serve::ServeErrorCode code,
+                                std::string_view message) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kErrorResponse);
+  payload.push_back(static_cast<char>(code));
+  PutVarint64(&payload, message.size());
+  payload.append(message);
+  return payload;
+}
+
+ErrorResponse DecodeErrorResponse(std::string_view payload) {
+  ByteReader reader = OpenPayload(payload, MessageType::kErrorResponse,
+                                  "error response");
+  const uint8_t code =
+      static_cast<uint8_t>(reader.ReadBytes(1, "error code")[0]);
+  if (code > static_cast<uint8_t>(serve::ServeErrorCode::kExecutionFailed)) {
+    reader.Malformed("error code byte out of range");
+  }
+  ErrorResponse error;
+  error.code = static_cast<serve::ServeErrorCode>(code);
+  const uint64_t length = reader.ReadVarint64("error message length");
+  error.message = reader.ReadBytes(length, "error message");
+  if (!reader.AtEnd()) {
+    reader.Malformed("trailing bytes after error response");
+  }
+  return error;
+}
+
+std::string EncodeStatsRequest() {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kStatsRequest);
+  return payload;
+}
+
+std::string EncodeStatsResponse(const serve::ServiceStats& stats) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kStatsResponse);
+  EncodeServiceStats(&payload, stats);
+  return payload;
+}
+
+serve::ServiceStats DecodeStatsResponse(std::string_view payload) {
+  ByteReader reader = OpenPayload(payload, MessageType::kStatsResponse,
+                                  "stats response");
+  serve::ServiceStats stats = DecodeServiceStats(reader);
+  if (!reader.AtEnd()) {
+    reader.Malformed("trailing bytes after stats response");
+  }
+  return stats;
+}
+
+}  // namespace lash::net

@@ -1,0 +1,121 @@
+#ifndef LASH_NET_WIRE_H_
+#define LASH_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "io/result_io.h"
+#include "serve/mining_service.h"
+#include "serve/task_spec.h"
+
+/// The length-prefixed binary wire protocol of the serving tier (ROADMAP
+/// "Network tier").
+///
+/// Framing rule: every message is `u32 LE payload length | payload`, and
+/// every payload starts `u8 wire version | u8 message type | body`. The
+/// length prefix covers the payload only (not itself); a peer can therefore
+/// always read exactly 4 bytes, then exactly `length` bytes, with no
+/// scanning or resynchronization. Frames above kMaxFramePayloadBytes and
+/// payloads whose version byte is not kWireVersion are protocol errors — the
+/// receiving side drops the connection rather than guessing.
+///
+/// Bodies reuse the repo's existing canonical encodings: a mine request
+/// carries EncodeCacheKey bytes verbatim (serve/task_spec.h — the same bytes
+/// that key the result cache key the wire), results use io/result_io.h, and
+/// everything multi-byte is varint or 8-byte-LE double bits. All decoders go
+/// through ByteReader, so malformed and truncated frames surface as the
+/// typed IoError of io/io_error.h.
+namespace lash::net {
+
+/// Bump when any payload layout changes. Byte 0 of every payload.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Frame header: the u32 little-endian payload length.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Hard cap on one payload (defense against hostile/garbage length
+/// prefixes; also the practical bound on one response's pattern stream).
+inline constexpr uint32_t kMaxFramePayloadBytes = 256u << 20;
+
+/// Byte 1 of every payload.
+enum class MessageType : uint8_t {
+  kMineRequest = 1,
+  kMineResponse = 2,
+  kErrorResponse = 3,
+  kStatsRequest = 4,
+  kStatsResponse = 5,
+};
+
+/// Appends `payload` to `out` as one frame (length prefix + payload).
+/// Throws IoError kMalformed if the payload exceeds kMaxFramePayloadBytes.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// Result of TryExtractFrame.
+enum class FrameStatus {
+  kNeedMore,  ///< `buffer` does not yet hold a complete frame.
+  kFrame,     ///< One payload extracted; its bytes were consumed.
+};
+
+/// Extracts the next complete frame from the front of `buffer`. On kFrame,
+/// `*payload` receives the payload bytes and the frame is erased from
+/// `buffer`. Throws IoError kMalformed as soon as the length prefix exceeds
+/// kMaxFramePayloadBytes (before the oversized payload is buffered).
+FrameStatus TryExtractFrame(std::string* buffer, std::string* payload);
+
+/// Validates the version byte of `payload` and returns its message type.
+/// Throws IoError kBadVersion / kTruncated / kMalformed.
+MessageType PeekMessageType(std::string_view payload);
+
+/// A mining request as it crosses the wire: the target shard, the
+/// client-side deadline, and the canonical cache-key bytes of the spec.
+/// Execution-shape knobs (threads, job config) deliberately do not cross
+/// the wire — they are the *server's* resources to shape, exactly as they
+/// are excluded from the cache key.
+struct MineRequest {
+  serve::TaskSpec spec;
+};
+
+/// Payload of one kMineRequest.
+std::string EncodeMineRequest(const serve::TaskSpec& spec);
+
+/// Decodes a kMineRequest payload (version/type already or not yet checked —
+/// the decoder re-checks both).
+MineRequest DecodeMineRequest(std::string_view payload);
+
+/// A successful mining answer: the run summary, the serving-layer
+/// provenance bits, and the pattern stream in canonical wire order.
+struct MineResponse {
+  RunResult run;
+  bool cache_hit = false;
+  bool coalesced = false;
+  double server_ms = 0;  ///< Submit → resolve latency inside the service.
+  NamedPatternList patterns;
+};
+
+std::string EncodeMineResponse(const MineResponse& response);
+MineResponse DecodeMineResponse(std::string_view payload);
+
+/// A typed failure. The code survives the wire, so a client distinguishes
+/// deadline_exceeded from queue_full without string matching — the same
+/// contract ServeError gives in-process callers.
+struct ErrorResponse {
+  serve::ServeErrorCode code = serve::ServeErrorCode::kExecutionFailed;
+  std::string message;
+};
+
+std::string EncodeErrorResponse(serve::ServeErrorCode code,
+                                std::string_view message);
+ErrorResponse DecodeErrorResponse(std::string_view payload);
+
+/// Payload of one kStatsRequest (no body).
+std::string EncodeStatsRequest();
+
+/// Payload of one kStatsResponse: every ServiceStats field.
+std::string EncodeStatsResponse(const serve::ServiceStats& stats);
+serve::ServiceStats DecodeStatsResponse(std::string_view payload);
+
+}  // namespace lash::net
+
+#endif  // LASH_NET_WIRE_H_

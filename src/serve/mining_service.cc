@@ -156,6 +156,7 @@ void MiningService::ResolveResponse(
     state->done = true;
   }
   state->cv.notify_all();
+  if (options_.post_resolve_hook) options_.post_resolve_hook();
 }
 
 void MiningService::FailRequest(const std::shared_ptr<RequestState>& state,
@@ -189,6 +190,7 @@ void MiningService::FailRequest(const std::shared_ptr<RequestState>& state,
     state->done = true;
   }
   state->cv.notify_all();
+  if (options_.post_resolve_hook) options_.post_resolve_hook();
 }
 
 PendingResult MiningService::Submit(const TaskSpec& spec) {

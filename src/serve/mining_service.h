@@ -126,6 +126,14 @@ struct ServiceOptions {
   /// Tests use it to gate execution deterministically; leave empty in
   /// production.
   std::function<void(const TaskSpec&)> pre_execute_hook;
+  /// Event-loop seam: called once per request right after it resolves
+  /// (success or typed failure), on whichever thread performed the
+  /// resolution — the submitting thread for cache hits and validation
+  /// failures, an executor worker otherwise. The network front door
+  /// (net/service_backend.h) uses it to wake its epoll loop instead of
+  /// polling PendingResults; must be cheap and must not call back into the
+  /// service.
+  std::function<void()> post_resolve_hook;
 };
 
 /// One consistent snapshot of the service counters.

@@ -1,5 +1,6 @@
 #include "serve/task_spec.h"
 
+#include "io/io_error.h"
 #include "util/varint.h"
 
 namespace lash::serve {
@@ -58,6 +59,75 @@ std::string EncodeCacheKey(uint64_t dataset_id, const TaskSpec& spec) {
     PutVarint64(&key, spec.limits.max_emitted_records);
   }
   return key;
+}
+
+namespace {
+
+/// Reads one raw byte of the key, reporting `field` on truncation.
+uint8_t ReadKeyByte(ByteReader& reader, const char* field) {
+  return static_cast<uint8_t>(reader.ReadBytes(1, field)[0]);
+}
+
+/// Decodes a PresenceByte-encoded optional enum knob: 0 = unset, 1 + value
+/// otherwise. `count` is the number of valid enum values.
+template <typename T>
+std::optional<T> ReadPresence(ByteReader& reader, const char* field,
+                              unsigned count) {
+  const uint8_t byte = ReadKeyByte(reader, field);
+  if (byte == 0) return std::nullopt;
+  if (byte > count) {
+    reader.Malformed(std::string(field) + " presence byte out of range");
+  }
+  return static_cast<T>(byte - 1);
+}
+
+}  // namespace
+
+TaskSpec DecodeTaskSpec(std::string_view key, uint64_t* dataset_id) {
+  ByteReader reader(key, "task-spec key");
+  const uint8_t version = ReadKeyByte(reader, "version");
+  if (version != kCacheKeyVersion) {
+    throw IoError(IoErrorKind::kBadVersion, 0,
+                  "task-spec key: version " + std::to_string(version) +
+                      " (this reader understands " +
+                      std::to_string(kCacheKeyVersion) + ")");
+  }
+  const uint64_t id = reader.ReadVarint64("dataset id");
+  if (dataset_id != nullptr) *dataset_id = id;
+
+  TaskSpec spec;
+  const uint8_t algorithm = ReadKeyByte(reader, "algorithm");
+  if (algorithm > static_cast<uint8_t>(Algorithm::kSemiNaive)) {
+    reader.Malformed("algorithm byte out of range");
+  }
+  spec.algorithm = static_cast<Algorithm>(algorithm);
+  spec.params.sigma = reader.ReadVarint64("sigma");
+  spec.params.gamma = reader.ReadVarint32("gamma");
+  spec.params.lambda = reader.ReadVarint32("lambda");
+  const uint8_t flat = ReadKeyByte(reader, "flat");
+  if (flat > 1) reader.Malformed("flat byte out of range");
+  // The canonicalized flat byte (flat || MG-FSM) decodes back into an
+  // explicit flat=true, which re-encodes to the same canonical byte.
+  spec.flat = flat != 0;
+  const uint8_t filter = ReadKeyByte(reader, "filter");
+  if (filter > static_cast<uint8_t>(PatternFilter::kMaximal)) {
+    reader.Malformed("filter byte out of range");
+  }
+  spec.filter = static_cast<PatternFilter>(filter);
+  spec.top_k = reader.ReadVarint64("top-k");
+  spec.miner = ReadPresence<MinerKind>(
+      reader, "miner", 1 + static_cast<unsigned>(MinerKind::kPsmIndex));
+  spec.rewrite = ReadPresence<RewriteLevel>(
+      reader, "rewrite", 1 + static_cast<unsigned>(RewriteLevel::kFull));
+  const uint8_t combiner = ReadKeyByte(reader, "combiner");
+  if (combiner > 2) reader.Malformed("combiner byte out of range");
+  if (combiner != 0) spec.combiner = combiner == 2;
+  if (spec.algorithm == Algorithm::kNaive ||
+      spec.algorithm == Algorithm::kSemiNaive) {
+    spec.limits.max_emitted_records = reader.ReadVarint64("emit cap");
+  }
+  if (!reader.AtEnd()) reader.Malformed("trailing bytes after task-spec key");
+  return spec;
 }
 
 }  // namespace lash::serve

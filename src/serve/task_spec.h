@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "api/lash_api.h"
 
@@ -59,6 +60,21 @@ MiningTask MakeTask(const Dataset& dataset, const TaskSpec& spec);
 /// the bytes is a sound shard/grouping hash (same property the packed
 /// shuffle relies on).
 std::string EncodeCacheKey(uint64_t dataset_id, const TaskSpec& spec);
+
+/// Inverse of EncodeCacheKey: decodes the canonical key bytes back into the
+/// knobs they cover. `dataset_id`, if non-null, receives the encoded dataset
+/// id. The wire protocol (net/wire.h) reuses the cache-key bytes as its
+/// TaskSpec encoding, so this is the server-side request decoder.
+///
+/// Exactly the covered knobs round-trip: execution-shape fields (threads,
+/// job config, deadline, shard) are not part of the key and come back at
+/// their defaults. Decoding is canonicalizing-stable:
+/// EncodeCacheKey(DecodeTaskSpec(key)) == key for every key EncodeCacheKey
+/// can produce (tested byte-for-byte). Malformed input throws the typed
+/// IoError of io/io_error.h: kBadVersion for an unknown key version,
+/// kTruncated when the key ends inside a field, kMalformed for out-of-range
+/// enum bytes or trailing garbage.
+TaskSpec DecodeTaskSpec(std::string_view key, uint64_t* dataset_id = nullptr);
 
 }  // namespace lash::serve
 

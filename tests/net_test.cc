@@ -1,0 +1,559 @@
+// Tests of the network serving tier: the TaskSpec codec (DecodeTaskSpec as
+// the inverse of EncodeCacheKey), the framed wire protocol (net/wire.h),
+// the result serialization (io/result_io.h), and — on Linux, where the
+// epoll server exists — end-to-end loopback parity for all six algorithms,
+// the two-shard router merge vs the union corpus, and the typed fault
+// paths (dead worker, client timeout, malformed frame).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/lash_api.h"
+#include "io/io_error.h"
+#include "io/result_io.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "net/service_backend.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/mining_service.h"
+#include "serve/task_spec.h"
+#include "test_util.h"
+
+#ifdef __linux__
+#include <poll.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+#endif
+
+namespace lash::net {
+namespace {
+
+using serve::ServeError;
+using serve::ServeErrorCode;
+using serve::TaskSpec;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kSequential, Algorithm::kLash,  Algorithm::kMgFsm,
+    Algorithm::kGsp,        Algorithm::kNaive, Algorithm::kSemiNaive,
+};
+
+TaskSpec PaperSpec(Algorithm algorithm) {
+  TaskSpec spec;
+  spec.algorithm = algorithm;
+  spec.params = {.sigma = 2, .gamma = 1, .lambda = 3};
+  return spec;
+}
+
+// ---- TaskSpec codec -------------------------------------------------------
+
+TEST(TaskSpecCodec, RoundTripsEveryCoveredKnobCombination) {
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (PatternFilter filter : {PatternFilter::kNone, PatternFilter::kClosed,
+                                 PatternFilter::kMaximal}) {
+      for (size_t top_k : {size_t{0}, size_t{17}}) {
+        for (bool engage_optionals : {false, true}) {
+          TaskSpec spec = PaperSpec(algorithm);
+          spec.filter = filter;
+          spec.top_k = top_k;
+          spec.flat = algorithm == Algorithm::kSequential && top_k == 0;
+          if (engage_optionals) {
+            spec.miner = MinerKind::kBfs;
+            spec.rewrite = RewriteLevel::kGeneralizeOnly;
+            spec.combiner = false;
+          }
+          spec.limits.max_emitted_records = 12345;
+
+          const std::string key = serve::EncodeCacheKey(42, spec);
+          uint64_t dataset_id = 0;
+          const TaskSpec decoded = serve::DecodeTaskSpec(key, &dataset_id);
+          EXPECT_EQ(dataset_id, 42u);
+          EXPECT_EQ(decoded.algorithm, spec.algorithm);
+          EXPECT_EQ(decoded.params.sigma, spec.params.sigma);
+          EXPECT_EQ(decoded.params.gamma, spec.params.gamma);
+          EXPECT_EQ(decoded.params.lambda, spec.params.lambda);
+          EXPECT_EQ(decoded.filter, spec.filter);
+          EXPECT_EQ(decoded.top_k, spec.top_k);
+          EXPECT_EQ(decoded.miner, spec.miner);
+          EXPECT_EQ(decoded.rewrite, spec.rewrite);
+          EXPECT_EQ(decoded.combiner, spec.combiner);
+          // Canonicalizing-stable: re-encoding reproduces the key bytes.
+          EXPECT_EQ(serve::EncodeCacheKey(42, decoded), key);
+        }
+      }
+    }
+  }
+}
+
+TEST(TaskSpecCodec, ExecutionShapeKnobsDoNotSurvive) {
+  TaskSpec spec = PaperSpec(Algorithm::kLash);
+  spec.shard = 3;
+  spec.threads = 7;
+  spec.job_config.num_map_tasks = 11;
+  spec.deadline_ms = 1500;
+  const TaskSpec decoded =
+      serve::DecodeTaskSpec(serve::EncodeCacheKey(0, spec));
+  EXPECT_EQ(decoded.shard, 0u);
+  EXPECT_EQ(decoded.threads, 0u);
+  EXPECT_EQ(decoded.deadline_ms, 0.0);
+  EXPECT_EQ(decoded.job_config.num_map_tasks, TaskSpec{}.job_config.num_map_tasks);
+}
+
+TEST(TaskSpecCodec, EveryStrictPrefixThrowsTypedError) {
+  TaskSpec spec = PaperSpec(Algorithm::kSemiNaive);  // Includes the emit cap.
+  spec.miner = MinerKind::kPsmIndex;
+  spec.combiner = true;
+  const std::string key = serve::EncodeCacheKey(7, spec);
+  for (size_t len = 0; len < key.size(); ++len) {
+    EXPECT_THROW(serve::DecodeTaskSpec(key.substr(0, len)), IoError)
+        << "prefix of length " << len << " did not throw";
+  }
+  EXPECT_NO_THROW(serve::DecodeTaskSpec(key));
+}
+
+TEST(TaskSpecCodec, RejectsBadVersionEnumAndTrailingGarbage) {
+  const std::string key = serve::EncodeCacheKey(0, PaperSpec(Algorithm::kGsp));
+
+  std::string bad_version = key;
+  bad_version[0] = 99;
+  try {
+    serve::DecodeTaskSpec(bad_version);
+    FAIL() << "bad version accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kBadVersion);
+  }
+
+  // Byte 2 (after version + varint dataset id 0) is the algorithm.
+  std::string bad_algorithm = key;
+  bad_algorithm[2] = 17;
+  try {
+    serve::DecodeTaskSpec(bad_algorithm);
+    FAIL() << "bad algorithm byte accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kMalformed);
+  }
+
+  try {
+    serve::DecodeTaskSpec(key + "x");
+    FAIL() << "trailing garbage accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kMalformed);
+  }
+}
+
+// ---- Framing --------------------------------------------------------------
+
+TEST(WireFraming, FrameRoundTripsByteByByte) {
+  std::string wire;
+  AppendFrame(&wire, "hello");
+  AppendFrame(&wire, "");  // Empty payloads are legal frames.
+
+  std::string buffer, payload;
+  std::vector<std::string> frames;
+  for (char byte : wire) {
+    buffer.push_back(byte);
+    while (TryExtractFrame(&buffer, &payload) == FrameStatus::kFrame) {
+      frames.push_back(payload);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "hello");
+  EXPECT_EQ(frames[1], "");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(WireFraming, ExtractsBackToBackFrames) {
+  std::string buffer;
+  AppendFrame(&buffer, "one");
+  AppendFrame(&buffer, "two");
+  std::string payload;
+  ASSERT_EQ(TryExtractFrame(&buffer, &payload), FrameStatus::kFrame);
+  EXPECT_EQ(payload, "one");
+  ASSERT_EQ(TryExtractFrame(&buffer, &payload), FrameStatus::kFrame);
+  EXPECT_EQ(payload, "two");
+  EXPECT_EQ(TryExtractFrame(&buffer, &payload), FrameStatus::kNeedMore);
+}
+
+TEST(WireFraming, OversizedLengthPrefixThrowsBeforeBuffering) {
+  // A 4GiB-1 length prefix: the receiver must throw on the header alone,
+  // without waiting for (or allocating) the announced payload.
+  std::string buffer("\xff\xff\xff\xff", 4);
+  std::string payload;
+  try {
+    TryExtractFrame(&buffer, &payload);
+    FAIL() << "oversized frame accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kMalformed);
+  }
+}
+
+// ---- Message payloads -----------------------------------------------------
+
+TEST(WireMessages, MineRequestRoundTrip) {
+  TaskSpec spec = PaperSpec(Algorithm::kLash);
+  spec.shard = 2;
+  spec.deadline_ms = 750.5;
+  spec.top_k = 9;
+  const std::string payload = EncodeMineRequest(spec);
+  EXPECT_EQ(PeekMessageType(payload), MessageType::kMineRequest);
+  const MineRequest decoded = DecodeMineRequest(payload);
+  EXPECT_EQ(decoded.spec.shard, 2u);
+  EXPECT_EQ(decoded.spec.deadline_ms, 750.5);
+  EXPECT_EQ(decoded.spec.algorithm, Algorithm::kLash);
+  EXPECT_EQ(decoded.spec.top_k, 9u);
+  EXPECT_EQ(decoded.spec.params.sigma, 2u);
+}
+
+TEST(WireMessages, MineResponseRoundTrip) {
+  MineResponse response;
+  response.run.algorithm = Algorithm::kMgFsm;
+  response.run.used_flat_hierarchy = true;
+  response.run.patterns_mined = 120;
+  response.run.patterns_emitted = 2;
+  response.run.mine_ms = 3.25;
+  response.run.total_ms = 4.5;
+  response.cache_hit = true;
+  response.server_ms = 0.125;
+  response.patterns = {{{"a", "B"}, 3}, {{"a"}, 2}};
+
+  const std::string payload = EncodeMineResponse(response);
+  EXPECT_EQ(PeekMessageType(payload), MessageType::kMineResponse);
+  const MineResponse decoded = DecodeMineResponse(payload);
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_FALSE(decoded.coalesced);
+  EXPECT_EQ(decoded.server_ms, 0.125);
+  EXPECT_EQ(decoded.patterns, response.patterns);
+  EXPECT_EQ(decoded.run.algorithm, Algorithm::kMgFsm);
+  EXPECT_TRUE(decoded.run.used_flat_hierarchy);
+  EXPECT_EQ(decoded.run.patterns_mined, 120u);
+  EXPECT_EQ(decoded.run.mine_ms, 3.25);
+  // Re-encoding the decoded response reproduces the payload bytes — every
+  // transmitted RunResult field round-trips.
+  EXPECT_EQ(EncodeMineResponse(decoded), payload);
+}
+
+TEST(WireMessages, ErrorAndStatsRoundTrip) {
+  const std::string error_payload =
+      EncodeErrorResponse(ServeErrorCode::kQueueFull, "try later");
+  EXPECT_EQ(PeekMessageType(error_payload), MessageType::kErrorResponse);
+  const ErrorResponse error = DecodeErrorResponse(error_payload);
+  EXPECT_EQ(error.code, ServeErrorCode::kQueueFull);
+  EXPECT_EQ(error.message, "try later");
+
+  serve::ServiceStats stats;
+  stats.submitted = 10;
+  stats.hits = 4;
+  stats.cache_oversized_rejects = 2;
+  stats.queue_depth = 3;
+  stats.mine_p95_ms = 17.5;
+  const std::string stats_payload = EncodeStatsResponse(stats);
+  EXPECT_EQ(PeekMessageType(stats_payload), MessageType::kStatsResponse);
+  const serve::ServiceStats decoded = DecodeStatsResponse(stats_payload);
+  EXPECT_EQ(decoded.submitted, 10u);
+  EXPECT_EQ(decoded.hits, 4u);
+  EXPECT_EQ(decoded.cache_oversized_rejects, 2u);
+  EXPECT_EQ(decoded.queue_depth, 3u);
+  EXPECT_EQ(decoded.mine_p95_ms, 17.5);
+  EXPECT_EQ(EncodeStatsResponse(decoded), stats_payload);
+}
+
+TEST(WireMessages, MalformedPayloadsThrow) {
+  // Wrong type for the decoder.
+  EXPECT_THROW(DecodeMineResponse(EncodeStatsRequest()), IoError);
+  EXPECT_THROW(DecodeMineRequest(EncodeStatsRequest()), IoError);
+  // Unknown wire version.
+  std::string bad_version = EncodeStatsRequest();
+  bad_version[0] = 9;
+  try {
+    PeekMessageType(bad_version);
+    FAIL() << "bad wire version accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kBadVersion);
+  }
+  // Truncated mid-message.
+  const std::string response = EncodeMineResponse(MineResponse{});
+  EXPECT_THROW(DecodeMineResponse(
+                   std::string_view(response).substr(0, response.size() - 1)),
+               IoError);
+  // Empty payload.
+  EXPECT_THROW(PeekMessageType(""), IoError);
+}
+
+// ---- Canonical pattern order ----------------------------------------------
+
+TEST(ResultIo, CanonicalOrderIsDescFrequencyThenLexItems) {
+  NamedPatternList patterns = {
+      {{"b"}, 2}, {{"a", "c"}, 5}, {{"a", "b"}, 5}, {{"a"}, 2}};
+  SortNamedPatterns(&patterns);
+  const NamedPatternList expected = {
+      {{"a", "b"}, 5}, {{"a", "c"}, 5}, {{"a"}, 2}, {{"b"}, 2}};
+  EXPECT_EQ(patterns, expected);
+  // The merge key ignores frequency and is injective on item vectors.
+  EXPECT_EQ(NamedPatternKey({{"a", "b"}, 5}), NamedPatternKey({{"a", "b"}, 9}));
+  EXPECT_NE(NamedPatternKey({{"a", "b"}, 5}), NamedPatternKey({{"ab"}, 5}));
+}
+
+#ifdef __linux__
+
+// ---- Loopback end-to-end --------------------------------------------------
+
+/// A server on its own thread, bound to an ephemeral loopback port.
+struct TestServer {
+  explicit TestServer(Backend* backend)
+      : server(ServerOptions{}, backend),
+        thread([this] { server.Run(); }) {}
+  ~TestServer() {
+    server.Shutdown();
+    thread.join();
+  }
+  uint16_t port() const { return server.port(); }
+
+  NetServer server;
+  std::thread thread;
+};
+
+class NetLoopbackTest : public ::testing::Test {
+ protected:
+  NetLoopbackTest() : dataset_(Dataset::FromMemory(ex_.raw_db, ex_.vocab)) {}
+
+  /// Canonical wire bytes of the in-process answer for `spec` — the parity
+  /// baseline both network paths must reproduce exactly.
+  std::string BaselineBytes(const TaskSpec& spec) {
+    serve::MiningService service(dataset_);
+    const serve::Response& response = service.Submit(spec).Get();
+    std::string bytes;
+    EncodeNamedPatterns(&bytes,
+                        NamePatterns(dataset_, response.patterns(),
+                                     response.run().used_flat_hierarchy));
+    return bytes;
+  }
+
+  static std::string Bytes(const NamedPatternList& patterns) {
+    std::string bytes;
+    EncodeNamedPatterns(&bytes, patterns);
+    return bytes;
+  }
+
+  testing::PaperExample ex_;
+  Dataset dataset_;
+};
+
+TEST_F(NetLoopbackTest, AllSixAlgorithmsAreByteIdenticalOverTheWire) {
+  ServiceBackend backend({&dataset_}, serve::ServiceOptions{});
+  TestServer server(&backend);
+  NetClient client("127.0.0.1", server.port());
+  for (Algorithm algorithm : kAllAlgorithms) {
+    const TaskSpec spec = PaperSpec(algorithm);
+    const MineReply reply = client.Mine(spec);
+    EXPECT_EQ(Bytes(reply.patterns), BaselineBytes(spec))
+        << "algorithm " << static_cast<int>(algorithm);
+    EXPECT_EQ(reply.run.algorithm, algorithm);
+  }
+}
+
+TEST_F(NetLoopbackTest, SecondRequestHitsTheCacheAndStatsTravel) {
+  ServiceBackend backend({&dataset_}, serve::ServiceOptions{});
+  TestServer server(&backend);
+  NetClient client("127.0.0.1", server.port());
+
+  const TaskSpec spec = PaperSpec(Algorithm::kSequential);
+  const MineReply cold = client.Mine(spec);
+  EXPECT_FALSE(cold.cache_hit);
+  const MineReply hit = client.Mine(spec);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(Bytes(hit.patterns), Bytes(cold.patterns));
+
+  const serve::ServiceStats stats = client.Stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+}
+
+TEST_F(NetLoopbackTest, RouterMergesTwoShardsExactly) {
+  // Even/odd transaction split of the paper corpus, sharing the vocabulary:
+  // the shard union IS dataset_, so the router's merged answer must be
+  // byte-identical to mining dataset_ in process.
+  Database even_db, odd_db;
+  for (size_t i = 0; i < ex_.raw_db.size(); ++i) {
+    (i % 2 == 0 ? even_db : odd_db).push_back(ex_.raw_db[i]);
+  }
+  Dataset even(Dataset::FromMemory(even_db, ex_.vocab));
+  Dataset odd(Dataset::FromMemory(odd_db, ex_.vocab));
+
+  ServiceBackend backend_even({&even}, serve::ServiceOptions{});
+  ServiceBackend backend_odd({&odd}, serve::ServiceOptions{});
+  TestServer worker_even(&backend_even);
+  TestServer worker_odd(&backend_odd);
+  RouterBackend router({{"127.0.0.1", worker_even.port()},
+                        {"127.0.0.1", worker_odd.port()}},
+                       RouterOptions{});
+  TestServer router_server(&router);
+  NetClient client("127.0.0.1", router_server.port());
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    const TaskSpec spec = PaperSpec(algorithm);
+    const MineReply merged = client.Mine(spec);
+    EXPECT_EQ(Bytes(merged.patterns), BaselineBytes(spec))
+        << "algorithm " << static_cast<int>(algorithm);
+  }
+
+  // Top-k re-cut: the merged answer truncated to k is the prefix of the
+  // full merged answer in canonical order.
+  const TaskSpec full_spec = PaperSpec(Algorithm::kSequential);
+  TaskSpec topk_spec = full_spec;
+  topk_spec.top_k = 3;
+  const MineReply full = client.Mine(full_spec);
+  const MineReply topk = client.Mine(topk_spec);
+  ASSERT_EQ(topk.patterns.size(), 3u);
+  EXPECT_EQ(topk.patterns,
+            NamedPatternList(full.patterns.begin(), full.patterns.begin() + 3));
+}
+
+TEST_F(NetLoopbackTest, RouterRejectsFiltersAndExplicitShards) {
+  // Validation precedes any worker I/O, so an unreachable worker is fine.
+  RouterBackend router({{"127.0.0.1", 1}}, RouterOptions{});
+
+  TaskSpec filtered = PaperSpec(Algorithm::kSequential);
+  filtered.filter = PatternFilter::kMaximal;
+  try {
+    router.Scatter(filtered);
+    FAIL() << "filter distributed";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kInvalidTask);
+  }
+
+  TaskSpec sharded = PaperSpec(Algorithm::kSequential);
+  sharded.shard = 1;
+  try {
+    router.Scatter(sharded);
+    FAIL() << "explicit shard accepted";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kInvalidTask);
+  }
+}
+
+// ---- Fault paths ----------------------------------------------------------
+
+/// Client options tuned so fault tests fail fast instead of retrying for
+/// seconds.
+ClientOptions FastFail() {
+  ClientOptions options;
+  options.connect_timeout_ms = 500;
+  options.connect_retries = 0;
+  options.retry_backoff_ms = 1;
+  return options;
+}
+
+/// An ephemeral port with nothing listening: bind, read the port, close.
+uint16_t DeadPort() {
+  ListenSocket listener = ListenTcp("127.0.0.1", 0);
+  return listener.bound_port;  // fd closes on return.
+}
+
+TEST(NetFaultTest, DeadWorkerIsExecutionFailed) {
+  NetClient client("127.0.0.1", DeadPort(), FastFail());
+  try {
+    client.Mine(PaperSpec(Algorithm::kSequential));
+    FAIL() << "mined through a dead port";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kExecutionFailed);
+  }
+}
+
+TEST(NetFaultTest, RouterSurfacesDeadWorkerAsExecutionFailed) {
+  RouterOptions options;
+  options.client = FastFail();
+  RouterBackend router({{"127.0.0.1", DeadPort()}}, options);
+  try {
+    router.Scatter(PaperSpec(Algorithm::kSequential));
+    FAIL() << "scattered to a dead worker";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kExecutionFailed);
+    EXPECT_NE(std::string(e.what()).find("worker"), std::string::npos);
+  }
+}
+
+TEST(NetFaultTest, SilentServerTimesOutAsDeadlineExceeded) {
+  // A listener that never accepts: the TCP handshake completes from the
+  // backlog, the request is buffered, and no reply ever comes.
+  ListenSocket listener = ListenTcp("127.0.0.1", 0);
+  ClientOptions options = FastFail();
+  options.io_timeout_ms = 200;
+  NetClient client("127.0.0.1", listener.bound_port, options);
+  try {
+    client.Mine(PaperSpec(Algorithm::kSequential));
+    FAIL() << "mined against a silent server";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kDeadlineExceeded);
+  }
+}
+
+TEST(NetFaultTest, PeerDeathMidExchangeIsExecutionFailed) {
+  // Accept the connection and immediately close it: the client loses the
+  // peer between sending the request and reading the reply.
+  ListenSocket listener = ListenTcp("127.0.0.1", 0);
+  std::promise<void> accepted;
+  std::thread killer([&] {
+    pollfd pfd{listener.fd.get(), POLLIN, 0};
+    ::poll(&pfd, 1, 5000);
+    const int conn = ::accept(listener.fd.get(), nullptr, nullptr);
+    if (conn >= 0) ::close(conn);
+    accepted.set_value();
+  });
+  NetClient client("127.0.0.1", listener.bound_port, FastFail());
+  try {
+    client.Mine(PaperSpec(Algorithm::kSequential));
+    FAIL() << "mined through a dying peer";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kExecutionFailed);
+  }
+  accepted.get_future().wait();
+  killer.join();
+}
+
+TEST(NetFaultTest, MalformedFrameClosesOnlyThatConnection) {
+  testing::PaperExample ex;
+  Dataset dataset(Dataset::FromMemory(ex.raw_db, ex.vocab));
+  ServiceBackend backend({&dataset}, serve::ServiceOptions{});
+  TestServer server(&backend);
+
+  // A raw connection speaking garbage: well-formed frame, wire version 9.
+  const int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string frame;
+  AppendFrame(&frame, std::string("\x09\x01", 2));
+  ASSERT_EQ(::send(raw, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  // The server must close this connection (recv returns 0 / reset), not
+  // crash or reply.
+  char byte;
+  const ssize_t got = ::recv(raw, &byte, 1, 0);
+  EXPECT_LE(got, 0);
+  ::close(raw);
+
+  // ...while a well-behaved client on a fresh connection is still served.
+  NetClient client("127.0.0.1", server.port(), FastFail());
+  const TaskSpec spec = PaperSpec(Algorithm::kSequential);
+  const MineReply reply = client.Mine(spec);
+  EXPECT_GT(reply.patterns.size(), 0u);
+}
+
+#endif  // __linux__
+
+}  // namespace
+}  // namespace lash::net

@@ -10,7 +10,10 @@
 // io/text_io.h formats, ready for lash_mine. --save-snapshot preprocesses
 // the generated corpus and writes a one-file dataset snapshot
 // (io/snapshot.h) directly — no text round trip. At least one of the two
-// outputs is required.
+// outputs is required. --shards N additionally writes FILE.shard0..shardN-1
+// next to the --save-snapshot file: a round-robin transaction split with
+// the shared vocabulary/hierarchy, for lash_served worker fleets behind a
+// router.
 
 #include <fstream>
 #include <iostream>
@@ -81,6 +84,23 @@ int RealMain(const lash::tools::Args& args) {
   }
   if (args.Has("save-snapshot")) {
     const std::string path = args.Require("save-snapshot");
+    // Shard splits first (they copy from db/vocab before the full snapshot
+    // consumes them): round-robin by transaction, every shard sharing the
+    // full vocabulary and hierarchy. The shards partition the corpus
+    // exactly — their union is the full snapshot — which is what makes a
+    // router over them answer queries identically to one big worker.
+    const uint64_t shards = args.GetInt("shards", 0, 1024);
+    for (uint64_t s = 0; s < shards; ++s) {
+      Database shard_db;
+      shard_db.reserve(db.size() / shards + 1);
+      for (size_t i = s; i < db.size(); i += shards) shard_db.push_back(db[i]);
+      Dataset shard =
+          Dataset::FromMemory(std::move(shard_db), vocab);
+      const std::string shard_path = path + ".shard" + std::to_string(s);
+      shard.Save(shard_path);
+      std::cerr << "saved shard snapshot (" << shard.NumSequences()
+                << " sequences) to " << shard_path << "\n";
+    }
     Dataset dataset = Dataset::FromMemory(std::move(db), std::move(vocab));
     dataset.Save(path);
     std::cerr << "saved snapshot (" << dataset.NumSequences()
@@ -103,11 +123,13 @@ int main(int argc, char** argv) {
                {"sessions"},
                {"hierarchy"},
                {"levels"},
-               {"seed"}});
+               {"seed"},
+               {"shards"}});
     if (args.Has("help")) {
       std::cout << "lash_gen --kind nyt|amzn [--out PREFIX] "
-                   "[--save-snapshot FILE] [--sentences N] [--sessions N] "
-                   "[--hierarchy L|P|LP|CLP] [--levels N] [--seed N]\n";
+                   "[--save-snapshot FILE] [--shards N] [--sentences N] "
+                   "[--sessions N] [--hierarchy L|P|LP|CLP] [--levels N] "
+                   "[--seed N]\n";
       return 0;
     }
     return RealMain(args);

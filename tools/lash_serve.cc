@@ -3,10 +3,17 @@
 //
 // Usage:
 //   lash_serve (--sequences FILE --hierarchy FILE | --snapshot FILE |
-//               --gen nyt|amzn ...)
+//               --gen nyt|amzn ... | --connect HOST:PORT)
 //              (--script FILE | --repl)
 //              [--threads N] [--queue N] [--block] [--cache-mb N]
 //              [--print K] [--seed N] [--save-snapshot FILE] [--mmap]
+//
+// --connect runs the same commands against a remote lash_served (worker or
+// router) through net/client.h instead of an in-process service: `mine` is
+// synchronous and prints the top --print patterns as frequency<TAB>names
+// lines on stdout (summaries go to stderr, so piped pattern output stays
+// clean; --print 0 prints every pattern), `stats` fetches the remote
+// counters, `wait` is a no-op.
 //   data generation (self-contained smoke runs, no input files needed;
 //   recipes shared with the perf gates via datagen/corpus_recipes.h):
 //              --gen nyt  [--sentences N] [--lemmas N]
@@ -27,6 +34,7 @@
 // Exit code 2 on any configuration or script error (script mode is strict:
 // a malformed line aborts the run).
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -36,6 +44,7 @@
 #include <vector>
 
 #include "api/lash_api.h"
+#include "net/client.h"
 #include "serve/mining_service.h"
 #include "stats/filters.h"
 #include "tools/arg_parse.h"
@@ -128,10 +137,12 @@ void PrintStats(const ServiceStats& s) {
       (unsigned long long)s.rejected, (unsigned long long)s.cancelled,
       (unsigned long long)s.deadline_expired, (unsigned long long)s.failed,
       (unsigned long long)s.executions);
-  std::printf("cache: entries=%llu bytes=%llu evictions=%llu depth=%zu\n",
-              (unsigned long long)s.cache_entries,
-              (unsigned long long)s.cache_bytes,
-              (unsigned long long)s.cache_evictions, s.queue_depth);
+  std::printf(
+      "cache: entries=%llu bytes=%llu evictions=%llu "
+      "oversized_rejects=%llu depth=%zu\n",
+      (unsigned long long)s.cache_entries, (unsigned long long)s.cache_bytes,
+      (unsigned long long)s.cache_evictions,
+      (unsigned long long)s.cache_oversized_rejects, s.queue_depth);
   std::printf(
       "latency: hit p50=%.3fms p95=%.3fms mean=%.3fms | "
       "mine p50=%.1fms p95=%.1fms mean=%.1fms\n",
@@ -222,6 +233,71 @@ int RunCommands(std::istream& in, MiningService& service, bool interactive,
   return 0;
 }
 
+/// The --connect command loop: the same script grammar served by a remote
+/// lash_served. Every mine is a synchronous round trip (the wire protocol
+/// pipelines per connection, but a script is sequential anyway), so `wait`
+/// has nothing to drain.
+int RunNetworkCommands(std::istream& in, net::NetClient& client,
+                       bool interactive, size_t print_top) {
+  size_t next_index = 0;
+  std::string line;
+  if (interactive) std::printf("lash> "), std::fflush(stdout);
+  while (std::getline(in, line)) {
+    try {
+      std::istringstream tokens(line);
+      std::string command;
+      if (tokens >> command && command[0] != '#') {
+        if (command == "mine") {
+          const TaskSpec spec = ParseSpec(tokens);
+          const size_t index = next_index++;
+          try {
+            const net::MineReply reply = client.Mine(spec);
+            const char* source =
+                reply.cache_hit ? "hit"
+                                : (reply.coalesced ? "coalesced" : "miss");
+            std::fprintf(stderr,
+                         "[%zu] %s -> %zu patterns, %s, server %.2f ms, "
+                         "round trip %.2f ms\n",
+                         index, line.c_str(), reply.patterns.size(), source,
+                         reply.server_ms, reply.round_trip_ms);
+            const size_t limit =
+                print_top == 0 ? reply.patterns.size()
+                               : std::min(print_top, reply.patterns.size());
+            for (size_t i = 0; i < limit; ++i) {
+              std::string names;
+              for (const std::string& item : reply.patterns[i].items) {
+                if (!names.empty()) names += ' ';
+                names += item;
+              }
+              std::printf("%llu\t%s\n",
+                          (unsigned long long)reply.patterns[i].frequency,
+                          names.c_str());
+            }
+            std::fflush(stdout);
+          } catch (const ServeError& e) {
+            std::fprintf(stderr, "[%zu] %s -> ERROR %s: %s\n", index,
+                         line.c_str(), ServeErrorCodeName(e.code()), e.what());
+            if (!interactive) return 2;
+          }
+        } else if (command == "wait") {
+          // Synchronous client: nothing outstanding.
+        } else if (command == "stats") {
+          PrintStats(client.Stats());
+        } else if (interactive && (command == "quit" || command == "exit")) {
+          return 0;
+        } else {
+          throw ScriptError("unknown command '" + command + "'");
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lash_serve: %s\n", e.what());
+      if (!interactive) return 2;  // Script mode is strict.
+    }
+    if (interactive) std::printf("lash> "), std::fflush(stdout);
+  }
+  return 0;
+}
+
 int RealMain(const lash::tools::Args& args) {
   ServiceOptions options;
   options.executor_threads = args.GetInt("threads", 0);
@@ -235,6 +311,27 @@ int RealMain(const lash::tools::Args& args) {
   if (repl == args.Has("script")) {
     std::cerr << "lash_serve: pass exactly one of --script FILE or --repl\n";
     return 2;
+  }
+
+  if (args.Has("connect")) {
+    const net::WorkerAddress address =
+        net::ParseWorkerAddress(args.Require("connect"));
+    net::ClientOptions client_options;
+    client_options.io_timeout_ms =
+        static_cast<int>(args.GetInt("io-timeout-ms", 0));
+    net::NetClient client(address.host, address.port, client_options);
+    if (repl) {
+      return RunNetworkCommands(std::cin, client, /*interactive=*/true,
+                                print_top);
+    }
+    const std::string script_path = args.Require("script");
+    std::ifstream script(script_path);
+    if (!script) {
+      std::cerr << "lash_serve: cannot open script " << script_path << "\n";
+      return 2;
+    }
+    return RunNetworkCommands(script, client, /*interactive=*/false,
+                              print_top);
   }
 
   // Load or generate the dataset before opening the script, so data errors
@@ -286,12 +383,15 @@ int main(int argc, char** argv) {
                            {"queue"},
                            {"block", false},
                            {"cache-mb"},
-                           {"print"}});
+                           {"print"},
+                           {"connect"},
+                           {"io-timeout-ms"}});
     if (args.Has("help")) {
       std::cout
           << "lash_serve (--sequences FILE --hierarchy FILE | --snapshot FILE"
-             " | --gen nyt|amzn) (--script FILE | --repl) [--threads N]"
-             " [--queue N] [--block] [--cache-mb N] [--print K]"
+             " | --gen nyt|amzn | --connect HOST:PORT) (--script FILE |"
+             " --repl) [--threads N] [--queue N] [--block] [--cache-mb N]"
+             " [--print K] [--io-timeout-ms N]"
              " [--save-snapshot FILE] [--mmap]\n"
              "script commands: mine key=value... | wait | stats\n";
       return 0;
