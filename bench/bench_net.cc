@@ -39,6 +39,8 @@
 #include "net/router.h"
 #include "net/server.h"
 #include "net/service_backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/mining_service.h"
 #include "serve/task_spec.h"
 #include "util/timer.h"
@@ -207,6 +209,39 @@ int Main(int argc, char** argv) {
   const bool stats_ok = worker_stats.submitted >= 2 * stream.size() &&
                         worker_stats.hits >= stream.size();
 
+  // --- v2 traced hits: what trace context costs on the wire. ---
+  // Same all-hits wave, but every request carries a fresh trace id (the
+  // kMineRequestV2 frame) and the worker — sharing this process's global
+  // tracer — records every serve-pipeline span to a JSONL file. The delta
+  // against the v1 hit wave is the full per-request instrumentation tax:
+  // 24 extra header bytes, span bookkeeping, and the fflush per span.
+  const std::string trace_path = out + ".trace.jsonl";
+  obs::Tracer::Global().OpenFile(trace_path);
+  bool traced_parity = true;
+  std::vector<double> traced_hit_ms;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    TaskSpec spec = stream[i];
+    spec.trace = obs::TraceContext{obs::TraceId::Make(), 0};
+    Stopwatch clock;
+    net::MineReply reply = client.Mine(spec);
+    traced_hit_ms.push_back(clock.ElapsedMs());
+    if (CanonicalBytes(reply.patterns) != baseline_bytes[i]) {
+      std::fprintf(stderr, "TRACED HIT PARITY FAILURE at query %zu\n", i);
+      traced_parity = false;
+    }
+  }
+  obs::Tracer::Global().CloseFile();
+  std::remove(trace_path.c_str());
+
+  // --- Metrics RPC: the live stats surface answers over the wire. ---
+  const std::vector<obs::MetricSample> metrics = client.Metrics();
+  bool metrics_rpc_ok = false;
+  for (const obs::MetricSample& sample : metrics) {
+    if (sample.name == "serve.requests.submitted" && sample.value >= 1.0) {
+      metrics_rpc_ok = true;
+    }
+  }
+
   // --- Router over two shard workers. ---
   net::ServiceBackend shard_backend0({shard0.get()}, ServiceOptions{});
   net::ServiceBackend shard_backend1({shard1.get()}, ServiceOptions{});
@@ -230,17 +265,25 @@ int Main(int argc, char** argv) {
   const double local_hit_avg = Avg(local_hit_ms);
   const double net_hit_avg = Avg(net_hit_ms);
   const double net_hit_overhead_ms = net_hit_avg - local_hit_avg;
+  const double traced_hit_avg = Avg(traced_hit_ms);
+  const double trace_hit_overhead_ms = traced_hit_avg - net_hit_avg;
   std::printf("in-process : cold avg %.2fms, hit avg %.4fms\n",
               Avg(local_cold_ms), local_hit_avg);
   std::printf("loopback   : cold avg %.2fms, hit avg %.4fms "
               "(net hit overhead %.4fms), all hits %s\n",
               Avg(net_cold_ms), net_hit_avg, net_hit_overhead_ms,
               net_all_hits ? "yes" : "NO");
+  std::printf("tracing    : v2 traced hit avg %.4fms "
+              "(trace overhead %+.4fms per request)\n",
+              traced_hit_avg, trace_hit_overhead_ms);
   std::printf("router     : scatter avg %.2fms over 2 shard workers\n",
               Avg(router_ms));
-  std::printf("parity     : worker %s, router %s, stats rpc %s\n",
+  std::printf("parity     : worker %s, traced %s, router %s, stats rpc %s, "
+              "metrics rpc %s (%zu samples)\n",
               single_worker_parity ? "ok" : "FAILED",
-              router_parity ? "ok" : "FAILED", stats_ok ? "ok" : "FAILED");
+              traced_parity ? "ok" : "FAILED",
+              router_parity ? "ok" : "FAILED", stats_ok ? "ok" : "FAILED",
+              metrics_rpc_ok ? "ok" : "FAILED", metrics.size());
   std::fflush(stdout);
 
   std::FILE* f = std::fopen(out.c_str(), "w");
@@ -254,18 +297,24 @@ int Main(int argc, char** argv) {
       "  \"sequences\": %zu,\n  \"queries\": %zu,\n  \"shard_workers\": 2,\n"
       "  \"local_cold_avg_ms\": %.4f,\n  \"local_hit_avg_ms\": %.5f,\n"
       "  \"net_cold_avg_ms\": %.4f,\n  \"net_hit_avg_ms\": %.5f,\n"
-      "  \"net_hit_overhead_ms\": %.5f,\n  \"router_scatter_avg_ms\": %.4f,\n"
+      "  \"net_hit_overhead_ms\": %.5f,\n  \"traced_hit_avg_ms\": %.5f,\n"
+      "  \"trace_hit_overhead_ms\": %.5f,\n"
+      "  \"router_scatter_avg_ms\": %.4f,\n"
       "  \"net_all_hits\": %s,\n  \"stats_rpc_ok\": %s,\n"
-      "  \"single_worker_parity\": %s,\n  \"router_parity\": %s\n}\n",
+      "  \"metrics_rpc_ok\": %s,\n  \"single_worker_parity\": %s,\n"
+      "  \"traced_parity\": %s,\n  \"router_parity\": %s\n}\n",
       smoke ? "true" : "false", dataset.NumSequences(), stream.size(),
       Avg(local_cold_ms), local_hit_avg, Avg(net_cold_ms), net_hit_avg,
-      net_hit_overhead_ms, Avg(router_ms), net_all_hits ? "true" : "false",
-      stats_ok ? "true" : "false", single_worker_parity ? "true" : "false",
-      router_parity ? "true" : "false");
+      net_hit_overhead_ms, traced_hit_avg, trace_hit_overhead_ms,
+      Avg(router_ms), net_all_hits ? "true" : "false",
+      stats_ok ? "true" : "false", metrics_rpc_ok ? "true" : "false",
+      single_worker_parity ? "true" : "false",
+      traced_parity ? "true" : "false", router_parity ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
 
-  if (!single_worker_parity || !router_parity || !net_all_hits || !stats_ok) {
+  if (!single_worker_parity || !traced_parity || !router_parity ||
+      !net_all_hits || !stats_ok || !metrics_rpc_ok) {
     std::fprintf(stderr, "bench_net: CHECKS FAILED\n");
     return 1;
   }

@@ -10,6 +10,7 @@
 #include "algo/sequential.h"
 #include "api/lash_api.h"
 #include "core/flist.h"
+#include "obs/trace.h"
 #include "stats/filters.h"
 #include "util/timer.h"
 
@@ -211,6 +212,12 @@ RunResult MiningTask::Run(PatternSink& sink) const {
   }
 
   Stopwatch total;
+  // The facade's slice of a request trace. MiningTask has no trace
+  // parameter by design (the facade predates tracing and stays stable);
+  // the serving layer installs the ambient context around task.Mine, and
+  // an untraced caller gets an inactive span.
+  obs::Span api_span(&obs::Tracer::Global(), obs::AmbientContext(),
+                     "api.mine");
   RunResult result;
   result.algorithm = algorithm_;
   result.used_flat_hierarchy = UsesFlat();
@@ -218,6 +225,9 @@ RunResult MiningTask::Run(PatternSink& sink) const {
                                     ? dataset_->flat_preprocessed()
                                     : dataset_->preprocessed();
 
+  // Wall-clock anchor for the MapReduce timeline export below: JobResult
+  // stores offsets from the job's start, which is (to within setup) now.
+  const double mine_anchor_unix_ms = obs::Tracer::NowUnixMs();
   Stopwatch mine;
   PatternMap patterns;
   switch (algorithm_) {
@@ -264,6 +274,11 @@ RunResult MiningTask::Run(PatternSink& sink) const {
   }
   result.mine_ms = mine.ElapsedMs();
   result.patterns_mined = patterns.size();
+  // The per-partition MapReduce timeline as spans under api.mine — this is
+  // where phase_overlap_ms becomes inspectable per-request, whether the
+  // caller is a CLI tool or the serving layer.
+  obs::ExportJobSpans(&obs::Tracer::Global(), api_span.context(), result.job,
+                      mine_anchor_unix_ms);
 
   Stopwatch filter;
   if (filter_ == PatternFilter::kClosed) {
@@ -293,6 +308,10 @@ RunResult MiningTask::Run(PatternSink& sink) const {
   }
   sink.OnFinish();
   result.total_ms = total.ElapsedMs();
+  api_span.Tag("patterns_emitted",
+               static_cast<double>(result.patterns_emitted));
+  api_span.Tag("mine_ms", result.mine_ms);
+  api_span.End();
   return result;
 }
 

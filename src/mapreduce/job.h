@@ -119,6 +119,10 @@ struct JobResult {
   JobCounters counters;
   std::vector<double> map_task_ms;
   std::vector<double> reduce_task_ms;
+  /// When each map task began, ms since job start (pipelined packed path
+  /// only, else empty). With map_task_ms this yields per-task intervals —
+  /// what the tracing layer renders as mr.map spans.
+  std::vector<double> map_task_start_ms;
 
   /// True when the run used the pipelined packed-spill path (no global
   /// phase barriers; `partition_timeline` is populated and
@@ -582,6 +586,7 @@ class MapReduceJob {
     result->pipelined = true;
     result->map_barrier_ms = barrier;
     result->phase_overlap_ms = PhaseOverlapMs(map_start, map_end, timeline);
+    result->map_task_start_ms = std::move(map_start);
     result->partition_timeline = std::move(timeline);
   }
 

@@ -238,7 +238,9 @@ std::string NetClient::Exchange(const std::string& payload) {
 
 MineReply NetClient::Mine(const serve::TaskSpec& spec) {
   const double start_ms = NowMs();
-  const std::string payload = Exchange(EncodeMineRequest(spec));
+  const std::string payload = Exchange(spec.trace.active()
+                                           ? EncodeMineRequestV2(spec)
+                                           : EncodeMineRequest(spec));
   MineReply reply;
   try {
     const MessageType type = PeekMessageType(payload);
@@ -279,6 +281,21 @@ serve::ServiceStats NetClient::Stats() {
   }
 }
 
+std::vector<obs::MetricSample> NetClient::Metrics() {
+  const std::string payload = Exchange(EncodeMetricsRequest());
+  try {
+    const MessageType type = PeekMessageType(payload);
+    if (type == MessageType::kErrorResponse) {
+      const ErrorResponse error = DecodeErrorResponse(payload);
+      throw ServeError(error.code, error.message);
+    }
+    return DecodeMetricsResponse(payload);
+  } catch (const IoError& e) {
+    throw ServeError(ServeErrorCode::kExecutionFailed,
+                     std::string("malformed metrics response: ") + e.what());
+  }
+}
+
 #else  // !__unix__
 
 NetClient::NetClient(std::string host, uint16_t port, ClientOptions options)
@@ -294,6 +311,11 @@ MineReply NetClient::Mine(const serve::TaskSpec&) {
 }
 
 serve::ServiceStats NetClient::Stats() {
+  throw ServeError(ServeErrorCode::kExecutionFailed,
+                   "lash::net requires a POSIX platform");
+}
+
+std::vector<obs::MetricSample> NetClient::Metrics() {
   throw ServeError(ServeErrorCode::kExecutionFailed,
                    "lash::net requires a POSIX platform");
 }

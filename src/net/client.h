@@ -56,11 +56,18 @@ class NetClient {
   NetClient& operator=(const NetClient&) = delete;
 
   /// Mines `spec` remotely and returns the decoded reply. The spec's
-  /// deadline travels with the request (the server enforces it too).
+  /// deadline travels with the request (the server enforces it too). A spec
+  /// carrying an active trace id is sent as kMineRequestV2 (the trace
+  /// context crosses the wire); otherwise the v1 encoding is used, byte-
+  /// identical to a pre-PR-9 client.
   MineReply Mine(const serve::TaskSpec& spec);
 
   /// Fetches the remote service's counters.
   serve::ServiceStats Stats();
+
+  /// Fetches the remote process's full metrics snapshot (the
+  /// kMetricsRequest RPC), sorted by metric name.
+  std::vector<obs::MetricSample> Metrics();
 
   /// Drops the connection; the next call reconnects.
   void Disconnect();

@@ -25,6 +25,11 @@ RouterBackend::RouterBackend(std::vector<WorkerAddress> workers,
                              ? options_.scatter_threads
                              : std::max<size_t>(1, workers_.size());
   pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.metrics != nullptr) {
+    scatter_requests_ = options_.metrics->GetCounter("router.scatter.requests");
+    scatter_worker_errors_ =
+        options_.metrics->GetCounter("router.scatter.worker_errors");
+  }
 }
 
 RouterBackend::~RouterBackend() { pool_->Wait(); }
@@ -50,7 +55,14 @@ void RouterBackend::Handle(std::string_view payload, Reply reply) {
     });
     return;
   }
-  if (type != MessageType::kMineRequest) {
+  if (type == MessageType::kMetricsRequest) {
+    reply.Send(EncodeMetricsResponse(options_.metrics != nullptr
+                                         ? options_.metrics->Snapshot()
+                                         : std::vector<obs::MetricSample>{}));
+    return;
+  }
+  if (type != MessageType::kMineRequest &&
+      type != MessageType::kMineRequestV2) {
     throw IoError(IoErrorKind::kMalformed, 0,
                   "router received a non-request message");
   }
@@ -97,6 +109,13 @@ MineResponse RouterBackend::Scatter(const serve::TaskSpec& spec) {
         "merge; filter on the client or mine a single worker");
   }
 
+  if (scatter_requests_ != nullptr) scatter_requests_->Add();
+  // The router's subtree of the request trace: router.scatter spans the
+  // whole fan-out+merge, one router.leg per worker (its span id becomes the
+  // worker-side parent), router.merge the reduction.
+  obs::Span scatter_span(&obs::Tracer::Global(), spec.trace, "router.scatter");
+  scatter_span.Tag("workers", static_cast<double>(workers_.size()));
+
   // Scatter at shard_sigma (σ' = 1 by default: a union-frequent pattern can
   // be below σ on every shard) and un-truncated (top-k re-cut after the
   // merge). The worker's answer stays cacheable under its own canonical key.
@@ -120,7 +139,17 @@ MineResponse RouterBackend::Scatter(const serve::TaskSpec& spec) {
         slot.client = std::make_unique<NetClient>(
             slot.address.host, slot.address.port, options_.client);
       }
-      replies[w] = slot.client->Mine(shard_spec);
+      obs::Span leg_span(&obs::Tracer::Global(), scatter_span.context(),
+                         "router.leg");
+      leg_span.Tag("worker", slot.address.host + ":" +
+                                 std::to_string(slot.address.port));
+      serve::TaskSpec leg_spec = shard_spec;
+      // The leg span parents the worker's serve.request; when this process
+      // records nowhere the incoming context is forwarded untouched, so a
+      // tracing worker behind a non-tracing router still joins the trace.
+      leg_spec.trace =
+          leg_span.active() ? leg_span.context() : shard_spec.trace;
+      replies[w] = slot.client->Mine(leg_spec);
       errors[w].clear();
     } catch (const ServeError& e) {
       codes[w] = e.code();
@@ -131,13 +160,17 @@ MineResponse RouterBackend::Scatter(const serve::TaskSpec& spec) {
   });
   for (size_t w = 0; w < workers_.size(); ++w) {
     if (!errors[w].empty()) {
+      if (scatter_worker_errors_ != nullptr) scatter_worker_errors_->Add();
       // One shard missing means the sum is wrong for every pattern it
       // held; a partial answer would be silently incorrect.
+      scatter_span.Tag("outcome", "worker_error");
       throw ServeError(codes[w], "worker " + workers_[w]->address.host + ":" +
                                      std::to_string(workers_[w]->address.port) +
                                      ": " + errors[w]);
     }
   }
+  obs::Span merge_span(&obs::Tracer::Global(), scatter_span.context(),
+                       "router.merge");
 
   // Associative cross-shard reduction: sum supports keyed on the canonical
   // item-name bytes (the same encoded-key-bytes identity the shuffle's
@@ -205,6 +238,10 @@ MineResponse RouterBackend::Scatter(const serve::TaskSpec& spec) {
   // over-mining: what this response actually contains.
   run.patterns_emitted = response.patterns.size();
   response.server_ms = server_ms;
+  merge_span.Tag("patterns", static_cast<double>(response.patterns.size()));
+  merge_span.End();
+  scatter_span.Tag("outcome", "ok");
+  scatter_span.End();
   return response;
 }
 

@@ -10,6 +10,8 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace lash::net {
@@ -25,6 +27,10 @@ struct RouterOptions {
   ClientOptions client;
   /// Threads answering concurrent router requests (0 = worker count).
   size_t scatter_threads = 0;
+  /// Registry for the router.scatter.* instruments; also what the router
+  /// answers a kMetricsRequest from. Null disables both (the metrics RPC
+  /// then returns an empty snapshot).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The router backend: serves the same wire protocol as a worker, but
@@ -52,7 +58,11 @@ class RouterBackend : public Backend {
   size_t InFlight() const override;
 
   /// Scatters one spec across all workers and merges (the Handle body,
-  /// callable in-process; bench_net uses this directly).
+  /// callable in-process; bench_net uses this directly). A spec carrying an
+  /// active trace context opens a router.scatter span under it, one
+  /// router.leg span per worker (whose context travels to that worker as
+  /// the leg's kMineRequestV2 parent), and a router.merge span over the
+  /// reduction — the cross-process halves of one merged trace tree.
   MineResponse Scatter(const serve::TaskSpec& spec);
 
   /// Sums the workers' counters (latency percentiles take the max — a
@@ -68,6 +78,10 @@ class RouterBackend : public Backend {
 
   std::vector<std::unique_ptr<WorkerSlot>> workers_;
   RouterOptions options_;
+
+  /// Null when no registry was given.
+  obs::Counter* scatter_requests_ = nullptr;
+  obs::Counter* scatter_worker_errors_ = nullptr;
 
   mutable std::mutex mu_;
   size_t inflight_ = 0;

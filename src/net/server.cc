@@ -60,6 +60,19 @@ struct NetServer::Core {
   std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
   uint64_t next_conn_id = 2;  // 0 = listener, 1 = wake eventfd.
 
+  /// net.server.* instruments; all null when ServerOptions::metrics was.
+  /// Updated only on the event-loop thread.
+  struct Instruments {
+    obs::Gauge* connections = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* conn_errors = nullptr;
+  } inst;
+
   void WakeLoop() {
 #ifdef __linux__
     if (wake.valid()) {
@@ -185,6 +198,10 @@ class Loop {
       conn->fd = std::move(conn_fd);
       const uint64_t id = core_->next_conn_id++;
       EpollAdd(core_->epoll.get(), conn->fd.get(), id, EPOLLIN);
+      if (core_->inst.accepted != nullptr) {
+        core_->inst.accepted->Add();
+        core_->inst.connections->Add(1);
+      }
       std::lock_guard<std::mutex> lock(core_->mu);
       core_->conns.emplace(id, std::move(conn));
     }
@@ -199,6 +216,7 @@ class Loop {
       conn = std::move(it->second);
       core_->conns.erase(it);
     }
+    if (core_->inst.connections != nullptr) core_->inst.connections->Sub(1);
     EpollDel(core_->epoll.get(), conn->fd.get());
     // conn (and its fd) destroyed here; any late Reply::Send for this
     // connection finds no entry and becomes a no-op.
@@ -223,6 +241,9 @@ class Loop {
       const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
       if (n > 0) {
         conn->rbuf.append(buf, static_cast<size_t>(n));
+        if (core_->inst.bytes_in != nullptr) {
+          core_->inst.bytes_in->Add(static_cast<uint64_t>(n));
+        }
         continue;
       }
       if (n == 0) {  // Peer closed; outstanding replies have nowhere to go.
@@ -231,6 +252,7 @@ class Loop {
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
+      if (core_->inst.conn_errors != nullptr) core_->inst.conn_errors->Add();
       CloseConn(id);
       return;
     }
@@ -243,6 +265,7 @@ class Loop {
           throw IoError(IoErrorKind::kMalformed, 0,
                         "frame exceeds the server's max_frame_bytes");
         }
+        if (core_->inst.frames_in != nullptr) core_->inst.frames_in->Add();
         auto target = std::make_shared<Reply::Target>();
         target->core = core_;
         target->conn_id = id;
@@ -258,6 +281,9 @@ class Loop {
       // A frame this server cannot parse (or a backend that rejected it
       // structurally): the only safe protocol state is a closed
       // connection. Every other connection keeps being served.
+      if (core_->inst.protocol_errors != nullptr) {
+        core_->inst.protocol_errors->Add();
+      }
       CloseConn(id);
     }
   }
@@ -276,8 +302,12 @@ class Loop {
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
+      if (core_->inst.conn_errors != nullptr) core_->inst.conn_errors->Add();
       CloseConn(id);
       return false;
+    }
+    if (core_->inst.bytes_out != nullptr && sent > 0) {
+      core_->inst.bytes_out->Add(sent);
     }
     conn->wbuf.erase(0, sent);
     const bool want_write = !conn->wbuf.empty();
@@ -307,6 +337,9 @@ class Loop {
             break;
           }
           AppendFrame(&conn->wbuf, it->second);
+          if (core_->inst.frames_out != nullptr) {
+            core_->inst.frames_out->Add();
+          }
           it = conn->ready.erase(it);
           ++conn->next_flush;
           moved = true;
@@ -365,6 +398,18 @@ NetServer::NetServer(ServerOptions options, Backend* backend)
   EpollAdd(core_->epoll.get(), core_->listener.fd.get(), kListenerTag,
            EPOLLIN);
   EpollAdd(core_->epoll.get(), core_->wake.get(), kWakeTag, EPOLLIN);
+  if (core_->options.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *core_->options.metrics;
+    core_->inst.connections = metrics.GetGauge("net.server.connections");
+    core_->inst.accepted = metrics.GetCounter("net.server.accepted");
+    core_->inst.frames_in = metrics.GetCounter("net.server.frames_in");
+    core_->inst.frames_out = metrics.GetCounter("net.server.frames_out");
+    core_->inst.bytes_in = metrics.GetCounter("net.server.bytes_in");
+    core_->inst.bytes_out = metrics.GetCounter("net.server.bytes_out");
+    core_->inst.protocol_errors =
+        metrics.GetCounter("net.server.protocol_errors");
+    core_->inst.conn_errors = metrics.GetCounter("net.server.conn_errors");
+  }
 }
 
 NetServer::~NetServer() = default;

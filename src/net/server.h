@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.h"
+
 namespace lash::net {
 
 /// A one-shot handle for answering one request frame. Thread-safe and
@@ -59,6 +61,12 @@ struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port.
   uint32_t max_frame_bytes = 256u << 20;
+  /// Registry for the net.server.* instruments: live connection count,
+  /// accepted connections, frames/bytes in and out, protocol errors
+  /// (malformed frames — each closes its connection) and per-connection
+  /// I/O errors. Null (default) records nothing. All updates happen on the
+  /// event-loop thread.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A single-threaded epoll event-loop TCP server speaking the framed wire

@@ -20,7 +20,12 @@ void ServiceBackend::Handle(std::string_view payload, Reply reply) {
     reply.Send(EncodeStatsResponse(service_->Stats()));
     return;
   }
-  if (type != MessageType::kMineRequest) {
+  if (type == MessageType::kMetricsRequest) {
+    reply.Send(EncodeMetricsResponse(service_->metrics().Snapshot()));
+    return;
+  }
+  if (type != MessageType::kMineRequest &&
+      type != MessageType::kMineRequestV2) {
     // Responses (or anything else) arriving at a server are a protocol
     // violation; throwing makes the event loop close the connection.
     throw IoError(IoErrorKind::kMalformed, 0,

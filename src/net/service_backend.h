@@ -24,7 +24,9 @@ namespace lash::net {
 /// list; the service's post_resolve_hook fires DrainReady(), which moves
 /// every resolved request off the list, serializes its answer — patterns
 /// decoded to item names in canonical wire order — and fires the Reply,
-/// which wakes the epoll loop. Stats requests answer synchronously.
+/// which wakes the epoll loop. Stats and metrics requests answer
+/// synchronously; v2 mine requests carry a trace context that flows into
+/// the service's serve.* spans unchanged.
 class ServiceBackend : public Backend {
  public:
   /// Borrows the shards (which must outlive the backend). `options` are

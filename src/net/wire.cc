@@ -1,11 +1,30 @@
 #include "net/wire.h"
 
+#include <algorithm>
+
 #include "io/io_error.h"
 #include "util/varint.h"
 
 namespace lash::net {
 
 namespace {
+
+/// 8-byte little-endian u64 (span ids cross the wire fixed-width — they are
+/// opaque 64-bit tokens, not counts, so varint would only obscure them).
+void PutFixed64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadFixed64(ByteReader& reader, const char* what) {
+  const auto bytes = reader.ReadBytes(8, what);
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[i])) << (8 * i);
+  }
+  return value;
+}
 
 /// Starts every payload: version byte + message type.
 void AppendPayloadHeader(std::string* out, MessageType type) {
@@ -134,7 +153,7 @@ MessageType PeekMessageType(std::string_view payload) {
   const uint8_t type =
       static_cast<uint8_t>(reader.ReadBytes(1, "message type")[0]);
   if (type < static_cast<uint8_t>(MessageType::kMineRequest) ||
-      type > static_cast<uint8_t>(MessageType::kStatsResponse)) {
+      type > static_cast<uint8_t>(MessageType::kMetricsResponse)) {
     reader.Malformed("unknown message type " + std::to_string(type));
   }
   return static_cast<MessageType>(type);
@@ -152,15 +171,42 @@ std::string EncodeMineRequest(const serve::TaskSpec& spec) {
   return payload;
 }
 
+std::string EncodeMineRequestV2(const serve::TaskSpec& spec) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kMineRequestV2);
+  payload.append(reinterpret_cast<const char*>(spec.trace.trace_id.bytes.data()),
+                 spec.trace.trace_id.bytes.size());
+  PutFixed64(&payload, spec.trace.parent_span);
+  PutVarint64(&payload, spec.shard);
+  PutDoubleBits(&payload, spec.deadline_ms);
+  payload.append(serve::EncodeCacheKey(0, spec));
+  return payload;
+}
+
 MineRequest DecodeMineRequest(std::string_view payload) {
-  ByteReader reader = OpenPayload(payload, MessageType::kMineRequest,
-                                  "mine request");
+  const MessageType type = PeekMessageType(payload);
+  if (type != MessageType::kMineRequest &&
+      type != MessageType::kMineRequestV2) {
+    ByteReader header(payload, "mine request");
+    header.ReadBytes(2, "payload header");
+    header.Malformed("unexpected message type " +
+                     std::to_string(static_cast<unsigned>(type)));
+  }
+  ByteReader reader = OpenPayload(payload, type, "mine request");
+  obs::TraceContext trace;
+  if (type == MessageType::kMineRequestV2) {
+    const auto id = reader.ReadBytes(trace.trace_id.bytes.size(), "trace id");
+    std::copy(id.begin(), id.end(),
+              reinterpret_cast<char*>(trace.trace_id.bytes.data()));
+    trace.parent_span = ReadFixed64(reader, "parent span");
+  }
   const uint64_t shard = reader.ReadVarint64("shard");
   const double deadline_ms = ReadDoubleBits(reader, "deadline");
   MineRequest request;
   request.spec = serve::DecodeTaskSpec(payload.substr(reader.pos()));
   request.spec.shard = shard;
   request.spec.deadline_ms = deadline_ms;
+  request.spec.trace = trace;
   return request;
 }
 
@@ -242,6 +288,47 @@ serve::ServiceStats DecodeStatsResponse(std::string_view payload) {
     reader.Malformed("trailing bytes after stats response");
   }
   return stats;
+}
+
+std::string EncodeMetricsRequest() {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kMetricsRequest);
+  return payload;
+}
+
+std::string EncodeMetricsResponse(
+    const std::vector<obs::MetricSample>& samples) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kMetricsResponse);
+  PutVarint64(&payload, samples.size());
+  for (const obs::MetricSample& sample : samples) {
+    PutVarint64(&payload, sample.name.size());
+    payload.append(sample.name);
+    PutDoubleBits(&payload, sample.value);
+  }
+  return payload;
+}
+
+std::vector<obs::MetricSample> DecodeMetricsResponse(
+    std::string_view payload) {
+  ByteReader reader = OpenPayload(payload, MessageType::kMetricsResponse,
+                                  "metrics response");
+  const uint64_t count = reader.ReadVarint64("sample count");
+  std::vector<obs::MetricSample> samples;
+  // Reserve conservatively: `count` is attacker-controlled until the reads
+  // below prove the payload actually holds that many samples.
+  samples.reserve(std::min<uint64_t>(count, 4096));
+  for (uint64_t i = 0; i < count; ++i) {
+    obs::MetricSample sample;
+    const uint64_t length = reader.ReadVarint64("metric name length");
+    sample.name = reader.ReadBytes(length, "metric name");
+    sample.value = ReadDoubleBits(reader, "metric value");
+    samples.push_back(std::move(sample));
+  }
+  if (!reader.AtEnd()) {
+    reader.Malformed("trailing bytes after metrics response");
+  }
+  return samples;
 }
 
 }  // namespace lash::net

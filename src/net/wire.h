@@ -6,7 +6,11 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "io/result_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/mining_service.h"
 #include "serve/task_spec.h"
 
@@ -40,12 +44,25 @@ inline constexpr size_t kFrameHeaderBytes = 4;
 inline constexpr uint32_t kMaxFramePayloadBytes = 256u << 20;
 
 /// Byte 1 of every payload.
+///
+/// Adding a MessageType is forward-compatible and does NOT bump
+/// kWireVersion (the version byte covers payload *layouts*): an old peer
+/// receiving an unknown type rejects that one payload as malformed and
+/// drops the connection, exactly as the framing contract specifies, while
+/// v1 traffic keeps flowing. PR 9 added 6–8 under this rule — an un-traced
+/// client talking to an upgraded worker, and vice versa for v1 requests,
+/// exchanges byte-identical frames.
 enum class MessageType : uint8_t {
   kMineRequest = 1,
   kMineResponse = 2,
   kErrorResponse = 3,
   kStatsRequest = 4,
   kStatsResponse = 5,
+  /// kMineRequest plus a leading trace context (16-byte trace id + 8-byte
+  /// LE parent span id). The response types are shared with v1.
+  kMineRequestV2 = 6,
+  kMetricsRequest = 7,
+  kMetricsResponse = 8,
 };
 
 /// Appends `payload` to `out` as one frame (length prefix + payload).
@@ -77,11 +94,18 @@ struct MineRequest {
   serve::TaskSpec spec;
 };
 
-/// Payload of one kMineRequest.
+/// Payload of one kMineRequest. Any trace context on `spec` is dropped —
+/// v1 bytes are what a pre-PR-9 client would have sent.
 std::string EncodeMineRequest(const serve::TaskSpec& spec);
 
-/// Decodes a kMineRequest payload (version/type already or not yet checked —
-/// the decoder re-checks both).
+/// Payload of one kMineRequestV2: the v1 body prefixed with the spec's
+/// trace context. The clients pick this encoding iff the spec carries an
+/// active trace id, so untraced traffic stays byte-identical to v1.
+std::string EncodeMineRequestV2(const serve::TaskSpec& spec);
+
+/// Decodes a kMineRequest *or* kMineRequestV2 payload (dispatches on the
+/// type byte; re-checks the version). A v1 payload yields an inactive
+/// `spec.trace`.
 MineRequest DecodeMineRequest(std::string_view payload);
 
 /// A successful mining answer: the run summary, the serving-layer
@@ -112,9 +136,22 @@ ErrorResponse DecodeErrorResponse(std::string_view payload);
 /// Payload of one kStatsRequest (no body).
 std::string EncodeStatsRequest();
 
-/// Payload of one kStatsResponse: every ServiceStats field.
+/// Payload of one kStatsResponse: every ServiceStats field. The layout is
+/// frozen at its v1 bytes — the full metrics snapshot travels over the
+/// separate kMetricsRequest/kMetricsResponse RPC instead of extending this
+/// body (which would demand a version bump).
 std::string EncodeStatsResponse(const serve::ServiceStats& stats);
 serve::ServiceStats DecodeStatsResponse(std::string_view payload);
+
+/// Payload of one kMetricsRequest (no body).
+std::string EncodeMetricsRequest();
+
+/// Payload of one kMetricsResponse: a MetricsRegistry snapshot as a flat
+/// sample list — `varint count`, then per sample `varint name length | name
+/// bytes | 8-byte LE double bits`. Samples keep the registry's sorted-by-
+/// name order.
+std::string EncodeMetricsResponse(const std::vector<obs::MetricSample>& samples);
+std::vector<obs::MetricSample> DecodeMetricsResponse(std::string_view payload);
 
 }  // namespace lash::net
 

@@ -1,0 +1,105 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace lash::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Slot& MetricsRegistry::GetSlot(std::string_view name,
+                                                Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    it = slots_.emplace(std::string(name), Slot{kind, nullptr, nullptr,
+                                                nullptr}).first;
+    switch (kind) {
+      case Kind::kCounter:
+        it->second.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        it->second.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        it->second.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric \"" + std::string(name) +
+                           "\" already registered as a different kind");
+  }
+  return it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetSlot(name, Kind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetSlot(name, Kind::kGauge).gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetSlot(name, Kind::kHistogram).histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  std::lock_guard<std::mutex> lock(mu_);
+  samples.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        samples.push_back(
+            {name, static_cast<double>(slot.counter->Value())});
+        break;
+      case Kind::kGauge:
+        samples.push_back({name, static_cast<double>(slot.gauge->Value())});
+        break;
+      case Kind::kHistogram: {
+        const LatencyHistogram::Snapshot snap =
+            slot.histogram->TakeSnapshot();
+        samples.push_back({name + ".count",
+                           static_cast<double>(snap.total)});
+        samples.push_back({name + ".p50_ms", snap.PercentileMs(0.50)});
+        samples.push_back({name + ".p95_ms", snap.PercentileMs(0.95)});
+        samples.push_back({name + ".mean_ms", snap.MeanMs()});
+        break;
+      }
+    }
+  }
+  return samples;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::string out;
+  for (const MetricSample& sample : Snapshot()) {
+    out += sample.name;
+    out.push_back(' ');
+    AppendJsonNumber(&out, sample.value);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSample& sample : Snapshot()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    AppendJsonEscaped(&out, sample.name);
+    out.append("\":");
+    AppendJsonNumber(&out, sample.value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace lash::obs

@@ -1,0 +1,109 @@
+#ifndef LASH_OBS_METRICS_H_
+#define LASH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+
+/// The metrics half of the observability layer (ROADMAP "Observability").
+///
+/// A MetricsRegistry is a process- or component-wide namespace of named
+/// instruments. Registration (GetCounter/GetGauge/GetHistogram) takes a
+/// mutex and is done once, at component construction; *recording* on the
+/// returned instrument is a relaxed atomic op with no lock and no lookup —
+/// cheap enough for the per-frame and per-request paths that feed it.
+/// Instrument pointers are stable for the registry's lifetime.
+///
+/// Naming rule (the ROADMAP contract): `layer.component.metric[_unit]`,
+/// lowercase, dot-separated layers, underscore words — e.g.
+/// `serve.requests.submitted`, `serve.cache.bytes`, `net.server.frames_in`.
+/// Exposition sorts by name, so a layer's metrics read as a block.
+namespace lash::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, resident bytes). Updated by
+/// deltas from concurrent writers or set outright by a single owner.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One exposition sample: a flat (name, value) pair. Histograms explode
+/// into `<name>.count`, `<name>.p50_ms`, `<name>.p95_ms`, `<name>.mean_ms`
+/// samples, so every consumer (wire codec, text printout, grep in a smoke
+/// test) sees one uniform shape.
+struct MetricSample {
+  std::string name;
+  double value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the tools wire their components into. Library
+  /// components never reach for this themselves — they take a registry
+  /// pointer (defaulting to a private one), so tests hosting several
+  /// services in one process don't share counters by accident.
+  static MetricsRegistry& Global();
+
+  /// Get-or-create by name; the pointer is stable until the registry dies.
+  /// A name registers as exactly one kind — re-requesting it as another
+  /// kind throws std::logic_error (a naming bug, not a runtime condition).
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  /// Every instrument flattened to samples, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// `name value` lines (six significant digits), sorted by name.
+  std::string ToText() const;
+
+  /// One JSON object `{"name": value, ...}`, sorted by name.
+  std::string ToJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Slot {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Slot& GetSlot(std::string_view name, Kind kind);
+
+  /// Guards the map only; instrument updates never take it. std::map keeps
+  /// exposition sorted without a per-snapshot sort.
+  mutable std::mutex mu_;
+  std::map<std::string, Slot, std::less<>> slots_;
+};
+
+}  // namespace lash::obs
+
+#endif  // LASH_OBS_METRICS_H_

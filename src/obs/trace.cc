@@ -1,0 +1,332 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <random>
+#include <stdexcept>
+
+#include "mapreduce/job.h"
+#include "util/json.h"
+
+namespace lash::obs {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer-style mixer — every id below
+/// is some counter pushed through it.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One random 64-bit value per process (seeds both id streams). Collected
+/// once; std::random_device may be expensive but never on a hot path.
+uint64_t ProcessEntropy() {
+  static const uint64_t entropy = [] {
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    seed ^= Mix64(static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count()));
+    return seed == 0 ? 1 : seed;
+  }();
+  return entropy;
+}
+
+std::atomic<uint64_t> g_trace_counter{1};
+std::atomic<uint64_t> g_span_counter{1};
+
+char HexDigit(unsigned v) { return "0123456789abcdef"[v & 0xf]; }
+
+void AppendHex64(std::string* out, uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(HexDigit(static_cast<unsigned>(v >> shift)));
+  }
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+thread_local TraceContext g_ambient;
+
+}  // namespace
+
+std::string TraceId::Hex() const {
+  std::string out;
+  out.reserve(32);
+  for (const uint8_t b : bytes) {
+    out.push_back(HexDigit(b >> 4));
+    out.push_back(HexDigit(b));
+  }
+  return out;
+}
+
+TraceId TraceId::FromHex(std::string_view hex) {
+  TraceId id;
+  if (hex.size() != 32) return TraceId{};
+  for (size_t i = 0; i < 16; ++i) {
+    const int hi = HexValue(hex[2 * i]);
+    const int lo = HexValue(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return TraceId{};
+    id.bytes[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  return id;
+}
+
+TraceId TraceId::Make() {
+  const uint64_t n = g_trace_counter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t words[2] = {Mix64(ProcessEntropy() ^ n),
+                       Mix64(ProcessEntropy() + (n << 1) + 1)};
+  TraceId id;
+  for (size_t i = 0; i < 16; ++i) {
+    id.bytes[i] = static_cast<uint8_t>(words[i / 8] >> (8 * (i % 8)));
+  }
+  if (!id.active()) id.bytes[0] = 1;  // Astronomically unlikely; stay active.
+  return id;
+}
+
+// ---- Tracer --------------------------------------------------------------
+
+Tracer::Tracer() = default;
+
+Tracer::~Tracer() { CloseFile(); }
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::OpenFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open trace output file " + path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+}
+
+void Tracer::CloseFile() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void Tracer::StartCollecting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  collecting_ = true;
+}
+
+void Tracer::StopCollecting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  collecting_ = false;
+  collected_.clear();
+}
+
+std::vector<SpanRecord> Tracer::TakeCollected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out = std::move(collected_);
+  collected_.clear();
+  return out;
+}
+
+bool Tracer::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr || collecting_;
+}
+
+uint64_t Tracer::NewSpanId() {
+  const uint64_t n = g_span_counter.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t id = Mix64(ProcessEntropy() + (n << 1));
+  return id == 0 ? 1 : id;
+}
+
+double Tracer::NowUnixMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::string line;
+    line.reserve(160);
+    line += "{\"trace\":\"";
+    line += record.trace_id.Hex();
+    line += "\",\"span\":\"";
+    AppendHex64(&line, record.span_id);
+    line += "\",\"parent\":\"";
+    AppendHex64(&line, record.parent_id);
+    line += "\",\"name\":\"";
+    AppendJsonEscaped(&line, record.name);
+    line += "\",\"start_unix_ms\":";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", record.start_unix_ms);
+    line += buf;
+    line += ",\"dur_ms\":";
+    std::snprintf(buf, sizeof buf, "%.3f", record.dur_ms);
+    line += buf;
+    line += ",\"tags\":{";
+    bool first = true;
+    for (const auto& [key, value] : record.tags) {
+      if (!first) line.push_back(',');
+      first = false;
+      line.push_back('"');
+      AppendJsonEscaped(&line, key);
+      line += "\":\"";
+      AppendJsonEscaped(&line, value);
+      line.push_back('"');
+    }
+    line += "}}\n";
+    std::fwrite(line.data(), 1, line.size(), file_);
+    // Flushed per span: a killed process (or a smoke script grepping while
+    // servers still run) must still see every finished span.
+    std::fflush(file_);
+  }
+  if (collecting_) collected_.push_back(std::move(record));
+}
+
+// ---- Span ----------------------------------------------------------------
+
+Span::Span(Tracer* tracer, const TraceContext& parent, std::string name) {
+  if (tracer == nullptr || !parent.active() || !tracer->enabled()) return;
+  tracer_ = tracer;
+  record_.trace_id = parent.trace_id;
+  record_.span_id = tracer->NewSpanId();
+  record_.parent_id = parent.parent_span;
+  record_.name = std::move(name);
+  record_.start_unix_ms = Tracer::NowUnixMs();
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      record_(std::move(other.record_)),
+      start_(other.start_) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    start_ = other.start_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span::~Span() { End(); }
+
+TraceContext Span::context() const {
+  if (tracer_ == nullptr) return TraceContext{};
+  return TraceContext{record_.trace_id, record_.span_id};
+}
+
+void Span::Tag(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  record_.tags.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::Tag(std::string key, double value) {
+  if (tracer_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  record_.tags.emplace_back(std::move(key), std::string(buf));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  record_.dur_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->Record(std::move(record_));
+}
+
+// ---- Ambient context -----------------------------------------------------
+
+TraceContext AmbientContext() { return g_ambient; }
+
+ScopedAmbientContext::ScopedAmbientContext(TraceContext ctx)
+    : prev_(g_ambient) {
+  g_ambient = ctx;
+}
+
+ScopedAmbientContext::~ScopedAmbientContext() { g_ambient = prev_; }
+
+// ---- MapReduce span export -----------------------------------------------
+
+void ExportJobSpans(Tracer* tracer, const TraceContext& parent,
+                    const JobResult& job, double anchor_unix_ms) {
+  if (tracer == nullptr || !parent.active() || !tracer->enabled()) return;
+
+  // A finished job is re-expressed as spans: ids are minted now, offsets
+  // come from the job's own clock (ms since job start), anchored at the
+  // caller-provided wall instant.
+  SpanRecord root;
+  root.trace_id = parent.trace_id;
+  root.span_id = tracer->NewSpanId();
+  root.parent_id = parent.parent_span;
+  root.name = "mr.job";
+  root.start_unix_ms = anchor_unix_ms;
+  root.dur_ms =
+      job.times.map_ms + job.times.shuffle_ms + job.times.reduce_ms;
+  char buf[32];
+  auto tag_double = [&buf](SpanRecord* record, const char* key,
+                           double value) {
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    record->tags.emplace_back(key, buf);
+  };
+  root.tags.emplace_back("pipelined", job.pipelined ? "1" : "0");
+  tag_double(&root, "map_ms", job.times.map_ms);
+  tag_double(&root, "shuffle_ms", job.times.shuffle_ms);
+  tag_double(&root, "reduce_ms", job.times.reduce_ms);
+  if (job.pipelined) {
+    tag_double(&root, "map_barrier_ms", job.map_barrier_ms);
+    tag_double(&root, "phase_overlap_ms", job.phase_overlap_ms);
+  }
+  const TraceContext job_ctx{root.trace_id, root.span_id};
+
+  auto emit = [&](const char* name, size_t index, double start_off,
+                  double end_off) {
+    if (end_off <= start_off) return;
+    SpanRecord span;
+    span.trace_id = job_ctx.trace_id;
+    span.span_id = tracer->NewSpanId();
+    span.parent_id = job_ctx.parent_span;
+    span.name = name;
+    span.start_unix_ms = anchor_unix_ms + start_off;
+    span.dur_ms = end_off - start_off;
+    std::snprintf(buf, sizeof buf, "%zu", index);
+    span.tags.emplace_back("index", buf);
+    tracer->Record(std::move(span));
+  };
+
+  // Per-map-task spans need start offsets; the legacy path records only
+  // durations, so map spans (like partition spans) are pipelined-only.
+  if (job.pipelined &&
+      job.map_task_start_ms.size() == job.map_task_ms.size()) {
+    for (size_t m = 0; m < job.map_task_ms.size(); ++m) {
+      emit("mr.map", m, job.map_task_start_ms[m],
+           job.map_task_start_ms[m] + job.map_task_ms[m]);
+    }
+  }
+  for (size_t r = 0; r < job.partition_timeline.size(); ++r) {
+    const PartitionTimeline& p = job.partition_timeline[r];
+    emit("mr.partition.group", r, p.start_ms, p.grouped_ms);
+    emit("mr.partition.reduce", r, p.grouped_ms, p.reduced_ms);
+  }
+  tracer->Record(std::move(root));
+}
+
+}  // namespace lash::obs

@@ -6,9 +6,11 @@
 namespace lash::serve {
 
 AdmissionExecutor::AdmissionExecutor(size_t num_threads, size_t queue_capacity,
-                                     AdmissionPolicy policy)
+                                     AdmissionPolicy policy,
+                                     obs::Gauge* queue_depth_gauge)
     : capacity_(std::max<size_t>(1, queue_capacity)),
       policy_(policy),
+      queue_depth_gauge_(queue_depth_gauge),
       pool_(num_threads) {
   // One pump per worker: each claims the worker for the executor's
   // lifetime, so the bounded queue is the only queue with ever more than
@@ -39,6 +41,9 @@ bool AdmissionExecutor::Submit(std::function<void()> task) {
     }
     if (shutdown_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(task));
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   work_ready_.notify_one();
   return true;
@@ -59,6 +64,9 @@ void AdmissionExecutor::PumpLoop() {
       if (queue_.empty()) return;  // Shutdown with nothing left to drain.
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
     space_ready_.notify_one();
     task();

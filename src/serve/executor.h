@@ -7,6 +7,7 @@
 #include <functional>
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace lash::serve {
@@ -40,8 +41,12 @@ class AdmissionExecutor {
  public:
   /// `num_threads` as ThreadPool (0 is promoted to 1); `queue_capacity` is
   /// the maximum number of admitted-but-not-yet-started tasks (at least 1).
+  /// `queue_depth_gauge`, if given, tracks the admitted-but-unstarted count
+  /// live (the serve.executor.queue_depth metric) — previously that number
+  /// was observable only by polling QueueDepth().
   AdmissionExecutor(size_t num_threads, size_t queue_capacity,
-                    AdmissionPolicy policy);
+                    AdmissionPolicy policy,
+                    obs::Gauge* queue_depth_gauge = nullptr);
   ~AdmissionExecutor();
 
   AdmissionExecutor(const AdmissionExecutor&) = delete;
@@ -63,6 +68,7 @@ class AdmissionExecutor {
 
   const size_t capacity_;
   const AdmissionPolicy policy_;
+  obs::Gauge* const queue_depth_gauge_;  ///< May be null.
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;

@@ -1,5 +1,6 @@
 #include "serve/mining_service.h"
 
+#include <cstdio>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -26,6 +27,12 @@ struct RequestState {
   /// Set at attach time (under the service mutex, before the worker can see
   /// this waiter), read only at resolve time.
   bool coalesced_join = false;
+
+  /// The request's trace id (inactive for untraced requests — kept for the
+  /// slow-query log even when the tracer itself is off) and its root
+  /// `serve.request` span, ended exactly once at resolve time under `mu`.
+  obs::TraceId trace_id;
+  obs::Span root_span;
 
   Clock::time_point submit_time;
   Clock::time_point deadline = Clock::time_point::max();
@@ -112,29 +119,76 @@ struct MiningService::Execution {
   std::string key;
   TaskSpec spec;
   std::vector<std::shared_ptr<RequestState>> waiters;
+  /// The leader's serve.request context (inactive for untraced leaders);
+  /// the parent of the execution-scoped serve.queue / serve.mine spans.
+  obs::TraceContext trace_ctx;
+  /// Covers admission → dequeue; ended by the worker that picks this up.
+  obs::Span queue_span;
 };
 
 MiningService::MiningService(const Dataset& dataset, ServiceOptions options)
     : MiningService(std::vector<const Dataset*>{&dataset},
                     std::move(options)) {}
 
+MiningService::Instruments MiningService::MakeInstruments(
+    obs::MetricsRegistry& registry) {
+  return Instruments{
+      registry.GetCounter("serve.requests.submitted"),
+      registry.GetCounter("serve.requests.hits"),
+      registry.GetCounter("serve.requests.misses"),
+      registry.GetCounter("serve.requests.coalesced"),
+      registry.GetCounter("serve.requests.invalid"),
+      registry.GetCounter("serve.requests.completed"),
+      registry.GetCounter("serve.requests.rejected"),
+      registry.GetCounter("serve.requests.cancelled"),
+      registry.GetCounter("serve.requests.deadline_expired"),
+      registry.GetCounter("serve.requests.failed"),
+      registry.GetCounter("serve.requests.executions"),
+      registry.GetHistogram("serve.latency.hit_ms"),
+      registry.GetHistogram("serve.latency.mine_ms"),
+  };
+}
+
 MiningService::MiningService(std::vector<const Dataset*> shards,
                              ServiceOptions options)
     : shards_(std::move(shards)),
       options_(std::move(options)),
-      cache_(options_.cache_bytes, options_.cache_shards),
+      owned_metrics_(options_.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : owned_metrics_.get()),
+      cache_(options_.cache_bytes, options_.cache_shards, metrics_),
+      inst_(MakeInstruments(*metrics_)),
       // 0 means hardware concurrency here (the documented default);
       // ThreadPool itself would promote 0 to a single thread.
       executor_(options_.executor_threads > 0
                     ? options_.executor_threads
                     : std::thread::hardware_concurrency(),
-                options_.queue_capacity, options_.admission) {
+                options_.queue_capacity, options_.admission,
+                metrics_->GetGauge("serve.executor.queue_depth")) {
   if (shards_.empty()) {
     throw ApiError("MiningService needs at least one Dataset shard");
   }
 }
 
 MiningService::~MiningService() = default;
+
+void MiningService::MaybeLogSlow(const RequestState& state, double latency_ms,
+                                 const char* outcome) const {
+  if (options_.slow_query_ms <= 0 || latency_ms < options_.slow_query_ms) {
+    return;
+  }
+  // One line per slow request, grep-stable prefix. stderr keeps it out of
+  // the tools' stdout protocol (patterns, stats) without a logging
+  // dependency.
+  std::fprintf(stderr,
+               "[lash.slow] outcome=%s latency_ms=%.3f threshold_ms=%.3f "
+               "cache_hit=%d coalesced=%d trace=%s\n",
+               outcome, latency_ms, options_.slow_query_ms,
+               state.response.cache_hit ? 1 : 0, state.coalesced_join ? 1 : 0,
+               state.trace_id.active() ? state.trace_id.Hex().c_str() : "-");
+}
 
 void MiningService::ResolveResponse(
     const std::shared_ptr<RequestState>& state,
@@ -147,13 +201,21 @@ void MiningService::ResolveResponse(
     // Counters and histograms update before `done` is observable, so a
     // client reading Stats() right after Get() returns sees this request
     // accounted for.
-    (cache_hit ? hit_latency_ : mine_latency_).Record(latency);
-    counters_.completed.fetch_add(1, std::memory_order_relaxed);
+    (cache_hit ? inst_.hit_latency : inst_.mine_latency)->Record(latency);
+    inst_.completed->Add();
     state->response.result = std::move(result);
     state->response.cache_hit = cache_hit;
     state->response.coalesced = state->coalesced_join;
     state->response.latency_ms = latency;
+    if (state->root_span.active()) {
+      state->root_span.Tag("outcome", "ok");
+      state->root_span.Tag("cache_hit", cache_hit ? "true" : "false");
+      state->root_span.Tag("coalesced",
+                           state->coalesced_join ? "true" : "false");
+      state->root_span.End();
+    }
     state->done = true;
+    MaybeLogSlow(*state, latency, "ok");
   }
   state->cv.notify_all();
   if (options_.post_resolve_hook) options_.post_resolve_hook();
@@ -169,25 +231,31 @@ void MiningService::FailRequest(const std::shared_ptr<RequestState>& state,
     // guarantee as ResolveResponse.
     switch (code) {
       case ServeErrorCode::kInvalidTask:
-        counters_.invalid.fetch_add(1, std::memory_order_relaxed);
+        inst_.invalid->Add();
         break;
       case ServeErrorCode::kQueueFull:
-        counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+        inst_.rejected->Add();
         break;
       case ServeErrorCode::kDeadlineExceeded:
-        counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        inst_.deadline_expired->Add();
         break;
       case ServeErrorCode::kCancelled:
-        counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        inst_.cancelled->Add();
         break;
       case ServeErrorCode::kExecutionFailed:
-        counters_.failed.fetch_add(1, std::memory_order_relaxed);
+        inst_.failed->Add();
         break;
     }
     state->failed = true;
     state->code = code;
     state->error = message;
+    if (state->root_span.active()) {
+      state->root_span.Tag("outcome", ServeErrorCodeName(code));
+      state->root_span.End();
+    }
     state->done = true;
+    MaybeLogSlow(*state, state->ElapsedMs(Clock::now()),
+                 ServeErrorCodeName(code));
   }
   state->cv.notify_all();
   if (options_.post_resolve_hook) options_.post_resolve_hook();
@@ -202,11 +270,20 @@ PendingResult MiningService::Submit(const TaskSpec& spec) {
         std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double, std::milli>(spec.deadline_ms));
   }
+  state->trace_id = spec.trace.trace_id;
+  // Root span of this process's part of the trace; inactive (one branch,
+  // nothing recorded) unless the request carries a trace id and the tracer
+  // has a sink. The parent is whatever the caller propagated — a router
+  // scatter leg, a client's span, or 0 for an edge request.
+  state->root_span =
+      obs::Span(&obs::Tracer::Global(), spec.trace, "serve.request");
   PendingResult pending(state);
-  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  inst_.submitted->Add();
 
   // Stage 1: validate synchronously, so a broken spec fails fast without
   // consuming queue capacity and a worker never sees an invalid task.
+  obs::Span validate_span(&obs::Tracer::Global(), state->root_span.context(),
+                          "serve.validate");
   if (spec.shard >= shards_.size()) {
     FailRequest(state, ServeErrorCode::kInvalidTask,
                 "TaskSpec.shard " + std::to_string(spec.shard) +
@@ -224,11 +301,17 @@ PendingResult MiningService::Submit(const TaskSpec& spec) {
       return pending;
     }
   }
+  validate_span.End();
 
   // Stage 2: cache lookup — a hit resolves on the submitting thread.
+  obs::Span cache_span(&obs::Tracer::Global(), state->root_span.context(),
+                       "serve.cache");
   std::string key = EncodeCacheKey(dataset.id(), spec);
-  if (std::shared_ptr<const CachedResult> hit = cache_.Get(key)) {
-    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const CachedResult> hit = cache_.Get(key);
+  cache_span.Tag("hit", hit != nullptr ? "true" : "false");
+  cache_span.End();
+  if (hit != nullptr) {
+    inst_.hits->Add();
     ResolveResponse(state, std::move(hit), /*cache_hit=*/true);
     return pending;
   }
@@ -244,16 +327,22 @@ PendingResult MiningService::Submit(const TaskSpec& spec) {
     if (it != inflight_.end()) {
       state->coalesced_join = true;
       it->second->waiters.push_back(state);
-      counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+      inst_.coalesced->Add();
       return pending;
     }
     exec = std::make_shared<Execution>();
     exec->key = std::move(key);
     exec->spec = spec;
     exec->waiters.push_back(state);
+    // The leader's context parents the execution-scoped spans; a traced
+    // coalescer joining an untraced leader's execution gets its root span
+    // but no queue/mine children — the execution belongs to the leader.
+    exec->trace_ctx = state->root_span.context();
+    exec->queue_span =
+        obs::Span(&obs::Tracer::Global(), exec->trace_ctx, "serve.queue");
     inflight_.emplace(exec->key, exec);
   }
-  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  inst_.misses->Add();
 
   // Stage 4: admission. Under kBlock this Submit call is where the
   // backpressure is felt (the submitting thread waits for queue space).
@@ -293,6 +382,7 @@ void MiningService::Execute(const std::shared_ptr<Execution>& exec) {
   bool abandoned = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    exec->queue_span.End();  // Admission → dequeue, the queueing delay.
     const auto now = Clock::now();
     auto& waiters = exec->waiters;
     for (size_t i = 0; i < waiters.size();) {
@@ -325,13 +415,19 @@ void MiningService::Execute(const std::shared_ptr<Execution>& exec) {
 
   // Stage 6: mine. The spec was validated at submit, so an exception here
   // is an execution failure (e.g. resource exhaustion), not user error.
-  counters_.executions.fetch_add(1, std::memory_order_relaxed);
+  inst_.executions->Add();
+  obs::Span mine_span(&obs::Tracer::Global(), exec->trace_ctx, "serve.mine");
   auto cached = std::make_shared<CachedResult>();
   try {
     const Dataset& dataset = *shards_[exec->spec.shard];
     MiningTask task = MakeTask(dataset, exec->spec);
+    // Ambient context lets layers beneath the TaskSpec (the api/ facade)
+    // attach their spans without a signature change.
+    obs::ScopedAmbientContext ambient(mine_span.context());
     cached->patterns = task.Mine(&cached->run);
   } catch (const std::exception& e) {
+    mine_span.Tag("outcome", "failed");
+    mine_span.End();
     std::vector<std::shared_ptr<RequestState>> waiters;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -343,6 +439,8 @@ void MiningService::Execute(const std::shared_ptr<Execution>& exec) {
     }
     return;
   }
+  mine_span.Tag("patterns", static_cast<double>(cached->patterns.size()));
+  mine_span.End();
   cached->cost_bytes = EstimateResultCost(exec->key, *cached);
 
   // Stage 7: publish then retire. Cache fill happens *before* the in-flight
@@ -356,9 +454,13 @@ void MiningService::Execute(const std::shared_ptr<Execution>& exec) {
     inflight_.erase(exec->key);
   }
 
-  // Stage 8 (delivery boundary): the final deadline/cancel check.
+  // Stage 8 (delivery boundary): the final deadline/cancel check. Each
+  // waiter's serve.deliver span parents to its own serve.request root —
+  // coalescers see their delivery under their own trace.
   const auto now = Clock::now();
   for (const auto& waiter : waiters) {
+    obs::Span deliver_span(&obs::Tracer::Global(),
+                           waiter->root_span.context(), "serve.deliver");
     if (waiter->cancel_requested.load(std::memory_order_relaxed)) {
       FailRequest(waiter, ServeErrorCode::kCancelled,
                   "request cancelled during execution");
@@ -372,19 +474,20 @@ void MiningService::Execute(const std::shared_ptr<Execution>& exec) {
 }
 
 ServiceStats MiningService::Stats() const {
+  // A view over the registry instruments — the same atomics the registry's
+  // Snapshot()/ToText() read, so the two surfaces cannot disagree.
   ServiceStats stats;
-  stats.submitted = counters_.submitted.load(std::memory_order_relaxed);
-  stats.hits = counters_.hits.load(std::memory_order_relaxed);
-  stats.misses = counters_.misses.load(std::memory_order_relaxed);
-  stats.coalesced = counters_.coalesced.load(std::memory_order_relaxed);
-  stats.invalid = counters_.invalid.load(std::memory_order_relaxed);
-  stats.completed = counters_.completed.load(std::memory_order_relaxed);
-  stats.rejected = counters_.rejected.load(std::memory_order_relaxed);
-  stats.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
-  stats.deadline_expired =
-      counters_.deadline_expired.load(std::memory_order_relaxed);
-  stats.failed = counters_.failed.load(std::memory_order_relaxed);
-  stats.executions = counters_.executions.load(std::memory_order_relaxed);
+  stats.submitted = inst_.submitted->Value();
+  stats.hits = inst_.hits->Value();
+  stats.misses = inst_.misses->Value();
+  stats.coalesced = inst_.coalesced->Value();
+  stats.invalid = inst_.invalid->Value();
+  stats.completed = inst_.completed->Value();
+  stats.rejected = inst_.rejected->Value();
+  stats.cancelled = inst_.cancelled->Value();
+  stats.deadline_expired = inst_.deadline_expired->Value();
+  stats.failed = inst_.failed->Value();
+  stats.executions = inst_.executions->Value();
 
   const ResultCache::Stats cache = cache_.GetStats();
   stats.cache_entries = cache.entries;
@@ -393,11 +496,11 @@ ServiceStats MiningService::Stats() const {
   stats.cache_oversized_rejects = cache.oversized_rejects;
   stats.queue_depth = executor_.QueueDepth();
 
-  const LatencyHistogram::Snapshot hit = hit_latency_.TakeSnapshot();
+  const LatencyHistogram::Snapshot hit = inst_.hit_latency->TakeSnapshot();
   stats.hit_p50_ms = hit.PercentileMs(0.50);
   stats.hit_p95_ms = hit.PercentileMs(0.95);
   stats.hit_mean_ms = hit.MeanMs();
-  const LatencyHistogram::Snapshot mine = mine_latency_.TakeSnapshot();
+  const LatencyHistogram::Snapshot mine = inst_.mine_latency->TakeSnapshot();
   stats.mine_p50_ms = mine.PercentileMs(0.50);
   stats.mine_p95_ms = mine.PercentileMs(0.95);
   stats.mine_mean_ms = mine.MeanMs();

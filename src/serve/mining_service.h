@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "api/lash_api.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/executor.h"
 #include "serve/histogram.h"
 #include "serve/result_cache.h"
@@ -134,9 +136,23 @@ struct ServiceOptions {
   /// polling PendingResults; must be cheap and must not call back into the
   /// service.
   std::function<void()> post_resolve_hook;
+  /// Registry the service registers its serve.* instruments into. Null (the
+  /// default) gives the service a private registry — counters stay isolated
+  /// when many services share a process (tests). Tools serving one service
+  /// pass &obs::MetricsRegistry::Global() so the stats RPC sees everything.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Slow-query log threshold in milliseconds; 0 disables. A request whose
+  /// submit→resolve latency reaches the threshold logs one stderr line
+  /// (outcome, latency, cache/coalesce flags, trace id when present) at
+  /// resolve time.
+  double slow_query_ms = 0;
 };
 
-/// One consistent snapshot of the service counters.
+/// One consistent snapshot of the service counters — since PR 9 a *view*
+/// over the metrics registry: every field below is read from a named
+/// serve.* instrument (serve.requests.*, serve.cache.*,
+/// serve.executor.queue_depth, serve.latency.{hit,mine}_ms), so Stats()
+/// and the registry's own exposition can never disagree.
 ///
 /// Identities (steady state, no requests in flight):
 ///   submitted == hits + misses + coalesced + invalid
@@ -208,6 +224,10 @@ class MiningService {
 
   ServiceStats Stats() const;
 
+  /// The registry this service records into — the caller-supplied one, or
+  /// the service's private registry when none was given.
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
   size_t num_shards() const { return shards_.size(); }
   const Dataset& shard(size_t index) const { return *shards_[index]; }
 
@@ -220,19 +240,39 @@ class MiningService {
                        bool cache_hit);
   void FailRequest(const std::shared_ptr<internal::RequestState>& state,
                    ServeErrorCode code, const std::string& message);
+  void MaybeLogSlow(const internal::RequestState& state, double latency_ms,
+                    const char* outcome) const;
 
   std::vector<const Dataset*> shards_;
   ServiceOptions options_;
+
+  /// Engaged iff ServiceOptions::metrics was null; `metrics_` always points
+  /// at the registry in use. Declared before the cache and the executor,
+  /// which register instruments into it during construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+
   ResultCache cache_;
 
-  struct Counters {
-    std::atomic<uint64_t> submitted{0}, hits{0}, misses{0}, coalesced{0},
-        invalid{0}, completed{0}, rejected{0}, cancelled{0},
-        deadline_expired{0}, failed{0}, executions{0};
+  /// The serve.requests.* / serve.latency.* instruments, resolved once at
+  /// construction; recording is lock-free (obs/metrics.h).
+  struct Instruments {
+    obs::Counter* submitted;
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* coalesced;
+    obs::Counter* invalid;
+    obs::Counter* completed;
+    obs::Counter* rejected;
+    obs::Counter* cancelled;
+    obs::Counter* deadline_expired;
+    obs::Counter* failed;
+    obs::Counter* executions;
+    obs::LatencyHistogram* hit_latency;
+    obs::LatencyHistogram* mine_latency;
   };
-  mutable Counters counters_;
-  LatencyHistogram hit_latency_;
-  LatencyHistogram mine_latency_;
+  static Instruments MakeInstruments(obs::MetricsRegistry& registry);
+  Instruments inst_;
 
   /// Guards the in-flight table and every Execution::waiters list.
   std::mutex mu_;

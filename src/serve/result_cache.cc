@@ -24,7 +24,8 @@ uint64_t EstimateResultCost(const std::string& key,
   return bytes;
 }
 
-ResultCache::ResultCache(uint64_t byte_budget, size_t num_shards) {
+ResultCache::ResultCache(uint64_t byte_budget, size_t num_shards,
+                         obs::MetricsRegistry* metrics) {
   size_t shards = std::bit_ceil(num_shards == 0 ? size_t{1} : num_shards);
   // A budget too small to split is concentrated in one shard rather than
   // rounded down to zero per shard (which would silently disable caching).
@@ -33,6 +34,12 @@ ResultCache::ResultCache(uint64_t byte_budget, size_t num_shards) {
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  if (metrics != nullptr) {
+    bytes_gauge_ = metrics->GetGauge("serve.cache.bytes");
+    entries_gauge_ = metrics->GetGauge("serve.cache.entries");
+    evictions_counter_ = metrics->GetCounter("serve.cache.evictions");
+    oversized_counter_ = metrics->GetCounter("serve.cache.oversized_rejects");
   }
 }
 
@@ -59,27 +66,41 @@ void ResultCache::Put(const std::string& key,
   std::lock_guard<std::mutex> lock(shard.mu);
   if (cost > shard_budget_) {
     ++shard.oversized_rejects;
+    if (oversized_counter_ != nullptr) oversized_counter_->Add();
     return;
   }
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Replace in place (coalescing makes duplicate executions rare but a
     // lost submit/execute race can produce one); the entry becomes MRU.
-    shard.bytes -= it->second->value->cost_bytes;
+    const uint64_t old_cost = it->second->value->cost_bytes;
+    shard.bytes -= old_cost;
     shard.bytes += cost;
+    if (bytes_gauge_ != nullptr) {
+      bytes_gauge_->Add(static_cast<int64_t>(cost) -
+                        static_cast<int64_t>(old_cost));
+    }
     it->second->value = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
     shard.lru.push_front(Entry{key, std::move(value)});
     shard.index.emplace(key, shard.lru.begin());
     shard.bytes += cost;
+    if (bytes_gauge_ != nullptr) bytes_gauge_->Add(static_cast<int64_t>(cost));
+    if (entries_gauge_ != nullptr) entries_gauge_->Add(1);
   }
   while (shard.bytes > shard_budget_) {
     Entry& cold = shard.lru.back();
-    shard.bytes -= cold.value->cost_bytes;
+    const uint64_t cold_cost = cold.value->cost_bytes;
+    shard.bytes -= cold_cost;
+    if (bytes_gauge_ != nullptr) {
+      bytes_gauge_->Sub(static_cast<int64_t>(cold_cost));
+    }
+    if (entries_gauge_ != nullptr) entries_gauge_->Sub(1);
     shard.index.erase(cold.key);
     shard.lru.pop_back();
     ++shard.evictions;
+    if (evictions_counter_ != nullptr) evictions_counter_->Add();
   }
 }
 

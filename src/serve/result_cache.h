@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "api/lash_api.h"
+#include "obs/metrics.h"
 
 namespace lash::serve {
 
@@ -47,8 +48,13 @@ class ResultCache {
   /// `byte_budget` is the total across shards (a per-shard slice is
   /// enforced, so worst-case residency is the budget regardless of key
   /// skew); 0 disables caching entirely. `num_shards` is rounded up to a
-  /// power of two, at least 1.
-  ResultCache(uint64_t byte_budget, size_t num_shards);
+  /// power of two, at least 1. `metrics`, if given, registers the
+  /// serve.cache.* instruments (resident bytes/entries as live gauges,
+  /// evictions/oversized rejects as counters) updated by delta under the
+  /// owning shard's lock; the per-shard counters behind GetStats() are
+  /// unchanged.
+  ResultCache(uint64_t byte_budget, size_t num_shards,
+              obs::MetricsRegistry* metrics = nullptr);
 
   /// Returns the entry for `key` and marks it most-recently-used, or null.
   std::shared_ptr<const CachedResult> Get(const std::string& key);
@@ -86,6 +92,12 @@ class ResultCache {
 
   uint64_t shard_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Registry instruments (all null when no registry was given).
+  obs::Gauge* bytes_gauge_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* oversized_counter_ = nullptr;
 };
 
 }  // namespace lash::serve

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "api/lash_api.h"
+#include "obs/trace.h"
 
 namespace lash::serve {
 
@@ -38,6 +39,12 @@ struct TaskSpec {
   /// Per-request deadline in milliseconds from Submit (0 = none). Checked
   /// between pipeline stages (admission, dequeue, delivery), not preemptive.
   double deadline_ms = 0;
+
+  /// Request trace context (obs/trace.h): inactive by default, stamped at
+  /// the edge, carried across the wire by kMineRequestV2. Like the
+  /// execution-shape knobs, deliberately EXCLUDED from EncodeCacheKey —
+  /// tracing a request must not change what it hits or coalesces with.
+  obs::TraceContext trace{};
 };
 
 /// Builds the facade task for `spec` over `dataset` (shard routing already
@@ -52,7 +59,8 @@ MiningTask MakeTask(const Dataset& dataset, const TaskSpec& spec);
 /// (presence included: "default" and "explicitly the default" encode
 /// differently only when that distinction can change validation), and the
 /// baseline emit cap for the algorithms it can abort. Pure execution-shape
-/// knobs — threads, map/reduce task counts, shuffle mode, deadline — are
+/// knobs — threads, map/reduce task counts, shuffle mode, deadline, the
+/// trace context — are
 /// deliberately excluded, so equivalent queries coalesce and hit across
 /// different execution shapes; a hit returns the RunResult of the execution
 /// that populated the entry. The encoding is canonical: two specs map to
@@ -67,7 +75,7 @@ std::string EncodeCacheKey(uint64_t dataset_id, const TaskSpec& spec);
 /// TaskSpec encoding, so this is the server-side request decoder.
 ///
 /// Exactly the covered knobs round-trip: execution-shape fields (threads,
-/// job config, deadline, shard) are not part of the key and come back at
+/// job config, deadline, shard, trace) are not part of the key and come back at
 /// their defaults. Decoding is canonicalizing-stable:
 /// EncodeCacheKey(DecodeTaskSpec(key)) == key for every key EncodeCacheKey
 /// can produce (tested byte-for-byte). Malformed input throws the typed

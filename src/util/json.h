@@ -1,0 +1,52 @@
+#ifndef LASH_UTIL_JSON_H_
+#define LASH_UTIL_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lash {
+
+/// Appends `text` to `out` as a JSON string literal body (no surrounding
+/// quotes): the two mandatory escapes (backslash, double quote) plus control
+/// characters as \uXXXX. The observability layer emits metric names, span
+/// names, and tag values through this — they are ASCII identifiers in
+/// practice, but a tag carrying an error message must not be able to break
+/// the JSONL line structure.
+inline void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// Appends a finite double as a JSON number. NaN/inf (not representable in
+/// JSON) degrade to 0 — an observability value, not a computation result,
+/// so a readable file beats a strict error.
+inline void AppendJsonNumber(std::string* out, double value) {
+  char buf[32];
+  if (!(value == value) || value > 1.7976931348623157e308 ||
+      value < -1.7976931348623157e308) {
+    value = 0;
+  }
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out->append(buf);
+}
+
+}  // namespace lash
+
+#endif  // LASH_UTIL_JSON_H_

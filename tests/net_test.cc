@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -265,6 +267,61 @@ TEST(WireMessages, ErrorAndStatsRoundTrip) {
   EXPECT_EQ(EncodeStatsResponse(decoded), stats_payload);
 }
 
+TEST(WireMessages, MineRequestV2CarriesTraceContext) {
+  TaskSpec spec = PaperSpec(Algorithm::kLash);
+  spec.shard = 1;
+  spec.deadline_ms = 250.25;
+  spec.trace.trace_id = obs::TraceId::Make();
+  spec.trace.parent_span = 0xdeadbeefcafef00dULL;
+
+  const std::string payload = EncodeMineRequestV2(spec);
+  EXPECT_EQ(PeekMessageType(payload), MessageType::kMineRequestV2);
+  const MineRequest decoded = DecodeMineRequest(payload);
+  EXPECT_EQ(decoded.spec.trace.trace_id, spec.trace.trace_id);
+  EXPECT_EQ(decoded.spec.trace.parent_span, spec.trace.parent_span);
+  EXPECT_EQ(decoded.spec.shard, 1u);
+  EXPECT_EQ(decoded.spec.deadline_ms, 250.25);
+  EXPECT_EQ(decoded.spec.algorithm, Algorithm::kLash);
+
+  // A v1 request decodes with an inactive trace — the traceless state —
+  // and its bytes are untouched by the v2 addition (no version bump).
+  const MineRequest v1 = DecodeMineRequest(EncodeMineRequest(spec));
+  EXPECT_FALSE(v1.spec.trace.active());
+  EXPECT_EQ(v1.spec.shard, 1u);
+
+  // Truncating the v2 trace header is a typed decode error.
+  EXPECT_THROW(DecodeMineRequest(std::string_view(payload).substr(0, 10)),
+               IoError);
+}
+
+TEST(WireMessages, MetricsMessagesRoundTrip) {
+  EXPECT_EQ(PeekMessageType(EncodeMetricsRequest()),
+            MessageType::kMetricsRequest);
+
+  const std::vector<obs::MetricSample> samples = {
+      {"serve.requests.submitted", 12},
+      {"serve.latency.hit_ms.p95_ms", 0.256},
+      {"net.server.bytes_in", 1.5e9},
+  };
+  const std::string payload = EncodeMetricsResponse(samples);
+  EXPECT_EQ(PeekMessageType(payload), MessageType::kMetricsResponse);
+  const std::vector<obs::MetricSample> decoded =
+      DecodeMetricsResponse(payload);
+  ASSERT_EQ(decoded.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(decoded[i].name, samples[i].name);
+    EXPECT_EQ(decoded[i].value, samples[i].value);
+  }
+
+  // The empty snapshot is a legal response (a router with no registry).
+  EXPECT_TRUE(DecodeMetricsResponse(EncodeMetricsResponse({})).empty());
+  // Truncation and trailing garbage are typed decode errors.
+  EXPECT_THROW(DecodeMetricsResponse(
+                   std::string_view(payload).substr(0, payload.size() - 3)),
+               IoError);
+  EXPECT_THROW(DecodeMetricsResponse(payload + "x"), IoError);
+}
+
 TEST(WireMessages, MalformedPayloadsThrow) {
   // Wrong type for the decoder.
   EXPECT_THROW(DecodeMineResponse(EncodeStatsRequest()), IoError);
@@ -307,8 +364,8 @@ TEST(ResultIo, CanonicalOrderIsDescFrequencyThenLexItems) {
 
 /// A server on its own thread, bound to an ephemeral loopback port.
 struct TestServer {
-  explicit TestServer(Backend* backend)
-      : server(ServerOptions{}, backend),
+  explicit TestServer(Backend* backend, ServerOptions options = {})
+      : server(std::move(options), backend),
         thread([this] { server.Run(); }) {}
   ~TestServer() {
     server.Shutdown();
@@ -416,6 +473,142 @@ TEST_F(NetLoopbackTest, RouterMergesTwoShardsExactly) {
   ASSERT_EQ(topk.patterns.size(), 3u);
   EXPECT_EQ(topk.patterns,
             NamedPatternList(full.patterns.begin(), full.patterns.begin() + 3));
+}
+
+TEST_F(NetLoopbackTest, MetricsRpcExposesServiceAndServerInstruments) {
+  // One registry wired into both the service and the event loop, exactly
+  // as lash_served does with the process-global one.
+  obs::MetricsRegistry registry;
+  serve::ServiceOptions service_options;
+  service_options.metrics = &registry;
+  ServiceBackend backend({&dataset_}, service_options);
+  ServerOptions server_options;
+  server_options.metrics = &registry;
+  TestServer server(&backend, server_options);
+  NetClient client("127.0.0.1", server.port());
+
+  client.Mine(PaperSpec(Algorithm::kSequential));
+  const std::vector<obs::MetricSample> samples = client.Metrics();
+  auto value_of = [&samples](const std::string& name) -> double {
+    for (const obs::MetricSample& s : samples) {
+      if (s.name == name) return s.value;
+    }
+    ADD_FAILURE() << "metric " << name << " missing from snapshot";
+    return -1;
+  };
+  EXPECT_EQ(value_of("serve.requests.submitted"), 1.0);
+  EXPECT_EQ(value_of("serve.requests.misses"), 1.0);
+  EXPECT_EQ(value_of("serve.cache.entries"), 1.0);
+  EXPECT_GT(value_of("serve.cache.bytes"), 0.0);
+  EXPECT_GE(value_of("serve.latency.mine_ms.count"), 1.0);
+  // The event loop's own instruments: the mine exchange plus this metrics
+  // request have both passed through by the time the response arrives.
+  EXPECT_GE(value_of("net.server.frames_in"), 2.0);
+  EXPECT_GE(value_of("net.server.frames_out"), 1.0);
+  EXPECT_GT(value_of("net.server.bytes_in"), 0.0);
+  EXPECT_EQ(value_of("net.server.connections"), 1.0);
+  EXPECT_EQ(value_of("net.server.accepted"), 1.0);
+}
+
+TEST_F(NetLoopbackTest, OneTraceIdSpansClientRouterAndBothWorkers) {
+  // The propagation parity check: a traced mine through a 2-shard router
+  // must yield ONE trace whose spans cover the router's scatter/merge legs
+  // and each worker's serve pipeline, nested by parent ids. Everything
+  // runs in-process, so every component records into the same Global
+  // tracer — the multi-process analogue (separate JSONL files sharing the
+  // trace id) is net_smoke.sh's job.
+  Database even_db, odd_db;
+  for (size_t i = 0; i < ex_.raw_db.size(); ++i) {
+    (i % 2 == 0 ? even_db : odd_db).push_back(ex_.raw_db[i]);
+  }
+  Dataset even(Dataset::FromMemory(even_db, ex_.vocab));
+  Dataset odd(Dataset::FromMemory(odd_db, ex_.vocab));
+  ServiceBackend backend_even({&even}, serve::ServiceOptions{});
+  ServiceBackend backend_odd({&odd}, serve::ServiceOptions{});
+  TestServer worker_even(&backend_even);
+  TestServer worker_odd(&backend_odd);
+  RouterBackend router({{"127.0.0.1", worker_even.port()},
+                        {"127.0.0.1", worker_odd.port()}},
+                       RouterOptions{});
+  TestServer router_server(&router);
+  NetClient client("127.0.0.1", router_server.port());
+
+  // The traced request goes first, so it is a cold miss on both workers
+  // and exercises the full pipeline (queue, mine, MapReduce export). The
+  // untraced (v1) request follows through the same collecting tracer; the
+  // single-trace-id assertion below doubles as the proof that it recorded
+  // nothing. (Collection drains once, after both: a worker's serve.deliver
+  // span lands just after its reply is sent, so a drain between the two
+  // requests would race it.)
+  obs::Tracer::Global().StartCollecting();
+  TaskSpec traced = PaperSpec(Algorithm::kLash);
+  traced.trace.trace_id = obs::TraceId::Make();
+  const MineReply v2_reply = client.Mine(traced);
+  TaskSpec untraced = PaperSpec(Algorithm::kLash);
+  const MineReply v1_reply = client.Mine(untraced);
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Global().TakeCollected();
+  obs::Tracer::Global().StopCollecting();
+
+  // Tracing must not change the answer: the traced (v2, cold) reply is
+  // pattern-identical to the untraced (v1, cache-hit) one.
+  EXPECT_EQ(Bytes(v2_reply.patterns), Bytes(v1_reply.patterns));
+
+  // First pass: index the spans. Every span belongs to THE trace — the
+  // v1 request contributed none.
+  ASSERT_FALSE(spans.empty());
+  std::map<uint64_t, const obs::SpanRecord*> by_id;
+  std::multiset<std::string> names;
+  uint64_t scatter_id = 0;
+  std::set<uint64_t> leg_ids;
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace_id, traced.trace.trace_id) << span.name;
+    by_id[span.span_id] = &span;
+    names.insert(span.name);
+    if (span.name == "router.scatter") scatter_id = span.span_id;
+    if (span.name == "router.leg") leg_ids.insert(span.span_id);
+  }
+  // The router's legs...
+  ASSERT_NE(scatter_id, 0u);
+  ASSERT_EQ(names.count("router.scatter"), 1u);
+  ASSERT_EQ(leg_ids.size(), 2u);
+  ASSERT_EQ(names.count("router.merge"), 1u);
+  // ...and each worker's serve pipeline plus its MapReduce timeline.
+  EXPECT_EQ(names.count("serve.request"), 2u);
+  EXPECT_EQ(names.count("serve.validate"), 2u);
+  EXPECT_EQ(names.count("serve.cache"), 2u);
+  EXPECT_EQ(names.count("serve.queue"), 2u);
+  EXPECT_EQ(names.count("serve.mine"), 2u);
+  EXPECT_EQ(names.count("api.mine"), 2u);
+  EXPECT_EQ(names.count("mr.job"), 2u);
+
+  // Second pass: nesting by parent ids. leg and merge hang off scatter,
+  // each worker's serve.request off a distinct leg, the mine-path spans
+  // off their serve.request, the facade span off serve.mine, and the
+  // MapReduce job off the facade's api.mine.
+  std::set<uint64_t> request_parents;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "router.leg" || span.name == "router.merge") {
+      EXPECT_EQ(span.parent_id, scatter_id) << span.name;
+    }
+    if (span.name == "serve.request") {
+      EXPECT_EQ(leg_ids.count(span.parent_id), 1u)
+          << "serve.request parented outside the router's legs";
+      request_parents.insert(span.parent_id);
+    }
+    if (span.name == "serve.mine" || span.name == "serve.queue") {
+      ASSERT_EQ(by_id.count(span.parent_id), 1u) << span.name;
+      EXPECT_EQ(by_id[span.parent_id]->name, "serve.request") << span.name;
+    }
+    if (span.name == "api.mine") {
+      ASSERT_EQ(by_id.count(span.parent_id), 1u);
+      EXPECT_EQ(by_id[span.parent_id]->name, "serve.mine");
+    }
+    if (span.name == "mr.job") {
+      ASSERT_EQ(by_id.count(span.parent_id), 1u);
+      EXPECT_EQ(by_id[span.parent_id]->name, "api.mine");
+    }
+  }
+  EXPECT_EQ(request_parents, leg_ids);
 }
 
 TEST_F(NetLoopbackTest, RouterRejectsFiltersAndExplicitShards) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "api/lash_api.h"
+#include "obs/metrics.h"
 #include "serve/mining_service.h"
 #include "serve/result_cache.h"
 #include "serve/task_spec.h"
@@ -403,6 +404,38 @@ TEST_F(ServePaperTest, StatsCountersSatisfyTheDocumentedIdentities) {
   // (still in flight) — both count toward the shared-work economy.
   EXPECT_EQ(stats.hits + stats.coalesced, 6u);
   EXPECT_GT(stats.mine_p50_ms, 0.0);
+}
+
+TEST_F(ServePaperTest, RegistryGaugesTrackQueueDepthAndCacheBytes) {
+  // The service registers its instruments into a caller-supplied registry
+  // (lash_served passes the process-global one); the gauges for executor
+  // queue depth and cache residency are live values, not counters.
+  obs::MetricsRegistry registry;
+  ServiceOptions options;
+  options.metrics = &registry;
+  MiningService service(dataset_, options);
+  EXPECT_EQ(&service.metrics(), &registry);
+
+  EXPECT_EQ(registry.GetGauge("serve.executor.queue_depth")->Value(), 0);
+  EXPECT_EQ(registry.GetGauge("serve.cache.bytes")->Value(), 0);
+
+  const Response cold = service.Submit(PaperSpec(Algorithm::kSequential)).Get();
+  EXPECT_FALSE(cold.cache_hit);
+
+  // Drained executor, one resident result: depth back to 0, bytes > 0 and
+  // equal to what both stats surfaces report.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(registry.GetGauge("serve.executor.queue_depth")->Value(), 0);
+  const int64_t bytes = registry.GetGauge("serve.cache.bytes")->Value();
+  EXPECT_GT(bytes, 0);
+  EXPECT_EQ(static_cast<uint64_t>(bytes), stats.cache_bytes);
+  EXPECT_EQ(registry.GetGauge("serve.cache.entries")->Value(), 1);
+  EXPECT_EQ(registry.GetCounter("serve.requests.submitted")->Value(), 1u);
+
+  // Two services sharing nothing: a second service with its own (default,
+  // private) registry starts from zero — no cross-service pollution.
+  MiningService isolated(dataset_);
+  EXPECT_EQ(isolated.Stats().submitted, 0u);
 }
 
 TEST_F(ServePaperTest, ShardsAreRoutedAndCachedIndependently) {

@@ -22,7 +22,9 @@
 #include "datagen/product_gen.h"
 #include "datagen/text_gen.h"
 #include "io/text_io.h"
+#include "obs/trace.h"
 #include "tools/arg_parse.h"
+#include "tools/obs_args.h"
 
 namespace {
 
@@ -32,6 +34,13 @@ int RealMain(const lash::tools::Args& args) {
   if (!args.Has("out") && !args.Has("save-snapshot")) {
     throw tools::ArgError("pass --out PREFIX and/or --save-snapshot FILE");
   }
+
+  // Generation has no request pipeline; one root span timing the whole
+  // corpus build is this tool's entire trace.
+  tools::MaybeOpenTraceFile(args);
+  obs::Span gen_span(&obs::Tracer::Global(), tools::NewRequestTrace(),
+                     "gen.corpus");
+  gen_span.Tag("kind", kind);
 
   Database db;
   Vocabulary vocab;
@@ -124,12 +133,13 @@ int main(int argc, char** argv) {
                {"hierarchy"},
                {"levels"},
                {"seed"},
-               {"shards"}});
+               {"shards"},
+               {"trace-out"}});
     if (args.Has("help")) {
       std::cout << "lash_gen --kind nyt|amzn [--out PREFIX] "
                    "[--save-snapshot FILE] [--shards N] [--sentences N] "
                    "[--sessions N] [--hierarchy L|P|LP|CLP] [--levels N] "
-                   "[--seed N]\n";
+                   "[--seed N] [--trace-out FILE]\n";
       return 0;
     }
     return RealMain(args);

@@ -22,8 +22,10 @@
 #include <iostream>
 
 #include "api/lash_api.h"
+#include "obs/trace.h"
 #include "tools/arg_parse.h"
 #include "tools/dataset_args.h"
+#include "tools/obs_args.h"
 
 namespace {
 
@@ -106,6 +108,11 @@ int RealMain(const lash::tools::Args& args) {
   }
   TextWriterSink sink(args.Has("output") ? static_cast<std::ostream&>(file)
                                          : std::cout);
+  // This run is the whole request: the ambient context makes the facade's
+  // api.mine span (and the MapReduce spans under it) a fresh root trace
+  // when --trace-out is set, and a no-op otherwise.
+  lash::tools::MaybeOpenTraceFile(args);
+  obs::ScopedAmbientContext ambient(lash::tools::NewRequestTrace());
   RunResult result;
   try {
     result = task.Run(sink);
@@ -162,7 +169,8 @@ int main(int argc, char** argv) {
                {"threads"},
                {"filter"},
                {"top"},
-               {"output"}});
+               {"output"},
+               {"trace-out"}});
     if (args.Has("help")) {
       std::cout << "lash_mine (--sequences FILE --hierarchy FILE | "
                    "--snapshot FILE) [--sigma N] "
@@ -170,7 +178,7 @@ int main(int argc, char** argv) {
                    "[--algo sequential|lash|mgfsm|gsp|naive|seminaive] "
                    "[--miner NAME] [--distributed] [--threads N] "
                    "[--filter none|closed|maximal] [--top K] [--output FILE] "
-                   "[--save-snapshot FILE] [--mmap]\n";
+                   "[--save-snapshot FILE] [--mmap] [--trace-out FILE]\n";
       return 0;
     }
     return RealMain(args);

@@ -45,10 +45,13 @@
 
 #include "api/lash_api.h"
 #include "net/client.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/mining_service.h"
 #include "stats/filters.h"
 #include "tools/arg_parse.h"
 #include "tools/dataset_args.h"
+#include "tools/obs_args.h"
 
 namespace {
 
@@ -151,6 +154,16 @@ void PrintStats(const ServiceStats& s) {
   std::fflush(stdout);
 }
 
+/// The full registry snapshot, one indented `name value` line per sample —
+/// the live stats surface behind the fixed-format summary above.
+void PrintMetrics(const std::vector<obs::MetricSample>& samples) {
+  std::printf("metrics: %zu samples\n", samples.size());
+  for (const obs::MetricSample& sample : samples) {
+    std::printf("  %s %.6g\n", sample.name.c_str(), sample.value);
+  }
+  std::fflush(stdout);
+}
+
 /// One submitted-but-unprinted query.
 struct Outstanding {
   size_t index;
@@ -206,6 +219,7 @@ int RunCommands(std::istream& in, MiningService& service, bool interactive,
       if (tokens >> command && command[0] != '#') {
         if (command == "mine") {
           TaskSpec spec = ParseSpec(tokens);
+          spec.trace = tools::NewRequestTrace();
           Outstanding out{next_index++, line, service.Submit(spec)};
           if (interactive) {
             PrintResult(service, out, print_top);
@@ -217,6 +231,7 @@ int RunCommands(std::istream& in, MiningService& service, bool interactive,
         } else if (command == "stats") {
           drain();
           PrintStats(service.Stats());
+          PrintMetrics(service.metrics().Snapshot());
         } else if (interactive && (command == "quit" || command == "exit")) {
           return 0;
         } else {
@@ -248,7 +263,13 @@ int RunNetworkCommands(std::istream& in, net::NetClient& client,
       std::string command;
       if (tokens >> command && command[0] != '#') {
         if (command == "mine") {
-          const TaskSpec spec = ParseSpec(tokens);
+          TaskSpec spec = ParseSpec(tokens);
+          // Minted here, at the edge: the client.mine root span owns the
+          // round trip, and its context rides the v2 wire message through
+          // the router to every worker. Untraced runs stay v1.
+          obs::Span root(&obs::Tracer::Global(), tools::NewRequestTrace(),
+                         "client.mine");
+          spec.trace = root.context();
           const size_t index = next_index++;
           try {
             const net::MineReply reply = client.Mine(spec);
@@ -283,6 +304,7 @@ int RunNetworkCommands(std::istream& in, net::NetClient& client,
           // Synchronous client: nothing outstanding.
         } else if (command == "stats") {
           PrintStats(client.Stats());
+          PrintMetrics(client.Metrics());
         } else if (interactive && (command == "quit" || command == "exit")) {
           return 0;
         } else {
@@ -299,6 +321,7 @@ int RunNetworkCommands(std::istream& in, net::NetClient& client,
 }
 
 int RealMain(const lash::tools::Args& args) {
+  tools::MaybeOpenTraceFile(args);
   ServiceOptions options;
   options.executor_threads = args.GetInt("threads", 0);
   options.queue_capacity = args.GetInt("queue", 64);
@@ -385,13 +408,14 @@ int main(int argc, char** argv) {
                            {"cache-mb"},
                            {"print"},
                            {"connect"},
-                           {"io-timeout-ms"}});
+                           {"io-timeout-ms"},
+                           {"trace-out"}});
     if (args.Has("help")) {
       std::cout
           << "lash_serve (--sequences FILE --hierarchy FILE | --snapshot FILE"
              " | --gen nyt|amzn | --connect HOST:PORT) (--script FILE |"
              " --repl) [--threads N] [--queue N] [--block] [--cache-mb N]"
-             " [--print K] [--io-timeout-ms N]"
+             " [--print K] [--io-timeout-ms N] [--trace-out FILE]"
              " [--save-snapshot FILE] [--mmap]\n"
              "script commands: mine key=value... | wait | stats\n";
       return 0;

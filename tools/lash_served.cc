@@ -32,9 +32,12 @@
 #include "net/router.h"
 #include "net/server.h"
 #include "net/service_backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/mining_service.h"
 #include "tools/arg_parse.h"
 #include "tools/dataset_args.h"
+#include "tools/obs_args.h"
 
 namespace {
 
@@ -96,9 +99,16 @@ int Serve(net::ServerOptions options, net::Backend* backend,
 }
 
 int RealMain(const tools::Args& args) {
+  // One process, one registry, one tracer: every component (service,
+  // router, event loop) records into the Global registry, which is what
+  // the stats/metrics RPCs expose.
+  tools::MaybeOpenTraceFile(args);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+
   net::ServerOptions server_options;
   server_options.bind_address = args.Get("bind", "127.0.0.1");
   server_options.port = static_cast<uint16_t>(args.GetInt("port", 0, 65535));
+  server_options.metrics = &metrics;
 
   if (args.Has("router")) {
     std::vector<net::WorkerAddress> workers;
@@ -113,6 +123,7 @@ int RealMain(const tools::Args& args) {
     options.scatter_threads = args.GetInt("threads", 0);
     options.client.io_timeout_ms =
         static_cast<int>(args.GetInt("io-timeout-ms", 0));
+    options.metrics = &metrics;
     const size_t num_workers = workers.size();
     net::RouterBackend backend(std::move(workers), options);
     std::fprintf(stderr, "routing across %zu workers (shard sigma %llu)\n",
@@ -152,6 +163,9 @@ int RealMain(const tools::Args& args) {
                                   ? serve::AdmissionPolicy::kBlock
                                   : serve::AdmissionPolicy::kReject;
   service_options.cache_bytes = args.GetInt("cache-mb", 64) << 20;
+  service_options.metrics = &metrics;
+  service_options.slow_query_ms =
+      static_cast<double>(args.GetInt("slow-ms", 0));
   net::ServiceBackend backend(std::move(shards), service_options);
   return Serve(std::move(server_options), &backend, args);
 }
@@ -183,16 +197,19 @@ int main(int argc, char** argv) {
                            {"router", false},
                            {"workers"},
                            {"shard-sigma"},
-                           {"io-timeout-ms"}});
+                           {"io-timeout-ms"},
+                           {"trace-out"},
+                           {"slow-ms"}});
     if (args.Has("help")) {
       std::cout
           << "worker: lash_served (--snapshot FILE[,FILE...] [--mmap] | "
              "--sequences FILE --hierarchy FILE | --gen nyt|amzn) "
              "[--bind ADDR] [--port N] [--port-file FILE] [--threads N] "
-             "[--queue N] [--block] [--cache-mb N]\n"
+             "[--queue N] [--block] [--cache-mb N] [--trace-out FILE] "
+             "[--slow-ms N]\n"
              "router: lash_served --router --workers HOST:PORT[,...] "
              "[--shard-sigma N] [--bind ADDR] [--port N] [--port-file FILE] "
-             "[--threads N] [--io-timeout-ms N]\n";
+             "[--threads N] [--io-timeout-ms N] [--trace-out FILE]\n";
       return 0;
     }
     return RealMain(args);

@@ -11,9 +11,11 @@
 #include <iostream>
 
 #include "api/lash_api.h"
+#include "obs/trace.h"
 #include "stats/output_stats.h"
 #include "tools/arg_parse.h"
 #include "tools/dataset_args.h"
+#include "tools/obs_args.h"
 
 namespace {
 
@@ -32,7 +34,10 @@ int RealMain(const lash::tools::Args& args) {
           args.GetInt("lambda", 5, std::numeric_limits<uint32_t>::max())));
 
   // One dataset, two queries: hierarchical GSM and the flat baseline the
-  // non-trivial percentage is measured against.
+  // non-trivial percentage is measured against. Both api.mine spans land
+  // in one trace when --trace-out is set.
+  lash::tools::MaybeOpenTraceFile(args);
+  obs::ScopedAmbientContext ambient(lash::tools::NewRequestTrace());
   PatternMap gsm = task.Mine();
   PatternMap flat = task.WithFlatHierarchy().Mine();
   PatternMap flat_patterns = dataset.FlatToHierarchicalRanks(flat);
@@ -60,11 +65,12 @@ int main(int argc, char** argv) {
                {"mmap", false},
                {"sigma"},
                {"gamma"},
-               {"lambda"}});
+               {"lambda"},
+               {"trace-out"}});
     if (args.Has("help")) {
       std::cout << "lash_stats (--sequences FILE --hierarchy FILE | "
-                   "--snapshot FILE) [--sigma N] "
-                   "[--gamma N] [--lambda N] [--save-snapshot FILE] [--mmap]\n";
+                   "--snapshot FILE) [--sigma N] [--gamma N] [--lambda N] "
+                   "[--save-snapshot FILE] [--mmap] [--trace-out FILE]\n";
       return 0;
     }
     return RealMain(args);

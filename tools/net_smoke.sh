@@ -9,7 +9,9 @@
 # ports (--port 0 --port-file) — then mines the same queries three ways:
 # locally with lash_mine, through the single worker, and through the router.
 # The three pattern streams must be line-identical after sorting. Also
-# exercises the stats RPC and the SIGTERM graceful drain.
+# exercises the stats RPC (including the metrics snapshot), a traced mine
+# whose single trace id must appear in the client, router, and both shard
+# workers' --trace-out JSONL files, and the SIGTERM graceful drain.
 
 set -euo pipefail
 
@@ -42,7 +44,10 @@ trap cleanup EXIT
 start_server() {  # start_server NAME ARGS... ; port lands in NAME.port
   local name=$1
   shift
-  "$SERVED" "$@" --port 0 --port-file "$name.port" 2>"$name.log" &
+  # Every server writes its spans to NAME.trace.jsonl; the traced-mine
+  # section below greps one shared trace id across all of them.
+  "$SERVED" "$@" --port 0 --port-file "$name.port" \
+            --trace-out "$name.trace.jsonl" --slow-ms 30000 2>"$name.log" &
   PIDS+=($!)
 }
 wait_port() {  # wait_port NAME -> prints the bound port
@@ -121,6 +126,41 @@ if [ "$TOPK_LINES" -ne 7 ]; then
 fi
 echo "net_smoke: router top-k re-cut ok"
 
+# --- Traced mine: one trace id across the client, the router, and both
+# shard workers. γ=2 λ=3 is fresh (no earlier query used it), so the
+# router's σ'=1 scatter legs are cold misses on both shards and the full
+# pipeline — serve.request → serve.mine → mr.job — records on each (λ=3
+# keeps the σ'=1 over-mining cheap). lash_serve mints the root trace id
+# (--trace-out enables tracing at the edge) and the id rides the
+# kMineRequestV2 frame through the router to every worker.
+echo "mine algo=lash sigma=8 gamma=2 lambda=3" >q.script
+"$SERVE" --connect "127.0.0.1:$ROUTER_PORT" --script q.script --print 0 \
+         --trace-out client.trace.jsonl >traced.router.txt 2>>serve.log
+TRACE_ID=$(grep -o '"trace":"[0-9a-f]\{32\}"' client.trace.jsonl \
+           | head -n1 | cut -d'"' -f4)
+if [ -z "$TRACE_ID" ]; then
+  echo "net_smoke: client wrote no trace id to client.trace.jsonl" >&2
+  exit 1
+fi
+for name in router shard0 shard1; do
+  grep -q "\"trace\":\"$TRACE_ID\"" "$name.trace.jsonl" || {
+    echo "net_smoke: trace id $TRACE_ID missing from $name.trace.jsonl" >&2
+    exit 1
+  }
+done
+# The router recorded its scatter/merge legs and the shards their full
+# serve pipeline plus the MapReduce timeline — all under the one id.
+TRACED_ROUTER=$(grep "\"trace\":\"$TRACE_ID\"" router.trace.jsonl)
+echo "$TRACED_ROUTER" | grep -q '"name":"router.scatter"'
+echo "$TRACED_ROUTER" | grep -q '"name":"router.merge"'
+for name in shard0 shard1; do
+  TRACED_SHARD=$(grep "\"trace\":\"$TRACE_ID\"" "$name.trace.jsonl")
+  echo "$TRACED_SHARD" | grep -q '"name":"serve.request"'
+  echo "$TRACED_SHARD" | grep -q '"name":"serve.mine"'
+  echo "$TRACED_SHARD" | grep -q '"name":"mr.job"'
+done
+echo "net_smoke: one trace id spans client, router, and both shards ok"
+
 # --- Stats RPC: the worker served 4 queries (one was a repeat-free stream,
 # so hits come from the router's shard_sigma probes only on shards; on the
 # worker itself expect submitted>=4). The oversized_rejects counter must be
@@ -130,7 +170,16 @@ echo "stats" >q.script
          >stats.txt 2>>serve.log
 grep -q "submitted=" stats.txt
 grep -q "oversized_rejects=" stats.txt
-echo "net_smoke: stats rpc ok"
+# The metrics RPC rides along: the full registry snapshot follows the
+# legacy stats line, covering the service, its executor and cache gauges,
+# and the server's own wire instruments.
+grep -q "^metrics: " stats.txt
+grep -q "serve.requests.submitted " stats.txt
+grep -q "serve.executor.queue_depth " stats.txt
+grep -q "serve.cache.bytes " stats.txt
+grep -q "serve.latency.mine_ms.count " stats.txt
+grep -q "net.server.frames_in " stats.txt
+echo "net_smoke: stats rpc + metrics snapshot ok"
 
 # --- Graceful drain: SIGTERM must end every server with exit 0 and the
 # drain epilogue on stderr.
