@@ -163,4 +163,22 @@ NamedPatternList DecodeNamedPatterns(ByteReader& reader) {
   return patterns;
 }
 
+void EncodeFrequencyList(std::string* out,
+                         const std::vector<Frequency>& frequencies) {
+  PutVarint64(out, frequencies.size());
+  for (Frequency frequency : frequencies) {
+    PutVarint64(out, frequency);
+  }
+}
+
+std::vector<Frequency> DecodeFrequencyList(ByteReader& reader) {
+  const uint64_t count = reader.ReadVarint64("frequency count");
+  std::vector<Frequency> frequencies;
+  frequencies.reserve(count < 4096 ? count : 4096);
+  for (uint64_t i = 0; i < count; ++i) {
+    frequencies.push_back(reader.ReadVarint64("frequency"));
+  }
+  return frequencies;
+}
+
 }  // namespace lash

@@ -78,6 +78,15 @@ void EncodeNamedPatterns(std::string* out, const NamedPatternList& patterns);
 /// Inverse of EncodeNamedPatterns.
 NamedPatternList DecodeNamedPatterns(ByteReader& reader);
 
+/// Serializes a bare frequency vector: varint count, then each value as a
+/// varint64. The payload of a count response (net/wire.h) — supports ride
+/// index-aligned with the candidate list of the request, so no names repeat.
+void EncodeFrequencyList(std::string* out,
+                         const std::vector<Frequency>& frequencies);
+
+/// Inverse of EncodeFrequencyList.
+std::vector<Frequency> DecodeFrequencyList(ByteReader& reader);
+
 }  // namespace lash
 
 #endif  // LASH_IO_RESULT_IO_H_

@@ -238,9 +238,10 @@ std::string NetClient::Exchange(const std::string& payload) {
 
 MineReply NetClient::Mine(const serve::TaskSpec& spec) {
   const double start_ms = NowMs();
-  const std::string payload = Exchange(spec.trace.active()
-                                           ? EncodeMineRequestV2(spec)
-                                           : EncodeMineRequest(spec));
+  const std::string payload =
+      Exchange(spec.shard_sigma != 0 ? EncodeMineRequestV3(spec)
+               : spec.trace.active() ? EncodeMineRequestV2(spec)
+                                     : EncodeMineRequest(spec));
   MineReply reply;
   try {
     const MessageType type = PeekMessageType(payload);
@@ -261,6 +262,31 @@ MineReply NetClient::Mine(const serve::TaskSpec& spec) {
   } catch (const IoError& e) {
     throw ServeError(ServeErrorCode::kExecutionFailed,
                      std::string("malformed mine response: ") + e.what());
+  }
+  reply.round_trip_ms = NowMs() - start_ms;
+  return reply;
+}
+
+CountReply NetClient::Count(const CountRequest& request) {
+  const double start_ms = NowMs();
+  const std::string payload = Exchange(EncodeCountRequest(request));
+  CountReply reply;
+  try {
+    const MessageType type = PeekMessageType(payload);
+    if (type == MessageType::kErrorResponse) {
+      const ErrorResponse error = DecodeErrorResponse(payload);
+      throw ServeError(error.code, error.message);
+    }
+    if (type != MessageType::kCountResponse) {
+      throw ServeError(ServeErrorCode::kExecutionFailed,
+                       "unexpected response message type");
+    }
+    CountResponse response = DecodeCountResponse(payload);
+    reply.supports = std::move(response.supports);
+    reply.server_ms = response.server_ms;
+  } catch (const IoError& e) {
+    throw ServeError(ServeErrorCode::kExecutionFailed,
+                     std::string("malformed count response: ") + e.what());
   }
   reply.round_trip_ms = NowMs() - start_ms;
   return reply;
@@ -306,6 +332,11 @@ NetClient::~NetClient() = default;
 void NetClient::Disconnect() {}
 
 MineReply NetClient::Mine(const serve::TaskSpec&) {
+  throw ServeError(ServeErrorCode::kExecutionFailed,
+                   "lash::net requires a POSIX platform");
+}
+
+CountReply NetClient::Count(const CountRequest&) {
   throw ServeError(ServeErrorCode::kExecutionFailed,
                    "lash::net requires a POSIX platform");
 }

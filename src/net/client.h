@@ -34,6 +34,14 @@ struct MineReply {
   double round_trip_ms = 0;  ///< Full client-observed wall clock.
 };
 
+/// A successful remote support-counting answer (phase 2 of the router's
+/// two-phase protocol).
+struct CountReply {
+  std::vector<Frequency> supports;  ///< Index-aligned with the candidates.
+  double server_ms = 0;             ///< Receipt → reply inside the worker.
+  double round_trip_ms = 0;         ///< Full client-observed wall clock.
+};
+
 /// A thin blocking client for the framed wire protocol: one TCP connection,
 /// lazily (re)established with bounded exponential-backoff retries, one
 /// outstanding request at a time. Every failure a caller can observe is the
@@ -57,10 +65,15 @@ class NetClient {
 
   /// Mines `spec` remotely and returns the decoded reply. The spec's
   /// deadline travels with the request (the server enforces it too). A spec
-  /// carrying an active trace id is sent as kMineRequestV2 (the trace
-  /// context crosses the wire); otherwise the v1 encoding is used, byte-
-  /// identical to a pre-PR-9 client.
+  /// with a shard-σ override (`spec.shard_sigma != 0`) is sent as
+  /// kMineRequestV3; otherwise a spec carrying an active trace id is sent
+  /// as kMineRequestV2 (the trace context crosses the wire); otherwise the
+  /// v1 encoding is used, byte-identical to a pre-PR-9 client.
   MineReply Mine(const serve::TaskSpec& spec);
+
+  /// Counts the exact supports of `request.candidates` on the remote shard
+  /// (the kCountRequest RPC). Same typed-failure contract as Mine.
+  CountReply Count(const CountRequest& request);
 
   /// Fetches the remote service's counters.
   serve::ServiceStats Stats();

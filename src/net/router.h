@@ -17,20 +17,35 @@
 namespace lash::net {
 
 struct RouterOptions {
-  /// The support threshold scattered to each shard. 1 (the default) makes
-  /// the router *exact* — see the merge contract on RouterBackend. Raising
-  /// it trades completeness for shard-side work: a pattern whose union
-  /// support is ≥ σ but whose per-shard support is everywhere below
-  /// `shard_sigma` is lost.
-  Frequency shard_sigma = 1;
+  /// Two-phase candidate/count protocol (the default): phase 1 scatters the
+  /// mine at the pigeonhole bound σ′ = max(1, ⌈σ/k⌉) for k workers — any
+  /// pattern whose union support reaches σ must reach σ′ on at least one
+  /// shard, so the union of per-shard results is a *complete* candidate
+  /// set while each shard ships only its σ′-frequent patterns; phase 2
+  /// sends the named union candidates back to every worker (kCountRequest),
+  /// sums the exact per-shard supports, and re-cuts at σ. Output is
+  /// byte-identical to the legacy one-phase σ′=1 scatter. False keeps the
+  /// legacy path (the bench baseline): one phase at σ′=1, exact because
+  /// every pattern is visible everywhere.
+  bool two_phase = true;
+  /// Default phase-1 scatter threshold σ′. 0 picks the mode's default —
+  /// the pigeonhole bound when `two_phase`, 1 on the legacy path. A
+  /// nonzero value overrides both (clamped to [1, σ]); on the legacy path
+  /// raising it above 1 trades completeness for shard-side work. A
+  /// per-request `TaskSpec::shard_sigma` overrides this per query.
+  Frequency shard_sigma = 0;
   /// Per-worker client knobs (timeouts, retries).
   ClientOptions client;
   /// Threads answering concurrent router requests (0 = worker count).
   size_t scatter_threads = 0;
-  /// Registry for the router.scatter.* instruments; also what the router
-  /// answers a kMetricsRequest from. Null disables both (the metrics RPC
-  /// then returns an empty snapshot).
+  /// Registry for the router.scatter.* / router.count.* instruments; also
+  /// what the router answers a kMetricsRequest from. Null disables both
+  /// (the metrics RPC then returns an empty snapshot).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Slow-query log threshold in milliseconds; 0 disables. A scatter whose
+  /// total latency reaches the threshold logs one stderr line (outcome,
+  /// latency, phase shape, candidate/count stats, trace id when present).
+  double slow_query_ms = 0;
 };
 
 /// The router backend: serves the same wire protocol as a worker, but
@@ -42,11 +57,21 @@ struct RouterOptions {
 /// per-shard supports — summation keyed on the canonical item-name bytes is
 /// an associative, commutative reduction, and merging workers in any
 /// grouping or order yields the same multiset (router trees compose).
-/// Exactness needs every contributing pattern visible: a union-frequent
-/// pattern can sit below σ on every individual shard, so the scatter runs
-/// at `shard_sigma` (default 1) and the caller's σ is re-applied to the
-/// summed supports. Top-k is likewise deferred: workers mine un-truncated,
-/// the router re-sorts the merged stream (canonical wire order) and re-cuts.
+/// Exactness needs every σ-frequent pattern visible, and a union-frequent
+/// pattern can sit below σ on every individual shard. Two ways to get it:
+///
+///   * Two-phase (default, RouterOptions::two_phase): scatter the mine at
+///     the pigeonhole bound σ′ = max(1, ⌈σ/k⌉) — if supp(S) ≥ σ over k
+///     shards, some shard holds ≥ ⌈σ/k⌉ of it — then recount the union
+///     candidates exactly on every shard (kCountRequest) and sum. Each
+///     shard ships only σ′-frequent patterns instead of its entire σ′=1
+///     pattern universe.
+///   * Legacy one-phase: scatter at σ′=1 so every pattern is visible, and
+///     re-apply the caller's σ to the summed supports. Exact but pays the
+///     σ′=1 tax in shard mining and pattern shipping.
+///
+/// Either way top-k is deferred: workers mine un-truncated, the router
+/// re-sorts the merged stream (canonical wire order) and re-cuts.
 /// Closed/maximal filters do not distribute over this merge (they need the
 /// union corpus's pattern lattice) and are rejected as invalid_task.
 class RouterBackend : public Backend {
@@ -61,7 +86,8 @@ class RouterBackend : public Backend {
   /// callable in-process; bench_net uses this directly). A spec carrying an
   /// active trace context opens a router.scatter span under it, one
   /// router.leg span per worker (whose context travels to that worker as
-  /// the leg's kMineRequestV2 parent), and a router.merge span over the
+  /// the leg's kMineRequestV2 parent), one router.count span per count leg
+  /// when the two-phase count runs, and a router.merge span over the
   /// reduction — the cross-process halves of one merged trace tree.
   MineResponse Scatter(const serve::TaskSpec& spec);
 
@@ -79,9 +105,17 @@ class RouterBackend : public Backend {
   std::vector<std::unique_ptr<WorkerSlot>> workers_;
   RouterOptions options_;
 
+  /// Resolves the effective phase-1 σ′ for `spec` (request override, then
+  /// the option, then the mode default), clamped to [1, σ].
+  Frequency ResolveShardSigma(const serve::TaskSpec& spec) const;
+
   /// Null when no registry was given.
   obs::Counter* scatter_requests_ = nullptr;
   obs::Counter* scatter_worker_errors_ = nullptr;
+  obs::Counter* count_requests_ = nullptr;
+  obs::Counter* count_candidates_ = nullptr;
+  obs::Counter* count_patterns_shipped_ = nullptr;
+  obs::LatencyHistogram* count_phase_ms_ = nullptr;
 
   mutable std::mutex mu_;
   size_t inflight_ = 0;

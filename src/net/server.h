@@ -40,7 +40,8 @@ class Reply {
 
 /// What a NetServer serves. Handle() runs on the event-loop thread and must
 /// not block: hand long work to an executor (the mining service already is
-/// one) and answer through the Reply when done. Throwing IoError (or
+/// one; support counting goes to the worker backend's own counting pool)
+/// and answer through the Reply when done. Throwing IoError (or
 /// anything else) out of Handle closes that connection — the peer sent a
 /// frame this backend cannot parse, and the only safe protocol state is
 /// "gone" — while every other connection keeps being served.

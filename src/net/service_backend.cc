@@ -1,17 +1,28 @@
 #include "net/service_backend.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "io/io_error.h"
+#include "obs/trace.h"
+#include "serve/support_count.h"
+#include "util/timer.h"
 
 namespace lash::net {
 
 ServiceBackend::ServiceBackend(std::vector<const Dataset*> shards,
                                serve::ServiceOptions options)
     : shards_(std::move(shards)) {
+  if (options.metrics != nullptr) {
+    count_requests_ = options.metrics->GetCounter("serve.count.requests");
+  }
   options.post_resolve_hook = [this] { DrainReady(); };
   service_ = std::make_unique<serve::MiningService>(shards_,
                                                     std::move(options));
+  count_pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
 }
 
 void ServiceBackend::Handle(std::string_view payload, Reply reply) {
@@ -24,8 +35,25 @@ void ServiceBackend::Handle(std::string_view payload, Reply reply) {
     reply.Send(EncodeMetricsResponse(service_->metrics().Snapshot()));
     return;
   }
+  if (type == MessageType::kCountRequest) {
+    CountRequest request = DecodeCountRequest(payload);
+    if (request.shard >= shards_.size()) {
+      reply.Send(EncodeErrorResponse(serve::ServeErrorCode::kInvalidTask,
+                                     "count request names an unknown shard"));
+      return;
+    }
+    if (count_requests_ != nullptr) count_requests_->Add();
+    counts_inflight_.fetch_add(1, std::memory_order_relaxed);
+    count_pool_->Submit(
+        [this, request = std::move(request), reply = std::move(reply)] {
+          RunCount(request, reply);
+          counts_inflight_.fetch_sub(1, std::memory_order_relaxed);
+        });
+    return;
+  }
   if (type != MessageType::kMineRequest &&
-      type != MessageType::kMineRequestV2) {
+      type != MessageType::kMineRequestV2 &&
+      type != MessageType::kMineRequestV3) {
     // Responses (or anything else) arriving at a server are a protocol
     // violation; throwing makes the event loop close the connection.
     throw IoError(IoErrorKind::kMalformed, 0,
@@ -45,7 +73,51 @@ void ServiceBackend::Handle(std::string_view payload, Reply reply) {
 
 size_t ServiceBackend::InFlight() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return inflight_.size();
+  return inflight_.size() + counts_inflight_.load(std::memory_order_relaxed);
+}
+
+void ServiceBackend::RunCount(const CountRequest& request,
+                              const Reply& reply) {
+  try {
+    Stopwatch watch;
+    obs::Span span(&obs::Tracer::Global(), request.trace, "serve.count");
+    span.Tag("candidates", static_cast<double>(request.candidates.size()));
+    span.Tag("shard", static_cast<double>(request.shard));
+    const Dataset& dataset = *shards_[request.shard];
+    const serve::CountQuery query{request.gamma, request.lambda,
+                                  request.flat};
+    std::vector<Frequency> supports(request.candidates.size(), 0);
+    std::atomic<bool> expired{false};
+    count_pool_->ParallelFor(request.candidates.size(), [&](size_t c) {
+      if (request.deadline_ms > 0 && watch.ElapsedMs() >= request.deadline_ms) {
+        expired.store(true, std::memory_order_relaxed);
+      }
+      if (expired.load(std::memory_order_relaxed)) return;
+      const NamedPatternList one{request.candidates[c]};
+      supports[c] = serve::CountSupports(dataset, one, query)[0];
+    });
+    if (expired.load(std::memory_order_relaxed)) {
+      span.Tag("outcome", "deadline_exceeded");
+      span.End();
+      reply.Send(EncodeErrorResponse(serve::ServeErrorCode::kDeadlineExceeded,
+                                     "count deadline exceeded"));
+      return;
+    }
+    CountResponse response;
+    response.supports = std::move(supports);
+    response.server_ms = watch.ElapsedMs();
+    // The span covers the counting, not the send — and ending it before the
+    // reply means a tracer collecting in-process has the span once the
+    // client sees the answer.
+    span.Tag("outcome", "ok");
+    span.End();
+    reply.Send(EncodeCountResponse(response));
+  } catch (const std::exception& e) {
+    // Vocabulary/decoding failures must not escape into the pool (which
+    // would terminate the process); they become a typed wire error.
+    reply.Send(EncodeErrorResponse(serve::ServeErrorCode::kExecutionFailed,
+                                   e.what()));
+  }
 }
 
 void ServiceBackend::DrainReady() {

@@ -1,6 +1,7 @@
 #ifndef LASH_NET_SERVICE_BACKEND_H_
 #define LASH_NET_SERVICE_BACKEND_H_
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <memory>
@@ -11,7 +12,9 @@
 #include "api/lash_api.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "serve/mining_service.h"
+#include "util/thread_pool.h"
 
 namespace lash::net {
 
@@ -24,8 +27,11 @@ namespace lash::net {
 /// list; the service's post_resolve_hook fires DrainReady(), which moves
 /// every resolved request off the list, serializes its answer — patterns
 /// decoded to item names in canonical wire order — and fires the Reply,
-/// which wakes the epoll loop. Stats and metrics requests answer
-/// synchronously; v2 mine requests carry a trace context that flows into
+/// which wakes the epoll loop. A count request (phase 2 of the router's
+/// two-phase protocol) is likewise handed off — to a backend-owned counting
+/// pool that parallelizes over candidates (serve/support_count.h) and fires
+/// the Reply from a pool thread. Stats and metrics requests answer
+/// synchronously; v2/v3 mine requests carry a trace context that flows into
 /// the service's serve.* spans unchanged.
 class ServiceBackend : public Backend {
  public:
@@ -53,15 +59,30 @@ class ServiceBackend : public Backend {
   /// Serializes one resolved request into its reply payload.
   std::string BuildReplyPayload(const Pending& pending);
 
+  /// Runs on a counting-pool thread: exact per-candidate supports via
+  /// serve::CountSupports, parallelized over candidates with the pool's
+  /// ParallelFor (safe from inside a pool task — the calling thread
+  /// participates). The deadline is checked between candidates.
+  void RunCount(const CountRequest& request, const Reply& reply);
+
   std::vector<const Dataset*> shards_;
 
   mutable std::mutex mu_;
   std::list<Pending> inflight_;
 
-  /// Declared last: destroyed first, so the executor drains (resolving
-  /// every pending request, each firing the hook into DrainReady) while
+  /// Count requests handed off but not yet replied (part of InFlight so a
+  /// draining server keeps its loop alive until the reply fires).
+  std::atomic<size_t> counts_inflight_{0};
+  /// Requests counter, registered iff the caller supplied a shared metrics
+  /// registry (the service's own registry is private to it).
+  obs::Counter* count_requests_ = nullptr;
+
+  /// Declared last: destroyed first, in reverse order — the counting pool
+  /// drains its count tasks, then the service's executor drains (resolving
+  /// every pending mine, each firing the hook into DrainReady) — all while
   /// the in-flight list and shards are still alive.
   std::unique_ptr<serve::MiningService> service_;
+  std::unique_ptr<ThreadPool> count_pool_;
 };
 
 }  // namespace lash::net

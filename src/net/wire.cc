@@ -32,6 +32,24 @@ void AppendPayloadHeader(std::string* out, MessageType type) {
   out->push_back(static_cast<char>(type));
 }
 
+/// The 24-byte trace header shared by kMineRequestV2/V3 and kCountRequest:
+/// 16-byte trace id + 8-byte LE parent span. An inactive context encodes
+/// as 24 zero bytes and decodes back inactive.
+void AppendTraceContext(std::string* out, const obs::TraceContext& trace) {
+  out->append(reinterpret_cast<const char*>(trace.trace_id.bytes.data()),
+              trace.trace_id.bytes.size());
+  PutFixed64(out, trace.parent_span);
+}
+
+obs::TraceContext ReadTraceContext(ByteReader& reader) {
+  obs::TraceContext trace;
+  const auto id = reader.ReadBytes(trace.trace_id.bytes.size(), "trace id");
+  std::copy(id.begin(), id.end(),
+            reinterpret_cast<char*>(trace.trace_id.bytes.data()));
+  trace.parent_span = ReadFixed64(reader, "parent span");
+  return trace;
+}
+
 /// Consumes and validates the payload header, returning a reader positioned
 /// at the body. `expected` rejects a payload of the wrong type (a stats
 /// reply arriving where a mine reply was awaited is a protocol error, not
@@ -153,7 +171,7 @@ MessageType PeekMessageType(std::string_view payload) {
   const uint8_t type =
       static_cast<uint8_t>(reader.ReadBytes(1, "message type")[0]);
   if (type < static_cast<uint8_t>(MessageType::kMineRequest) ||
-      type > static_cast<uint8_t>(MessageType::kMetricsResponse)) {
+      type > static_cast<uint8_t>(MessageType::kMineRequestV3)) {
     reader.Malformed("unknown message type " + std::to_string(type));
   }
   return static_cast<MessageType>(type);
@@ -174,11 +192,22 @@ std::string EncodeMineRequest(const serve::TaskSpec& spec) {
 std::string EncodeMineRequestV2(const serve::TaskSpec& spec) {
   std::string payload;
   AppendPayloadHeader(&payload, MessageType::kMineRequestV2);
-  payload.append(reinterpret_cast<const char*>(spec.trace.trace_id.bytes.data()),
-                 spec.trace.trace_id.bytes.size());
-  PutFixed64(&payload, spec.trace.parent_span);
+  AppendTraceContext(&payload, spec.trace);
   PutVarint64(&payload, spec.shard);
   PutDoubleBits(&payload, spec.deadline_ms);
+  payload.append(serve::EncodeCacheKey(0, spec));
+  return payload;
+}
+
+std::string EncodeMineRequestV3(const serve::TaskSpec& spec) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kMineRequestV3);
+  AppendTraceContext(&payload, spec.trace);
+  PutVarint64(&payload, spec.shard);
+  PutDoubleBits(&payload, spec.deadline_ms);
+  // The override sits with the other execution-shape knobs, in front of
+  // the cache-key bytes, which stay verbatim v1.
+  PutVarint64(&payload, spec.shard_sigma);
   payload.append(serve::EncodeCacheKey(0, spec));
   return payload;
 }
@@ -186,7 +215,8 @@ std::string EncodeMineRequestV2(const serve::TaskSpec& spec) {
 MineRequest DecodeMineRequest(std::string_view payload) {
   const MessageType type = PeekMessageType(payload);
   if (type != MessageType::kMineRequest &&
-      type != MessageType::kMineRequestV2) {
+      type != MessageType::kMineRequestV2 &&
+      type != MessageType::kMineRequestV3) {
     ByteReader header(payload, "mine request");
     header.ReadBytes(2, "payload header");
     header.Malformed("unexpected message type " +
@@ -194,18 +224,19 @@ MineRequest DecodeMineRequest(std::string_view payload) {
   }
   ByteReader reader = OpenPayload(payload, type, "mine request");
   obs::TraceContext trace;
-  if (type == MessageType::kMineRequestV2) {
-    const auto id = reader.ReadBytes(trace.trace_id.bytes.size(), "trace id");
-    std::copy(id.begin(), id.end(),
-              reinterpret_cast<char*>(trace.trace_id.bytes.data()));
-    trace.parent_span = ReadFixed64(reader, "parent span");
+  if (type != MessageType::kMineRequest) {
+    trace = ReadTraceContext(reader);
   }
   const uint64_t shard = reader.ReadVarint64("shard");
   const double deadline_ms = ReadDoubleBits(reader, "deadline");
+  const Frequency shard_sigma = type == MessageType::kMineRequestV3
+                                    ? reader.ReadVarint64("shard sigma")
+                                    : 0;
   MineRequest request;
   request.spec = serve::DecodeTaskSpec(payload.substr(reader.pos()));
   request.spec.shard = shard;
   request.spec.deadline_ms = deadline_ms;
+  request.spec.shard_sigma = shard_sigma;
   request.spec.trace = trace;
   return request;
 }
@@ -329,6 +360,58 @@ std::vector<obs::MetricSample> DecodeMetricsResponse(
     reader.Malformed("trailing bytes after metrics response");
   }
   return samples;
+}
+
+std::string EncodeCountRequest(const CountRequest& request) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kCountRequest);
+  AppendTraceContext(&payload, request.trace);
+  PutVarint64(&payload, request.shard);
+  PutDoubleBits(&payload, request.deadline_ms);
+  payload.push_back(request.flat ? 1 : 0);
+  PutVarint32(&payload, request.gamma);
+  PutVarint32(&payload, request.lambda);
+  EncodeNamedPatterns(&payload, request.candidates);
+  return payload;
+}
+
+CountRequest DecodeCountRequest(std::string_view payload) {
+  ByteReader reader = OpenPayload(payload, MessageType::kCountRequest,
+                                  "count request");
+  CountRequest request;
+  request.trace = ReadTraceContext(reader);
+  request.shard = reader.ReadVarint64("shard");
+  request.deadline_ms = ReadDoubleBits(reader, "deadline");
+  const uint8_t flat = static_cast<uint8_t>(reader.ReadBytes(1, "flat")[0]);
+  if (flat > 1) reader.Malformed("flat byte out of range");
+  request.flat = flat != 0;
+  request.gamma = reader.ReadVarint32("gamma");
+  request.lambda = reader.ReadVarint32("lambda");
+  request.candidates = DecodeNamedPatterns(reader);
+  if (!reader.AtEnd()) {
+    reader.Malformed("trailing bytes after count request");
+  }
+  return request;
+}
+
+std::string EncodeCountResponse(const CountResponse& response) {
+  std::string payload;
+  AppendPayloadHeader(&payload, MessageType::kCountResponse);
+  PutDoubleBits(&payload, response.server_ms);
+  EncodeFrequencyList(&payload, response.supports);
+  return payload;
+}
+
+CountResponse DecodeCountResponse(std::string_view payload) {
+  ByteReader reader = OpenPayload(payload, MessageType::kCountResponse,
+                                  "count response");
+  CountResponse response;
+  response.server_ms = ReadDoubleBits(reader, "server ms");
+  response.supports = DecodeFrequencyList(reader);
+  if (!reader.AtEnd()) {
+    reader.Malformed("trailing bytes after count response");
+  }
+  return response;
 }
 
 }  // namespace lash::net

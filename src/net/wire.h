@@ -63,6 +63,19 @@ enum class MessageType : uint8_t {
   kMineRequestV2 = 6,
   kMetricsRequest = 7,
   kMetricsResponse = 8,
+  /// Phase 2 of the router's two-phase candidate/count protocol (PR 10):
+  /// "here are named candidate patterns — return this shard's exact
+  /// support of each". Counting needs no mining, just hierarchy-aware
+  /// (γ, λ)-matching against the shard corpus (serve/support_count.h).
+  kCountRequest = 9,
+  /// Index-aligned exact supports for one kCountRequest.
+  kCountResponse = 10,
+  /// kMineRequestV2 plus a varint shard-σ override between the deadline
+  /// and the cache-key bytes. Clients pick this encoding iff
+  /// `spec.shard_sigma != 0`, so default traffic stays byte-identical to
+  /// v1/v2; the override travels outside the key bytes, exactly like
+  /// shard routing and the deadline.
+  kMineRequestV3 = 11,
 };
 
 /// Appends `payload` to `out` as one frame (length prefix + payload).
@@ -103,9 +116,17 @@ std::string EncodeMineRequest(const serve::TaskSpec& spec);
 /// active trace id, so untraced traffic stays byte-identical to v1.
 std::string EncodeMineRequestV2(const serve::TaskSpec& spec);
 
-/// Decodes a kMineRequest *or* kMineRequestV2 payload (dispatches on the
-/// type byte; re-checks the version). A v1 payload yields an inactive
-/// `spec.trace`.
+/// Payload of one kMineRequestV3: the v2 body plus `varint shard_sigma`
+/// between the deadline and the cache-key bytes. Clients pick this
+/// encoding iff `spec.shard_sigma != 0` (an inactive trace travels as its
+/// 24 zero bytes), so traffic without the override is byte-identical to
+/// what a pre-V3 client sends.
+std::string EncodeMineRequestV3(const serve::TaskSpec& spec);
+
+/// Decodes a kMineRequest, kMineRequestV2, or kMineRequestV3 payload
+/// (dispatches on the type byte; re-checks the version). A v1 payload
+/// yields an inactive `spec.trace`; v1/v2 payloads yield
+/// `spec.shard_sigma == 0`.
 MineRequest DecodeMineRequest(std::string_view payload);
 
 /// A successful mining answer: the run summary, the serving-layer
@@ -152,6 +173,40 @@ std::string EncodeMetricsRequest();
 /// name order.
 std::string EncodeMetricsResponse(const std::vector<obs::MetricSample>& samples);
 std::vector<obs::MetricSample> DecodeMetricsResponse(std::string_view payload);
+
+/// One support-counting request (phase 2 of the router's two-phase
+/// protocol): count the exact (γ, λ)-support of each named candidate on
+/// one shard. The match parameters travel explicitly — counting is not
+/// mining, so there is no cache key to reuse — and the candidates ride the
+/// canonical EncodeNamedPatterns layout with frequency 0.
+struct CountRequest {
+  /// Trace context (always present on the wire; 24 zero bytes = inactive).
+  obs::TraceContext trace{};
+  /// Which Dataset shard of the worker answers (0 for single-shard workers).
+  size_t shard = 0;
+  /// Milliseconds from receipt (0 = none); checked between candidates.
+  double deadline_ms = 0;
+  /// Count in the flat rank space (the canonicalized `flat || MgFsm` bit
+  /// of the mine spec, i.e. RunResult::used_flat_hierarchy).
+  bool flat = false;
+  uint32_t gamma = 0;
+  uint32_t lambda = 0;
+  /// Candidate patterns by item names; frequencies are ignored.
+  NamedPatternList candidates;
+};
+
+/// One shard's exact answer: `supports[i]` is the support of
+/// `request.candidates[i]` (index-aligned; unknown item names count 0).
+struct CountResponse {
+  double server_ms = 0;  ///< Receipt → reply inside the worker.
+  std::vector<Frequency> supports;
+};
+
+std::string EncodeCountRequest(const CountRequest& request);
+CountRequest DecodeCountRequest(std::string_view payload);
+
+std::string EncodeCountResponse(const CountResponse& response);
+CountResponse DecodeCountResponse(std::string_view payload);
 
 }  // namespace lash::net
 

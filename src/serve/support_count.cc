@@ -1,0 +1,41 @@
+#include "serve/support_count.h"
+
+#include "core/match.h"
+
+namespace lash::serve {
+
+std::vector<Frequency> CountSupports(const Dataset& dataset,
+                                     const NamedPatternList& candidates,
+                                     const CountQuery& query) {
+  const PreprocessResult& pre =
+      query.flat ? dataset.flat_preprocessed() : dataset.preprocessed();
+  std::vector<Frequency> supports(candidates.size(), 0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const NamedPattern& candidate = candidates[c];
+    if (candidate.items.empty() || candidate.items.size() > query.lambda) {
+      continue;
+    }
+    Sequence ranks;
+    ranks.reserve(candidate.items.size());
+    bool known = true;
+    for (const std::string& name : candidate.items) {
+      const ItemId rank = dataset.RankOfName(name, query.flat);
+      if (rank == kInvalidItem) {
+        known = false;
+        break;
+      }
+      ranks.push_back(rank);
+    }
+    if (!known) continue;  // absent from this shard's vocabulary: support 0
+    Frequency support = 0;
+    for (size_t t = 0; t < pre.database.size(); ++t) {
+      if (Matches(ranks, pre.database[t], pre.hierarchy, query.gamma)) {
+        ++support;
+      }
+    }
+    supports[c] = support;
+  }
+  return supports;
+}
+
+}  // namespace lash::serve

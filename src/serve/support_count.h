@@ -1,0 +1,46 @@
+#ifndef LASH_SERVE_SUPPORT_COUNT_H_
+#define LASH_SERVE_SUPPORT_COUNT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "api/lash_api.h"
+#include "io/result_io.h"
+
+namespace lash::serve {
+
+/// Exact support counting of named candidate patterns — phase 2 of the
+/// router's two-phase candidate/count protocol (net/router.h).
+///
+/// Counting is deliberately not mining: there is no candidate generation,
+/// no σ, no output stream — just the Sec. 2 matching predicate
+/// (core/match.h) applied per (candidate, transaction) pair. That makes the
+/// work per phase bounded by |candidates| × |shard|, independent of how
+/// many patterns a low-σ mine would have produced, which is exactly the
+/// cost the two-phase protocol exists to avoid.
+
+/// The match parameters of one counting request. γ and λ come from the
+/// query; `flat` selects the flat rank space and must equal the
+/// canonicalized `flat || MgFsm` bit of the mine spec
+/// (RunResult::used_flat_hierarchy) for counts to agree with mining.
+struct CountQuery {
+  uint32_t gamma = 0;
+  uint32_t lambda = 0;
+  bool flat = false;
+};
+
+/// Returns the exact (γ, λ)-support of each candidate on `dataset`,
+/// index-aligned with `candidates`. Candidate item names are decoded to
+/// shard-local ranks via the dataset vocabulary; a candidate containing an
+/// unknown name, an empty candidate, and a candidate longer than λ all
+/// count 0 (they cannot be an answer of any shard's mine, so a 0 sums
+/// correctly in the router's union). Candidate frequencies are ignored.
+/// Thread-compatible: safe to call concurrently on one dataset, and safe
+/// to split `candidates` across threads and concatenate.
+std::vector<Frequency> CountSupports(const Dataset& dataset,
+                                     const NamedPatternList& candidates,
+                                     const CountQuery& query);
+
+}  // namespace lash::serve
+
+#endif  // LASH_SERVE_SUPPORT_COUNT_H_

@@ -40,6 +40,15 @@ struct TaskSpec {
   /// between pipeline stages (admission, dequeue, delivery), not preemptive.
   double deadline_ms = 0;
 
+  /// Per-request override of the router's phase-1 scatter threshold σ′
+  /// (0 = the router's default: the pigeonhole bound ⌈σ/k⌉, see
+  /// net/router.h). Only the router reads it — workers and the in-process
+  /// service ignore it — and like deadline/shard it travels *outside* the
+  /// cache-key bytes (kMineRequestV3), so it is deliberately EXCLUDED from
+  /// EncodeCacheKey: how a router gathers candidates must not change what
+  /// a worker's answer hits or coalesces with.
+  Frequency shard_sigma = 0;
+
   /// Request trace context (obs/trace.h): inactive by default, stamped at
   /// the edge, carried across the wire by kMineRequestV2. Like the
   /// execution-shape knobs, deliberately EXCLUDED from EncodeCacheKey —
@@ -75,8 +84,8 @@ std::string EncodeCacheKey(uint64_t dataset_id, const TaskSpec& spec);
 /// TaskSpec encoding, so this is the server-side request decoder.
 ///
 /// Exactly the covered knobs round-trip: execution-shape fields (threads,
-/// job config, deadline, shard, trace) are not part of the key and come back at
-/// their defaults. Decoding is canonicalizing-stable:
+/// job config, deadline, shard, shard_sigma, trace) are not part of the key
+/// and come back at their defaults. Decoding is canonicalizing-stable:
 /// EncodeCacheKey(DecodeTaskSpec(key)) == key for every key EncodeCacheKey
 /// can produce (tested byte-for-byte). Malformed input throws the typed
 /// IoError of io/io_error.h: kBadVersion for an unknown key version,

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <map>
 #include <memory>
@@ -101,12 +102,22 @@ TEST(TaskSpecCodec, ExecutionShapeKnobsDoNotSurvive) {
   spec.threads = 7;
   spec.job_config.num_map_tasks = 11;
   spec.deadline_ms = 1500;
+  spec.shard_sigma = 9;
   const TaskSpec decoded =
       serve::DecodeTaskSpec(serve::EncodeCacheKey(0, spec));
   EXPECT_EQ(decoded.shard, 0u);
   EXPECT_EQ(decoded.threads, 0u);
   EXPECT_EQ(decoded.deadline_ms, 0.0);
+  EXPECT_EQ(decoded.shard_sigma, 0u);
   EXPECT_EQ(decoded.job_config.num_map_tasks, TaskSpec{}.job_config.num_map_tasks);
+  // And the key bytes themselves are invariant under the override — how a
+  // router gathers candidates must not change what a worker's answer hits
+  // or coalesces with.
+  TaskSpec plain = PaperSpec(Algorithm::kLash);
+  TaskSpec overridden = plain;
+  overridden.shard_sigma = 9;
+  EXPECT_EQ(serve::EncodeCacheKey(0, overridden),
+            serve::EncodeCacheKey(0, plain));
 }
 
 TEST(TaskSpecCodec, EveryStrictPrefixThrowsTypedError) {
@@ -294,6 +305,93 @@ TEST(WireMessages, MineRequestV2CarriesTraceContext) {
                IoError);
 }
 
+TEST(WireMessages, MineRequestV3CarriesShardSigmaOutsideTheKey) {
+  TaskSpec spec = PaperSpec(Algorithm::kLash);
+  spec.shard = 1;
+  spec.deadline_ms = 33.5;
+  spec.shard_sigma = 7;
+  spec.trace.trace_id = obs::TraceId::Make();
+  spec.trace.parent_span = 0x0123456789abcdefULL;
+
+  const std::string payload = EncodeMineRequestV3(spec);
+  EXPECT_EQ(PeekMessageType(payload), MessageType::kMineRequestV3);
+  const MineRequest decoded = DecodeMineRequest(payload);
+  EXPECT_EQ(decoded.spec.shard_sigma, 7u);
+  EXPECT_EQ(decoded.spec.shard, 1u);
+  EXPECT_EQ(decoded.spec.deadline_ms, 33.5);
+  EXPECT_EQ(decoded.spec.trace.trace_id, spec.trace.trace_id);
+  EXPECT_EQ(decoded.spec.trace.parent_span, spec.trace.parent_span);
+  EXPECT_EQ(decoded.spec.algorithm, Algorithm::kLash);
+  EXPECT_EQ(decoded.spec.params.sigma, 2u);
+
+  // v1/v2 payloads decode with the default (no override) — traffic without
+  // a shard-σ override never pays the v3 bytes.
+  EXPECT_EQ(DecodeMineRequest(EncodeMineRequest(spec)).spec.shard_sigma, 0u);
+  EXPECT_EQ(DecodeMineRequest(EncodeMineRequestV2(spec)).spec.shard_sigma, 0u);
+
+  // Every strict prefix is a typed decode error.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(DecodeMineRequest(payload.substr(0, len)), IoError)
+        << "prefix of length " << len << " did not throw";
+  }
+}
+
+TEST(WireMessages, CountRequestRoundTripAndTruncationMatrix) {
+  CountRequest request;
+  request.trace.trace_id = obs::TraceId::Make();
+  request.trace.parent_span = 0xdeadbeef12345678ULL;
+  request.shard = 3;
+  request.deadline_ms = 125.5;
+  request.flat = true;
+  request.gamma = 2;
+  request.lambda = 5;
+  request.candidates = {{{"a", "B"}, 0}, {{"c"}, 0}, {{"d1", "e", "f"}, 0}};
+
+  const std::string payload = EncodeCountRequest(request);
+  EXPECT_EQ(PeekMessageType(payload), MessageType::kCountRequest);
+  const CountRequest decoded = DecodeCountRequest(payload);
+  EXPECT_EQ(decoded.trace.trace_id, request.trace.trace_id);
+  EXPECT_EQ(decoded.trace.parent_span, request.trace.parent_span);
+  EXPECT_EQ(decoded.shard, 3u);
+  EXPECT_EQ(decoded.deadline_ms, 125.5);
+  EXPECT_TRUE(decoded.flat);
+  EXPECT_EQ(decoded.gamma, 2u);
+  EXPECT_EQ(decoded.lambda, 5u);
+  EXPECT_EQ(decoded.candidates, request.candidates);
+  // Re-encoding the decoded request reproduces the payload bytes.
+  EXPECT_EQ(EncodeCountRequest(decoded), payload);
+
+  // Every strict prefix is a typed decode error, and so is trailing junk.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(DecodeCountRequest(payload.substr(0, len)), IoError)
+        << "prefix of length " << len << " did not throw";
+  }
+  EXPECT_THROW(DecodeCountRequest(payload + "x"), IoError);
+}
+
+TEST(WireMessages, CountResponseRoundTripAndTruncationMatrix) {
+  CountResponse response;
+  response.server_ms = 1.75;
+  response.supports = {4, 0, 123456789012ULL};
+
+  const std::string payload = EncodeCountResponse(response);
+  EXPECT_EQ(PeekMessageType(payload), MessageType::kCountResponse);
+  const CountResponse decoded = DecodeCountResponse(payload);
+  EXPECT_EQ(decoded.server_ms, 1.75);
+  EXPECT_EQ(decoded.supports, response.supports);
+  EXPECT_EQ(EncodeCountResponse(decoded), payload);
+
+  // The empty support list is legal (a count of zero candidates).
+  EXPECT_TRUE(DecodeCountResponse(EncodeCountResponse(CountResponse{}))
+                  .supports.empty());
+
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(DecodeCountResponse(payload.substr(0, len)), IoError)
+        << "prefix of length " << len << " did not throw";
+  }
+  EXPECT_THROW(DecodeCountResponse(payload + "x"), IoError);
+}
+
 TEST(WireMessages, MetricsMessagesRoundTrip) {
   EXPECT_EQ(PeekMessageType(EncodeMetricsRequest()),
             MessageType::kMetricsRequest);
@@ -473,6 +571,127 @@ TEST_F(NetLoopbackTest, RouterMergesTwoShardsExactly) {
   ASSERT_EQ(topk.patterns.size(), 3u);
   EXPECT_EQ(topk.patterns,
             NamedPatternList(full.patterns.begin(), full.patterns.begin() + 3));
+}
+
+TEST_F(NetLoopbackTest, TwoPhaseCountPhaseMatchesLegacyAndInProcess) {
+  // σ=3 over the 2-shard split pigeonholes to σ′=2 > 1, so the count phase
+  // actually runs (unlike the σ=2 paper spec, where σ′=1 and phase 1 is
+  // already exact). The two-phase answer must be byte-identical to both the
+  // legacy σ′=1 router and the in-process union mine, for every algorithm.
+  Database even_db, odd_db;
+  for (size_t i = 0; i < ex_.raw_db.size(); ++i) {
+    (i % 2 == 0 ? even_db : odd_db).push_back(ex_.raw_db[i]);
+  }
+  Dataset even(Dataset::FromMemory(even_db, ex_.vocab));
+  Dataset odd(Dataset::FromMemory(odd_db, ex_.vocab));
+  ServiceBackend backend_even({&even}, serve::ServiceOptions{});
+  ServiceBackend backend_odd({&odd}, serve::ServiceOptions{});
+  TestServer worker_even(&backend_even);
+  TestServer worker_odd(&backend_odd);
+  const std::vector<WorkerAddress> addresses = {
+      {"127.0.0.1", worker_even.port()}, {"127.0.0.1", worker_odd.port()}};
+
+  RouterBackend two_phase(addresses, RouterOptions{});
+  RouterOptions legacy_options;
+  legacy_options.two_phase = false;
+  RouterBackend legacy(addresses, legacy_options);
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    TaskSpec spec = PaperSpec(algorithm);
+    spec.params.sigma = 3;
+    const MineResponse fast = two_phase.Scatter(spec);
+    const MineResponse exact = legacy.Scatter(spec);
+    EXPECT_EQ(Bytes(fast.patterns), BaselineBytes(spec))
+        << "two-phase vs in-process, algorithm " << static_cast<int>(algorithm);
+    EXPECT_EQ(Bytes(fast.patterns), Bytes(exact.patterns))
+        << "two-phase vs legacy, algorithm " << static_cast<int>(algorithm);
+  }
+}
+
+TEST_F(NetLoopbackTest, PigeonholeBoundIsLoadBearing) {
+  // The adversarial corpus: "x y" has support 2 on each shard and 4 in the
+  // union — below σ=4 on every individual shard, so any scatter at σ′=σ
+  // loses it. The pigeonhole bound σ′=⌈4/2⌉=2 keeps it as a candidate and
+  // the count phase restores its exact union support.
+  Vocabulary vocab;
+  const ItemId x = vocab.AddItem("x");
+  const ItemId y = vocab.AddItem("y");
+  const ItemId z = vocab.AddItem("z");
+  const Database shard_db = {{x, y}, {x, y}, {z}};
+  Database union_db = shard_db;
+  union_db.insert(union_db.end(), shard_db.begin(), shard_db.end());
+  Dataset a(Dataset::FromMemory(shard_db, vocab));
+  Dataset b(Dataset::FromMemory(shard_db, vocab));
+  Dataset u(Dataset::FromMemory(union_db, vocab));
+
+  ServiceBackend backend_a({&a}, serve::ServiceOptions{});
+  ServiceBackend backend_b({&b}, serve::ServiceOptions{});
+  TestServer worker_a(&backend_a);
+  TestServer worker_b(&backend_b);
+  RouterBackend router({{"127.0.0.1", worker_a.port()},
+                        {"127.0.0.1", worker_b.port()}},
+                       RouterOptions{});
+  TestServer router_server(&router);
+  NetClient client("127.0.0.1", router_server.port());
+
+  TaskSpec spec;
+  spec.algorithm = Algorithm::kSequential;
+  spec.params = {.sigma = 4, .gamma = 0, .lambda = 2};
+
+  // Traced, so the count phase's spans are visible below.
+  obs::Tracer::Global().StartCollecting();
+  TaskSpec traced = spec;
+  traced.trace.trace_id = obs::TraceId::Make();
+  const MineReply found = client.Mine(traced);
+  const std::vector<obs::SpanRecord> spans =
+      obs::Tracer::Global().TakeCollected();
+  obs::Tracer::Global().StopCollecting();
+
+  // The union answer, exactly: in-process parity over the union corpus.
+  serve::MiningService service(u);
+  const serve::Response& baseline = service.Submit(spec).Get();
+  std::string baseline_bytes;
+  EncodeNamedPatterns(&baseline_bytes,
+                      NamePatterns(u, baseline.patterns(),
+                                   baseline.run().used_flat_hierarchy));
+  EXPECT_EQ(Bytes(found.patterns), baseline_bytes);
+  ASSERT_FALSE(found.patterns.empty());
+  const NamedPattern expected{{"x", "y"}, 4};
+  EXPECT_NE(std::find(found.patterns.begin(), found.patterns.end(), expected),
+            found.patterns.end())
+      << "the union-frequent pattern below per-shard sigma is missing";
+
+  // The count phase ran and its spans joined the trace: one router.count
+  // per worker under router.scatter, one serve.count per worker.
+  uint64_t scatter_id = 0;
+  size_t count_legs = 0, serve_counts = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "router.scatter") scatter_id = span.span_id;
+  }
+  ASSERT_NE(scatter_id, 0u);
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "router.count") {
+      ++count_legs;
+      EXPECT_EQ(span.parent_id, scatter_id);
+    }
+    if (span.name == "serve.count") ++serve_counts;
+  }
+  EXPECT_EQ(count_legs, 2u);
+  EXPECT_EQ(serve_counts, 2u);
+
+  // The per-request override proves the bound is load-bearing: scattering
+  // at σ′=σ=4 finds nothing on either shard, so the answer is empty — the
+  // exactness/latency trade the override exists to expose.
+  TaskSpec overridden = spec;
+  overridden.shard_sigma = 4;
+  const MineReply dropped = client.Mine(overridden);
+  EXPECT_TRUE(dropped.patterns.empty());
+
+  // And an explicit override at the pigeonhole bound is the default answer.
+  TaskSpec pigeonhole = spec;
+  pigeonhole.shard_sigma = 2;
+  const MineReply same = client.Mine(pigeonhole);
+  EXPECT_EQ(Bytes(same.patterns), baseline_bytes);
 }
 
 TEST_F(NetLoopbackTest, MetricsRpcExposesServiceAndServerInstruments) {

@@ -24,7 +24,11 @@
 // Script format (newline-delimited; '#' starts a comment):
 //   mine key=value...   submit a query asynchronously
 //       keys: algo sigma gamma lambda miner rewrite combiner flat filter top
-//             threads shard deadline
+//             threads shard deadline shard_sigma
+//   shard_sigma overrides a router's phase-1 scatter threshold for that
+//   query (0 = the router's default, the pigeonhole bound; only meaningful
+//   with --connect against a router). --shard-sigma N sets the session
+//   default for lines that don't say shard_sigma=.
 //   wait                drain outstanding queries, printing one line each
 //   stats               print a ServiceStats snapshot
 // EOF implies a final `wait`. In --repl mode the same commands are read from
@@ -122,6 +126,8 @@ TaskSpec ParseSpec(std::istringstream& in) {
       spec.shard = ParseUint(key, value);
     } else if (key == "deadline") {
       spec.deadline_ms = static_cast<double>(ParseUint(key, value));
+    } else if (key == "shard_sigma") {
+      spec.shard_sigma = ParseUint(key, value);
     } else {
       throw ScriptError("unknown mine key '" + key + "'");
     }
@@ -253,7 +259,8 @@ int RunCommands(std::istream& in, MiningService& service, bool interactive,
 /// pipelines per connection, but a script is sequential anyway), so `wait`
 /// has nothing to drain.
 int RunNetworkCommands(std::istream& in, net::NetClient& client,
-                       bool interactive, size_t print_top) {
+                       bool interactive, size_t print_top,
+                       Frequency default_shard_sigma) {
   size_t next_index = 0;
   std::string line;
   if (interactive) std::printf("lash> "), std::fflush(stdout);
@@ -264,6 +271,9 @@ int RunNetworkCommands(std::istream& in, net::NetClient& client,
       if (tokens >> command && command[0] != '#') {
         if (command == "mine") {
           TaskSpec spec = ParseSpec(tokens);
+          // --shard-sigma is the session default; a per-line shard_sigma=
+          // wins. 0 leaves the router's own default (the pigeonhole bound).
+          if (spec.shard_sigma == 0) spec.shard_sigma = default_shard_sigma;
           // Minted here, at the edge: the client.mine root span owns the
           // round trip, and its context rides the v2 wire message through
           // the router to every worker. Untraced runs stay v1.
@@ -343,9 +353,10 @@ int RealMain(const lash::tools::Args& args) {
     client_options.io_timeout_ms =
         static_cast<int>(args.GetInt("io-timeout-ms", 0));
     net::NetClient client(address.host, address.port, client_options);
+    const Frequency shard_sigma = args.GetInt("shard-sigma", 0);
     if (repl) {
       return RunNetworkCommands(std::cin, client, /*interactive=*/true,
-                                print_top);
+                                print_top, shard_sigma);
     }
     const std::string script_path = args.Require("script");
     std::ifstream script(script_path);
@@ -354,7 +365,7 @@ int RealMain(const lash::tools::Args& args) {
       return 2;
     }
     return RunNetworkCommands(script, client, /*interactive=*/false,
-                              print_top);
+                              print_top, shard_sigma);
   }
 
   // Load or generate the dataset before opening the script, so data errors
@@ -408,6 +419,7 @@ int main(int argc, char** argv) {
                            {"cache-mb"},
                            {"print"},
                            {"connect"},
+                           {"shard-sigma"},
                            {"io-timeout-ms"},
                            {"trace-out"}});
     if (args.Has("help")) {
@@ -415,9 +427,12 @@ int main(int argc, char** argv) {
           << "lash_serve (--sequences FILE --hierarchy FILE | --snapshot FILE"
              " | --gen nyt|amzn | --connect HOST:PORT) (--script FILE |"
              " --repl) [--threads N] [--queue N] [--block] [--cache-mb N]"
-             " [--print K] [--io-timeout-ms N] [--trace-out FILE]"
-             " [--save-snapshot FILE] [--mmap]\n"
-             "script commands: mine key=value... | wait | stats\n";
+             " [--print K] [--io-timeout-ms N] [--shard-sigma N]"
+             " [--trace-out FILE] [--save-snapshot FILE] [--mmap]\n"
+             "script commands: mine key=value... | wait | stats\n"
+             "--shard-sigma N (with --connect): default per-query router"
+             " scatter threshold override; 0 = the router's pigeonhole"
+             " default. Per line: mine ... shard_sigma=N\n";
       return 0;
     }
     return RealMain(args);

@@ -10,11 +10,14 @@
 //   (TaskSpec::shard routes between them).
 //
 // Router mode scatters each query across shard workers and serves the
-// merged answer through the same protocol (see net/router.h for the merge
-// contract):
+// merged answer through the same protocol. By default it runs the exact
+// two-phase candidate/count protocol (phase-1 mine at the pigeonhole bound
+// ⌈σ/k⌉, phase-2 exact recount of the union candidates; see net/router.h
+// for the merge contract); --legacy-scatter keeps the one-phase σ′=1 path:
 //   lash_served --router --workers HOST:PORT[,HOST:PORT...]
-//               [--shard-sigma N] [--bind ADDR] [--port N] [--port-file FILE]
-//               [--threads N] [--io-timeout-ms N]
+//               [--shard-sigma N] [--legacy-scatter]
+//               [--bind ADDR] [--port N] [--port-file FILE]
+//               [--threads N] [--io-timeout-ms N] [--slow-ms N]
 //
 // Both modes print "listening on ADDR:PORT" to stderr once the port is
 // bound (and write the bare port to --port-file, for scripts that asked for
@@ -119,15 +122,28 @@ int RealMain(const tools::Args& args) {
       throw tools::ArgError("--workers needs at least one HOST:PORT");
     }
     net::RouterOptions options;
-    options.shard_sigma = args.GetInt("shard-sigma", 1);
+    options.two_phase = !args.Has("legacy-scatter");
+    // 0 keeps the mode's default σ′: the pigeonhole bound ⌈σ/k⌉ when
+    // two-phase, 1 on the legacy path.
+    options.shard_sigma = args.GetInt("shard-sigma", 0);
     options.scatter_threads = args.GetInt("threads", 0);
     options.client.io_timeout_ms =
         static_cast<int>(args.GetInt("io-timeout-ms", 0));
     options.metrics = &metrics;
+    options.slow_query_ms = static_cast<double>(args.GetInt("slow-ms", 0));
     const size_t num_workers = workers.size();
     net::RouterBackend backend(std::move(workers), options);
-    std::fprintf(stderr, "routing across %zu workers (shard sigma %llu)\n",
-                 num_workers, (unsigned long long)options.shard_sigma);
+    if (options.shard_sigma != 0) {
+      std::fprintf(stderr,
+                   "routing across %zu workers (%s, shard sigma %llu)\n",
+                   num_workers, options.two_phase ? "two-phase" : "one-phase",
+                   (unsigned long long)options.shard_sigma);
+    } else {
+      std::fprintf(stderr, "routing across %zu workers (%s)\n", num_workers,
+                   options.two_phase
+                       ? "two-phase, pigeonhole shard sigma"
+                       : "one-phase, shard sigma 1");
+    }
     return Serve(std::move(server_options), &backend, args);
   }
 
@@ -197,6 +213,7 @@ int main(int argc, char** argv) {
                            {"router", false},
                            {"workers"},
                            {"shard-sigma"},
+                           {"legacy-scatter", false},
                            {"io-timeout-ms"},
                            {"trace-out"},
                            {"slow-ms"}});
@@ -208,8 +225,9 @@ int main(int argc, char** argv) {
              "[--queue N] [--block] [--cache-mb N] [--trace-out FILE] "
              "[--slow-ms N]\n"
              "router: lash_served --router --workers HOST:PORT[,...] "
-             "[--shard-sigma N] [--bind ADDR] [--port N] [--port-file FILE] "
-             "[--threads N] [--io-timeout-ms N] [--trace-out FILE]\n";
+             "[--shard-sigma N] [--legacy-scatter] [--bind ADDR] [--port N] "
+             "[--port-file FILE] [--threads N] [--io-timeout-ms N] "
+             "[--trace-out FILE] [--slow-ms N]\n";
       return 0;
     }
     return RealMain(args);

@@ -128,10 +128,11 @@ echo "net_smoke: router top-k re-cut ok"
 
 # --- Traced mine: one trace id across the client, the router, and both
 # shard workers. γ=2 λ=3 is fresh (no earlier query used it), so the
-# router's σ'=1 scatter legs are cold misses on both shards and the full
-# pipeline — serve.request → serve.mine → mr.job — records on each (λ=3
-# keeps the σ'=1 over-mining cheap). lash_serve mints the root trace id
-# (--trace-out enables tracing at the edge) and the id rides the
+# router's phase-1 scatter legs (two-phase by default: σ'=⌈8/2⌉=4) are cold
+# misses on both shards and the full pipeline — serve.request → serve.mine
+# → mr.job — records on each, followed by the count phase's router.count
+# legs and each shard's serve.count recount. lash_serve mints the root
+# trace id (--trace-out enables tracing at the edge) and the id rides the
 # kMineRequestV2 frame through the router to every worker.
 echo "mine algo=lash sigma=8 gamma=2 lambda=3" >q.script
 "$SERVE" --connect "127.0.0.1:$ROUTER_PORT" --script q.script --print 0 \
@@ -148,18 +149,22 @@ for name in router shard0 shard1; do
     exit 1
   }
 done
-# The router recorded its scatter/merge legs and the shards their full
-# serve pipeline plus the MapReduce timeline — all under the one id.
+# The router recorded its scatter legs, the count phase, and the merge,
+# and the shards their full serve pipeline plus the MapReduce timeline and
+# the exact recount — all under the one id.
 TRACED_ROUTER=$(grep "\"trace\":\"$TRACE_ID\"" router.trace.jsonl)
 echo "$TRACED_ROUTER" | grep -q '"name":"router.scatter"'
+echo "$TRACED_ROUTER" | grep -q '"name":"router.count"'
 echo "$TRACED_ROUTER" | grep -q '"name":"router.merge"'
 for name in shard0 shard1; do
   TRACED_SHARD=$(grep "\"trace\":\"$TRACE_ID\"" "$name.trace.jsonl")
   echo "$TRACED_SHARD" | grep -q '"name":"serve.request"'
   echo "$TRACED_SHARD" | grep -q '"name":"serve.mine"'
   echo "$TRACED_SHARD" | grep -q '"name":"mr.job"'
+  echo "$TRACED_SHARD" | grep -q '"name":"serve.count"'
 done
-echo "net_smoke: one trace id spans client, router, and both shards ok"
+echo "net_smoke: one trace id spans client, router, and both shards ok," \
+     "count phase included"
 
 # --- Stats RPC: the worker served 4 queries (one was a repeat-free stream,
 # so hits come from the router's shard_sigma probes only on shards; on the
@@ -180,6 +185,18 @@ grep -q "serve.cache.bytes " stats.txt
 grep -q "serve.latency.mine_ms.count " stats.txt
 grep -q "net.server.frames_in " stats.txt
 echo "net_smoke: stats rpc + metrics snapshot ok"
+
+# The router's own registry must show the count phase fired: every earlier
+# σ=8 query pigeonholed to σ'=4 > 1, so router.count.requests counted two
+# workers per query and the candidate/shipped volumes are non-zero.
+echo "stats" >q.script
+"$SERVE" --connect "127.0.0.1:$ROUTER_PORT" --script q.script \
+         >router_stats.txt 2>>serve.log
+grep -q "router.count.requests " router_stats.txt
+grep -q "router.count.candidates " router_stats.txt
+grep -q "router.count.patterns_shipped " router_stats.txt
+grep -q "router.count.phase_ms.count " router_stats.txt
+echo "net_smoke: router count-phase metrics ok"
 
 # --- Graceful drain: SIGTERM must end every server with exit 0 and the
 # drain epilogue on stderr.
